@@ -1,0 +1,35 @@
+//! The end-to-end attacker harness.
+//!
+//! Ties the Markov models of `recon-core` to the `netsim` network: builds
+//! an attack plan for a sampled scenario (which probe to send), realizes
+//! the scenario as live Poisson traffic against a simulated switch, lets
+//! each attacker flavor probe and answer, and scores the answers against
+//! the simulation's ground truth — reproducing the paper's §VI evaluation
+//! loop.
+//!
+//! Attackers (§VI-B):
+//!
+//! * **naive** — probes the target flow itself and returns `Q_f̂`;
+//! * **model** — probes the information-gain-optimal flow and returns its
+//!   `Q_f`;
+//! * **restricted model** — like model, but forbidden from probing the
+//!   target (Fig. 7's scenario);
+//! * **random** — answers from the prior alone, without probing;
+//! * **tree** — issues a multi-probe sequence and classifies via the §V-B
+//!   decision tree.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attacker;
+mod calibrate;
+mod plan;
+pub mod sweep;
+mod timing;
+mod trial;
+
+pub use attacker::{Attacker, AttackerKind};
+pub use calibrate::{calibrate_threshold, CalibratedThreshold};
+pub use plan::{plan_attack, plan_attack_with, AttackPlan, PlanError};
+pub use timing::{measure_latency, LatencyStats, LatencyTable};
+pub use trial::{run_trials, run_trials_with, scenario_net_config, Accuracy, TrialReport};

@@ -1,0 +1,95 @@
+//! Measuring the timing side channel itself (the §VI-A latency table).
+
+use flowspace::{FlowId, FlowSet, Rule, RuleSet, Timeout};
+use netsim::{NetConfig, Simulation};
+use serde::{Deserialize, Serialize};
+
+/// Mean and standard deviation of a latency sample set, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Sample mean, seconds.
+    pub mean: f64,
+    /// Sample standard deviation, seconds.
+    pub std: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl LatencyStats {
+    fn from_samples(samples: &[f64]) -> Self {
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        LatencyStats { mean, std: var.sqrt(), n }
+    }
+}
+
+/// The reproduction of the paper's measured table: hit vs miss RTT
+/// statistics and the threshold's classification error.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyTable {
+    /// RTT statistics when a covering rule was already cached
+    /// (paper: 0.087 ms ± 0.021 ms).
+    pub hit: LatencyStats,
+    /// RTT statistics when rule setup was required
+    /// (paper: 4.070 ms ± 1.806 ms).
+    pub miss: LatencyStats,
+    /// Fraction of samples misclassified by the 1 ms threshold.
+    pub threshold_error: f64,
+}
+
+/// Measures hit and miss RTT distributions with `samples` controlled
+/// probes each: every miss sample probes a cold rule; every hit sample
+/// re-probes immediately after warming it.
+#[must_use]
+pub fn measure_latency(samples: usize, seed: u64) -> LatencyTable {
+    let rules = RuleSet::new(
+        vec![Rule::from_flow_set(
+            FlowSet::from_flows(2, [FlowId(0)]),
+            1,
+            Timeout::idle(25),
+        )],
+        2,
+    )
+    .expect("static rule set is valid");
+    let config = NetConfig::eval_topology(rules, 2, 0.02);
+    let mut hits = Vec::with_capacity(samples);
+    let mut misses = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let mut sim = Simulation::new(config.clone(), seed.wrapping_add(i as u64));
+        let cold = sim.probe(FlowId(0));
+        misses.push(cold.rtt);
+        let warm = sim.probe(FlowId(0));
+        hits.push(warm.rtt);
+    }
+    let threshold = netsim::LatencyModel::threshold();
+    let errors = hits.iter().filter(|&&r| r >= threshold).count()
+        + misses.iter().filter(|&&r| r < threshold).count();
+    LatencyTable {
+        hit: LatencyStats::from_samples(&hits),
+        miss: LatencyStats::from_samples(&misses),
+        threshold_error: errors as f64 / (2 * samples) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_magnitudes() {
+        let t = measure_latency(2000, 7);
+        // Paper: hit 0.087 ms ± 0.021; miss 4.070 ms ± 1.806.
+        assert!((t.hit.mean - 0.087e-3).abs() < 0.02e-3, "hit mean {}", t.hit.mean);
+        assert!((t.miss.mean - 4.070e-3).abs() < 0.3e-3, "miss mean {}", t.miss.mean);
+        assert!((t.miss.std - 1.806e-3).abs() < 0.3e-3, "miss std {}", t.miss.std);
+        assert!(t.threshold_error < 0.05, "threshold error {}", t.threshold_error);
+        assert_eq!(t.hit.n, 2000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(measure_latency(50, 1), measure_latency(50, 1));
+        assert_ne!(measure_latency(50, 1), measure_latency(50, 2));
+    }
+}

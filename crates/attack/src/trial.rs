@@ -1,0 +1,232 @@
+//! Running repeated attack trials against live simulated traffic.
+
+use crate::attacker::{Attacker, AttackerKind};
+use crate::plan::AttackPlan;
+use netsim::{NetConfig, Simulation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use traffic::{poisson, NetworkScenario};
+
+/// A confusion-matrix accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Accuracy {
+    /// Target occurred, attacker said occurred.
+    pub tp: u64,
+    /// Target absent, attacker said absent.
+    pub tn: u64,
+    /// Target absent, attacker said occurred.
+    pub fp: u64,
+    /// Target occurred, attacker said absent.
+    pub fn_: u64,
+}
+
+impl Accuracy {
+    /// Records one trial.
+    pub fn add(&mut self, truth: bool, answer: bool) {
+        match (truth, answer) {
+            (true, true) => self.tp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fp += 1,
+            (true, false) => self.fn_ += 1,
+        }
+    }
+
+    /// Number of trials recorded.
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        self.tp + self.tn + self.fp + self.fn_
+    }
+
+    /// The paper's metric: (TP + TN) / total.
+    ///
+    /// Returns NaN if no trials were recorded.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.n() == 0 {
+            f64::NAN
+        } else {
+            (self.tp + self.tn) as f64 / self.n() as f64
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &Accuracy) {
+        self.tp += other.tp;
+        self.tn += other.tn;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+}
+
+/// Per-attacker results of one batch of trials on one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialReport {
+    /// Confusion matrices, parallel to [`AttackerKind::all`].
+    pub by_attacker: Vec<(AttackerKind, Accuracy)>,
+    /// Fraction of trials in which the target genuinely occurred.
+    pub base_rate_present: f64,
+}
+
+impl TrialReport {
+    /// The accuracy of one attacker kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` was not part of the batch.
+    #[must_use]
+    pub fn accuracy(&self, kind: AttackerKind) -> f64 {
+        self.by_attacker
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, a)| a.accuracy())
+            .expect("attacker kind not in report")
+    }
+}
+
+/// Realizes a scenario as a [`NetConfig`] on the paper's evaluation
+/// topology.
+#[must_use]
+pub fn scenario_net_config(scenario: &NetworkScenario) -> NetConfig {
+    NetConfig::eval_topology(scenario.rules.clone(), scenario.capacity, scenario.delta)
+}
+
+/// Runs `trials` independent trials of every attacker in `kinds` on the
+/// scenario, regenerating the Poisson traffic each trial (as the paper
+/// does: "each test … was performed 100 times, randomly generating the
+/// network packets every time").
+///
+/// Within a trial, every attacker observes the *same* traffic realization:
+/// each gets a fresh simulation fed the same schedule, so earlier
+/// attackers' probes cannot pollute later attackers' switch state.
+#[must_use]
+pub fn run_trials(
+    scenario: &NetworkScenario,
+    plan: &AttackPlan,
+    kinds: &[AttackerKind],
+    trials: usize,
+    seed: u64,
+) -> TrialReport {
+    run_trials_with(scenario, plan, kinds, trials, seed, &scenario_net_config(scenario))
+}
+
+/// [`run_trials`] against an explicit network configuration — used by the
+/// countermeasure experiments (§VII-B) to enable defenses.
+#[must_use]
+pub fn run_trials_with(
+    scenario: &NetworkScenario,
+    plan: &AttackPlan,
+    kinds: &[AttackerKind],
+    trials: usize,
+    seed: u64,
+    net: &NetConfig,
+) -> TrialReport {
+    let net = net.clone();
+    let mut accs: Vec<(AttackerKind, Accuracy)> =
+        kinds.iter().map(|&k| (k, Accuracy::default())).collect();
+    let mut present = 0u64;
+    for trial in 0..trials {
+        let mut traffic_rng = StdRng::seed_from_u64(seed ^ (trial as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let schedule =
+            poisson::schedule(&scenario.lambdas, 0.0, scenario.window_secs, &mut traffic_rng);
+        let truth = schedule.iter().any(|&(f, _)| f == scenario.target);
+        if truth {
+            present += 1;
+        }
+        for (i, (kind, acc)) in accs.iter_mut().enumerate() {
+            let mut sim = Simulation::new(net.clone(), seed ^ ((trial as u64) << 20) ^ (i as u64 + 1));
+            for &(f, t) in &schedule {
+                sim.schedule_flow(f, t);
+            }
+            sim.run_until(scenario.window_secs);
+            let attacker = Attacker::from_plan(*kind, plan, scenario.target);
+            let mut decide_rng =
+                StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF ^ ((trial as u64) << 8) ^ i as u64);
+            let answer = attacker.decide(&mut sim, &mut decide_rng);
+            acc.add(truth, answer);
+        }
+    }
+    TrialReport {
+        by_attacker: accs,
+        base_rate_present: present as f64 / trials.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::plan_attack;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use recon_core::useq::Evaluator;
+    use traffic::ScenarioSampler;
+
+    fn scenario(seed: u64, absence: (f64, f64)) -> NetworkScenario {
+        let sampler = ScenarioSampler {
+            bits: 3,
+            n_rules: 6,
+            capacity: 3,
+            delta: 0.05,
+            window_secs: 10.0,
+            ..ScenarioSampler::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        sampler.sample_forced(absence, &mut rng)
+    }
+
+    #[test]
+    fn accuracy_bookkeeping() {
+        let mut a = Accuracy::default();
+        a.add(true, true);
+        a.add(false, false);
+        a.add(false, true);
+        a.add(true, false);
+        assert_eq!(a.n(), 4);
+        assert_eq!(a.accuracy(), 0.5);
+        let mut b = Accuracy::default();
+        b.add(true, true);
+        a.merge(&b);
+        assert_eq!(a.n(), 5);
+        assert_eq!((a.tp, a.tn, a.fp, a.fn_), (2, 1, 1, 1));
+        assert!(Accuracy::default().accuracy().is_nan());
+    }
+
+    #[test]
+    fn trials_are_reproducible() {
+        let sc = scenario(1, (0.3, 0.7));
+        let plan = plan_attack(&sc, Evaluator::mean_field()).unwrap();
+        let kinds = [AttackerKind::Naive, AttackerKind::Model];
+        let r1 = run_trials(&sc, &plan, &kinds, 10, 99);
+        let r2 = run_trials(&sc, &plan, &kinds, 10, 99);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn base_rate_tracks_absence_probability() {
+        let sc = scenario(2, (0.45, 0.55));
+        let plan = plan_attack(&sc, Evaluator::mean_field()).unwrap();
+        let r = run_trials(&sc, &plan, &[AttackerKind::Random], 300, 7);
+        // Absence ≈ 0.5 → presence ≈ 0.5.
+        assert!((r.base_rate_present - 0.5).abs() < 0.15, "{}", r.base_rate_present);
+    }
+
+    #[test]
+    fn naive_attacker_beats_chance_when_detection_feasible() {
+        // A low-absence scenario: the target fires often, its rule is
+        // usually cached, and probing it answers well above 50%.
+        let sc = scenario(3, (0.05, 0.15));
+        let plan = plan_attack(&sc, Evaluator::mean_field()).unwrap();
+        let r = run_trials(&sc, &plan, &[AttackerKind::Naive, AttackerKind::Random], 100, 11);
+        let naive = r.accuracy(AttackerKind::Naive);
+        assert!(naive > 0.6, "naive accuracy {naive}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not in report")]
+    fn missing_kind_panics() {
+        let sc = scenario(4, (0.3, 0.7));
+        let plan = plan_attack(&sc, Evaluator::mean_field()).unwrap();
+        let r = run_trials(&sc, &plan, &[AttackerKind::Naive], 2, 1);
+        let _ = r.accuracy(AttackerKind::Model);
+    }
+}

@@ -1,0 +1,49 @@
+//! Benchmarks for Markov-model construction (the §IV-A2 / §IV-B
+//! scalability story, backing the `scalability` experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recon_bench::{paper_scale_scenario, small_scenario};
+use recon_core::basic::BasicModel;
+use recon_core::compact::CompactModel;
+use recon_core::useq::Evaluator;
+
+fn bench_compact_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compact_build");
+    g.sample_size(10);
+    let paper = paper_scale_scenario(1);
+    let small = small_scenario(2);
+    for (name, sc) in [("paper_scale_12rules_n6", &paper), ("small_3rules_n2", &small)] {
+        let rates = sc.rates();
+        g.bench_with_input(BenchmarkId::new("mean_field", name), sc, |b, sc| {
+            b.iter(|| {
+                CompactModel::build(&sc.rules, &rates, sc.capacity, Evaluator::mean_field())
+                    .expect("builds")
+            });
+        });
+    }
+    // Exact evaluator only on the small instance.
+    let rates = small.rates();
+    g.bench_function("exact/small_3rules_n2", |b| {
+        b.iter(|| {
+            CompactModel::build(&small.rules, &rates, small.capacity, Evaluator::exact())
+                .expect("builds")
+        });
+    });
+    g.finish();
+}
+
+fn bench_basic_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("basic_build");
+    g.sample_size(10);
+    let small = small_scenario(2);
+    let rates = small.rates();
+    g.bench_function("small_3rules_n2", |b| {
+        b.iter(|| {
+            BasicModel::build(&small.rules, &rates, small.capacity, 5_000_000).expect("builds")
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compact_build, bench_basic_build);
+criterion_main!(benches);

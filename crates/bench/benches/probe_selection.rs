@@ -1,0 +1,46 @@
+//! Benchmarks for the §V attacker calculations: distribution evolution
+//! (Eqn 8), single-probe scoring, and multi-probe sequence analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowspace::FlowId;
+use recon_bench::paper_scale_scenario;
+use recon_core::compact::CompactModel;
+use recon_core::probe::ProbePlanner;
+use recon_core::useq::Evaluator;
+use recon_core::SwitchModel;
+
+fn bench_probe_selection(c: &mut Criterion) {
+    let sc = paper_scale_scenario(3);
+    let rates = sc.rates();
+    let model = CompactModel::build(&sc.rules, &rates, sc.capacity, Evaluator::mean_field())
+        .expect("builds");
+    let horizon = sc.horizon_steps();
+
+    let mut g = c.benchmark_group("probe_selection");
+    g.sample_size(20);
+    g.bench_function("planner_new_T750", |b| {
+        b.iter(|| ProbePlanner::new(&model, sc.target, horizon));
+    });
+
+    let planner = ProbePlanner::new(&model, sc.target, horizon);
+    g.bench_function("best_probe_16_candidates", |b| {
+        b.iter(|| planner.best_probe(sc.all_flows()).expect("candidates"));
+    });
+    g.bench_function("two_probe_sequence_analysis", |b| {
+        b.iter(|| planner.analyze_sequence(&[FlowId(0), FlowId(5)]));
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("evolution");
+    g.sample_size(20);
+    g.bench_function("evolve_n_750_exact", |b| {
+        b.iter(|| model.matrix().evolve_n(&model.initial(), 750));
+    });
+    g.bench_function("evolve_n_750_extrapolated", |b| {
+        b.iter(|| model.matrix().evolve_n_extrapolated(&model.initial(), 750, 1e-11));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_probe_selection);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Benchmarks for the §IV-B most-recent-match-sequence evaluators (the A1
+//! ablation's runtime column).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowspace::RuleId;
+use recon_bench::{paper_scale_scenario, small_scenario};
+use recon_core::useq::Evaluator;
+
+fn bench_evaluators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("useq_full_cache_state");
+    g.sample_size(20);
+
+    // Paper scale: 6 cached rules, TTLs up to 50 steps.
+    let paper = paper_scale_scenario(5);
+    let rates = paper.rates();
+    let cached: Vec<RuleId> = paper.rules.ids().take(paper.capacity).collect();
+    g.bench_function("mean_field/paper_scale", |b| {
+        b.iter(|| Evaluator::mean_field().analyze(&paper.rules, &rates, &cached, true));
+    });
+    g.bench_function("monte_carlo_2k/paper_scale", |b| {
+        b.iter(|| Evaluator::monte_carlo(2000, 7).analyze(&paper.rules, &rates, &cached, true));
+    });
+
+    // Small scale where exact enumeration is feasible.
+    let small = small_scenario(6);
+    let srates = small.rates();
+    let scached: Vec<RuleId> = small.rules.ids().take(small.capacity).collect();
+    g.bench_function("exact/small", |b| {
+        b.iter(|| Evaluator::exact().analyze(&small.rules, &srates, &scached, true));
+    });
+    g.bench_function("mean_field/small", |b| {
+        b.iter(|| Evaluator::mean_field().analyze(&small.rules, &srates, &scached, true));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_evaluators);
+criterion_main!(benches);

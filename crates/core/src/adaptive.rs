@@ -1,0 +1,311 @@
+//! Adaptive probe planning — an extension of §V-B.
+//!
+//! The paper selects its multi-probe sequence *non-adaptively*: all `m`
+//! probes are fixed up front. An adaptive attacker instead picks each next
+//! probe based on the outcomes observed so far, which can only increase the
+//! expected information gain. [`AdaptiveTree::plan`] builds the optimal
+//! greedy policy as an explicit binary tree: each internal node holds the
+//! probe to send, each edge an outcome (miss/hit), each node the current
+//! posterior that the target occurred.
+
+use crate::probe::ProbePlanner;
+use crate::{entropy, Distribution, SwitchModel};
+use flowspace::FlowId;
+use serde::{Deserialize, Serialize};
+
+/// One node of an adaptive probing policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveNode {
+    /// The probe to send at this node; `None` at leaves.
+    pub probe: Option<FlowId>,
+    /// `P(X̂ = 1 | outcomes so far)`.
+    pub posterior_present: f64,
+    /// Probability of reaching this node.
+    pub p_reach: f64,
+}
+
+/// A greedy-optimal adaptive probing policy of fixed depth.
+///
+/// Stored as a complete binary tree in breadth-first order: the root is
+/// node 0; from node `i`, a **miss** leads to `2i + 1` and a **hit** to
+/// `2i + 2`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveTree {
+    nodes: Vec<AdaptiveNode>,
+    depth: usize,
+}
+
+impl AdaptiveTree {
+    /// Builds the depth-`depth` greedy policy: at every node the candidate
+    /// probe with the largest one-step conditional information gain is
+    /// chosen (candidates may repeat across branches but not along a
+    /// path — re-probing a flow you already probed reveals nothing new,
+    /// since the first probe installed its rule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is 0 or exceeds 12 (tree size 2^13).
+    #[must_use]
+    pub fn plan<M: SwitchModel>(
+        planner: &ProbePlanner<'_, M>,
+        candidates: &[FlowId],
+        depth: usize,
+    ) -> Self {
+        assert!((1..=12).contains(&depth), "depth {depth} not in 1..=12");
+        let n_nodes = (1usize << (depth + 1)) - 1;
+        let mut nodes = vec![
+            AdaptiveNode { probe: None, posterior_present: f64::NAN, p_reach: 0.0 };
+            n_nodes
+        ];
+        let dist = planner.state_distribution().clone();
+        let joint = planner.absent_joint().clone();
+        Self::fill(planner, candidates, &mut nodes, 0, depth, &dist, &joint, &mut Vec::new());
+        AdaptiveTree { nodes, depth }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn fill<M: SwitchModel>(
+        planner: &ProbePlanner<'_, M>,
+        candidates: &[FlowId],
+        nodes: &mut [AdaptiveNode],
+        idx: usize,
+        remaining: usize,
+        dist: &Distribution,
+        joint: &Distribution,
+        path: &mut Vec<FlowId>,
+    ) {
+        let p = dist.total();
+        let pa = joint.total();
+        nodes[idx].p_reach = p;
+        nodes[idx].posterior_present = if p > 0.0 { (1.0 - pa / p).clamp(0.0, 1.0) } else { f64::NAN };
+        if remaining == 0 || p <= 0.0 {
+            return;
+        }
+        // Greedy choice: one-step conditional information gain.
+        let mut best: Option<(FlowId, f64)> = None;
+        for &c in candidates {
+            if path.contains(&c) {
+                continue;
+            }
+            let p_hit = planner.model().prob_flow_hit(dist, c);
+            let p_miss = p - p_hit;
+            let pa_hit = planner.model().prob_flow_hit(joint, c);
+            let pa_miss = pa - pa_hit;
+            let h_now = entropy((pa / p).clamp(0.0, 1.0));
+            let mut h_cond = 0.0;
+            for (pq, paq) in [(p_hit, pa_hit), (p_miss, pa_miss)] {
+                if pq > 0.0 {
+                    h_cond += (pq / p) * entropy((paq / pq).clamp(0.0, 1.0));
+                }
+            }
+            let ig = (h_now - h_cond).max(0.0);
+            if best.map_or(true, |(_, b)| ig > b) {
+                best = Some((c, ig));
+            }
+        }
+        let Some((probe, _)) = best else { return };
+        nodes[idx].probe = Some(probe);
+        path.push(probe);
+        for (hit, child) in [(false, 2 * idx + 1), (true, 2 * idx + 2)] {
+            let d2 = planner.model().apply_probe(dist, probe, hit);
+            let j2 = planner.model().apply_probe(joint, probe, hit);
+            Self::fill(planner, candidates, nodes, child, remaining - 1, &d2, &j2, path);
+        }
+        path.pop();
+    }
+
+    /// Depth of the policy (maximum number of probes).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The probe to send after observing `outcomes` so far; `None` once
+    /// the policy is exhausted (or the branch was unreachable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more outcomes are supplied than the tree's depth.
+    #[must_use]
+    pub fn next_probe(&self, outcomes: &[bool]) -> Option<FlowId> {
+        self.nodes[self.node_index(outcomes)].probe
+    }
+
+    /// The posterior `P(X̂=1 | outcomes)` at the reached node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more outcomes are supplied than the tree's depth.
+    #[must_use]
+    pub fn posterior(&self, outcomes: &[bool]) -> f64 {
+        self.nodes[self.node_index(outcomes)].posterior_present
+    }
+
+    /// The verdict after a full run of probes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more outcomes are supplied than the tree's depth.
+    #[must_use]
+    pub fn decide(&self, outcomes: &[bool]) -> bool {
+        self.posterior(outcomes) > 0.5
+    }
+
+    /// Expected information gain of running the full policy:
+    /// `ℍ(X̂) − E[ℍ(X̂ | leaf)]`.
+    #[must_use]
+    pub fn expected_info_gain(&self) -> f64 {
+        let root = &self.nodes[0];
+        let prior = entropy(1.0 - root.posterior_present);
+        let mut cond = 0.0;
+        self.for_each_leaf(0, &mut |leaf: &AdaptiveNode| {
+            if leaf.p_reach > 0.0 && !leaf.posterior_present.is_nan() {
+                cond += leaf.p_reach * entropy(1.0 - leaf.posterior_present);
+            }
+        });
+        (prior - cond).max(0.0)
+    }
+
+    /// Expected accuracy of the Bayes-optimal decision at each leaf.
+    #[must_use]
+    pub fn expected_accuracy(&self) -> f64 {
+        let mut acc = 0.0;
+        self.for_each_leaf(0, &mut |leaf: &AdaptiveNode| {
+            if leaf.p_reach > 0.0 && !leaf.posterior_present.is_nan() {
+                acc += leaf.p_reach * leaf.posterior_present.max(1.0 - leaf.posterior_present);
+            }
+        });
+        acc
+    }
+
+    fn for_each_leaf(&self, idx: usize, f: &mut impl FnMut(&AdaptiveNode)) {
+        let node = &self.nodes[idx];
+        if node.probe.is_none() {
+            f(node);
+            return;
+        }
+        self.for_each_leaf(2 * idx + 1, f);
+        self.for_each_leaf(2 * idx + 2, f);
+    }
+
+    fn node_index(&self, outcomes: &[bool]) -> usize {
+        assert!(outcomes.len() <= self.depth, "more outcomes than the tree depth");
+        let mut idx = 0;
+        for &hit in outcomes {
+            idx = 2 * idx + 1 + usize::from(hit);
+        }
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compact::CompactModel;
+    use crate::useq::Evaluator;
+    use flowspace::relevant::FlowRates;
+    use flowspace::{FlowSet, Rule, RuleSet, Timeout};
+
+    fn setup() -> (RuleSet, FlowRates) {
+        let u = 4;
+        let rules = RuleSet::new(
+            vec![
+                Rule::from_flow_set(
+                    FlowSet::from_flows(u, [FlowId(1), FlowId(2)]),
+                    20,
+                    Timeout::idle(8),
+                ),
+                Rule::from_flow_set(
+                    FlowSet::from_flows(u, [FlowId(1), FlowId(3)]),
+                    10,
+                    Timeout::idle(8),
+                ),
+            ],
+            u,
+        )
+        .unwrap();
+        let rates = FlowRates::from_per_step(vec![0.0, 0.02, 0.01, 0.08]);
+        (rules, rates)
+    }
+
+    #[test]
+    fn adaptive_at_least_matches_non_adaptive() {
+        let (rules, rates) = setup();
+        let model = CompactModel::build(&rules, &rates, 2, Evaluator::exact()).unwrap();
+        let planner = ProbePlanner::new(&model, FlowId(1), 60);
+        let candidates: Vec<FlowId> = (0..4).map(FlowId).collect();
+        let adaptive = AdaptiveTree::plan(&planner, &candidates, 2);
+        let fixed = planner.best_sequence_exhaustive(&candidates, 2).unwrap();
+        assert!(
+            adaptive.expected_info_gain() >= fixed.info_gain - 1e-9,
+            "adaptive {} < fixed {}",
+            adaptive.expected_info_gain(),
+            fixed.info_gain
+        );
+    }
+
+    #[test]
+    fn deeper_policies_gain_at_least_as_much() {
+        let (rules, rates) = setup();
+        let model = CompactModel::build(&rules, &rates, 2, Evaluator::exact()).unwrap();
+        let planner = ProbePlanner::new(&model, FlowId(1), 60);
+        let candidates: Vec<FlowId> = (0..4).map(FlowId).collect();
+        let mut last = 0.0;
+        for depth in 1..=3 {
+            let tree = AdaptiveTree::plan(&planner, &candidates, depth);
+            let ig = tree.expected_info_gain();
+            assert!(ig >= last - 1e-9, "depth {depth}: {ig} < {last}");
+            last = ig;
+        }
+    }
+
+    #[test]
+    fn navigation_and_decisions_are_consistent() {
+        let (rules, rates) = setup();
+        let model = CompactModel::build(&rules, &rates, 2, Evaluator::exact()).unwrap();
+        let planner = ProbePlanner::new(&model, FlowId(1), 60);
+        let candidates: Vec<FlowId> = (0..4).map(FlowId).collect();
+        let tree = AdaptiveTree::plan(&planner, &candidates, 2);
+        assert_eq!(tree.depth(), 2);
+        let first = tree.next_probe(&[]).expect("root has a probe");
+        assert!(candidates.contains(&first));
+        // Walking any outcome path yields a defined posterior & decision.
+        for a in [false, true] {
+            // Next probe may differ per branch — that is adaptivity.
+            let _ = tree.next_probe(&[a]);
+            for b in [false, true] {
+                let post = tree.posterior(&[a, b]);
+                if !post.is_nan() {
+                    assert!((0.0..=1.0).contains(&post));
+                    assert_eq!(tree.decide(&[a, b]), post > 0.5);
+                }
+            }
+        }
+        // Expected accuracy is a proper probability ≥ the prior guess.
+        let acc = tree.expected_accuracy();
+        let prior = tree.posterior(&[]);
+        assert!(acc >= prior.max(1.0 - prior) - 1e-9);
+        assert!(acc <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn leaf_reach_probabilities_sum_to_one() {
+        let (rules, rates) = setup();
+        let model = CompactModel::build(&rules, &rates, 2, Evaluator::exact()).unwrap();
+        let planner = ProbePlanner::new(&model, FlowId(1), 60);
+        let candidates: Vec<FlowId> = (0..4).map(FlowId).collect();
+        let tree = AdaptiveTree::plan(&planner, &candidates, 3);
+        let mut total = 0.0;
+        tree.for_each_leaf(0, &mut |leaf| total += leaf.p_reach);
+        assert!((total - 1.0).abs() < 1e-9, "leaf mass {total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "depth 0 not in")]
+    fn zero_depth_rejected() {
+        let (rules, rates) = setup();
+        let model = CompactModel::build(&rules, &rates, 2, Evaluator::exact()).unwrap();
+        let planner = ProbePlanner::new(&model, FlowId(1), 60);
+        let _ = AdaptiveTree::plan(&planner, &[FlowId(1)], 0);
+    }
+}

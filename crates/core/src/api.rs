@@ -1,0 +1,58 @@
+//! The interface the probe planner needs from a switch model.
+
+use crate::{Distribution, TransitionMatrix};
+use flowspace::relevant::FlowRates;
+use flowspace::{FlowId, RuleSet};
+
+/// A Markov model of the switch cache, as consumed by
+/// [`probe::ProbePlanner`](crate::probe::ProbePlanner).
+///
+/// Implemented by [`CompactModel`](crate::compact::CompactModel) (fully) and
+/// [`BasicModel`](crate::basic::BasicModel) (single-probe calculations
+/// only — see [`SwitchModel::apply_probe`]).
+pub trait SwitchModel {
+    /// Number of states.
+    fn n_states(&self) -> usize;
+
+    /// The rule set the model was built from.
+    fn rules(&self) -> &RuleSet;
+
+    /// The per-step flow rates the model was built from.
+    fn rates(&self) -> &FlowRates;
+
+    /// The initial distribution (all mass on the empty cache).
+    fn initial(&self) -> Distribution;
+
+    /// The normalized transition matrix `A`.
+    fn matrix(&self) -> &TransitionMatrix;
+
+    /// The substochastic matrix `Â` of §V-A: transitions attributable to
+    /// arrivals of `target` are removed, other edges unchanged. Evolving
+    /// `I₀` under `Â` yields joint probabilities with "target absent".
+    fn absent_matrix(&self, target: FlowId) -> TransitionMatrix;
+
+    /// Whether a probe of `f` would hit (some cached rule covers `f`) in
+    /// the given state.
+    fn covers_in_state(&self, state: usize, f: FlowId) -> bool;
+
+    /// Conditions `dist` on the probe outcome (`hit`) **without
+    /// renormalizing**, then applies the probe's own effect on the cache (a
+    /// miss installs the highest-priority covering rule, evicting per the
+    /// model's eviction estimate when full; a hit refreshes recency only).
+    ///
+    /// Used to thread joint probabilities through multi-probe sequences
+    /// (§V-B).
+    ///
+    /// # Panics
+    ///
+    /// `BasicModel` panics here: a probe's timer side effects can leave its
+    /// enumerated state space. Use the compact model for multi-probe
+    /// planning, as the paper does.
+    fn apply_probe(&self, dist: &Distribution, f: FlowId, hit: bool) -> Distribution;
+
+    /// `P(Q_f = 1)` under `dist`: the summed mass of states in which a
+    /// probe of `f` hits.
+    fn prob_flow_hit(&self, dist: &Distribution, f: FlowId) -> f64 {
+        dist.mass_where(|i| self.covers_in_state(i, f))
+    }
+}

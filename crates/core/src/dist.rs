@@ -1,0 +1,178 @@
+//! Probability distributions over model states, and entropy helpers.
+
+use serde::{Deserialize, Serialize};
+
+/// A (possibly sub-normalized) probability vector over model states.
+///
+/// The probe calculations of §V work with both proper distributions
+/// (`I_T`) and *substochastic* vectors — joint distributions with the event
+/// "target flow absent", whose total mass is the probability of that event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Distribution(Vec<f64>);
+
+impl Distribution {
+    /// A point mass on state `state` in a space of `n` states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state >= n`.
+    #[must_use]
+    pub fn point(n: usize, state: usize) -> Self {
+        assert!(state < n, "state {state} out of range for {n} states");
+        let mut v = vec![0.0; n];
+        v[state] = 1.0;
+        Distribution(v)
+    }
+
+    /// Wraps a raw vector of non-negative masses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry is negative or non-finite.
+    #[must_use]
+    pub fn from_masses(v: Vec<f64>) -> Self {
+        for (i, &p) in v.iter().enumerate() {
+            assert!(p >= 0.0 && p.is_finite(), "mass for state {i} is invalid: {p}");
+        }
+        Distribution(v)
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the space is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Probability mass on one state.
+    #[must_use]
+    pub fn mass(&self, state: usize) -> f64 {
+        self.0[state]
+    }
+
+    /// Total mass (1 for a proper distribution, ≤ 1 for a joint).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.0.iter().sum()
+    }
+
+    /// Sums the mass of the states selected by `pred`.
+    #[must_use]
+    pub fn mass_where<F: FnMut(usize) -> bool>(&self, mut pred: F) -> f64 {
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| pred(*i))
+            .map(|(_, &p)| p)
+            .sum()
+    }
+
+    /// Zeroes the mass of every state *not* selected by `pred`
+    /// (conditioning without renormalization — used when threading joint
+    /// probabilities through multi-probe outcomes).
+    #[must_use]
+    pub fn retain_where<F: FnMut(usize) -> bool>(&self, mut pred: F) -> Self {
+        Distribution(
+            self.0
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| if pred(i) { p } else { 0.0 })
+                .collect(),
+        )
+    }
+
+    /// Rescales so the total mass is 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total mass is zero (there is nothing to condition on).
+    #[must_use]
+    pub fn normalized(&self) -> Self {
+        let t = self.total();
+        assert!(t > 0.0, "cannot normalize a zero-mass vector");
+        Distribution(self.0.iter().map(|&p| p / t).collect())
+    }
+
+    /// Read-only view of the raw masses.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Mutable view of the raw masses (for matrix kernels).
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.0
+    }
+}
+
+/// Shannon entropy (bits) of a Bernoulli distribution with success
+/// probability `p` — `ℍ(X̂)` in the paper (§V-A).
+///
+/// Zero-probability outcomes contribute zero (the usual `0·log 0 = 0`
+/// convention). `p` is clamped into `[0, 1]` to absorb floating-point noise
+/// from the model's normalization.
+#[must_use]
+pub fn entropy(p: f64) -> f64 {
+    let p = p.clamp(0.0, 1.0);
+    let term = |x: f64| if x > 0.0 { -x * x.log2() } else { 0.0 };
+    term(p) + term(1.0 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_mass() {
+        let d = Distribution::point(4, 2);
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+        assert_eq!(d.mass(2), 1.0);
+        assert_eq!(d.total(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn point_out_of_range_panics() {
+        let _ = Distribution::point(2, 2);
+    }
+
+    #[test]
+    fn mass_where_and_retain() {
+        let d = Distribution::from_masses(vec![0.1, 0.2, 0.3, 0.4]);
+        assert!((d.mass_where(|i| i % 2 == 0) - 0.4).abs() < 1e-12);
+        let even = d.retain_where(|i| i % 2 == 0);
+        assert!((even.total() - 0.4).abs() < 1e-12);
+        assert_eq!(even.mass(1), 0.0);
+        assert!((even.normalized().total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-mass")]
+    fn normalize_zero_panics() {
+        let _ = Distribution::from_masses(vec![0.0, 0.0]).normalized();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn negative_mass_rejected() {
+        let _ = Distribution::from_masses(vec![-0.1]);
+    }
+
+    #[test]
+    fn entropy_endpoints_and_peak() {
+        assert_eq!(entropy(0.0), 0.0);
+        assert_eq!(entropy(1.0), 0.0);
+        assert!((entropy(0.5) - 1.0).abs() < 1e-12);
+        // Symmetric.
+        assert!((entropy(0.3) - entropy(0.7)).abs() < 1e-12);
+        // Clamps out-of-range noise.
+        assert_eq!(entropy(1.0 + 1e-12), 0.0);
+        assert_eq!(entropy(-1e-12), 0.0);
+    }
+}

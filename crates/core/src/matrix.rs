@@ -1,0 +1,303 @@
+//! Sparse transition matrices and the distribution evolution of Eqn (8).
+
+use crate::Distribution;
+
+/// A sparse, row-major Markov transition matrix.
+///
+/// Row `from` holds the outgoing edges `(to, probability)` of state `from`.
+/// Proper chains have rows summing to 1; the probe calculations of §V also
+/// use *substochastic* matrices (rows summing to ≤ 1) whose lost mass
+/// represents "the target flow arrived".
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionMatrix {
+    rows: Vec<Vec<(usize, f64)>>,
+}
+
+impl TransitionMatrix {
+    /// Creates a matrix with `n` states and no edges.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        TransitionMatrix { rows: vec![Vec::new(); n] }
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn n_states(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Adds probability `p` to the edge `from → to` (accumulating if the
+    /// edge already exists).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either state is out of range, or `p` is negative or
+    /// non-finite.
+    pub fn add_edge(&mut self, from: usize, to: usize, p: f64) {
+        assert!(to < self.rows.len(), "to-state {to} out of range");
+        assert!(p >= 0.0 && p.is_finite(), "edge probability invalid: {p}");
+        if p == 0.0 {
+            return;
+        }
+        let row = &mut self.rows[from];
+        if let Some(e) = row.iter_mut().find(|(t, _)| *t == to) {
+            e.1 += p;
+        } else {
+            row.push((to, p));
+        }
+    }
+
+    /// The outgoing edges of a state.
+    #[must_use]
+    pub fn row(&self, from: usize) -> &[(usize, f64)] {
+        &self.rows[from]
+    }
+
+    /// Sum of the outgoing probabilities of a state.
+    #[must_use]
+    pub fn row_sum(&self, from: usize) -> f64 {
+        self.rows[from].iter().map(|(_, p)| p).sum()
+    }
+
+    /// Total number of stored edges.
+    #[must_use]
+    pub fn n_edges(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// Whether every row sums to 1 within `tol`.
+    #[must_use]
+    pub fn is_stochastic(&self, tol: f64) -> bool {
+        (0..self.rows.len()).all(|i| (self.row_sum(i) - 1.0).abs() <= tol)
+    }
+
+    /// Whether every row sums to at most `1 + tol`.
+    #[must_use]
+    pub fn is_substochastic(&self, tol: f64) -> bool {
+        (0..self.rows.len()).all(|i| self.row_sum(i) <= 1.0 + tol)
+    }
+
+    /// One step of distribution evolution: `out[to] = Σ_from dist[from] ·
+    /// P(from → to)` — the `Aᵀ·I` product of the paper's Eqn (8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution's length differs from the state count.
+    #[must_use]
+    pub fn evolve(&self, dist: &Distribution) -> Distribution {
+        assert_eq!(dist.len(), self.rows.len(), "distribution/matrix size mismatch");
+        let mut out = Distribution::from_masses(vec![0.0; self.rows.len()]);
+        let slice = out.as_mut_slice();
+        for (from, row) in self.rows.iter().enumerate() {
+            let mass = dist.mass(from);
+            if mass == 0.0 {
+                continue;
+            }
+            for &(to, p) in row {
+                slice[to] += mass * p;
+            }
+        }
+        out
+    }
+
+    /// `steps` steps of evolution: `I_T = (Aᵀ)^T · I_0` (Eqn 8).
+    #[must_use]
+    pub fn evolve_n(&self, dist: &Distribution, steps: usize) -> Distribution {
+        let mut d = dist.clone();
+        for _ in 0..steps {
+            d = self.evolve(&d);
+        }
+        d
+    }
+
+    /// Like [`TransitionMatrix::evolve_n`], but stops early once the chain
+    /// has mixed and extrapolates the remaining steps geometrically.
+    ///
+    /// After enough steps, both a stochastic chain and a substochastic one
+    /// reach a fixed *shape*: `dist_{k+1} ≈ r · dist_k` element-wise for a
+    /// constant decay ratio `r` (`r = 1` for a proper chain, `r < 1` when
+    /// mass leaks to the removed target-arrival transitions). Once the
+    /// normalized shape and the ratio have both stabilized within `tol`,
+    /// the remaining `steps - k` steps are applied as a scalar factor
+    /// `r^{steps-k}`. This turns the `T = 750`-step evolutions of the
+    /// paper's evaluation into ~100 steps with error below `tol`.
+    #[must_use]
+    pub fn evolve_n_extrapolated(&self, dist: &Distribution, steps: usize, tol: f64) -> Distribution {
+        let mut d = dist.clone();
+        let mut prev_total = d.total();
+        let mut prev_ratio = f64::NAN;
+        for k in 0..steps {
+            let next = self.evolve(&d);
+            let total = next.total();
+            let ratio = if prev_total > 0.0 { total / prev_total } else { 0.0 };
+            // Shape change, scale-compensated.
+            let mut shape_delta = 0.0;
+            if total > 0.0 && prev_total > 0.0 {
+                for i in 0..next.len() {
+                    shape_delta += (next.mass(i) / total - d.mass(i) / prev_total).abs();
+                }
+            }
+            let ratio_stable = (ratio - prev_ratio).abs() <= tol;
+            d = next;
+            prev_total = total;
+            prev_ratio = ratio;
+            if shape_delta <= tol && ratio_stable {
+                let remaining = (steps - k - 1) as f64;
+                let factor = if ratio >= 1.0 { 1.0 } else { ratio.powf(remaining) };
+                let scaled: Vec<f64> = d.as_slice().iter().map(|&p| p * factor).collect();
+                return Distribution::from_masses(scaled);
+            }
+            if total == 0.0 {
+                return d; // fully absorbed; nothing left to evolve
+            }
+        }
+        d
+    }
+
+    /// Rescales every row to sum to exactly 1 (used after assembling raw
+    /// transition weights, per §IV-A1's normalization).
+    ///
+    /// Rows with zero total mass are given a self-loop, making the chain
+    /// well-defined even for states that should be unreachable.
+    pub fn normalize_rows(&mut self) {
+        for (i, row) in self.rows.iter_mut().enumerate() {
+            let s: f64 = row.iter().map(|(_, p)| p).sum();
+            if s > 0.0 {
+                for e in row.iter_mut() {
+                    e.1 /= s;
+                }
+            } else {
+                row.push((i, 1.0));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state_chain() -> TransitionMatrix {
+        let mut m = TransitionMatrix::new(2);
+        m.add_edge(0, 0, 0.9);
+        m.add_edge(0, 1, 0.1);
+        m.add_edge(1, 1, 1.0);
+        m
+    }
+
+    #[test]
+    fn edges_accumulate() {
+        let mut m = TransitionMatrix::new(2);
+        m.add_edge(0, 1, 0.25);
+        m.add_edge(0, 1, 0.25);
+        assert_eq!(m.row(0), &[(1, 0.5)]);
+        assert_eq!(m.n_edges(), 1);
+        // Zero-probability edges are dropped.
+        m.add_edge(0, 0, 0.0);
+        assert_eq!(m.n_edges(), 1);
+    }
+
+    #[test]
+    fn stochastic_checks() {
+        let m = two_state_chain();
+        assert!(m.is_stochastic(1e-12));
+        assert!(m.is_substochastic(1e-12));
+        let mut sub = m.clone();
+        sub.rows[0][1].1 = 0.05; // row 0 sums to 0.95
+        assert!(!sub.is_stochastic(1e-12));
+        assert!(sub.is_substochastic(1e-12));
+    }
+
+    #[test]
+    fn evolve_moves_mass_along_edges() {
+        let m = two_state_chain();
+        let d0 = Distribution::point(2, 0);
+        let d1 = m.evolve(&d0);
+        assert!((d1.mass(0) - 0.9).abs() < 1e-12);
+        assert!((d1.mass(1) - 0.1).abs() < 1e-12);
+        // State 1 is absorbing: mass accumulates there.
+        let d10 = m.evolve_n(&d0, 10);
+        assert!((d10.mass(0) - 0.9f64.powi(10)).abs() < 1e-12);
+        assert!((d10.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn substochastic_evolution_loses_mass() {
+        let mut m = two_state_chain();
+        m.rows[0][0].1 = 0.8; // row 0 now sums to 0.9
+        let d = m.evolve_n(&Distribution::point(2, 0), 3);
+        assert!(d.total() < 1.0);
+    }
+
+    #[test]
+    fn normalize_rows_makes_stochastic() {
+        let mut m = TransitionMatrix::new(3);
+        m.add_edge(0, 1, 3.0);
+        m.add_edge(0, 2, 1.0);
+        // Row 1 empty -> self-loop; row 2 empty -> self-loop.
+        m.normalize_rows();
+        assert!(m.is_stochastic(1e-12));
+        assert!((m.row(0)[0].1 - 0.75).abs() < 1e-12);
+        assert_eq!(m.row(1), &[(1, 1.0)]);
+    }
+
+    #[test]
+    fn extrapolated_matches_exact_stochastic() {
+        let mut m = TransitionMatrix::new(3);
+        m.add_edge(0, 1, 0.6);
+        m.add_edge(0, 0, 0.4);
+        m.add_edge(1, 2, 0.5);
+        m.add_edge(1, 0, 0.5);
+        m.add_edge(2, 2, 0.7);
+        m.add_edge(2, 1, 0.3);
+        let d0 = Distribution::point(3, 0);
+        let exact = m.evolve_n(&d0, 500);
+        let fast = m.evolve_n_extrapolated(&d0, 500, 1e-12);
+        for i in 0..3 {
+            assert!((exact.mass(i) - fast.mass(i)).abs() < 1e-9, "state {i}");
+        }
+    }
+
+    #[test]
+    fn extrapolated_matches_exact_substochastic() {
+        let mut m = TransitionMatrix::new(2);
+        m.add_edge(0, 0, 0.5);
+        m.add_edge(0, 1, 0.3); // leaks 0.2 per step
+        m.add_edge(1, 1, 0.8);
+        m.add_edge(1, 0, 0.1); // leaks 0.1 per step
+        let d0 = Distribution::point(2, 0);
+        let exact = m.evolve_n(&d0, 400);
+        let fast = m.evolve_n_extrapolated(&d0, 400, 1e-13);
+        assert!(exact.total() > 0.0);
+        for i in 0..2 {
+            let rel = (exact.mass(i) - fast.mass(i)).abs() / exact.total();
+            assert!(rel < 1e-6, "state {i}: {} vs {}", exact.mass(i), fast.mass(i));
+        }
+    }
+
+    #[test]
+    fn extrapolated_short_horizon_is_exact() {
+        let m = two_state_chain();
+        let d0 = Distribution::point(2, 0);
+        for steps in [0, 1, 2, 5] {
+            let exact = m.evolve_n(&d0, steps);
+            let fast = m.evolve_n_extrapolated(&d0, steps, 1e-12);
+            for i in 0..2 {
+                assert!((exact.mass(i) - fast.mass(i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_panics() {
+        TransitionMatrix::new(2).add_edge(0, 5, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn evolve_size_mismatch_panics() {
+        let m = two_state_chain();
+        let _ = m.evolve(&Distribution::point(3, 0));
+    }
+}

@@ -1,0 +1,831 @@
+//! Most-recent-match sequence probabilities (§IV-B).
+//!
+//! The compact model's states carry no timers, so the probabilities of a
+//! rule being **evicted** (it has the smallest remaining lifetime) or
+//! **timing out** (its idle timer just elapsed) must be *estimated* from
+//! the distribution of the most-recent-match sequence `u`: an injective map
+//! assigning each cached rule `j` the number of steps `u(j) ∈ 1..=t_j`
+//! since it last matched. The paper defines
+//!
+//! ```text
+//! P(u) = Π_{j ∈ cached} γ_u(j,u(j))·e^{-γ_u(j,u(j))} · Π_{k<u(j)} e^{-γ_u(j,k)}
+//!      × Π_{j ∉ cached} Π_{k=1}^{L_j} e^{-γ_u(j,k)}
+//! ```
+//!
+//! with `γ_u(j,k)` the effective rate of rule `j` at step `ℓ-k` (Eqn 1:
+//! flows covered by higher-priority cached rules that, per `u`, were
+//! matched more than `k` steps ago are excluded) and `L_j = t_j` below
+//! capacity or `u_max(j) = t_j - min_{j'}(t_{j'} - u(j'))` at capacity.
+//!
+//! Summing `P(u)` over all `u` is exponential, so this module offers four
+//! [`Evaluator`] strategies:
+//!
+//! * [`Evaluator::exact`] — full enumeration (with the injectivity
+//!   constraint); the reference implementation, feasible only for small
+//!   caches and timeouts.
+//! * [`Evaluator::monte_carlo`] — importance sampling of `u` from mean-field
+//!   proposal marginals.
+//! * [`Evaluator::mean_field`] — a deterministic fixed-point approximation
+//!   over per-rule age marginals, with an upward alive-likelihood message
+//!   and a pairwise injectivity exclusion. It ignores the `j ∉ cached` factor
+//!   (a secondary effect) and is the default for building full-size
+//!   models. Its error is bounded against `Evaluator::exact` in this
+//!   crate's tests and measured in the `ablation_evaluators` experiment.
+//! * `Evaluator::MeanFieldRaw` — mean field without the two corrections;
+//!   kept for the ablation.
+
+use flowspace::relevant::FlowRates;
+use flowspace::{RuleId, RuleSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Eviction and timeout estimates for one compact state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheAnalysis {
+    /// The cached rules the vectors below are parallel to.
+    pub cached: Vec<RuleId>,
+    /// `P(rule_j should time out | rule_j ∈ cache)` per cached rule —
+    /// Eqn (7) / Eqn (3).
+    pub timeout: Vec<f64>,
+    /// Normalized eviction distribution: the probability that each cached
+    /// rule is the one with the smallest remaining lifetime — Eqn (5) /
+    /// Eqn (3), normalized across the cached rules.
+    pub evict: Vec<f64>,
+}
+
+impl CacheAnalysis {
+    fn empty() -> Self {
+        CacheAnalysis { cached: Vec::new(), timeout: Vec::new(), evict: Vec::new() }
+    }
+}
+
+/// Strategy for evaluating the §IV-B sums over most-recent-match sequences.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Evaluator {
+    /// Full enumeration of all injective `u`. Exponential; the reference.
+    Exact {
+        /// Abort guard: maximum number of sequences to enumerate.
+        max_sequences: u64,
+    },
+    /// Importance sampling with mean-field proposals.
+    MonteCarlo {
+        /// Number of sampled sequences per state.
+        samples: usize,
+        /// RNG seed (sampling is deterministic given the seed).
+        seed: u64,
+    },
+    /// Deterministic fixed-point approximation (default).
+    MeanField {
+        /// Fixed-point iterations over the age marginals.
+        iterations: usize,
+    },
+    /// Mean field **without** the upward alive-likelihood message and the
+    /// pairwise injectivity exclusion — the naive one-directional
+    /// approximation. Kept for the evaluator ablation; do not use it to
+    /// build models.
+    MeanFieldRaw {
+        /// Fixed-point iterations over the age marginals.
+        iterations: usize,
+    },
+}
+
+impl Evaluator {
+    /// The exact evaluator with a 10-million-sequence guard.
+    #[must_use]
+    pub fn exact() -> Self {
+        Evaluator::Exact { max_sequences: 10_000_000 }
+    }
+
+    /// The Monte Carlo evaluator with `samples` samples.
+    #[must_use]
+    pub fn monte_carlo(samples: usize, seed: u64) -> Self {
+        Evaluator::MonteCarlo { samples, seed }
+    }
+
+    /// The mean-field evaluator with 4 fixed-point iterations.
+    #[must_use]
+    pub fn mean_field() -> Self {
+        Evaluator::MeanField { iterations: 4 }
+    }
+
+    /// Computes eviction and timeout estimates for the cache state holding
+    /// exactly `cached` (ids into `rules`), which `at_capacity` marks as
+    /// full.
+    ///
+    /// # Panics
+    ///
+    /// * `Evaluator::Exact` panics if the enumeration would exceed its
+    ///   `max_sequences` guard.
+    /// * All evaluators panic if `cached` contains duplicate ids.
+    #[must_use]
+    pub fn analyze(
+        &self,
+        rules: &RuleSet,
+        rates: &FlowRates,
+        cached: &[RuleId],
+        at_capacity: bool,
+    ) -> CacheAnalysis {
+        let mut sorted = cached.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), cached.len(), "duplicate rule ids in cache state");
+        if cached.is_empty() {
+            return CacheAnalysis::empty();
+        }
+        let ctx = Ctx::new(rules, rates, &sorted);
+        match *self {
+            Evaluator::Exact { max_sequences } => exact(&ctx, at_capacity, max_sequences),
+            Evaluator::MonteCarlo { samples, seed } => monte_carlo(&ctx, at_capacity, samples, seed),
+            Evaluator::MeanField { iterations } => {
+                mean_field(&ctx, iterations, MeanFieldOpts::full())
+            }
+            Evaluator::MeanFieldRaw { iterations } => {
+                mean_field(&ctx, iterations, MeanFieldOpts::raw())
+            }
+        }
+    }
+}
+
+/// Precomputed per-state context shared by the evaluators.
+struct Ctx<'a> {
+    rules: &'a RuleSet,
+    /// Cached rules, ascending id (= descending priority).
+    cached: Vec<RuleId>,
+    /// Timeout (steps) of each cached rule.
+    t: Vec<u32>,
+    /// For each cached rule (by position), the positions of the
+    /// higher-priority cached rules that overlap it.
+    hp_cached: Vec<Vec<usize>>,
+    /// Per-flow per-step rates of each cached rule's cover.
+    flow_rates: Vec<Vec<(usize, f64)>>, // (flow index, λΔ)
+    /// For each *uncached* rule: (timeout, its per-flow rates, positions of
+    /// higher-priority cached rules that overlap it).
+    uncached: Vec<(u32, Vec<(usize, f64)>, Vec<usize>)>,
+}
+
+impl<'a> Ctx<'a> {
+    fn new(rules: &'a RuleSet, rates: &'a FlowRates, cached: &[RuleId]) -> Self {
+        let t: Vec<u32> = cached.iter().map(|&j| rules.rule(j).timeout().steps).collect();
+        let cover_rates = |j: RuleId| -> Vec<(usize, f64)> {
+            rules
+                .rule(j)
+                .covers()
+                .iter()
+                .map(|f| (f.index(), rates.rate(f)))
+                .collect()
+        };
+        let hp_of = |j: RuleId| -> Vec<usize> {
+            cached
+                .iter()
+                .enumerate()
+                .filter(|&(_, &j2)| rules.outranks(j2, j) && rules.rule(j2).overlaps(rules.rule(j)))
+                .map(|(pos, _)| pos)
+                .collect()
+        };
+        let hp_cached = cached.iter().map(|&j| hp_of(j)).collect();
+        let flow_rates = cached.iter().map(|&j| cover_rates(j)).collect();
+        let uncached = rules
+            .ids()
+            .filter(|j| !cached.contains(j))
+            .map(|j| (rules.rule(j).timeout().steps, cover_rates(j), hp_of(j)))
+            .collect();
+        Ctx { rules, cached: cached.to_vec(), t, hp_cached, flow_rates, uncached }
+    }
+
+    fn n(&self) -> usize {
+        self.cached.len()
+    }
+
+    /// γ_u(pos, k): effective rate of the cached rule at `pos` at step
+    /// `ℓ-k`, given the full assignment `u` (ages of all cached rules).
+    /// A flow is excluded if some higher-priority overlapping cached rule
+    /// has `u > k` (it was already in the cache then and would match first).
+    fn gamma_at(&self, flow_rates: &[(usize, f64)], hp: &[usize], u: &[u32], k: u32) -> f64 {
+        flow_rates
+            .iter()
+            .filter(|&&(f, _)| {
+                !hp.iter().any(|&h| {
+                    u[h] > k && self.rules.rule(self.cached[h]).covers_flow(flowspace::FlowId(f as u32))
+                })
+            })
+            .map(|&(_, r)| r)
+            .sum()
+    }
+
+    /// `log P(u)` for a complete injective assignment.
+    fn log_p(&self, u: &[u32], at_capacity: bool) -> f64 {
+        let mut log_p = 0.0f64;
+        for pos in 0..self.n() {
+            let fr = &self.flow_rates[pos];
+            let hp = &self.hp_cached[pos];
+            // Match at age u(pos): γ·e^{-γ}; quiet before that: e^{-γ(k)}.
+            let g_match = self.gamma_at(fr, hp, u, u[pos]);
+            if g_match <= 0.0 {
+                return f64::NEG_INFINITY; // impossible assignment
+            }
+            log_p += g_match.ln() - g_match;
+            for k in 1..u[pos] {
+                log_p -= self.gamma_at(fr, hp, u, k);
+            }
+        }
+        // Rules not in the cache must not have been installed.
+        let u_max_cap = if at_capacity {
+            let min_rem = (0..self.n()).map(|p| self.t[p] - u[p]).min().unwrap_or(0);
+            Some(min_rem)
+        } else {
+            None
+        };
+        for (t_j, fr, hp) in &self.uncached {
+            let limit = match u_max_cap {
+                Some(min_rem) => t_j.saturating_sub(min_rem),
+                None => *t_j,
+            };
+            for k in 1..=limit {
+                log_p -= self.gamma_at(fr, hp, u, k);
+            }
+        }
+        log_p
+    }
+}
+
+/// Accumulates the three §IV-B sums from weighted assignments.
+struct Sums {
+    d: f64,
+    timeout: Vec<f64>,
+    evict: Vec<f64>,
+}
+
+impl Sums {
+    fn new(n: usize) -> Self {
+        Sums { d: 0.0, timeout: vec![0.0; n], evict: vec![0.0; n] }
+    }
+
+    fn add(&mut self, ctx: &Ctx<'_>, u: &[u32], w: f64) {
+        if w <= 0.0 {
+            return;
+        }
+        self.d += w;
+        let rem: Vec<u32> = (0..u.len()).map(|p| ctx.t[p] - u[p]).collect();
+        let min_rem = *rem.iter().min().expect("nonempty cache");
+        for pos in 0..u.len() {
+            if u[pos] == ctx.t[pos] {
+                self.timeout[pos] += w;
+            }
+            if rem[pos] == min_rem {
+                self.evict[pos] += w;
+            }
+        }
+    }
+
+    fn finish(self, cached: Vec<RuleId>) -> CacheAnalysis {
+        let n = cached.len();
+        let timeout = if self.d > 0.0 {
+            self.timeout.iter().map(|&x| (x / self.d).clamp(0.0, 1.0)).collect()
+        } else {
+            vec![0.0; n]
+        };
+        let esum: f64 = self.evict.iter().sum();
+        let evict = if esum > 0.0 {
+            self.evict.iter().map(|&x| x / esum).collect()
+        } else {
+            vec![1.0 / n as f64; n]
+        };
+        CacheAnalysis { cached, timeout, evict }
+    }
+}
+
+fn exact(ctx: &Ctx<'_>, at_capacity: bool, max_sequences: u64) -> CacheAnalysis {
+    let n = ctx.n();
+    let total: u64 = ctx
+        .t
+        .iter()
+        .try_fold(1u64, |acc, &t| acc.checked_mul(u64::from(t)))
+        .unwrap_or(u64::MAX);
+    assert!(
+        total <= max_sequences,
+        "exact evaluation would enumerate {total} sequences (> {max_sequences}); \
+         use the mean-field or Monte Carlo evaluator"
+    );
+    let mut sums = Sums::new(n);
+    let mut u = vec![0u32; n];
+    enumerate(ctx, at_capacity, &mut u, 0, &mut sums);
+    sums.finish(ctx.cached.clone())
+}
+
+fn enumerate(ctx: &Ctx<'_>, at_capacity: bool, u: &mut Vec<u32>, pos: usize, sums: &mut Sums) {
+    if pos == ctx.n() {
+        let w = ctx.log_p(u, at_capacity).exp();
+        sums.add(ctx, u, w);
+        return;
+    }
+    for v in 1..=ctx.t[pos] {
+        if u[..pos].contains(&v) {
+            continue; // injectivity
+        }
+        u[pos] = v;
+        enumerate(ctx, at_capacity, u, pos + 1, sums);
+    }
+    u[pos] = 0;
+}
+
+/// Mean-field age marginals: `marginals[pos][k-1] = P(u(pos) = k | alive)`.
+///
+/// Two coupling directions are propagated through the fixed point:
+///
+/// * **downward** — a lower-priority rule's effective rate γ̄(k) discounts
+///   flows by the probability that a covering higher-priority cached rule
+///   was already matched (survival beyond `k`);
+/// * **upward** — a higher-priority rule's age is *reweighted by the
+///   likelihood that each lower-priority overlapping rule is alive at all*:
+///   when the high-priority rule matched recently, the low-priority rule
+///   saw fewer relevant flows and is less likely to still be cached, so
+///   conditioning on the observed cache contents shifts the
+///   high-priority age toward "recent".
+///
+/// The injectivity constraint on `u` (only one flow arrives per step, so
+/// two rules cannot share a most-recent-match age) is applied as a
+/// first-order pairwise exclusion: each age weight is discounted by the
+/// probability that any other cached rule holds the same age. Its residual
+/// error is bounded by the exact evaluator in tests.
+/// Which mean-field correction terms to apply.
+#[derive(Debug, Clone, Copy)]
+struct MeanFieldOpts {
+    upward: bool,
+    exclusion: bool,
+}
+
+impl MeanFieldOpts {
+    fn full() -> Self {
+        MeanFieldOpts { upward: true, exclusion: true }
+    }
+
+    fn raw() -> Self {
+        MeanFieldOpts { upward: false, exclusion: false }
+    }
+}
+
+fn mean_field_marginals(ctx: &Ctx<'_>, iterations: usize, opts: MeanFieldOpts) -> Vec<Vec<f64>> {
+    let n = ctx.n();
+    // Initialize with uniform ages.
+    let mut marg: Vec<Vec<f64>> = (0..n)
+        .map(|pos| vec![1.0 / f64::from(ctx.t[pos]); ctx.t[pos] as usize])
+        .collect();
+    // down[pos] = cached positions whose effective rate pos influences.
+    let down: Vec<Vec<usize>> = (0..n)
+        .map(|pos| (0..n).filter(|&p2| ctx.hp_cached[p2].contains(&pos)).collect())
+        .collect();
+    for _ in 0..iterations.max(1) {
+        // Survival s[pos][k] = P(u(pos) > k), k in 0..=t (s[t] = 0).
+        let survival: Vec<Vec<f64>> = marg
+            .iter()
+            .map(|m| {
+                let mut s = vec![0.0; m.len() + 1];
+                let mut acc = 0.0;
+                for k in (0..m.len()).rev() {
+                    acc += m[k];
+                    s[k] = acc;
+                }
+                s
+            })
+            .collect();
+        let surv = |pos: usize, k: usize| -> f64 {
+            let s = &survival[pos];
+            if k < s.len() {
+                s[k]
+            } else {
+                0.0
+            }
+        };
+        let mut next = Vec::with_capacity(n);
+        for pos in 0..n {
+            let t = ctx.t[pos] as usize;
+            let fr = &ctx.flow_rates[pos];
+            let hp = &ctx.hp_cached[pos];
+            // Downward prior: γ̄(k) with each higher-priority overlap
+            // present w.p. its survival beyond k.
+            let gamma_bar = |k: usize| -> f64 {
+                fr.iter()
+                    .map(|&(f, r)| {
+                        let mut keep = 1.0;
+                        for &h in hp {
+                            if ctx.rules.rule(ctx.cached[h]).covers_flow(flowspace::FlowId(f as u32)) {
+                                keep *= 1.0 - surv(h, k);
+                            }
+                        }
+                        r * keep
+                    })
+                    .sum()
+            };
+            let mut m = vec![0.0; t];
+            let mut quiet = 0.0; // Σ_{k'<k} γ̄(k')
+            for k in 1..=t {
+                let g = gamma_bar(k);
+                m[k - 1] = if g > 0.0 { (g.ln() - g - quiet).exp() } else { 0.0 };
+                quiet += g;
+            }
+            // Upward correction: multiply by Π_{pos2 ∈ down(pos)}
+            // Z_{pos2}(u), the alive-likelihood of each influenced rule
+            // given u(pos) = u (other couplings at their mean field).
+            let down_of_pos: &[usize] = if opts.upward { &down[pos] } else { &[] };
+            for &pos2 in down_of_pos {
+                let t2 = ctx.t[pos2] as usize;
+                // Split pos2's flows into those covered by pos (gated by
+                // [k ≥ u]) and the rest; both keep the mean-field discount
+                // of pos2's *other* higher-priority overlaps.
+                let mut base = vec![0.0; t2 + 1]; // prefix sums over k=1..t2
+                let mut extra = vec![0.0; t2 + 1];
+                let mut base_k = vec![0.0; t2 + 1];
+                let mut extra_k = vec![0.0; t2 + 1];
+                for k in 1..=t2 {
+                    let mut b = 0.0;
+                    let mut e = 0.0;
+                    for &(f, r) in &ctx.flow_rates[pos2] {
+                        let fid = flowspace::FlowId(f as u32);
+                        let mut keep = 1.0;
+                        for &h in &ctx.hp_cached[pos2] {
+                            if h != pos && ctx.rules.rule(ctx.cached[h]).covers_flow(fid) {
+                                keep *= 1.0 - surv(h, k);
+                            }
+                        }
+                        if ctx.rules.rule(ctx.cached[pos]).covers_flow(fid) {
+                            e += r * keep;
+                        } else {
+                            b += r * keep;
+                        }
+                    }
+                    base_k[k] = b;
+                    extra_k[k] = e;
+                    base[k] = base[k - 1] + b;
+                    extra[k] = extra[k - 1] + e;
+                }
+                for (u_idx, w) in m.iter_mut().enumerate() {
+                    if *w == 0.0 {
+                        continue;
+                    }
+                    let u = u_idx + 1;
+                    // γ̃(k) = base(k) + extra(k)·[k ≥ u];
+                    // C(m) = Σ_{k≤m} γ̃(k).
+                    let cum = |mm: usize| -> f64 {
+                        let mm = mm.min(t2);
+                        base[mm] + if mm >= u { extra[mm] - extra[u - 1] } else { 0.0 }
+                    };
+                    let mut z = 0.0;
+                    for u2 in 1..=t2 {
+                        let g = base_k[u2] + if u2 >= u { extra_k[u2] } else { 0.0 };
+                        if g > 0.0 {
+                            z += g * (-g - cum(u2 - 1)).exp();
+                        }
+                    }
+                    *w *= z.max(1e-300);
+                }
+            }
+            // Pairwise injectivity exclusion: u(pos) cannot equal u(j').
+            if opts.exclusion {
+                for (u_idx, w) in m.iter_mut().enumerate() {
+                    for (other, mo) in marg.iter().enumerate() {
+                        if other != pos && u_idx < mo.len() {
+                            *w *= 1.0 - mo[u_idx];
+                        }
+                    }
+                }
+            }
+            let s: f64 = m.iter().sum();
+            if s > 0.0 {
+                for x in &mut m {
+                    *x /= s;
+                }
+            } else {
+                m.fill(1.0 / t as f64);
+            }
+            next.push(m);
+        }
+        marg = next;
+    }
+    marg
+}
+
+fn mean_field(ctx: &Ctx<'_>, iterations: usize, opts: MeanFieldOpts) -> CacheAnalysis {
+    let n = ctx.n();
+    let marg = mean_field_marginals(ctx, iterations, opts);
+    // Timeout: P(u = t | alive) directly from the marginal.
+    let timeout: Vec<f64> = (0..n).map(|pos| *marg[pos].last().expect("t >= 1")).collect();
+    // Eviction: remaining time r = t - u ∈ 0..t-1; q(r) = m[t - r - 1 + 1]?
+    // u = t - r, so q_pos(r) = marg[pos][t - r - 1].
+    let rem_dist: Vec<Vec<f64>> = (0..n)
+        .map(|pos| {
+            let t = ctx.t[pos] as usize;
+            (0..t).map(|r| marg[pos][t - r - 1]).collect()
+        })
+        .collect();
+    // Survival over remaining time: S_pos(r) = P(rem ≥ r). The eviction
+    // condition (Eqn 4) is *inclusive* — on a tie every tied rule counts —
+    // so the per-rule weight uses P(rem_{j'} ≥ r) for the others, matching
+    // the exact evaluator's accounting before normalization.
+    let rem_surv: Vec<Vec<f64>> = rem_dist
+        .iter()
+        .map(|q| {
+            let mut s = vec![0.0; q.len() + 1];
+            let mut acc = 0.0;
+            for r in (0..q.len()).rev() {
+                acc += q[r];
+                s[r] = acc; // P(rem >= r)
+            }
+            s
+        })
+        .collect();
+    let surv_ge = |pos: usize, r: usize| -> f64 {
+        let s = &rem_surv[pos];
+        if r < s.len() {
+            s[r]
+        } else {
+            0.0
+        }
+    };
+    let mut evict = vec![0.0; n];
+    for (pos, ev) in evict.iter_mut().enumerate() {
+        let q = &rem_dist[pos];
+        let t_pos = ctx.t[pos] as usize;
+        for r in 0..q.len() {
+            let u_pos = t_pos - r;
+            let mut w = q[r];
+            for other in 0..n {
+                if other == pos {
+                    continue;
+                }
+                let mut term = surv_ge(other, r);
+                // Injectivity: the other rule cannot share age u_pos, so
+                // remove that point from its allowed region if it is there.
+                let t_o = ctx.t[other] as usize;
+                if u_pos <= t_o {
+                    let r_o = t_o - u_pos;
+                    if r_o >= r {
+                        term -= rem_dist[other][r_o];
+                    }
+                }
+                w *= term.max(0.0);
+            }
+            *ev += w;
+        }
+    }
+    let esum: f64 = evict.iter().sum();
+    let evict = if esum > 0.0 {
+        evict.iter().map(|&x| x / esum).collect()
+    } else {
+        vec![1.0 / n as f64; n]
+    };
+    CacheAnalysis { cached: ctx.cached.clone(), timeout, evict }
+}
+
+fn monte_carlo(ctx: &Ctx<'_>, at_capacity: bool, samples: usize, seed: u64) -> CacheAnalysis {
+    let n = ctx.n();
+    let marg = mean_field_marginals(ctx, 2, MeanFieldOpts::full());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sums = Sums::new(n);
+    let mut u = vec![0u32; n];
+    for _ in 0..samples.max(1) {
+        let mut log_q = 0.0f64;
+        let mut ok = true;
+        for pos in 0..n {
+            let m = &marg[pos];
+            let x: f64 = rng.gen();
+            let mut acc = 0.0;
+            let mut chosen = m.len(); // sentinel
+            for (k, &p) in m.iter().enumerate() {
+                acc += p;
+                if x < acc {
+                    chosen = k;
+                    break;
+                }
+            }
+            if chosen == m.len() {
+                chosen = m.len() - 1; // numeric tail
+            }
+            let v = (chosen + 1) as u32;
+            if u[..pos].contains(&v) {
+                ok = false; // violates injectivity: weight 0
+                break;
+            }
+            u[pos] = v;
+            log_q += m[chosen].max(1e-300).ln();
+        }
+        if !ok {
+            continue;
+        }
+        let w = (ctx.log_p(&u, at_capacity) - log_q).exp();
+        sums.add(ctx, &u, w);
+    }
+    sums.finish(ctx.cached.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowspace::{FlowId, FlowSet, Rule, Timeout};
+
+    fn rules_two_disjoint(t0: u32, t1: u32) -> (RuleSet, FlowRates) {
+        let u = 4;
+        let rules = RuleSet::new(
+            vec![
+                Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(0)]), 20, Timeout::idle(t0)),
+                Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(1)]), 10, Timeout::idle(t1)),
+            ],
+            u,
+        )
+        .unwrap();
+        let rates = FlowRates::from_per_step(vec![0.3, 0.1, 0.05, 0.0]);
+        (rules, rates)
+    }
+
+    fn rules_overlapping() -> (RuleSet, FlowRates) {
+        // rule0 covers {0,1} (higher priority), rule1 covers {1,2}.
+        let u = 4;
+        let rules = RuleSet::new(
+            vec![
+                Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(0), FlowId(1)]), 20, Timeout::idle(4)),
+                Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(1), FlowId(2)]), 10, Timeout::idle(5)),
+            ],
+            u,
+        )
+        .unwrap();
+        let rates = FlowRates::from_per_step(vec![0.2, 0.15, 0.1, 0.0]);
+        (rules, rates)
+    }
+
+    #[test]
+    fn empty_cache_analysis_is_empty() {
+        let (rules, rates) = rules_two_disjoint(3, 4);
+        let a = Evaluator::exact().analyze(&rules, &rates, &[], false);
+        assert!(a.cached.is_empty() && a.timeout.is_empty() && a.evict.is_empty());
+    }
+
+    #[test]
+    fn single_rule_eviction_is_certain() {
+        let (rules, rates) = rules_two_disjoint(4, 4);
+        for ev in [Evaluator::exact(), Evaluator::mean_field(), Evaluator::monte_carlo(2000, 7)] {
+            let a = ev.analyze(&rules, &rates, &[RuleId(0)], true);
+            assert_eq!(a.evict, vec![1.0], "{ev:?}");
+            assert_eq!(a.timeout.len(), 1);
+            assert!(a.timeout[0] > 0.0 && a.timeout[0] < 1.0, "{ev:?}: {:?}", a.timeout);
+        }
+    }
+
+    #[test]
+    fn single_rule_timeout_matches_closed_form() {
+        // One cached rule, no overlaps, no other rules covering its flow:
+        // γ is constant, so P(u=k | alive) ∝ γe^{-γk} and
+        // P(timeout) = e^{-γ(t-1)}·(...) — compare exact vs analytic.
+        let u = 1;
+        let g: f64 = 0.25;
+        let t = 6u32;
+        let rules = RuleSet::new(
+            vec![Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(0)]), 10, Timeout::idle(t))],
+            u,
+        )
+        .unwrap();
+        let rates = FlowRates::from_per_step(vec![g]);
+        let a = Evaluator::exact().analyze(&rules, &rates, &[RuleId(0)], false);
+        // P(u=k) ∝ γ e^{-γ k}; normalized over k=1..t → P(u=t) =
+        // e^{-γt} / Σ_k e^{-γk}.
+        let z: f64 = (1..=t).map(|k| (-g * f64::from(k)).exp()).sum();
+        let expected = (-g * f64::from(t)).exp() / z;
+        assert!((a.timeout[0] - expected).abs() < 1e-12, "{} vs {expected}", a.timeout[0]);
+        // Mean field agrees exactly in this uncoupled case.
+        let mf = Evaluator::mean_field().analyze(&rules, &rates, &[RuleId(0)], false);
+        assert!((mf.timeout[0] - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_flow_rule_less_likely_to_be_evicted() {
+        // rule0's flow arrives at 0.3/step, rule1's at 0.1: rule0 was
+        // likely matched more recently, so rule1 is likelier to be evicted.
+        let (rules, rates) = rules_two_disjoint(5, 5);
+        for ev in [Evaluator::exact(), Evaluator::mean_field(), Evaluator::monte_carlo(20_000, 3)]
+        {
+            let a = ev.analyze(&rules, &rates, &[RuleId(0), RuleId(1)], true);
+            assert!(
+                a.evict[1] > a.evict[0],
+                "{ev:?}: evict = {:?}",
+                a.evict
+            );
+            assert!((a.evict.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            // Same story for timeouts.
+            assert!(a.timeout[1] > a.timeout[0], "{ev:?}: timeout = {:?}", a.timeout);
+        }
+    }
+
+    #[test]
+    fn mean_field_tracks_exact_disjoint() {
+        let (rules, rates) = rules_two_disjoint(5, 7);
+        let cached = [RuleId(0), RuleId(1)];
+        let ex = Evaluator::exact().analyze(&rules, &rates, &cached, true);
+        let mf = Evaluator::mean_field().analyze(&rules, &rates, &cached, true);
+        for i in 0..2 {
+            assert!((ex.evict[i] - mf.evict[i]).abs() < 0.06, "evict {ex:?} vs {mf:?}");
+            assert!((ex.timeout[i] - mf.timeout[i]).abs() < 0.06, "timeout {ex:?} vs {mf:?}");
+        }
+    }
+
+    #[test]
+    fn mean_field_tracks_exact_overlapping() {
+        let (rules, rates) = rules_overlapping();
+        let cached = [RuleId(0), RuleId(1)];
+        let ex = Evaluator::exact().analyze(&rules, &rates, &cached, true);
+        let mf = Evaluator::mean_field().analyze(&rules, &rates, &cached, true);
+        for i in 0..2 {
+            assert!((ex.evict[i] - mf.evict[i]).abs() < 0.1, "evict {ex:?} vs {mf:?}");
+            assert!((ex.timeout[i] - mf.timeout[i]).abs() < 0.1, "timeout {ex:?} vs {mf:?}");
+        }
+    }
+
+    #[test]
+    fn monte_carlo_tracks_exact() {
+        let (rules, rates) = rules_overlapping();
+        let cached = [RuleId(0), RuleId(1)];
+        let ex = Evaluator::exact().analyze(&rules, &rates, &cached, true);
+        let mc = Evaluator::monte_carlo(50_000, 11).analyze(&rules, &rates, &cached, true);
+        for i in 0..2 {
+            assert!((ex.evict[i] - mc.evict[i]).abs() < 0.03, "evict {ex:?} vs {mc:?}");
+            assert!((ex.timeout[i] - mc.timeout[i]).abs() < 0.03, "timeout {ex:?} vs {mc:?}");
+        }
+    }
+
+    #[test]
+    fn monte_carlo_is_deterministic_per_seed() {
+        let (rules, rates) = rules_overlapping();
+        let cached = [RuleId(0), RuleId(1)];
+        let a = Evaluator::monte_carlo(5_000, 42).analyze(&rules, &rates, &cached, false);
+        let b = Evaluator::monte_carlo(5_000, 42).analyze(&rules, &rates, &cached, false);
+        assert_eq!(a, b);
+        let c = Evaluator::monte_carlo(5_000, 43).analyze(&rules, &rates, &cached, false);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn capacity_affects_exact_estimates() {
+        let (rules, rates) = rules_overlapping();
+        let cached = [RuleId(0), RuleId(1)];
+        let below = Evaluator::exact().analyze(&rules, &rates, &cached, false);
+        let full = Evaluator::exact().analyze(&rules, &rates, &cached, true);
+        // The uncached-rule factor differs between the two cases; the
+        // estimates should not be identical (rule2 exists and overlaps).
+        // (They can be close; just verify the plumbing produces both.)
+        assert_eq!(below.cached, full.cached);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate rule ids")]
+    fn duplicate_cache_ids_rejected() {
+        let (rules, rates) = rules_two_disjoint(3, 3);
+        let _ = Evaluator::mean_field().analyze(&rules, &rates, &[RuleId(0), RuleId(0)], false);
+    }
+
+    #[test]
+    #[should_panic(expected = "would enumerate")]
+    fn exact_guard_trips() {
+        let u = 2;
+        let rules = RuleSet::new(
+            vec![
+                Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(0)]), 2, Timeout::idle(1000)),
+                Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(1)]), 1, Timeout::idle(1000)),
+            ],
+            u,
+        )
+        .unwrap();
+        let rates = FlowRates::from_per_step(vec![0.1, 0.1]);
+        let ev = Evaluator::Exact { max_sequences: 1000 };
+        let _ = ev.analyze(&rules, &rates, &[RuleId(0), RuleId(1)], false);
+    }
+
+    #[test]
+    fn raw_mean_field_is_less_accurate_than_corrected() {
+        let (rules, rates) = rules_overlapping();
+        let cached = [RuleId(0), RuleId(1)];
+        let ex = Evaluator::exact().analyze(&rules, &rates, &cached, true);
+        let full = Evaluator::mean_field().analyze(&rules, &rates, &cached, true);
+        let raw = Evaluator::MeanFieldRaw { iterations: 4 }.analyze(&rules, &rates, &cached, true);
+        let l1 = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+        };
+        assert_ne!(full, raw, "corrections must change the estimates");
+        assert!(
+            l1(&ex.evict, &full.evict) <= l1(&ex.evict, &raw.evict) + 1e-9,
+            "corrected {:?} should beat raw {:?} (exact {:?})",
+            full.evict,
+            raw.evict,
+            ex.evict
+        );
+    }
+
+    #[test]
+    fn evict_distribution_sums_to_one() {
+        let (rules, rates) = rules_overlapping();
+        for ev in [Evaluator::exact(), Evaluator::mean_field(), Evaluator::monte_carlo(5_000, 1)] {
+            let a = ev.analyze(&rules, &rates, &[RuleId(0), RuleId(1)], true);
+            let s: f64 = a.evict.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "{ev:?}: {s}");
+            for &p in &a.timeout {
+                assert!((0.0..=1.0).contains(&p), "{ev:?}: {p}");
+            }
+        }
+    }
+}

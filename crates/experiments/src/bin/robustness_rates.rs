@@ -1,0 +1,79 @@
+//! **E2 (extension)** — robustness to rate misestimation: the paper's
+//! threat model grants the attacker the true Poisson parameters λ_f
+//! (§III-C), noting they "could be inferred through previous compromises
+//! … or simply through knowledge of the roles of various machines". How
+//! much accuracy does the model attacker lose when its λ estimates are
+//! biased by ×½ / ×2, or replaced by the coarse per-rule split
+//! λ_f = λ_j / |rule_j| that §IV-A1 suggests as the realistic fallback?
+
+use attack::{plan_attack, run_trials, AttackerKind};
+use experiments::harness::{mean, sampler_for, write_csv};
+use experiments::ExpOpts;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recon_core::useq::Evaluator;
+use traffic::NetworkScenario;
+
+/// The §IV-A1 fallback: the attacker knows each *rule's* total match rate
+/// (e.g. from OpenFlow counters) and splits it evenly across the rule's
+/// flows.
+fn rule_split_estimate(sc: &NetworkScenario) -> Vec<f64> {
+    let per_rule = traffic::estimate::rule_rates(&sc.rules, &sc.lambdas);
+    traffic::estimate::rule_split(&sc.rules, &per_rule)
+}
+
+fn main() {
+    let opts = ExpOpts::from_env();
+    let sampler = sampler_for(&opts);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let variants: [(&str, fn(&NetworkScenario) -> Vec<f64>); 4] = [
+        ("true-rates", |sc| sc.lambdas.clone()),
+        ("half-rates", |sc| sc.lambdas.iter().map(|l| l * 0.5).collect()),
+        ("double-rates", |sc| sc.lambdas.iter().map(|l| l * 2.0).collect()),
+        ("rule-split", rule_split_estimate),
+    ];
+    let mut acc: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
+    let mut probe_agree = vec![0usize; variants.len()];
+    let mut found = 0usize;
+    let mut attempts = 0usize;
+    while found < opts.configs && attempts < 60 * opts.configs {
+        attempts += 1;
+        let sc = sampler.sample_forced((0.05, 0.95), &mut rng);
+        let Ok(true_plan) = plan_attack(&sc, Evaluator::mean_field()) else { continue };
+        if !true_plan.is_detector() {
+            continue;
+        }
+        found += 1;
+        for (v, (_, estimate)) in variants.iter().enumerate() {
+            // The attacker *plans* with its (possibly wrong) estimates but
+            // the *network* runs the true rates.
+            let believed = NetworkScenario { lambdas: estimate(&sc), ..sc.clone() };
+            let Ok(plan) = plan_attack(&believed, Evaluator::mean_field()) else { continue };
+            if plan.optimal.probe == true_plan.optimal.probe {
+                probe_agree[v] += 1;
+            }
+            let report = run_trials(
+                &sc, // true traffic
+                &plan,
+                &[AttackerKind::Model],
+                opts.trials,
+                opts.seed ^ (found * 31 + v) as u64,
+            );
+            acc[v].push(report.accuracy(AttackerKind::Model));
+        }
+    }
+    println!("{found} detector-feasible configurations\n");
+    println!("estimate        model-accuracy   optimal-probe agreement");
+    let mut rows = Vec::new();
+    for (v, (name, _)) in variants.iter().enumerate() {
+        let a = mean(acc[v].iter().copied());
+        let agree = probe_agree[v] as f64 / found.max(1) as f64;
+        println!("{name:<14}  {a:>14.3}   {agree:>22.3}");
+        rows.push(format!("{name},{a},{agree}"));
+    }
+    write_csv(
+        &opts.out_file("robustness_rates.csv"),
+        "estimate,model_accuracy,optimal_probe_agreement",
+        &rows,
+    );
+}

@@ -1,0 +1,81 @@
+//! **S1** — the scalability comparison of §IV-A2 / §IV-B: basic-model
+//! state counts (per the paper's formula) vs compact-model state counts,
+//! plus measured build times for both models.
+//!
+//! Also records the discrepancy noted in DESIGN.md: the paper quotes
+//! ≈5.9×10⁷ basic states for |Rules| = 10, t_j = 100, n = 8, but its own
+//! formula evaluates to ~10¹⁹.
+
+use experiments::harness::write_csv;
+use experiments::ExpOpts;
+use flowspace::relevant::FlowRates;
+use flowspace::{FlowId, FlowSet, Rule, RuleSet, Timeout};
+use recon_core::basic::BasicModel;
+use recon_core::compact::CompactModel;
+use recon_core::counts::{basic_state_count, compact_state_count};
+use recon_core::useq::Evaluator;
+use std::time::Instant;
+
+/// Disjoint single-flow rules: the worst case for the basic model's state
+/// count is irrelevant here — we want comparable, buildable instances.
+fn instance(n_rules: usize, timeout: u32) -> (RuleSet, FlowRates) {
+    let universe = n_rules;
+    let rules = RuleSet::new(
+        (0..n_rules)
+            .map(|i| {
+                Rule::from_flow_set(
+                    FlowSet::from_flows(universe, [FlowId(i as u32)]),
+                    (n_rules - i) as u32,
+                    Timeout::idle(timeout),
+                )
+            })
+            .collect(),
+        universe,
+    )
+    .expect("valid instance");
+    let rates = FlowRates::from_per_step(vec![0.05; universe]);
+    (rules, rates)
+}
+
+fn main() {
+    let opts = ExpOpts::from_env();
+    let capacity = 6;
+    let timeout = 10u32;
+    println!("state counts and model build times (capacity {capacity}, t_j = {timeout} steps)\n");
+    println!("|Rules|  basic-formula     compact  basic-build(s)  compact-build(s)");
+    let sizes: &[usize] = if opts.fast { &[2, 3, 4] } else { &[2, 3, 4, 6, 8, 10, 12, 16, 20] };
+    let mut rows = Vec::new();
+    for &r in sizes {
+        let (rules, rates) = instance(r, timeout);
+        let formula = basic_state_count(&vec![timeout; r], capacity);
+        let compact_n = compact_state_count(r, capacity).expect("fits u128");
+        let t0 = Instant::now();
+        let basic_time = BasicModel::build(&rules, &rates, capacity, 200_000)
+            .ok()
+            .map(|m| (t0.elapsed().as_secs_f64(), m.n_states()));
+        let t1 = Instant::now();
+        let compact = CompactModel::build(&rules, &rates, capacity, Evaluator::mean_field())
+            .expect("compact model builds");
+        let compact_time = t1.elapsed().as_secs_f64();
+        let (basic_s, basic_states) = match basic_time {
+            Some((t, n)) => (format!("{t:.4}"), n.to_string()),
+            None => ("> cap".to_string(), "-".to_string()),
+        };
+        println!(
+            "{r:>7}  {formula:>13.3e}  {compact_n:>10}  {basic_s:>14}  {compact_time:>16.4}"
+        );
+        rows.push(format!(
+            "{r},{formula},{compact_n},{},{basic_states},{compact_time},{}",
+            basic_s.trim_start_matches("> "),
+            compact.n_states()
+        ));
+    }
+    println!("\npaper's quoted example (|Rules|=10, t=100, n=8):");
+    let quoted = basic_state_count(&[100; 10], 8);
+    println!("  formula value: {quoted:.3e}   paper quotes: 5.9e7 (see DESIGN.md §5)");
+    write_csv(
+        &opts.out_file("scalability.csv"),
+        "n_rules,basic_formula_states,compact_states,basic_build_s,basic_reachable_states,compact_build_s,compact_model_states",
+        &rows,
+    );
+}

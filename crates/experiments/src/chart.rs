@@ -1,0 +1,102 @@
+//! Tiny ASCII chart rendering for terminal-readable experiment output.
+
+/// Renders grouped horizontal bars: one block per label, one bar per
+/// series. Values are expected in `[0, 1]` (accuracies, probabilities);
+/// anything else is clamped.
+///
+/// # Panics
+///
+/// Panics if a series' value count differs from the label count.
+#[must_use]
+pub fn ascii_bars(labels: &[String], series: &[(&str, Vec<f64>)]) -> String {
+    const WIDTH: usize = 50;
+    let name_w = series.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    let label_w = labels.iter().map(String::len).max().unwrap_or(0);
+    let mut out = String::new();
+    for (i, label) in labels.iter().enumerate() {
+        for (name, values) in series {
+            assert_eq!(values.len(), labels.len(), "series {name} length mismatch");
+            let v = values[i].clamp(0.0, 1.0);
+            let filled = (v * WIDTH as f64).round() as usize;
+            out.push_str(&format!(
+                "{label:<label_w$}  {name:<name_w$} |{}{}| {:.3}\n",
+                "█".repeat(filled),
+                " ".repeat(WIDTH - filled),
+                values[i],
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an empirical CDF of `values` as `points` rows of
+/// `value  cumulative-fraction` with a bar.
+#[must_use]
+pub fn ascii_cdf(values: &[f64], points: usize) -> String {
+    const WIDTH: usize = 50;
+    if values.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let lo = sorted[0];
+    let hi = *sorted.last().expect("nonempty");
+    let mut out = String::new();
+    for p in 0..=points {
+        let x = lo + (hi - lo) * p as f64 / points.max(1) as f64;
+        let frac = sorted.iter().filter(|&&v| v <= x).count() as f64 / sorted.len() as f64;
+        let filled = (frac * WIDTH as f64).round() as usize;
+        out.push_str(&format!(
+            "{x:>8.3}  |{}{}| {frac:.2}\n",
+            "█".repeat(filled),
+            " ".repeat(WIDTH - filled),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_render_every_label_and_series() {
+        let labels = vec!["a".to_string(), "bb".to_string()];
+        let s = ascii_bars(&labels, &[("x", vec![0.5, 1.0]), ("yy", vec![0.0, 0.25])]);
+        assert_eq!(s.matches('\n').count(), 6); // 2 labels × 2 series + 2 blanks
+        assert!(s.contains("bb"));
+        assert!(s.contains("yy"));
+        assert!(s.contains("1.000"));
+    }
+
+    #[test]
+    fn bars_clamp_out_of_range() {
+        let labels = vec!["a".to_string()];
+        let s = ascii_bars(&labels, &[("x", vec![1.7])]);
+        assert!(s.contains("1.700")); // raw value still printed
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn bars_check_lengths() {
+        let labels = vec!["a".to_string(), "b".to_string()];
+        let _ = ascii_bars(&labels, &[("x", vec![0.5])]);
+    }
+
+    #[test]
+    fn cdf_monotone_and_complete() {
+        let s = ascii_cdf(&[0.1, 0.2, 0.2, 0.9], 4);
+        let fracs: Vec<f64> = s
+            .lines()
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(fracs.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*fracs.last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn cdf_empty_is_graceful() {
+        assert_eq!(ascii_cdf(&[], 5), "(no data)\n");
+    }
+}

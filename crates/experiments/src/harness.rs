@@ -1,0 +1,170 @@
+//! Sampling, filtering and evaluating batches of network configurations.
+
+use attack::{plan_attack, run_trials, AttackPlan, AttackerKind, TrialReport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recon_core::useq::Evaluator;
+use serde::{Deserialize, Serialize};
+use traffic::{NetworkScenario, ScenarioSampler};
+
+use crate::ExpOpts;
+
+/// Which §VI configuration class to collect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigClass {
+    /// Fig. 6: detector-feasible configurations in which the
+    /// model-calculated optimal probe differs from the target flow.
+    OptimalDiffersFromTarget,
+    /// Fig. 7: detector-feasible configurations, no further restriction
+    /// (the model attacker is *run* restricted, but any config qualifies).
+    DetectorFeasible,
+}
+
+/// A fully evaluated configuration: the scenario, the attack plan, and the
+/// trial results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigOutcome {
+    /// The sampled network configuration.
+    pub scenario: NetworkScenario,
+    /// The §V probe-selection output.
+    pub plan: AttackPlan,
+    /// Accuracy of each attacker over the trials.
+    pub report: TrialReport,
+}
+
+/// The scenario generator used at full scale (the paper's parameters) or
+/// shrunk for `--fast` smoke runs.
+#[must_use]
+pub fn sampler_for(opts: &ExpOpts) -> ScenarioSampler {
+    if opts.fast {
+        ScenarioSampler {
+            bits: 3,
+            n_rules: 6,
+            capacity: 3,
+            delta: 0.05,
+            window_secs: 10.0,
+            ..ScenarioSampler::default()
+        }
+    } else {
+        ScenarioSampler::default()
+    }
+}
+
+/// Samples configurations with target-absence probability in
+/// `absence_range`, keeps those matching `class`, evaluates each with
+/// `kinds` over `opts.trials` trials, and returns up to `count` outcomes.
+///
+/// Sampling gives up (returning fewer outcomes) after `60 × count`
+/// attempts, mirroring the paper's practice of discarding configurations
+/// on which no side-channel detector is possible.
+#[must_use]
+pub fn collect_configs(
+    opts: &ExpOpts,
+    class: ConfigClass,
+    absence_range: (f64, f64),
+    kinds: &[AttackerKind],
+    count: usize,
+) -> Vec<ConfigOutcome> {
+    let sampler = sampler_for(opts);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut out = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    while out.len() < count && attempts < 60 * count {
+        attempts += 1;
+        let scenario = sampler.sample_forced(absence_range, &mut rng);
+        let Ok(plan) = plan_attack(&scenario, Evaluator::mean_field()) else {
+            continue;
+        };
+        let keep = match class {
+            ConfigClass::OptimalDiffersFromTarget => {
+                plan.is_detector() && plan.optimal_differs_from_target(scenario.target)
+            }
+            ConfigClass::DetectorFeasible => plan.is_detector(),
+        };
+        if !keep {
+            continue;
+        }
+        let report = run_trials(
+            &scenario,
+            &plan,
+            kinds,
+            opts.trials,
+            opts.seed ^ (out.len() as u64).wrapping_mul(0xA5A5_5A5A_1234_5678),
+        );
+        out.push(ConfigOutcome { scenario, plan, report });
+    }
+    out
+}
+
+/// Writes rows as CSV (header + records) to `path`.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn write_csv(path: &std::path::Path, header: &str, rows: &[String]) {
+    let mut body = String::with_capacity(rows.len() * 32 + header.len() + 1);
+    body.push_str(header);
+    body.push('\n');
+    for r in rows {
+        body.push_str(r);
+        body.push('\n');
+    }
+    std::fs::write(path, body).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
+/// Mean of an iterator of f64, NaN when empty.
+#[must_use]
+pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_opts() -> ExpOpts {
+        ExpOpts { fast: true, configs: 2, trials: 5, seed: 11, ..ExpOpts::default() }
+    }
+
+    #[test]
+    fn collect_detector_feasible_configs() {
+        let opts = fast_opts();
+        let kinds = [AttackerKind::Naive, AttackerKind::Model];
+        let outcomes =
+            collect_configs(&opts, ConfigClass::DetectorFeasible, (0.2, 0.8), &kinds, 2);
+        assert!(!outcomes.is_empty(), "should find at least one feasible config");
+        for o in &outcomes {
+            assert!(o.plan.is_detector());
+            assert_eq!(o.report.by_attacker.len(), 2);
+            assert_eq!(o.report.by_attacker[0].1.n(), 5);
+        }
+    }
+
+    #[test]
+    fn fig6_class_filters_on_probe_difference() {
+        let opts = fast_opts();
+        let kinds = [AttackerKind::Naive];
+        let outcomes =
+            collect_configs(&opts, ConfigClass::OptimalDiffersFromTarget, (0.2, 0.8), &kinds, 1);
+        for o in &outcomes {
+            assert_ne!(o.plan.optimal.probe, o.scenario.target);
+        }
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean([1.0, 2.0, 3.0]), 2.0);
+        assert!(mean(std::iter::empty()).is_nan());
+    }
+}

@@ -1,0 +1,130 @@
+//! Minimal command-line option parsing shared by the experiment binaries.
+
+use std::path::PathBuf;
+
+/// Options common to every experiment binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpOpts {
+    /// Number of random network configurations.
+    pub configs: usize,
+    /// Trials per configuration.
+    pub trials: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Output directory for CSV files.
+    pub out: PathBuf,
+    /// Smoke-run mode (tiny sizes).
+    pub fast: bool,
+}
+
+impl Default for ExpOpts {
+    fn default() -> Self {
+        ExpOpts {
+            configs: 40,
+            trials: 60,
+            seed: 7,
+            out: PathBuf::from("results"),
+            fast: false,
+        }
+    }
+}
+
+impl ExpOpts {
+    /// Parses `--configs N --trials N --seed N --out DIR --fast` from an
+    /// iterator of arguments (without the program name).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown flags or malformed values —
+    /// these binaries are developer tools, and failing loudly beats
+    /// silently ignoring a typo.
+    #[must_use]
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut opts = ExpOpts::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            let mut grab = || {
+                it.next()
+                    .unwrap_or_else(|| panic!("flag {a} expects a value"))
+            };
+            match a.as_str() {
+                "--configs" => opts.configs = grab().parse().expect("--configs expects an integer"),
+                "--trials" => opts.trials = grab().parse().expect("--trials expects an integer"),
+                "--seed" => opts.seed = grab().parse().expect("--seed expects an integer"),
+                "--out" => opts.out = PathBuf::from(grab()),
+                "--fast" => opts.fast = true,
+                other => panic!(
+                    "unknown flag {other}; supported: --configs --trials --seed --out --fast"
+                ),
+            }
+        }
+        if opts.fast {
+            opts.configs = opts.configs.min(6);
+            opts.trials = opts.trials.min(20);
+        }
+        opts
+    }
+
+    /// Parses from the process's actual arguments.
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Ensures the output directory exists and returns the path of a file
+    /// within it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created.
+    #[must_use]
+    pub fn out_file(&self, name: &str) -> PathBuf {
+        std::fs::create_dir_all(&self.out).expect("create output directory");
+        self.out.join(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let o = ExpOpts::parse(args(""));
+        assert_eq!(o, ExpOpts::default());
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = ExpOpts::parse(args("--configs 5 --trials 9 --seed 3 --out /tmp/x"));
+        assert_eq!(o.configs, 5);
+        assert_eq!(o.trials, 9);
+        assert_eq!(o.seed, 3);
+        assert_eq!(o.out, PathBuf::from("/tmp/x"));
+        assert!(!o.fast);
+    }
+
+    #[test]
+    fn fast_caps_sizes() {
+        let o = ExpOpts::parse(args("--configs 100 --trials 500 --fast"));
+        assert_eq!(o.configs, 6);
+        assert_eq!(o.trials, 20);
+        assert!(o.fast);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = ExpOpts::parse(args("--bogus"));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects a value")]
+    fn missing_value_panics() {
+        let _ = ExpOpts::parse(args("--seed"));
+    }
+}

@@ -1,0 +1,197 @@
+//! Structural analysis of rule sets: shadowing, dead rules, effective
+//! covers and a dependency-graph export.
+//!
+//! Rule dependencies — which higher-priority rules intercept a rule's
+//! flows — drive every complication of the paper's attack (§III-B): they
+//! determine the relevant-flow machinery of §IV-A1 and make probe
+//! selection nontrivial. This module exposes them directly, for humans and
+//! for tooling (the merge candidates of the §VII-B3 defense, policy
+//! linting, documentation).
+
+use crate::{FlowSet, Rule, RuleId, RuleSet};
+use std::fmt::Write as _;
+
+/// The *effective cover* of a rule in an empty cache: the flows whose
+/// misses would actually install it — its cover minus everything
+/// intercepted by higher-priority rules.
+#[must_use]
+pub fn effective_cover(rules: &RuleSet, j: RuleId) -> FlowSet {
+    let mut out = rules.rule(j).covers().clone();
+    for j2 in rules.ids() {
+        if rules.outranks(j2, j) {
+            out.difference_with(rules.rule(j2).covers());
+        }
+    }
+    out
+}
+
+/// The higher-priority rules that shadow (overlap) rule `j`.
+#[must_use]
+pub fn shadowed_by(rules: &RuleSet, j: RuleId) -> Vec<RuleId> {
+    rules
+        .ids()
+        .filter(|&j2| rules.outranks(j2, j) && rules.rule(j2).overlaps(rules.rule(j)))
+        .collect()
+}
+
+/// Rules whose effective cover is empty — they can never be installed by
+/// a table miss (every flow they cover is intercepted above them). A
+/// reactive deployment containing such rules is usually misconfigured.
+#[must_use]
+pub fn dead_rules(rules: &RuleSet) -> Vec<RuleId> {
+    rules.ids().filter(|&j| effective_cover(rules, j).is_empty()).collect()
+}
+
+/// Whether a rule covers exactly one flow (a *microflow* rule, §III-B1 —
+/// the unambiguous best case for the attacker).
+#[must_use]
+pub fn is_microflow(rule: &Rule) -> bool {
+    rule.covers().len() == 1
+}
+
+/// Summary statistics of a rule structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructureStats {
+    /// Number of rules.
+    pub rules: usize,
+    /// Number of microflow rules.
+    pub microflows: usize,
+    /// Number of dead (never-installable) rules.
+    pub dead: usize,
+    /// Number of unordered overlapping rule pairs.
+    pub overlapping_pairs: usize,
+    /// Mean cover size.
+    pub mean_cover: f64,
+    /// Number of flows covered by no rule.
+    pub uncovered_flows: usize,
+}
+
+/// Computes [`StructureStats`] for a rule set.
+#[must_use]
+pub fn stats(rules: &RuleSet) -> StructureStats {
+    let ids: Vec<RuleId> = rules.ids().collect();
+    let mut overlapping_pairs = 0;
+    for (i, &a) in ids.iter().enumerate() {
+        for &b in &ids[i + 1..] {
+            if rules.rule(a).overlaps(rules.rule(b)) {
+                overlapping_pairs += 1;
+            }
+        }
+    }
+    StructureStats {
+        rules: rules.len(),
+        microflows: rules.rules().iter().filter(|r| is_microflow(r)).count(),
+        dead: dead_rules(rules).len(),
+        overlapping_pairs,
+        mean_cover: rules.rules().iter().map(|r| r.covers().len() as f64).sum::<f64>()
+            / rules.len() as f64,
+        uncovered_flows: rules.uncovered().len(),
+    }
+}
+
+/// Renders the shadowing relation as a Graphviz DOT digraph: an edge
+/// `a → b` means higher-priority `a` shadows part of `b`'s cover.
+#[must_use]
+pub fn to_dot(rules: &RuleSet) -> String {
+    let mut out = String::from("digraph rule_shadowing {\n  rankdir=TB;\n");
+    for (id, rule) in rules.iter() {
+        let _ = writeln!(
+            out,
+            "  r{} [label=\"{id}\\npri {} | covers {}\"];",
+            id.0,
+            rule.priority(),
+            rule.covers().len()
+        );
+    }
+    for j in rules.ids() {
+        for s in shadowed_by(rules, j) {
+            let _ = writeln!(out, "  r{} -> r{};", s.0, j.0);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FlowId, Timeout};
+
+    fn rule(universe: usize, flows: &[u32], priority: u32) -> Rule {
+        Rule::from_flow_set(
+            FlowSet::from_flows(universe, flows.iter().map(|&i| FlowId(i))),
+            priority,
+            Timeout::idle(5),
+        )
+    }
+
+    fn base() -> RuleSet {
+        // rule0 {0,1} (pri 40); rule1 {1,2} (pri 30); rule2 {1} (pri 20,
+        // fully shadowed by rule0 and rule1); rule3 {5} (pri 10).
+        RuleSet::new(
+            vec![
+                rule(8, &[0, 1], 40),
+                rule(8, &[1, 2], 30),
+                rule(8, &[1], 20),
+                rule(8, &[5], 10),
+            ],
+            8,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn effective_cover_subtracts_higher_priority() {
+        let rules = base();
+        assert_eq!(effective_cover(&rules, RuleId(0)).len(), 2); // top rule keeps all
+        let e1 = effective_cover(&rules, RuleId(1));
+        assert_eq!(e1, FlowSet::from_flows(8, [FlowId(2)])); // f1 goes to rule0
+        assert!(effective_cover(&rules, RuleId(2)).is_empty());
+    }
+
+    #[test]
+    fn dead_rules_detected() {
+        let rules = base();
+        assert_eq!(dead_rules(&rules), vec![RuleId(2)]);
+    }
+
+    #[test]
+    fn shadowing_relation() {
+        let rules = base();
+        assert!(shadowed_by(&rules, RuleId(0)).is_empty());
+        assert_eq!(shadowed_by(&rules, RuleId(1)), vec![RuleId(0)]);
+        assert_eq!(shadowed_by(&rules, RuleId(2)), vec![RuleId(0), RuleId(1)]);
+        assert!(shadowed_by(&rules, RuleId(3)).is_empty());
+    }
+
+    #[test]
+    fn stats_summarize_structure() {
+        let rules = base();
+        let s = stats(&rules);
+        assert_eq!(s.rules, 4);
+        assert_eq!(s.microflows, 2); // rule2 {1} and rule3 {5}
+        assert_eq!(s.dead, 1);
+        assert_eq!(s.overlapping_pairs, 3); // (0,1), (0,2), (1,2)
+        assert!((s.mean_cover - 1.5).abs() < 1e-12);
+        assert_eq!(s.uncovered_flows, 8 - 4); // flows 3,4,6,7
+    }
+
+    #[test]
+    fn dot_export_contains_nodes_and_edges() {
+        let rules = base();
+        let dot = to_dot(&rules);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("r0 ["));
+        assert!(dot.contains("r0 -> r1;"));
+        assert!(dot.contains("r1 -> r2;"));
+        assert!(!dot.contains("r3 ->"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn microflow_detection() {
+        let rules = base();
+        assert!(!is_microflow(rules.rule(RuleId(0))));
+        assert!(is_microflow(rules.rule(RuleId(3))));
+    }
+}

@@ -1,0 +1,158 @@
+//! Simulation configuration.
+
+use crate::{LatencyModel, NodeId, Topology};
+use flowspace::RuleSet;
+use serde::{Deserialize, Serialize};
+
+/// Countermeasure configuration (§VII-B).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Defense {
+    /// Delay-padding defense (§VII-B1, after Cui et al.): the switch delays
+    /// the first `packets` packets matched by each freshly installed rule
+    /// by `pad_secs`, hiding whether the rule was already cached.
+    pub delay_first: Option<DelayPadding>,
+    /// Window-padding defense (a stronger §VII-B1 variant): all matches on
+    /// recently installed rules are delayed, not just the first few
+    /// packets.
+    pub pad_recent: Option<WindowPadding>,
+    /// Proactive rule setup (§VII-B2): all rules are installed permanently
+    /// up front, so no probe can ever observe a miss.
+    pub proactive: bool,
+}
+
+/// Parameters of the delay-padding defense.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelayPadding {
+    /// How many packets after installation are padded.
+    pub packets: u32,
+    /// The added delay in seconds (should dominate `t_setup`).
+    pub pad_secs: f64,
+}
+
+/// Parameters of the window-padding defense: every fast-path match on a
+/// rule installed within the last `window_secs` is delayed by `pad_secs`.
+/// With `window_secs` at least the rules' TTLs, a reactive rule *never*
+/// answers fast, closing the side channel completely (at the cost of
+/// padding every flow, §VII-B1's noted downside).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowPadding {
+    /// How long after installation matches keep being padded, seconds.
+    pub window_secs: f64,
+    /// The added delay in seconds (should dominate `t_setup`).
+    pub pad_secs: f64,
+}
+
+/// Full configuration of a simulated network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// The switch graph.
+    pub topology: Topology,
+    /// The controller's reactive rule set.
+    pub rules: RuleSet,
+    /// Seconds per model step Δ; rule timeouts (in steps) are scaled by
+    /// this to obtain wall-clock TTLs.
+    pub delta: f64,
+    /// Reactive flow-table capacity at the ingress switch (`n`); the paper
+    /// reserves extra physical slots for permanent rules, which are modeled
+    /// separately and do not consume this capacity.
+    pub capacity: usize,
+    /// Latency distributions.
+    pub latency: LatencyModel,
+    /// The switch the client hosts (and the attacker) attach to — the
+    /// switch under attack.
+    pub ingress: NodeId,
+    /// The switch the common destination server attaches to.
+    pub server: NodeId,
+    /// Whether transit switches (everything but the ingress) also install
+    /// rules reactively. The paper's evaluation effectively studies the
+    /// shared ingress switch and keeps the rest of the fabric forwarding
+    /// proactively (its pre-installed path rules); setting this to true
+    /// explores the §VII-A multi-switch surface.
+    pub transit_reactive: bool,
+    /// Reactive table capacity of transit switches when
+    /// `transit_reactive` is set.
+    pub transit_capacity: usize,
+    /// Enabled countermeasures.
+    pub defense: Defense,
+}
+
+impl NetConfig {
+    /// The paper's evaluation setup (§VI-A): the Stanford-backbone-like
+    /// topology, 16 client hosts plus the attacker on one randomly chosen
+    /// zone switch (we fix `s2`), the server behind another (`s9`),
+    /// paper-calibrated latencies and no defense.
+    #[must_use]
+    pub fn eval_topology(rules: RuleSet, capacity: usize, delta: f64) -> Self {
+        NetConfig {
+            topology: Topology::stanford_backbone(),
+            rules,
+            delta,
+            capacity,
+            latency: LatencyModel::paper_calibrated(),
+            ingress: NodeId(2),
+            server: NodeId(9),
+            transit_reactive: false,
+            transit_capacity: capacity,
+            defense: Defense::default(),
+        }
+    }
+
+    /// A minimal single-switch variant, handy for tests and examples.
+    #[must_use]
+    pub fn single_switch(rules: RuleSet, capacity: usize, delta: f64) -> Self {
+        NetConfig {
+            topology: Topology::single_switch(),
+            rules,
+            delta,
+            capacity,
+            latency: LatencyModel::paper_calibrated(),
+            ingress: NodeId(0),
+            server: NodeId(0),
+            transit_reactive: false,
+            transit_capacity: capacity,
+            defense: Defense::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowspace::{FlowId, FlowSet, Rule, Timeout};
+
+    fn rules() -> RuleSet {
+        RuleSet::new(
+            vec![Rule::from_flow_set(
+                FlowSet::from_flows(4, [FlowId(0)]),
+                1,
+                Timeout::idle(5),
+            )],
+            4,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn eval_topology_defaults() {
+        let c = NetConfig::eval_topology(rules(), 6, 0.02);
+        assert_eq!(c.topology.len(), 16);
+        assert_eq!(c.capacity, 6);
+        assert_eq!(c.defense, Defense::default());
+        assert_ne!(c.ingress, c.server);
+        // Ingress and server are connected.
+        assert!(c.topology.path(c.ingress, c.server).is_ok());
+    }
+
+    #[test]
+    fn config_serializes() {
+        let c = NetConfig::single_switch(rules(), 2, 0.05);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: NetConfig = serde_json::from_str(&json).unwrap();
+        // Structured fields round-trip exactly; floats within 1 ulp-ish.
+        assert_eq!(c.rules, back.rules);
+        assert_eq!(c.topology, back.topology);
+        assert_eq!(c.defense, back.defense);
+        assert_eq!((c.capacity, c.ingress, c.server), (back.capacity, back.ingress, back.server));
+        assert!((c.latency.rule_setup.mu - back.latency.rule_setup.mu).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,282 @@
+//! The simulated SDN switch.
+
+use crate::config::Defense;
+use flowspace::{FlowId, RuleId, RuleSet};
+use ftcache::ClockTable;
+use std::collections::HashMap;
+
+/// How a switch handles table misses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchMode {
+    /// Rules are pulled from the controller on demand into a bounded table
+    /// (the paper's attack surface).
+    Reactive,
+    /// All forwarding is pre-installed; lookups always take the fast path
+    /// (used for transit switches, and for the §VII-B2 defense).
+    Proactive,
+}
+
+/// Outcome of presenting a packet to a switch's tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Lookup {
+    /// Matched a cached (or permanent) rule; forwarded immediately.
+    /// `pad` carries any delay-padding the defense adds.
+    Hit { pad: f64 },
+    /// No cached rule; a controller query for `rule` is needed. `fresh` is
+    /// true if this packet triggered the query (false = a query for the
+    /// same rule is already in flight and the packet joins its buffer).
+    Miss { rule: RuleId, fresh: bool },
+    /// No rule in the whole policy covers the flow: every such packet goes
+    /// to the controller (the paper's pre-installed send-unmatched-ICMP-
+    /// to-controller rule) and nothing is installed.
+    Uncovered,
+}
+
+/// Counters exposed for tests and experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchStats {
+    /// Fast-path matches against reactive rules.
+    pub hits: u64,
+    /// Table misses that required rule setup.
+    pub misses: u64,
+    /// Packets of flows covered by no rule.
+    pub uncovered: u64,
+    /// Rules installed.
+    pub installs: u64,
+    /// Rules evicted to make room.
+    pub evictions: u64,
+    /// Hit packets delayed by the padding defense.
+    pub padded: u64,
+}
+
+#[derive(Debug)]
+pub(crate) struct Switch {
+    mode: SwitchMode,
+    table: ClockTable,
+    /// Rules with a controller query in flight.
+    in_flight: HashMap<RuleId, ()>,
+    /// Per-rule count of packets forwarded since the rule's installation
+    /// (for the delay-padding defense).
+    since_install: HashMap<RuleId, u32>,
+    /// Per-rule installation times (for the window-padding defense).
+    installed_at: HashMap<RuleId, f64>,
+    defense: Defense,
+    pub(crate) stats: SwitchStats,
+}
+
+impl Switch {
+    pub(crate) fn new(mode: SwitchMode, capacity: usize, defense: Defense) -> Self {
+        let mode = if defense.proactive { SwitchMode::Proactive } else { mode };
+        Switch {
+            mode,
+            table: ClockTable::new(capacity.max(1)),
+            in_flight: HashMap::new(),
+            since_install: HashMap::new(),
+            installed_at: HashMap::new(),
+            defense,
+            stats: SwitchStats::default(),
+        }
+    }
+
+    /// Presents one packet of `flow` to the switch at time `now`.
+    pub(crate) fn lookup(&mut self, flow: FlowId, now: f64, rules: &RuleSet) -> Lookup {
+        if self.mode == SwitchMode::Proactive {
+            self.stats.hits += 1;
+            return Lookup::Hit { pad: 0.0 };
+        }
+        if let Some(rule) = self.table.lookup(flow, now, rules) {
+            self.stats.hits += 1;
+            let pad = self.padding_for(rule, now);
+            return Lookup::Hit { pad };
+        }
+        match rules.highest_covering(flow) {
+            Some(rule) => {
+                self.stats.misses += 1;
+                let fresh = self.in_flight.insert(rule, ()).is_none();
+                Lookup::Miss { rule, fresh }
+            }
+            None => {
+                self.stats.uncovered += 1;
+                Lookup::Uncovered
+            }
+        }
+    }
+
+    /// Installs `rule` upon the controller's reply at time `now`; returns
+    /// the evicted victim, if any.
+    pub(crate) fn install(
+        &mut self,
+        rule: RuleId,
+        now: f64,
+        rules: &RuleSet,
+        delta: f64,
+    ) -> Option<RuleId> {
+        self.in_flight.remove(&rule);
+        let spec = rules.rule(rule).timeout();
+        let ttl = f64::from(spec.steps) * delta;
+        let evicted = self.table.install(rule, ttl, spec.kind, now);
+        self.stats.installs += 1;
+        self.since_install.insert(rule, 0);
+        self.installed_at.insert(rule, now);
+        if let Some(e) = evicted {
+            self.stats.evictions += 1;
+            self.since_install.remove(&e);
+            self.installed_at.remove(&e);
+        }
+        evicted
+    }
+
+    /// The rules live in the reactive table at `now` (recency order).
+    pub(crate) fn cached_rules(&self, now: f64) -> Vec<RuleId> {
+        self.table.cached_rules_at(now)
+    }
+
+    fn padding_for(&mut self, rule: RuleId, now: f64) -> f64 {
+        let mut pad = 0.0f64;
+        if let Some(cfg) = self.defense.delay_first {
+            let count = self.since_install.entry(rule).or_insert(0);
+            if *count < cfg.packets {
+                *count += 1;
+                pad = pad.max(cfg.pad_secs);
+            }
+        }
+        if let Some(cfg) = self.defense.pad_recent {
+            if let Some(&at) = self.installed_at.get(&rule) {
+                if now - at < cfg.window_secs {
+                    pad = pad.max(cfg.pad_secs);
+                }
+            }
+        }
+        if pad > 0.0 {
+            self.stats.padded += 1;
+        }
+        pad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DelayPadding;
+    use flowspace::{FlowSet, Rule, Timeout};
+
+    fn rules() -> RuleSet {
+        RuleSet::new(
+            vec![
+                Rule::from_flow_set(FlowSet::from_flows(4, [FlowId(0)]), 2, Timeout::idle(10)),
+                Rule::from_flow_set(FlowSet::from_flows(4, [FlowId(1)]), 1, Timeout::idle(10)),
+            ],
+            4,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn miss_then_install_then_hit() {
+        let rules = rules();
+        let mut sw = Switch::new(SwitchMode::Reactive, 2, Defense::default());
+        assert_eq!(
+            sw.lookup(FlowId(0), 0.0, &rules),
+            Lookup::Miss { rule: RuleId(0), fresh: true }
+        );
+        // A second packet while the query is in flight is not fresh.
+        assert_eq!(
+            sw.lookup(FlowId(0), 0.001, &rules),
+            Lookup::Miss { rule: RuleId(0), fresh: false }
+        );
+        sw.install(RuleId(0), 0.004, &rules, 0.02);
+        assert_eq!(sw.lookup(FlowId(0), 0.005, &rules), Lookup::Hit { pad: 0.0 });
+        assert_eq!(sw.stats.hits, 1);
+        assert_eq!(sw.stats.misses, 2);
+        assert_eq!(sw.stats.installs, 1);
+        assert_eq!(sw.cached_rules(0.005), vec![RuleId(0)]);
+    }
+
+    #[test]
+    fn uncovered_flow_never_installs() {
+        let rules = rules();
+        let mut sw = Switch::new(SwitchMode::Reactive, 2, Defense::default());
+        assert_eq!(sw.lookup(FlowId(3), 0.0, &rules), Lookup::Uncovered);
+        assert_eq!(sw.lookup(FlowId(3), 1.0, &rules), Lookup::Uncovered);
+        assert_eq!(sw.stats.uncovered, 2);
+        assert!(sw.cached_rules(1.0).is_empty());
+    }
+
+    #[test]
+    fn proactive_always_hits() {
+        let rules = rules();
+        let mut sw = Switch::new(SwitchMode::Proactive, 2, Defense::default());
+        assert_eq!(sw.lookup(FlowId(3), 0.0, &rules), Lookup::Hit { pad: 0.0 });
+        assert_eq!(sw.stats.hits, 1);
+    }
+
+    #[test]
+    fn proactive_defense_overrides_mode() {
+        let rules = rules();
+        let defense = Defense { proactive: true, ..Defense::default() };
+        let mut sw = Switch::new(SwitchMode::Reactive, 2, defense);
+        assert_eq!(sw.lookup(FlowId(0), 0.0, &rules), Lookup::Hit { pad: 0.0 });
+    }
+
+    #[test]
+    fn rule_expires_and_misses_again() {
+        let rules = rules();
+        let mut sw = Switch::new(SwitchMode::Reactive, 2, Defense::default());
+        sw.lookup(FlowId(0), 0.0, &rules);
+        sw.install(RuleId(0), 0.004, &rules, 0.02); // ttl = 0.2 s
+        assert!(matches!(sw.lookup(FlowId(0), 0.1, &rules), Lookup::Hit { .. }));
+        // Idle timer re-armed at 0.1 → expires at 0.3.
+        assert!(matches!(
+            sw.lookup(FlowId(0), 0.35, &rules),
+            Lookup::Miss { rule: RuleId(0), fresh: true }
+        ));
+    }
+
+    #[test]
+    fn delay_padding_pads_first_packets_only() {
+        let rules = rules();
+        let defense = Defense {
+            delay_first: Some(DelayPadding { packets: 2, pad_secs: 0.004 }),
+            ..Defense::default()
+        };
+        let mut sw = Switch::new(SwitchMode::Reactive, 2, defense);
+        sw.lookup(FlowId(0), 0.0, &rules);
+        sw.install(RuleId(0), 0.004, &rules, 0.02);
+        assert_eq!(sw.lookup(FlowId(0), 0.01, &rules), Lookup::Hit { pad: 0.004 });
+        assert_eq!(sw.lookup(FlowId(0), 0.02, &rules), Lookup::Hit { pad: 0.004 });
+        assert_eq!(sw.lookup(FlowId(0), 0.03, &rules), Lookup::Hit { pad: 0.0 });
+        assert_eq!(sw.stats.padded, 2);
+    }
+
+    #[test]
+    fn window_padding_pads_until_window_elapses() {
+        let rules = rules();
+        let defense = Defense {
+            pad_recent: Some(crate::config::WindowPadding { window_secs: 0.5, pad_secs: 0.004 }),
+            ..Defense::default()
+        };
+        let mut sw = Switch::new(SwitchMode::Reactive, 2, defense);
+        sw.lookup(FlowId(0), 0.0, &rules);
+        sw.install(RuleId(0), 0.004, &rules, 0.02);
+        // Every hit within 0.5 s of installation is padded...
+        assert_eq!(sw.lookup(FlowId(0), 0.1, &rules), Lookup::Hit { pad: 0.004 });
+        assert_eq!(sw.lookup(FlowId(0), 0.3, &rules), Lookup::Hit { pad: 0.004 });
+        assert_eq!(sw.lookup(FlowId(0), 0.49, &rules), Lookup::Hit { pad: 0.004 });
+        // ...and unpadded afterwards (the idle rule is kept alive by the
+        // hits themselves).
+        assert_eq!(sw.lookup(FlowId(0), 0.6, &rules), Lookup::Hit { pad: 0.0 });
+        assert_eq!(sw.stats.padded, 3);
+    }
+
+    #[test]
+    fn eviction_counted() {
+        let rules = rules();
+        let mut sw = Switch::new(SwitchMode::Reactive, 1, Defense::default());
+        sw.lookup(FlowId(0), 0.0, &rules);
+        sw.install(RuleId(0), 0.004, &rules, 0.02);
+        sw.lookup(FlowId(1), 0.01, &rules);
+        sw.install(RuleId(1), 0.014, &rules, 0.02);
+        assert_eq!(sw.stats.evictions, 1);
+        assert_eq!(sw.cached_rules(0.014), vec![RuleId(1)]);
+    }
+}

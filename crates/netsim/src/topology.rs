@@ -1,0 +1,247 @@
+//! Switch-level network topologies with shortest-path routing.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a switch in a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Error constructing or routing over a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A link referenced a node outside the topology.
+    BadLink(usize, usize),
+    /// No path exists between the two nodes.
+    Disconnected(NodeId, NodeId),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::BadLink(a, b) => write!(f, "link ({a}, {b}) references unknown node"),
+            TopologyError::Disconnected(a, b) => write!(f, "no path between {a} and {b}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// An undirected switch graph with precomputed shortest-path next hops.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    n: usize,
+    adj: Vec<Vec<usize>>,
+    /// `next_hop[src][dst]` = next node from `src` toward `dst`
+    /// (`usize::MAX` if unreachable, `src` if `src == dst`).
+    next_hop: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// Builds a topology with `n` switches and the given undirected links.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::BadLink`] if any link endpoint is out of range.
+    pub fn new(n: usize, links: &[(usize, usize)]) -> Result<Self, TopologyError> {
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in links {
+            if a >= n || b >= n || a == b {
+                return Err(TopologyError::BadLink(a, b));
+            }
+            if !adj[a].contains(&b) {
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+        }
+        // BFS from every destination to fill next hops.
+        let mut next_hop = vec![vec![usize::MAX; n]; n];
+        for dst in 0..n {
+            let mut dist = vec![usize::MAX; n];
+            dist[dst] = 0;
+            next_hop[dst][dst] = dst;
+            let mut q = VecDeque::from([dst]);
+            while let Some(v) = q.pop_front() {
+                for &w in &adj[v] {
+                    if dist[w] == usize::MAX {
+                        dist[w] = dist[v] + 1;
+                        // First hop from w toward dst is v.
+                        next_hop[w][dst] = v;
+                        q.push_back(w);
+                    }
+                }
+            }
+        }
+        Ok(Topology { n, adj, next_hop })
+    }
+
+    /// A single-switch topology.
+    #[must_use]
+    pub fn single_switch() -> Self {
+        Topology::new(1, &[]).expect("trivially valid")
+    }
+
+    /// A linear chain of `n` switches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn linear(n: usize) -> Self {
+        assert!(n > 0, "need at least one switch");
+        let links: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+        Topology::new(n, &links).expect("chain is valid")
+    }
+
+    /// A 16-switch topology modeled on Stanford University's backbone
+    /// network (the paper's §VI-A dataset): two core routers (`s0`, `s1`)
+    /// interconnected, with 14 zone routers each dual-homed to both cores.
+    ///
+    /// ```
+    /// use netsim::{NodeId, Topology};
+    /// let t = Topology::stanford_backbone();
+    /// assert_eq!(t.len(), 16);
+    /// // Zone to zone is two hops via a core.
+    /// assert_eq!(t.distance(NodeId(2), NodeId(9)).unwrap(), 2);
+    /// ```
+    #[must_use]
+    pub fn stanford_backbone() -> Self {
+        let mut links = vec![(0, 1)];
+        for z in 2..16 {
+            links.push((0, z));
+            links.push((1, z));
+        }
+        Topology::new(16, &links).expect("backbone is valid")
+    }
+
+    /// Number of switches.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the topology has no switches.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Neighbors of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, node: NodeId) -> &[usize] {
+        &self.adj[node.0]
+    }
+
+    /// The next hop from `src` toward `dst`.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::Disconnected`] if no path exists.
+    pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Result<NodeId, TopologyError> {
+        let h = self.next_hop[src.0][dst.0];
+        if h == usize::MAX {
+            Err(TopologyError::Disconnected(src, dst))
+        } else {
+            Ok(NodeId(h))
+        }
+    }
+
+    /// The full shortest path from `src` to `dst`, inclusive.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::Disconnected`] if no path exists.
+    pub fn path(&self, src: NodeId, dst: NodeId) -> Result<Vec<NodeId>, TopologyError> {
+        let mut path = vec![src];
+        let mut cur = src;
+        while cur != dst {
+            cur = self.next_hop(cur, dst)?;
+            path.push(cur);
+        }
+        Ok(path)
+    }
+
+    /// Hop count of the shortest path.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::Disconnected`] if no path exists.
+    pub fn distance(&self, src: NodeId, dst: NodeId) -> Result<usize, TopologyError> {
+        Ok(self.path(src, dst)?.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_paths() {
+        let t = Topology::linear(4);
+        assert_eq!(t.len(), 4);
+        let p = t.path(NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(p, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(t.distance(NodeId(0), NodeId(3)).unwrap(), 3);
+        assert_eq!(t.distance(NodeId(2), NodeId(2)).unwrap(), 0);
+    }
+
+    #[test]
+    fn single_switch_is_trivial() {
+        let t = Topology::single_switch();
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert_eq!(t.path(NodeId(0), NodeId(0)).unwrap(), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn stanford_backbone_properties() {
+        let t = Topology::stanford_backbone();
+        assert_eq!(t.len(), 16);
+        // Any two zone routers are at most 2 hops apart (via a core).
+        for a in 2..16 {
+            for b in 2..16 {
+                if a != b {
+                    assert!(t.distance(NodeId(a), NodeId(b)).unwrap() <= 2);
+                }
+            }
+        }
+        // Zone routers are dual-homed.
+        for z in 2..16 {
+            assert_eq!(t.neighbors(NodeId(z)).len(), 2);
+        }
+    }
+
+    #[test]
+    fn bad_link_rejected() {
+        assert_eq!(Topology::new(2, &[(0, 5)]), Err(TopologyError::BadLink(0, 5)));
+        assert_eq!(Topology::new(2, &[(1, 1)]), Err(TopologyError::BadLink(1, 1)));
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let t = Topology::new(3, &[(0, 1)]).unwrap();
+        assert!(matches!(
+            t.next_hop(NodeId(0), NodeId(2)),
+            Err(TopologyError::Disconnected(_, _))
+        ));
+        let err = t.path(NodeId(2), NodeId(1)).unwrap_err();
+        assert!(err.to_string().contains("no path"));
+    }
+
+    #[test]
+    fn duplicate_links_deduplicated() {
+        let t = Topology::new(2, &[(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(t.neighbors(NodeId(0)), &[1]);
+    }
+}

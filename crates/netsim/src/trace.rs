@@ -1,0 +1,257 @@
+//! Packet-level event tracing.
+//!
+//! When enabled on a [`Simulation`](crate::Simulation), every switch-level
+//! event (arrival, hit, miss, install, eviction, delivery) is recorded
+//! with its timestamp — the simulator's equivalent of a packet capture
+//! plus the controller log, handy for debugging scenarios and for
+//! documentation figures.
+
+use crate::NodeId;
+use flowspace::{FlowId, RuleId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A packet of `flow` reached switch `node`.
+    Arrival {
+        /// The switch.
+        node: NodeId,
+        /// The packet's flow.
+        flow: FlowId,
+        /// Whether the packet is an attacker probe.
+        probe: bool,
+        /// Simulation time, seconds.
+        time: f64,
+    },
+    /// The packet matched cached rule `rule` (fast path).
+    Hit {
+        /// The switch.
+        node: NodeId,
+        /// The packet's flow.
+        flow: FlowId,
+        /// The matched rule.
+        rule: RuleId,
+        /// Simulation time, seconds.
+        time: f64,
+    },
+    /// The packet missed; a query for `rule` goes to the controller.
+    Miss {
+        /// The switch.
+        node: NodeId,
+        /// The packet's flow.
+        flow: FlowId,
+        /// The rule the controller will install.
+        rule: RuleId,
+        /// Simulation time, seconds.
+        time: f64,
+    },
+    /// The controller's flow-mod installed `rule`, evicting `evicted`.
+    Install {
+        /// The switch.
+        node: NodeId,
+        /// The installed rule.
+        rule: RuleId,
+        /// The evicted victim, if the table was full.
+        evicted: Option<RuleId>,
+        /// Simulation time, seconds.
+        time: f64,
+    },
+    /// A packet of a flow covered by no rule detoured via the controller.
+    Uncovered {
+        /// The switch.
+        node: NodeId,
+        /// The packet's flow.
+        flow: FlowId,
+        /// Simulation time, seconds.
+        time: f64,
+    },
+    /// An echo reply returned to its sender.
+    Delivered {
+        /// The packet's flow.
+        flow: FlowId,
+        /// Whether it was an attacker probe.
+        probe: bool,
+        /// Observed round-trip time, seconds.
+        rtt: f64,
+        /// Simulation time, seconds.
+        time: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    #[must_use]
+    pub fn time(&self) -> f64 {
+        match *self {
+            TraceEvent::Arrival { time, .. }
+            | TraceEvent::Hit { time, .. }
+            | TraceEvent::Miss { time, .. }
+            | TraceEvent::Install { time, .. }
+            | TraceEvent::Uncovered { time, .. }
+            | TraceEvent::Delivered { time, .. } => time,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceEvent::Arrival { node, flow, probe, time } => {
+                write!(f, "{time:.6} {node} ARRIVE {flow}{}", if probe { " [probe]" } else { "" })
+            }
+            TraceEvent::Hit { node, flow, rule, time } => {
+                write!(f, "{time:.6} {node} HIT {flow} -> {rule}")
+            }
+            TraceEvent::Miss { node, flow, rule, time } => {
+                write!(f, "{time:.6} {node} MISS {flow} (query {rule})")
+            }
+            TraceEvent::Install { node, rule, evicted, time } => match evicted {
+                Some(e) => write!(f, "{time:.6} {node} INSTALL {rule} (evict {e})"),
+                None => write!(f, "{time:.6} {node} INSTALL {rule}"),
+            },
+            TraceEvent::Uncovered { node, flow, time } => {
+                write!(f, "{time:.6} {node} UNCOVERED {flow}")
+            }
+            TraceEvent::Delivered { flow, probe, rtt, time } => write!(
+                f,
+                "{time:.6} host DELIVERED {flow} rtt {:.3}ms{}",
+                rtt * 1e3,
+                if probe { " [probe]" } else { "" }
+            ),
+        }
+    }
+}
+
+/// A bounded event recording. When the capacity is exceeded the oldest
+/// events are discarded (it is a debugging ring, not an audit log).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    discarded: u64,
+}
+
+impl Trace {
+    /// Creates an empty trace keeping at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace { events: Vec::new(), capacity, discarded: 0 }
+    }
+
+    /// Records one event.
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.remove(0);
+            self.discarded += 1;
+        }
+        self.events.push(event);
+    }
+
+    /// The retained events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// How many events were discarded due to the capacity bound.
+    #[must_use]
+    pub fn discarded(&self) -> u64 {
+        self.discarded
+    }
+
+    /// The retained events concerning one flow.
+    pub fn of_flow(&self, flow: FlowId) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| match **e {
+            TraceEvent::Arrival { flow: f, .. }
+            | TraceEvent::Hit { flow: f, .. }
+            | TraceEvent::Miss { flow: f, .. }
+            | TraceEvent::Uncovered { flow: f, .. }
+            | TraceEvent::Delivered { flow: f, .. } => f == flow,
+            TraceEvent::Install { .. } => false,
+        })
+    }
+
+    /// Renders the whole trace, one event per line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: f64) -> TraceEvent {
+        TraceEvent::Arrival { node: NodeId(0), flow: FlowId(1), probe: false, time: t }
+    }
+
+    #[test]
+    fn ring_discards_oldest() {
+        let mut tr = Trace::new(2);
+        assert!(tr.is_empty());
+        tr.record(ev(1.0));
+        tr.record(ev(2.0));
+        tr.record(ev(3.0));
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.discarded(), 1);
+        assert_eq!(tr.events()[0].time(), 2.0);
+        assert_eq!(tr.events()[1].time(), 3.0);
+    }
+
+    #[test]
+    fn flow_filter_skips_installs() {
+        let mut tr = Trace::new(10);
+        tr.record(ev(1.0));
+        tr.record(TraceEvent::Install { node: NodeId(0), rule: RuleId(0), evicted: None, time: 1.5 });
+        tr.record(TraceEvent::Delivered { flow: FlowId(1), probe: true, rtt: 0.004, time: 2.0 });
+        tr.record(TraceEvent::Hit { node: NodeId(0), flow: FlowId(2), rule: RuleId(0), time: 2.5 });
+        let of1: Vec<_> = tr.of_flow(FlowId(1)).collect();
+        assert_eq!(of1.len(), 2);
+    }
+
+    #[test]
+    fn rendering_includes_key_fields() {
+        let mut tr = Trace::new(10);
+        tr.record(TraceEvent::Miss { node: NodeId(3), flow: FlowId(7), rule: RuleId(2), time: 0.25 });
+        tr.record(TraceEvent::Install {
+            node: NodeId(3),
+            rule: RuleId(2),
+            evicted: Some(RuleId(1)),
+            time: 0.26,
+        });
+        let s = tr.render();
+        assert!(s.contains("s3 MISS f7"), "{s}");
+        assert!(s.contains("INSTALL rule2 (evict rule1)"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Trace::new(0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Poisson arrival processes.
+
+use flowspace::FlowId;
+use rand::Rng;
+
+/// A homogeneous Poisson process with rate `rate` events per second.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonProcess {
+    rate: f64,
+}
+
+impl PoissonProcess {
+    /// Creates a process with the given rate (events per second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative or non-finite.
+    #[must_use]
+    pub fn new(rate: f64) -> Self {
+        assert!(rate >= 0.0 && rate.is_finite(), "invalid Poisson rate {rate}");
+        PoissonProcess { rate }
+    }
+
+    /// The process rate, events per second.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Samples one exponential inter-arrival gap.
+    pub fn gap<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.rate == 0.0 {
+            return f64::INFINITY;
+        }
+        let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+        -u.ln() / self.rate
+    }
+
+    /// All arrival times in `[start, end)`.
+    pub fn arrivals<R: Rng + ?Sized>(&self, rng: &mut R, start: f64, end: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut t = start + self.gap(rng);
+        while t < end {
+            out.push(t);
+            t += self.gap(rng);
+        }
+        out
+    }
+}
+
+/// Samples a merged, time-sorted schedule of flow arrivals for a whole flow
+/// universe: `lambdas[i]` is flow `i`'s per-second rate.
+pub fn schedule<R: Rng + ?Sized>(
+    lambdas: &[f64],
+    start: f64,
+    end: f64,
+    rng: &mut R,
+) -> Vec<(FlowId, f64)> {
+    let mut out: Vec<(FlowId, f64)> = Vec::new();
+    for (i, &l) in lambdas.iter().enumerate() {
+        let p = PoissonProcess::new(l);
+        for t in p.arrivals(rng, start, end) {
+            out.push((FlowId(i as u32), t));
+        }
+    }
+    out.sort_by(|a, b| a.1.total_cmp(&b.1));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let p = PoissonProcess::new(0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(p.arrivals(&mut rng, 0.0, 1e6).is_empty());
+        assert_eq!(p.gap(&mut rng), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Poisson rate")]
+    fn negative_rate_rejected() {
+        let _ = PoissonProcess::new(-1.0);
+    }
+
+    #[test]
+    fn empirical_rate_matches() {
+        let p = PoissonProcess::new(2.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = p.arrivals(&mut rng, 0.0, 10_000.0).len() as f64;
+        let rate = n / 10_000.0;
+        assert!((rate - 2.5).abs() < 0.1, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn arrivals_sorted_and_in_range() {
+        let p = PoissonProcess::new(5.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = p.arrivals(&mut rng, 10.0, 20.0);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        assert!(a.iter().all(|&t| (10.0..20.0).contains(&t)));
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn inter_arrival_mean_is_inverse_rate() {
+        let p = PoissonProcess::new(4.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| p.gap(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean gap {mean}");
+    }
+
+    #[test]
+    fn schedule_merges_and_sorts() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = schedule(&[1.0, 3.0, 0.0], 0.0, 100.0, &mut rng);
+        assert!(s.windows(2).all(|w| w[0].1 <= w[1].1));
+        let count =
+            |f: u32| s.iter().filter(|(id, _)| *id == FlowId(f)).count() as f64 / 100.0;
+        assert!((count(0) - 1.0).abs() < 0.35);
+        assert!((count(1) - 3.0).abs() < 0.6);
+        assert_eq!(count(2), 0.0);
+    }
+}

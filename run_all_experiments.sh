@@ -1,0 +1,14 @@
+#!/bin/sh
+# Regenerates every table and figure (see DESIGN.md experiment index).
+# The combined evaluate_suite covers Figures 6a/6b/7a/7b.
+set -x
+BIN="cargo run --release -p experiments --bin"
+$BIN latency_table -- --seed 7
+$BIN scalability -- --seed 7
+$BIN ablation_evaluators -- --seed 7
+$BIN countermeasures -- --configs 25 --trials 80 --seed 7
+$BIN multiprobe -- --configs 25 --trials 80 --seed 7
+$BIN multiswitch -- --configs 25 --trials 80 --seed 7
+$BIN robustness_rates -- --configs 25 --trials 80 --seed 7
+$BIN defense_transform -- --configs 15 --trials 60 --seed 7
+$BIN sweep_parameters -- --configs 8 --trials 60 --seed 7

@@ -1,0 +1,262 @@
+//! Implementation of the `flow-recon` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `sample`   — generate a random §VI-A network scenario as JSON;
+//! * `plan`     — run the §V probe selection for a scenario file;
+//! * `leakage`  — measure a scenario's rule-structure leakage (§VII-B3);
+//! * `simulate` — run live attack trials against the simulated network.
+//!
+//! All subcommands read/write JSON so they compose in shell pipelines.
+
+use attack::{plan_attack_with, run_trials, AttackerKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recon_core::leakage::measure_leakage;
+use recon_core::useq::Evaluator;
+use std::fmt::Write as _;
+use traffic::{NetworkScenario, ScenarioSampler};
+
+/// Error type for CLI runs: a user-facing message.
+pub type CliError = String;
+
+/// Parsed arguments of one invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// Subcommand name.
+    pub command: String,
+    /// `--key value` options.
+    pub options: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parses `cmd --key value …` form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message when the command is missing or an option
+    /// has no value.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, CliError> {
+        let mut it = args.into_iter();
+        let command = it.next().ok_or_else(usage)?;
+        let mut options = Vec::new();
+        while let Some(k) = it.next() {
+            let k = k
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --option, got {k:?}\n{}", usage()))?;
+            let v = it.next().ok_or_else(|| format!("--{k} expects a value"))?;
+            options.push((k.to_string(), v));
+        }
+        Ok(Args { command, options })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.options.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.get(key) {
+            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse {v:?}")),
+            None => Ok(default),
+        }
+    }
+}
+
+/// The usage banner.
+#[must_use]
+pub fn usage() -> String {
+    "usage: flow-recon <command> [--option value ...]\n\
+     commands:\n\
+       sample    --seed N [--bits B] [--rules R] [--capacity C] [--absence-lo X] [--absence-hi Y]\n\
+       plan      --scenario FILE [--multi M] [--adaptive D]\n\
+       leakage   --scenario FILE\n\
+       simulate  --scenario FILE [--trials N] [--seed N]\n"
+        .to_string()
+}
+
+fn load_scenario(args: &Args) -> Result<NetworkScenario, CliError> {
+    let path = args.get("scenario").ok_or("--scenario FILE is required")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+/// Runs one invocation and returns what should be printed to stdout.
+///
+/// # Errors
+///
+/// A user-facing message (unknown command, bad file, model failure…).
+pub fn run(args: &Args) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "sample" => {
+            let seed: u64 = args.get_parse("seed", 0)?;
+            let sampler = ScenarioSampler {
+                bits: args.get_parse("bits", 4u32)?,
+                n_rules: args.get_parse("rules", 12usize)?,
+                capacity: args.get_parse("capacity", 6usize)?,
+                ..ScenarioSampler::default()
+            };
+            let lo: f64 = args.get_parse("absence-lo", 0.05)?;
+            let hi: f64 = args.get_parse("absence-hi", 0.95)?;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sc = sampler.sample_forced((lo, hi), &mut rng);
+            serde_json::to_string_pretty(&sc).map_err(|e| e.to_string())
+        }
+        "plan" => {
+            let sc = load_scenario(args)?;
+            let multi: usize = args.get_parse("multi", 0)?;
+            let adaptive: usize = args.get_parse("adaptive", 0)?;
+            let plan = plan_attack_with(&sc, Evaluator::mean_field(), multi, adaptive)
+                .map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            let _ = writeln!(out, "target: {} (P(absent) = {:.3})", sc.target, plan.p_absent);
+            let _ = writeln!(
+                out,
+                "optimal probe: {} (info gain {:.5}, detector: {})",
+                plan.optimal.probe,
+                plan.optimal.info_gain,
+                plan.optimal.is_detector()
+            );
+            let _ = writeln!(
+                out,
+                "optimal non-target probe: {} (info gain {:.5})",
+                plan.optimal_non_target.probe, plan.optimal_non_target.info_gain
+            );
+            let _ = writeln!(out, "naive info gain: {:.5}", plan.naive.info_gain);
+            if let Some(tree) = &plan.multi {
+                let probes: Vec<String> = tree.probes().iter().map(ToString::to_string).collect();
+                let _ = writeln!(out, "multi-probe sequence: {}", probes.join(" -> "));
+            }
+            if let Some(tree) = &plan.adaptive {
+                let _ = writeln!(
+                    out,
+                    "adaptive policy: depth {}, expected info gain {:.5}, expected accuracy {:.3}",
+                    tree.depth(),
+                    tree.expected_info_gain(),
+                    tree.expected_accuracy()
+                );
+            }
+            Ok(out)
+        }
+        "leakage" => {
+            let sc = load_scenario(args)?;
+            let report = measure_leakage(
+                &sc.rules,
+                &sc.rates(),
+                sc.capacity,
+                sc.horizon_steps(),
+                Evaluator::mean_field(),
+            )
+            .map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "rule-structure leakage: mean {:.5}, max {:.5}, {} detectable targets",
+                report.mean_info_gain(),
+                report.max_info_gain(),
+                report.detectable_targets()
+            );
+            for t in &report.targets {
+                let _ = writeln!(
+                    out,
+                    "  target {}: best probe {}, info gain {:.5}{}",
+                    t.target,
+                    t.best_probe,
+                    t.info_gain,
+                    if t.detector_feasible { " [detector]" } else { "" }
+                );
+            }
+            Ok(out)
+        }
+        "simulate" => {
+            let sc = load_scenario(args)?;
+            let trials: usize = args.get_parse("trials", 100)?;
+            let seed: u64 = args.get_parse("seed", 7)?;
+            let plan = plan_attack_with(&sc, Evaluator::mean_field(), 0, 0)
+                .map_err(|e| e.to_string())?;
+            let kinds = AttackerKind::all();
+            let report = run_trials(&sc, &plan, &kinds, trials, seed);
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "{trials} trials, base rate present {:.3}",
+                report.base_rate_present
+            );
+            for (kind, acc) in &report.by_attacker {
+                let _ = writeln!(out, "  {:<18} accuracy {:.3}", kind.name(), acc.accuracy());
+            }
+            Ok(out)
+        }
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(Args::parse(std::iter::empty()).is_err());
+        assert!(Args::parse(["plan".into(), "oops".into()]).is_err());
+        assert!(Args::parse(["plan".into(), "--scenario".into()]).is_err());
+    }
+
+    #[test]
+    fn unknown_command_reports_usage() {
+        let err = run(&args("frobnicate")).unwrap_err();
+        assert!(err.contains("unknown command"));
+        assert!(err.contains("usage:"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run(&args("help")).unwrap().contains("usage:"));
+    }
+
+    #[test]
+    fn sample_then_plan_then_simulate_pipeline() {
+        let dir = std::env::temp_dir().join("flow-recon-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scenario.json");
+        // Small scenario keeps the test fast.
+        let json = run(&args("sample --seed 5 --bits 3 --rules 6 --capacity 3")).unwrap();
+        std::fs::write(&path, &json).unwrap();
+
+        let plan_out = run(&args(&format!(
+            "plan --scenario {} --multi 2 --adaptive 2",
+            path.display()
+        )))
+        .unwrap();
+        assert!(plan_out.contains("optimal probe"), "{plan_out}");
+        assert!(plan_out.contains("multi-probe sequence"));
+        assert!(plan_out.contains("adaptive policy"));
+
+        let leak_out = run(&args(&format!("leakage --scenario {}", path.display()))).unwrap();
+        assert!(leak_out.contains("rule-structure leakage"));
+
+        let sim_out =
+            run(&args(&format!("simulate --scenario {} --trials 10", path.display()))).unwrap();
+        assert!(sim_out.contains("naive"), "{sim_out}");
+        assert!(sim_out.contains("accuracy"));
+    }
+
+    #[test]
+    fn sample_is_deterministic_per_seed() {
+        let a = run(&args("sample --seed 9 --bits 3 --rules 5 --capacity 2")).unwrap();
+        let b = run(&args("sample --seed 9 --bits 3 --rules 5 --capacity 2")).unwrap();
+        assert_eq!(a, b);
+        let c = run(&args("sample --seed 10 --bits 3 --rules 5 --capacity 2")).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn missing_scenario_file_reported() {
+        let err = run(&args("plan --scenario /nonexistent/x.json")).unwrap_err();
+        assert!(err.contains("reading"));
+    }
+}

@@ -1,0 +1,34 @@
+//! # flow-recon
+//!
+//! Facade crate for the reproduction of *"Flow Reconnaissance via Timing
+//! Attacks on SDN Switches"* (Liu, Reiter, Sekar — IEEE ICDCS 2017).
+//!
+//! The implementation is split across focused workspace crates; this crate
+//! re-exports them under one roof so downstream users (and the repository's
+//! `examples/` and `tests/`) can depend on a single crate:
+//!
+//! * [`flowspace`] — flows, ternary patterns, prioritized rules, rule sets;
+//! * [`ftcache`] — the switch flow-table cache (discrete and continuous);
+//! * [`netsim`] — the discrete-event SDN network simulator (the stand-in
+//!   for the paper's Mininet + Ryu + Open vSwitch testbed);
+//! * [`traffic`] — Poisson traffic and experiment configuration sampling;
+//! * [`core`](recon_core) — the paper's Markov switch models and the
+//!   information-gain probe selection (re-exported as [`model`]);
+//! * [`attack`] — the end-to-end attacker harness and trial evaluation.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for a complete walk-through: build a rule
+//! set, fit the compact Markov model, pick the optimal probe and run the
+//! attack against the simulator.
+
+#![forbid(unsafe_code)]
+
+pub mod cli;
+
+pub use attack;
+pub use flowspace;
+pub use ftcache;
+pub use netsim;
+pub use recon_core as model;
+pub use traffic;

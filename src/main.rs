@@ -1,0 +1,21 @@
+//! The `flow-recon` command-line tool: sample scenarios, plan probes,
+//! measure leakage and run simulated attack trials. See `flow-recon help`.
+
+use flow_recon::cli;
+
+fn main() {
+    let args = match cli::Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    match cli::run(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Cross-crate validation: the Markov models' predictions against the
+//! ground-truth discrete flow table and the continuous-time simulator.
+
+use flow_recon::flowspace::relevant::FlowRates;
+use flow_recon::flowspace::{FlowId, FlowSet, Rule, RuleId, RuleSet, Timeout};
+use flow_recon::ftcache::FlowTable;
+use flow_recon::model::basic::BasicModel;
+use flow_recon::model::compact::CompactModel;
+use flow_recon::model::useq::Evaluator;
+use flow_recon::model::SwitchModel;
+use flow_recon::netsim::{NetConfig, Simulation};
+use flow_recon::traffic::poisson;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A small instance with overlap, eviction pressure and mixed timeouts.
+fn instance() -> (RuleSet, FlowRates, usize) {
+    let u = 4;
+    let rules = RuleSet::new(
+        vec![
+            Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(0)]), 30, Timeout::idle(4)),
+            Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(0), FlowId(1)]), 20, Timeout::idle(6)),
+            Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(2)]), 10, Timeout::idle(5)),
+        ],
+        u,
+    )
+    .unwrap();
+    let rates = FlowRates::from_per_step(vec![0.10, 0.15, 0.25, 0.05]);
+    (rules, rates, 2) // capacity 2 => eviction pressure
+}
+
+/// Simulates the *chain's own event semantics* on the ground-truth
+/// discrete table: one event per step, drawn from the chain's normalized
+/// per-state event distribution (timeout-priority, then null vs per-rule
+/// arrival with weights `e^{-Λ}` and `γ_j·e^{-Λ}`). Converging empirical
+/// hit rates validate the model's transition bookkeeping (state
+/// enumeration, recency, eviction, matrix assembly) against an
+/// independently driven [`FlowTable`].
+fn empirical_hit_rates(
+    rules: &RuleSet,
+    rates: &FlowRates,
+    capacity: usize,
+    steps: usize,
+    runs: usize,
+    seed: u64,
+) -> Vec<f64> {
+    use flow_recon::flowspace::relevant::relevant_flow_ids;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let universe = rules.universe_size();
+    let mut hits = vec![0usize; universe];
+    for _ in 0..runs {
+        let mut table = FlowTable::new(capacity);
+        for _ in 0..steps {
+            if table.has_expiring() {
+                table.expire_one();
+                continue;
+            }
+            let cached: Vec<RuleId> = table.cached_rules().collect();
+            // Same event law as the models: P(arrival matching rule j) =
+            // (1 − e^{-G})·γ_j/G; null with the remainder.
+            let mut events: Vec<(FlowId, f64)> = Vec::new();
+            for j in rules.ids() {
+                let rel = relevant_flow_ids(rules, &cached, j);
+                let g = rates.sum_over(&rel);
+                if g > 0.0 {
+                    events.push((rel.iter().next().expect("nonempty"), g));
+                }
+            }
+            let g_total: f64 = events.iter().map(|(_, g)| g).sum();
+            let p_any = if g_total > 0.0 { 1.0 - (-g_total).exp() } else { 0.0 };
+            let mut arrival = None;
+            if rng.gen::<f64>() < p_any {
+                let mut x = rng.gen::<f64>() * g_total;
+                for (f, g) in events {
+                    x -= g;
+                    if x <= 0.0 {
+                        arrival = Some(f);
+                        break;
+                    }
+                }
+            }
+            table.advance(arrival, rules);
+        }
+        for f in 0..universe as u32 {
+            if table.covering_hit(FlowId(f), rules).is_some() {
+                hits[f as usize] += 1;
+            }
+        }
+    }
+    hits.iter().map(|&h| h as f64 / runs as f64).collect()
+}
+
+#[test]
+fn basic_model_tracks_ground_truth_table() {
+    let (rules, rates, capacity) = instance();
+    let model = BasicModel::build(&rules, &rates, capacity, 2_000_000).unwrap();
+    let dist = model.evolve(120);
+    let empirical = empirical_hit_rates(&rules, &rates, capacity, 120, 30_000, 42);
+    for f in 0..4u32 {
+        let predicted = model.prob_flow_hit(&dist, FlowId(f));
+        let measured = empirical[f as usize];
+        assert!(
+            (predicted - measured).abs() < 0.02,
+            "flow {f}: model {predicted:.3} vs empirical {measured:.3}"
+        );
+    }
+}
+
+#[test]
+fn compact_model_tracks_basic_model() {
+    let (rules, rates, capacity) = instance();
+    let basic = BasicModel::build(&rules, &rates, capacity, 2_000_000).unwrap();
+    let compact = CompactModel::build(&rules, &rates, capacity, Evaluator::exact()).unwrap();
+    let db = basic.evolve(150);
+    let dc = compact.evolve(150);
+    for j in rules.ids() {
+        let pb = basic.prob_rule_cached(&db, j);
+        let pc = compact.prob_rule_cached(&dc, j);
+        assert!(
+            (pb - pc).abs() < 0.08,
+            "{j}: basic {pb:.3} vs compact {pc:.3}"
+        );
+    }
+    for f in 0..4u32 {
+        let pb = basic.prob_flow_hit(&db, FlowId(f));
+        let pc = compact.prob_flow_hit(&dc, FlowId(f));
+        assert!(
+            (pb - pc).abs() < 0.08,
+            "flow {f}: basic {pb:.3} vs compact {pc:.3}"
+        );
+    }
+}
+
+#[test]
+fn compact_model_predicts_simulator_hit_rates() {
+    // The continuous-time simulator is the paper's "real" network; the
+    // compact model should predict probe-hit probabilities after a traffic
+    // window within a loose tolerance.
+    let (rules, rates, capacity) = instance();
+    let delta = 0.05;
+    let lambdas: Vec<f64> = (0..4)
+        .map(|i| rates.rate(FlowId(i)) / delta)
+        .collect();
+    let window = 8.0;
+    let steps = (window / delta) as usize;
+
+    let compact = CompactModel::build(&rules, &rates, capacity, Evaluator::exact()).unwrap();
+    let dist = compact.evolve(steps);
+
+    let runs = 1500;
+    let mut hit_counts = vec![0usize; 4];
+    for run in 0..runs {
+        let mut schedule_rng = StdRng::seed_from_u64(1000 + run);
+        let schedule = poisson::schedule(&lambdas, 0.0, window, &mut schedule_rng);
+        for probe in 0..4u32 {
+            let mut sim = Simulation::new(
+                NetConfig::eval_topology(rules.clone(), capacity, delta),
+                run * 17 + u64::from(probe),
+            );
+            for &(f, t) in &schedule {
+                sim.schedule_flow(f, t);
+            }
+            sim.run_until(window);
+            if sim.probe(FlowId(probe)).hit {
+                hit_counts[probe as usize] += 1;
+            }
+        }
+    }
+    for f in 0..4u32 {
+        let predicted = compact.prob_flow_hit(&dist, FlowId(f));
+        let measured = hit_counts[f as usize] as f64 / runs as f64;
+        assert!(
+            (predicted - measured).abs() < 0.1,
+            "flow {f}: compact {predicted:.3} vs simulator {measured:.3}"
+        );
+    }
+}
+
+#[test]
+fn absent_joint_matches_conditioned_simulation() {
+    // P(Q_f = 1 | target absent) from the model vs simulations whose
+    // schedules exclude the target flow.
+    let (rules, rates, capacity) = instance();
+    let target = FlowId(1);
+    let probe = FlowId(0);
+    let delta = 0.05;
+    let window = 8.0;
+    let steps = (window / delta) as usize;
+    let compact = CompactModel::build(&rules, &rates, capacity, Evaluator::exact()).unwrap();
+    let joint = compact.absent_matrix(target).evolve_n(&compact.initial(), steps);
+    let predicted = compact.prob_flow_hit(&joint, probe) / joint.total();
+
+    let mut lambdas: Vec<f64> = (0..4).map(|i| rates.rate(FlowId(i)) / delta).collect();
+    lambdas[target.index()] = 0.0; // condition: target never arrives
+    let runs = 1500;
+    let mut hits = 0usize;
+    for run in 0..runs {
+        let mut schedule_rng = StdRng::seed_from_u64(9000 + run);
+        let schedule = poisson::schedule(&lambdas, 0.0, window, &mut schedule_rng);
+        let mut sim = Simulation::new(
+            NetConfig::eval_topology(rules.clone(), capacity, delta),
+            run * 13 + 3,
+        );
+        for &(f, t) in &schedule {
+            sim.schedule_flow(f, t);
+        }
+        sim.run_until(window);
+        if sim.probe(probe).hit {
+            hits += 1;
+        }
+    }
+    let measured = hits as f64 / runs as f64;
+    assert!(
+        (predicted - measured).abs() < 0.1,
+        "P(hit | absent): model {predicted:.3} vs simulator {measured:.3}"
+    );
+}

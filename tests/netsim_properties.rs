@@ -1,0 +1,140 @@
+//! Property-based tests for the network simulator: conservation and
+//! consistency invariants under arbitrary traffic and probing patterns.
+
+use flow_recon::flowspace::{FlowId, FlowSet, Rule, RuleSet, Timeout};
+use flow_recon::netsim::{NetConfig, Simulation};
+use proptest::prelude::*;
+
+const UNIVERSE: usize = 6;
+
+fn rule_set_strategy() -> impl Strategy<Value = RuleSet> {
+    let rule = (1u32..=100, 5u32..=40, proptest::collection::btree_set(0u32..6, 1..=3));
+    proptest::collection::vec(rule, 1..=4).prop_filter_map("distinct priorities", |specs| {
+        let mut seen = std::collections::HashSet::new();
+        let mut rules = Vec::new();
+        for (prio, timeout, flows) in specs {
+            if !seen.insert(prio) {
+                return None;
+            }
+            rules.push(Rule::from_flow_set(
+                FlowSet::from_flows(UNIVERSE, flows.into_iter().map(FlowId)),
+                prio,
+                Timeout::idle(timeout),
+            ));
+        }
+        RuleSet::new(rules, UNIVERSE).ok()
+    })
+}
+
+/// A program of interleaved actions against the simulator.
+#[derive(Debug, Clone)]
+enum Action {
+    Schedule(u32, f64),
+    Probe(u32),
+    Run(f64),
+}
+
+fn actions_strategy() -> impl Strategy<Value = Vec<Action>> {
+    let action = prop_oneof![
+        (0u32..6, 0.0..5.0f64).prop_map(|(f, dt)| Action::Schedule(f, dt)),
+        (0u32..6).prop_map(Action::Probe),
+        (0.0..3.0f64).prop_map(Action::Run),
+    ];
+    proptest::collection::vec(action, 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simulator_conserves_packets_and_answers_probes(
+        rules in rule_set_strategy(),
+        actions in actions_strategy(),
+        seed in 0u64..1000,
+        capacity in 1usize..=4,
+    ) {
+        let mut sim = Simulation::new(
+            NetConfig::eval_topology(rules.clone(), capacity, 0.02),
+            seed,
+        );
+        sim.enable_trace(100_000);
+        let mut scheduled = 0u64;
+        let mut probes = 0u64;
+        for a in &actions {
+            match *a {
+                Action::Schedule(f, dt) => {
+                    let at = sim.now() + dt;
+                    sim.schedule_flow(FlowId(f), at);
+                    scheduled += 1;
+                }
+                Action::Probe(f) => {
+                    let obs = sim.probe(FlowId(f));
+                    // Probes always complete with a sane RTT.
+                    prop_assert!(obs.rtt > 0.0 && obs.rtt < 1.0, "rtt {}", obs.rtt);
+                    // Classification agrees with the threshold.
+                    prop_assert_eq!(obs.hit, obs.rtt < 1e-3);
+                    probes += 1;
+                }
+                Action::Run(dt) => {
+                    let t = sim.now() + dt;
+                    sim.run_until(t);
+                }
+            }
+        }
+        // Drain everything still in flight.
+        let end = sim.now() + 60.0;
+        sim.run_until(end);
+
+        // Conservation: every genuine packet was recorded exactly once.
+        prop_assert_eq!(sim.history().len() as u64, scheduled);
+
+        // Switch counters: every ingress arrival was classified one way.
+        let st = sim.ingress_stats();
+        prop_assert_eq!(st.hits + st.misses + st.uncovered, scheduled + probes);
+        // Installs can't exceed misses, evictions can't exceed installs.
+        prop_assert!(st.installs <= st.misses);
+        prop_assert!(st.evictions <= st.installs);
+
+        // The cached set never exceeds capacity and contains no dead rules.
+        let cached = sim.cached_rules();
+        prop_assert!(cached.len() <= capacity);
+        let unique: std::collections::HashSet<_> = cached.iter().collect();
+        prop_assert_eq!(unique.len(), cached.len());
+
+        // Trace deliveries match completions: every probe + every genuine
+        // packet eventually produced a reply.
+        let trace = sim.trace().unwrap();
+        prop_assume!(trace.discarded() == 0);
+        let delivered = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, flow_recon::netsim::TraceEvent::Delivered { .. }))
+            .count() as u64;
+        prop_assert_eq!(delivered, scheduled + probes);
+    }
+
+    #[test]
+    fn uncovered_probes_never_hit(
+        actions in proptest::collection::vec(0.0..2.0f64, 1..10),
+        seed in 0u64..100,
+    ) {
+        // A rule set that covers only flow 0: probing flow 5 must always
+        // miss, no matter the interleaving.
+        let rules = RuleSet::new(
+            vec![Rule::from_flow_set(
+                FlowSet::from_flows(UNIVERSE, [FlowId(0)]),
+                1,
+                Timeout::idle(25),
+            )],
+            UNIVERSE,
+        )
+        .unwrap();
+        let mut sim = Simulation::new(NetConfig::eval_topology(rules, 2, 0.02), seed);
+        for &dt in &actions {
+            let at = sim.now() + dt;
+            sim.schedule_flow(FlowId(0), at);
+            let obs = sim.probe(FlowId(5));
+            prop_assert!(!obs.hit, "uncovered probe hit with rtt {}", obs.rtt);
+        }
+    }
+}
