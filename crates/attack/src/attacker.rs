@@ -32,7 +32,12 @@ impl AttackerKind {
     /// The paper's four §VI-B flavors, in display order.
     #[must_use]
     pub fn all() -> [AttackerKind; 4] {
-        [AttackerKind::Naive, AttackerKind::Model, AttackerKind::RestrictedModel, AttackerKind::Random]
+        [
+            AttackerKind::Naive,
+            AttackerKind::Model,
+            AttackerKind::RestrictedModel,
+            AttackerKind::Random,
+        ]
     }
 
     /// Stable lowercase name for reports.
@@ -97,7 +102,9 @@ impl Attacker {
     pub fn from_plan(kind: AttackerKind, plan: &AttackPlan, target: FlowId) -> Self {
         match kind {
             AttackerKind::Naive => Attacker::SingleProbe { probe: target },
-            AttackerKind::Model => Attacker::SingleProbe { probe: plan.optimal.probe },
+            AttackerKind::Model => Attacker::SingleProbe {
+                probe: plan.optimal.probe,
+            },
             AttackerKind::RestrictedModel => {
                 let a = &plan.optimal_non_target;
                 let prior_present = 1.0 - plan.p_absent;
@@ -108,12 +115,18 @@ impl Attacker {
                     present_if_miss: or_prior(1.0 - a.p_absent_given_miss) > 0.5,
                 }
             }
-            AttackerKind::Random => Attacker::Prior { p_present: 1.0 - plan.p_absent },
+            AttackerKind::Random => Attacker::Prior {
+                p_present: 1.0 - plan.p_absent,
+            },
             AttackerKind::MultiProbe => Attacker::Tree(
-                plan.multi.clone().expect("plan lacks a multi-probe tree; use plan_attack_with"),
+                plan.multi
+                    .clone()
+                    .expect("plan lacks a multi-probe tree; use plan_attack_with"),
             ),
             AttackerKind::Adaptive => Attacker::Adaptive(
-                plan.adaptive.clone().expect("plan lacks an adaptive policy; use plan_attack_with"),
+                plan.adaptive
+                    .clone()
+                    .expect("plan lacks an adaptive policy; use plan_attack_with"),
             ),
         }
     }
@@ -124,7 +137,11 @@ impl Attacker {
     pub fn decide<R: Rng + ?Sized>(&self, sim: &mut Simulation, rng: &mut R) -> bool {
         match self {
             Attacker::SingleProbe { probe } => sim.probe(*probe).hit,
-            Attacker::BayesProbe { probe, present_if_hit, present_if_miss } => {
+            Attacker::BayesProbe {
+                probe,
+                present_if_hit,
+                present_if_miss,
+            } => {
                 if sim.probe(*probe).hit {
                     *present_if_hit
                 } else {
@@ -133,8 +150,7 @@ impl Attacker {
             }
             Attacker::Prior { p_present } => rng.gen::<f64>() < *p_present,
             Attacker::Tree(tree) => {
-                let outcomes: Vec<bool> =
-                    tree.probes().iter().map(|&f| sim.probe(f).hit).collect();
+                let outcomes: Vec<bool> = tree.probes().iter().map(|&f| sim.probe(f).hit).collect();
                 tree.decide(&outcomes)
             }
             Attacker::Adaptive(tree) => {
@@ -211,8 +227,8 @@ mod tests {
         };
         assert!(!atk.decide(&mut sim, &mut rng)); // miss branch
         assert!(!atk.decide(&mut sim, &mut rng)); // hit branch (rule now cached)
-        // And one that answers the outcome directly behaves like
-        // SingleProbe.
+                                                  // And one that answers the outcome directly behaves like
+                                                  // SingleProbe.
         let mut sim = Simulation::new(NetConfig::eval_topology(rules(), 2, 0.02), 8);
         let atk = Attacker::BayesProbe {
             probe: FlowId(0),

@@ -121,7 +121,11 @@ mod tests {
         // waiting out the TTL. Verify min_miss stays miss-sized.
         let mut s = sim();
         let cal = calibrate_threshold(&mut s, FlowId(0), 10, 1.0);
-        assert!(cal.min_miss > 1.0e-3, "min miss {:.4} ms", cal.min_miss * 1e3);
+        assert!(
+            cal.min_miss > 1.0e-3,
+            "min miss {:.4} ms",
+            cal.min_miss * 1e3
+        );
         assert!(cal.max_hit < 0.5e-3, "max hit {:.4} ms", cal.max_hit * 1e3);
     }
 
@@ -139,12 +143,18 @@ mod tests {
         let mut cfg = NetConfig::eval_topology(rules, 2, 0.02);
         cfg.defense = netsim::Defense {
             // Pad far more packets than calibration sends per rule life.
-            delay_first: Some(netsim::DelayPadding { packets: 100, pad_secs: 4.0e-3 }),
+            delay_first: Some(netsim::DelayPadding {
+                packets: 100,
+                pad_secs: 4.0e-3,
+            }),
             ..netsim::Defense::default()
         };
         let mut s = Simulation::new(cfg, 5);
         let cal = calibrate_threshold(&mut s, FlowId(0), 10, 1.0);
-        assert!(!cal.is_separable(), "padding should blur the channel: {cal:?}");
+        assert!(
+            !cal.is_separable(),
+            "padding should blur the channel: {cal:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! Execution policy and run statistics for the trial engine.
+//!
+//! Monte-Carlo evaluation (§VI) runs hundreds of independent trials per
+//! configuration. Each trial's RNG streams are derived purely from
+//! `(seed, trial index, attacker index)`, and per-attacker confusion
+//! matrices reduce by unsigned addition — both order-independent — so
+//! trials can be distributed across worker threads with **bit-identical**
+//! results to a serial run at the same seed. [`ExecPolicy`] selects how
+//! the engine schedules that work; [`RunStats`] reports what it cost.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+/// Environment variable consulted by [`ExecPolicy::from_env`]: a thread
+/// count, or `auto`/`0` for one thread per available core.
+pub const THREADS_ENV_VAR: &str = "FLOW_RECON_THREADS";
+
+/// How a batch of independent work items (trials, sweep points) is
+/// scheduled.
+///
+/// The policy never affects results, only wall time: parallel execution
+/// is bit-identical to [`ExecPolicy::Serial`] at the same seed (see the
+/// determinism contract in `DESIGN.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecPolicy {
+    /// Run every item on the calling thread, in index order.
+    Serial,
+    /// Distribute items across `threads` scoped worker threads.
+    Parallel {
+        /// Worker thread count (values ≤ 1 behave like `Serial`).
+        threads: usize,
+    },
+}
+
+impl ExecPolicy {
+    /// One thread per available core (`Serial` on single-core hosts).
+    #[must_use]
+    pub fn auto() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        Self::with_threads(cores)
+    }
+
+    /// A policy using exactly `threads` workers (`Serial` if ≤ 1).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        if threads <= 1 {
+            ExecPolicy::Serial
+        } else {
+            ExecPolicy::Parallel { threads }
+        }
+    }
+
+    /// Reads [`THREADS_ENV_VAR`], falling back to [`ExecPolicy::auto`]
+    /// when unset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is set to something other than a thread
+    /// count or `auto` — a misconfigured run should fail loudly, not
+    /// silently change shape.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var(THREADS_ENV_VAR) {
+            Ok(raw) => Self::parse(&raw).unwrap_or_else(|| {
+                panic!("invalid {THREADS_ENV_VAR}=`{raw}`: expected a thread count or `auto`")
+            }),
+            Err(_) => Self::auto(),
+        }
+    }
+
+    /// Parses a thread-count argument: a positive integer, or `auto`/`0`
+    /// for [`ExecPolicy::auto`]. Returns `None` on anything else.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("auto") {
+            return Some(Self::auto());
+        }
+        match s.parse::<usize>() {
+            Ok(0) => Some(Self::auto()),
+            Ok(n) => Some(Self::with_threads(n)),
+            Err(_) => None,
+        }
+    }
+
+    /// The number of worker threads this policy schedules on.
+    #[must_use]
+    pub fn threads(self) -> usize {
+        match self {
+            ExecPolicy::Serial => 1,
+            ExecPolicy::Parallel { threads } => threads.max(1),
+        }
+    }
+
+    /// Threads actually worth spawning for `work_items` items.
+    #[must_use]
+    pub(crate) fn effective_threads(self, work_items: usize) -> usize {
+        self.threads().min(work_items.max(1))
+    }
+}
+
+impl fmt::Display for ExecPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecPolicy::Serial => write!(f, "serial"),
+            ExecPolicy::Parallel { threads } => write!(f, "parallel({threads})"),
+        }
+    }
+}
+
+/// Wall-clock accounting for one batch of trials.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Trials executed (summed over every `run_trials` call measured).
+    pub trials: u64,
+    /// Worker threads the policy scheduled on.
+    pub threads: usize,
+    /// Elapsed wall time in seconds.
+    pub wall_secs: f64,
+}
+
+impl RunStats {
+    /// Runs `f`, timing it as `trials` trials under `policy`.
+    pub fn measure<T>(policy: ExecPolicy, trials: usize, f: impl FnOnce() -> T) -> (T, RunStats) {
+        let start = Instant::now();
+        let out = f();
+        let stats = RunStats {
+            trials: trials as u64,
+            threads: policy.threads(),
+            wall_secs: start.elapsed().as_secs_f64(),
+        };
+        (out, stats)
+    }
+
+    /// Throughput in trials per second (infinite for a zero-time run).
+    #[must_use]
+    pub fn trials_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.trials as f64 / self.wall_secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Folds another measurement into this one (trials and wall time
+    /// add; the thread count must match).
+    pub fn absorb(&mut self, other: &RunStats) {
+        debug_assert_eq!(
+            self.threads, other.threads,
+            "mixing thread counts in one stat"
+        );
+        self.trials += other.trials;
+        self.wall_secs += other.wall_secs;
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} trials in {:.3} s on {} thread{} ({:.1} trials/s)",
+            self.trials,
+            self.wall_secs,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+            self.trials_per_sec(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_threads_collapses_to_serial() {
+        assert_eq!(ExecPolicy::with_threads(0), ExecPolicy::Serial);
+        assert_eq!(ExecPolicy::with_threads(1), ExecPolicy::Serial);
+        assert_eq!(
+            ExecPolicy::with_threads(4),
+            ExecPolicy::Parallel { threads: 4 }
+        );
+    }
+
+    #[test]
+    fn parse_accepts_counts_and_auto() {
+        assert_eq!(ExecPolicy::parse("1"), Some(ExecPolicy::Serial));
+        assert_eq!(
+            ExecPolicy::parse("8"),
+            Some(ExecPolicy::Parallel { threads: 8 })
+        );
+        assert_eq!(
+            ExecPolicy::parse(" 2 "),
+            Some(ExecPolicy::Parallel { threads: 2 })
+        );
+        assert_eq!(ExecPolicy::parse("auto"), Some(ExecPolicy::auto()));
+        assert_eq!(ExecPolicy::parse("0"), Some(ExecPolicy::auto()));
+        assert_eq!(ExecPolicy::parse("many"), None);
+        assert_eq!(ExecPolicy::parse("-3"), None);
+    }
+
+    #[test]
+    fn effective_threads_never_exceeds_work() {
+        let p = ExecPolicy::Parallel { threads: 8 };
+        assert_eq!(p.effective_threads(3), 3);
+        assert_eq!(p.effective_threads(100), 8);
+        assert_eq!(p.effective_threads(0), 1);
+        assert_eq!(ExecPolicy::Serial.effective_threads(100), 1);
+    }
+
+    #[test]
+    fn stats_report_throughput() {
+        let s = RunStats {
+            trials: 100,
+            threads: 2,
+            wall_secs: 4.0,
+        };
+        assert_eq!(s.trials_per_sec(), 25.0);
+        let mut total = s;
+        total.absorb(&RunStats {
+            trials: 60,
+            threads: 2,
+            wall_secs: 1.0,
+        });
+        assert_eq!(total.trials, 160);
+        assert_eq!(total.wall_secs, 5.0);
+        assert!(format!("{total}").contains("160 trials"));
+        assert!(RunStats {
+            trials: 5,
+            threads: 1,
+            wall_secs: 0.0
+        }
+        .trials_per_sec()
+        .is_infinite());
+    }
+
+    #[test]
+    fn measure_wraps_a_closure() {
+        let (value, stats) = RunStats::measure(ExecPolicy::Serial, 7, || 42);
+        assert_eq!(value, 42);
+        assert_eq!(stats.trials, 7);
+        assert_eq!(stats.threads, 1);
+        assert!(stats.wall_secs >= 0.0);
+    }
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(format!("{}", ExecPolicy::Serial), "serial");
+        assert_eq!(
+            format!("{}", ExecPolicy::Parallel { threads: 3 }),
+            "parallel(3)"
+        );
+    }
+}

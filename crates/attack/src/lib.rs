@@ -23,6 +23,7 @@
 
 mod attacker;
 mod calibrate;
+mod exec;
 mod plan;
 pub mod sweep;
 mod timing;
@@ -30,6 +31,10 @@ mod trial;
 
 pub use attacker::{Attacker, AttackerKind};
 pub use calibrate::{calibrate_threshold, CalibratedThreshold};
+pub use exec::{ExecPolicy, RunStats, THREADS_ENV_VAR};
 pub use plan::{plan_attack, plan_attack_with, AttackPlan, PlanError};
 pub use timing::{measure_latency, LatencyStats, LatencyTable};
-pub use trial::{run_trials, run_trials_with, scenario_net_config, Accuracy, TrialReport};
+pub use trial::{
+    run_trials, run_trials_policy, run_trials_with, run_trials_with_policy, scenario_net_config,
+    Accuracy, TrialReport,
+};

@@ -77,7 +77,10 @@ impl From<ModelError> for PlanError {
 ///
 /// [`PlanError::Model`] if the model cannot be built (too many rules,
 /// universe mismatch).
-pub fn plan_attack(scenario: &NetworkScenario, evaluator: Evaluator) -> Result<AttackPlan, PlanError> {
+pub fn plan_attack(
+    scenario: &NetworkScenario,
+    evaluator: Evaluator,
+) -> Result<AttackPlan, PlanError> {
     plan_attack_with(scenario, evaluator, 0, 0)
 }
 

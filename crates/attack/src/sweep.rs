@@ -7,8 +7,10 @@
 //! and re-run trials across a swept parameter, keeping everything else
 //! fixed — the engine behind the `sweep_parameters` experiment.
 
-use crate::{plan_attack, run_trials, AttackerKind, PlanError};
+use crate::{plan_attack, run_trials_policy, AttackerKind, ExecPolicy, PlanError};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use traffic::NetworkScenario;
 
 /// Which scenario parameter to sweep.
@@ -47,12 +49,14 @@ impl SweepParameter {
                     .rules()
                     .iter()
                     .map(|r| {
-                        let steps =
-                            ((f64::from(r.timeout().steps) * value).round() as u32).max(1);
+                        let steps = ((f64::from(r.timeout().steps) * value).round() as u32).max(1);
                         flowspace::Rule::from_flow_set(
                             r.covers().clone(),
                             r.priority(),
-                            flowspace::Timeout { kind: r.timeout().kind, steps },
+                            flowspace::Timeout {
+                                kind: r.timeout().kind,
+                                steps,
+                            },
                         )
                     })
                     .collect();
@@ -92,18 +96,87 @@ pub fn sweep(
     trials: usize,
     seed: u64,
 ) -> Result<Vec<SweepPoint>, PlanError> {
-    let mut out = Vec::with_capacity(values.len());
-    for (i, &v) in values.iter().enumerate() {
+    sweep_policy(
+        scenario,
+        parameter,
+        values,
+        kinds,
+        trials,
+        seed,
+        ExecPolicy::from_env(),
+    )
+}
+
+/// [`sweep`] under an explicit [`ExecPolicy`].
+///
+/// Sweep points are the outer level of parallelism: each point replans
+/// and re-runs its trials as one unit of work, with the trials inside a
+/// point run serially (so a parallel sweep never oversubscribes the
+/// machine). Results are returned in value order and are bit-identical
+/// to a serial sweep at the same seed.
+///
+/// # Errors
+///
+/// Propagates the [`PlanError`] of the *lowest-indexed* failing point —
+/// the same one a serial sweep reports.
+pub fn sweep_policy(
+    scenario: &NetworkScenario,
+    parameter: SweepParameter,
+    values: &[f64],
+    kinds: &[AttackerKind],
+    trials: usize,
+    seed: u64,
+    policy: ExecPolicy,
+) -> Result<Vec<SweepPoint>, PlanError> {
+    let threads = match policy {
+        ExecPolicy::Serial => 1,
+        ExecPolicy::Parallel { threads } => threads.clamp(1, values.len().max(1)),
+    };
+    // One sweep point: replan and re-run trials. The point's seed depends
+    // only on its index, so scheduling order cannot affect results.
+    let run_point = |i: usize, v: f64| -> Result<SweepPoint, PlanError> {
         let sc = parameter.apply(scenario, v);
         let plan = plan_attack(&sc, recon_core::useq::Evaluator::mean_field())?;
-        let report = run_trials(&sc, &plan, kinds, trials, seed ^ (i as u64) << 8);
-        out.push(SweepPoint {
+        let report = run_trials_policy(
+            &sc,
+            &plan,
+            kinds,
+            trials,
+            seed ^ (i as u64) << 8,
+            ExecPolicy::Serial,
+        );
+        Ok(SweepPoint {
             value: v,
             accuracy: kinds.iter().map(|&k| report.accuracy(k)).collect(),
             info_gain: plan.optimal.info_gain,
-        });
+        })
+    };
+    if threads <= 1 {
+        return values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| run_point(i, v))
+            .collect();
     }
-    Ok(out)
+    let slots: Mutex<Vec<Option<Result<SweepPoint, PlanError>>>> =
+        Mutex::new((0..values.len()).map(|_| None).collect());
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&v) = values.get(i) else { break };
+                let point = run_point(i, v);
+                slots.lock().expect("sweep slots poisoned")[i] = Some(point);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("sweep slots poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("every sweep point computed"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -149,7 +222,10 @@ mod tests {
     fn apply_window_respects_delta_floor() {
         let sc = scenario();
         assert_eq!(SweepParameter::WindowSecs.apply(&sc, 4.0).window_secs, 4.0);
-        assert_eq!(SweepParameter::WindowSecs.apply(&sc, 0.0).window_secs, sc.delta);
+        assert_eq!(
+            SweepParameter::WindowSecs.apply(&sc, 0.0).window_secs,
+            sc.delta
+        );
     }
 
     #[test]
@@ -169,6 +245,36 @@ mod tests {
             assert_eq!(p.accuracy.len(), 1);
             assert!((0.0..=1.0).contains(&p.accuracy[0]));
             assert!(p.info_gain >= 0.0);
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_bit_for_bit() {
+        let sc = scenario();
+        let values = [1.0, 2.0, 3.0, 4.0];
+        let kinds = [AttackerKind::Naive, AttackerKind::Model];
+        let serial = sweep_policy(
+            &sc,
+            SweepParameter::Capacity,
+            &values,
+            &kinds,
+            8,
+            5,
+            ExecPolicy::Serial,
+        )
+        .unwrap();
+        for threads in [2, 8] {
+            let parallel = sweep_policy(
+                &sc,
+                SweepParameter::Capacity,
+                &values,
+                &kinds,
+                8,
+                5,
+                ExecPolicy::Parallel { threads },
+            )
+            .unwrap();
+            assert_eq!(serial, parallel, "threads = {threads}");
         }
     }
 

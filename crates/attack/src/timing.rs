@@ -20,7 +20,11 @@ impl LatencyStats {
         let n = samples.len();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
-        LatencyStats { mean, std: var.sqrt(), n }
+        LatencyStats {
+            mean,
+            std: var.sqrt(),
+            n,
+        }
     }
 }
 
@@ -80,10 +84,26 @@ mod tests {
     fn reproduces_paper_magnitudes() {
         let t = measure_latency(2000, 7);
         // Paper: hit 0.087 ms ± 0.021; miss 4.070 ms ± 1.806.
-        assert!((t.hit.mean - 0.087e-3).abs() < 0.02e-3, "hit mean {}", t.hit.mean);
-        assert!((t.miss.mean - 4.070e-3).abs() < 0.3e-3, "miss mean {}", t.miss.mean);
-        assert!((t.miss.std - 1.806e-3).abs() < 0.3e-3, "miss std {}", t.miss.std);
-        assert!(t.threshold_error < 0.05, "threshold error {}", t.threshold_error);
+        assert!(
+            (t.hit.mean - 0.087e-3).abs() < 0.02e-3,
+            "hit mean {}",
+            t.hit.mean
+        );
+        assert!(
+            (t.miss.mean - 4.070e-3).abs() < 0.3e-3,
+            "miss mean {}",
+            t.miss.mean
+        );
+        assert!(
+            (t.miss.std - 1.806e-3).abs() < 0.3e-3,
+            "miss std {}",
+            t.miss.std
+        );
+        assert!(
+            t.threshold_error < 0.05,
+            "threshold error {}",
+            t.threshold_error
+        );
         assert_eq!(t.hit.n, 2000);
     }
 

@@ -1,11 +1,20 @@
 //! Running repeated attack trials against live simulated traffic.
+//!
+//! Trials are mutually independent by construction: every RNG stream is
+//! derived from `(seed, trial index, attacker index)` alone, and results
+//! reduce through [`Accuracy::merge`] — unsigned addition, which is
+//! commutative and associative. The engine therefore executes trials
+//! under any [`ExecPolicy`] with bit-identical output; see `DESIGN.md`
+//! ("Determinism contract").
 
 use crate::attacker::{Attacker, AttackerKind};
+use crate::exec::ExecPolicy;
 use crate::plan::AttackPlan;
 use netsim::{NetConfig, Simulation};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use traffic::{poisson, NetworkScenario};
 
 /// A confusion-matrix accumulator.
@@ -107,7 +116,7 @@ pub fn run_trials(
     trials: usize,
     seed: u64,
 ) -> TrialReport {
-    run_trials_with(scenario, plan, kinds, trials, seed, &scenario_net_config(scenario))
+    run_trials_policy(scenario, plan, kinds, trials, seed, ExecPolicy::from_env())
 }
 
 /// [`run_trials`] against an explicit network configuration — used by the
@@ -121,35 +130,195 @@ pub fn run_trials_with(
     seed: u64,
     net: &NetConfig,
 ) -> TrialReport {
-    let net = net.clone();
-    let mut accs: Vec<(AttackerKind, Accuracy)> =
-        kinds.iter().map(|&k| (k, Accuracy::default())).collect();
+    run_trials_with_policy(
+        scenario,
+        plan,
+        kinds,
+        trials,
+        seed,
+        net,
+        ExecPolicy::from_env(),
+    )
+}
+
+/// [`run_trials`] under an explicit [`ExecPolicy`].
+#[must_use]
+pub fn run_trials_policy(
+    scenario: &NetworkScenario,
+    plan: &AttackPlan,
+    kinds: &[AttackerKind],
+    trials: usize,
+    seed: u64,
+    policy: ExecPolicy,
+) -> TrialReport {
+    run_trials_with_policy(
+        scenario,
+        plan,
+        kinds,
+        trials,
+        seed,
+        &scenario_net_config(scenario),
+        policy,
+    )
+}
+
+/// The full engine: explicit network configuration *and* execution
+/// policy. All other `run_trials*` entry points delegate here.
+///
+/// The report is a pure function of `(scenario, plan, kinds, trials,
+/// seed, net)` — `policy` changes scheduling, never results.
+#[must_use]
+pub fn run_trials_with_policy(
+    scenario: &NetworkScenario,
+    plan: &AttackPlan,
+    kinds: &[AttackerKind],
+    trials: usize,
+    seed: u64,
+    net: &NetConfig,
+    policy: ExecPolicy,
+) -> TrialReport {
+    let threads = policy.effective_threads(trials);
+    let (accs, present) = if threads <= 1 {
+        run_trial_range(scenario, plan, kinds, seed, net, 0..trials)
+    } else {
+        run_trials_parallel(scenario, plan, kinds, trials, seed, net, threads)
+    };
+    TrialReport {
+        by_attacker: kinds.iter().copied().zip(accs).collect(),
+        base_rate_present: present as f64 / trials.max(1) as f64,
+    }
+}
+
+/// One independent trial: regenerates the traffic realization for
+/// `trial`, replays it once per attacker, and collects each attacker's
+/// answer. Every RNG stream is derived from `(seed, trial, attacker
+/// index)` — nothing else — which is what makes the engine's scheduling
+/// freedom sound.
+fn run_one_trial(
+    scenario: &NetworkScenario,
+    plan: &AttackPlan,
+    kinds: &[AttackerKind],
+    seed: u64,
+    net: &NetConfig,
+    trial: usize,
+    answers: &mut Vec<bool>,
+) -> bool {
+    let mut traffic_rng =
+        StdRng::seed_from_u64(seed ^ (trial as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let schedule = poisson::schedule(
+        &scenario.lambdas,
+        0.0,
+        scenario.window_secs,
+        &mut traffic_rng,
+    );
+    let truth = schedule.iter().any(|&(f, _)| f == scenario.target);
+    answers.clear();
+    for (i, &kind) in kinds.iter().enumerate() {
+        // Each attacker gets a fresh simulation fed the same schedule, so
+        // earlier attackers' probes cannot pollute later attackers' state.
+        let mut sim = Simulation::new(net.clone(), seed ^ ((trial as u64) << 20) ^ (i as u64 + 1));
+        for &(f, t) in &schedule {
+            sim.schedule_flow(f, t);
+        }
+        sim.run_until(scenario.window_secs);
+        let attacker = Attacker::from_plan(kind, plan, scenario.target);
+        let mut decide_rng =
+            StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF ^ ((trial as u64) << 8) ^ i as u64);
+        answers.push(attacker.decide(&mut sim, &mut decide_rng));
+    }
+    truth
+}
+
+/// Runs a contiguous range of trials on the calling thread, returning
+/// per-attacker accumulators and the count of trials where the target
+/// was genuinely present.
+fn run_trial_range(
+    scenario: &NetworkScenario,
+    plan: &AttackPlan,
+    kinds: &[AttackerKind],
+    seed: u64,
+    net: &NetConfig,
+    range: std::ops::Range<usize>,
+) -> (Vec<Accuracy>, u64) {
+    let mut accs = vec![Accuracy::default(); kinds.len()];
     let mut present = 0u64;
-    for trial in 0..trials {
-        let mut traffic_rng = StdRng::seed_from_u64(seed ^ (trial as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let schedule =
-            poisson::schedule(&scenario.lambdas, 0.0, scenario.window_secs, &mut traffic_rng);
-        let truth = schedule.iter().any(|&(f, _)| f == scenario.target);
+    let mut answers = Vec::with_capacity(kinds.len());
+    for trial in range {
+        let truth = run_one_trial(scenario, plan, kinds, seed, net, trial, &mut answers);
         if truth {
             present += 1;
         }
-        for (i, (kind, acc)) in accs.iter_mut().enumerate() {
-            let mut sim = Simulation::new(net.clone(), seed ^ ((trial as u64) << 20) ^ (i as u64 + 1));
-            for &(f, t) in &schedule {
-                sim.schedule_flow(f, t);
-            }
-            sim.run_until(scenario.window_secs);
-            let attacker = Attacker::from_plan(*kind, plan, scenario.target);
-            let mut decide_rng =
-                StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF ^ ((trial as u64) << 8) ^ i as u64);
-            let answer = attacker.decide(&mut sim, &mut decide_rng);
+        for (acc, &answer) in accs.iter_mut().zip(&answers) {
             acc.add(truth, answer);
         }
     }
-    TrialReport {
-        by_attacker: accs,
-        base_rate_present: present as f64 / trials.max(1) as f64,
-    }
+    (accs, present)
+}
+
+/// Distributes trials over `threads` scoped workers. Workers claim fixed
+/// chunks of the trial index space from a shared cursor and accumulate
+/// locally; the main thread merges worker results. Because merging is
+/// unsigned addition, the outcome is independent of which worker ran
+/// which chunk — bit-identical to the serial path.
+fn run_trials_parallel(
+    scenario: &NetworkScenario,
+    plan: &AttackPlan,
+    kinds: &[AttackerKind],
+    trials: usize,
+    seed: u64,
+    net: &NetConfig,
+    threads: usize,
+) -> (Vec<Accuracy>, u64) {
+    // Chunks several times smaller than a fair share keep workers busy
+    // when trial costs vary, without contending on the cursor per trial.
+    let chunk = (trials / (threads * 4)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let mut accs = vec![Accuracy::default(); kinds.len()];
+    let mut present = 0u64;
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = vec![Accuracy::default(); kinds.len()];
+                    let mut local_present = 0u64;
+                    let mut answers = Vec::with_capacity(kinds.len());
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= trials {
+                            break;
+                        }
+                        let end = (start + chunk).min(trials);
+                        for trial in start..end {
+                            let truth = run_one_trial(
+                                scenario,
+                                plan,
+                                kinds,
+                                seed,
+                                net,
+                                trial,
+                                &mut answers,
+                            );
+                            if truth {
+                                local_present += 1;
+                            }
+                            for (acc, &answer) in local.iter_mut().zip(&answers) {
+                                acc.add(truth, answer);
+                            }
+                        }
+                    }
+                    (local, local_present)
+                })
+            })
+            .collect();
+        for worker in workers {
+            let (local, local_present) = worker.join().expect("trial worker panicked");
+            for (acc, l) in accs.iter_mut().zip(&local) {
+                acc.merge(l);
+            }
+            present += local_present;
+        }
+    });
+    (accs, present)
 }
 
 #[cfg(test)]
@@ -207,7 +376,11 @@ mod tests {
         let plan = plan_attack(&sc, Evaluator::mean_field()).unwrap();
         let r = run_trials(&sc, &plan, &[AttackerKind::Random], 300, 7);
         // Absence ≈ 0.5 → presence ≈ 0.5.
-        assert!((r.base_rate_present - 0.5).abs() < 0.15, "{}", r.base_rate_present);
+        assert!(
+            (r.base_rate_present - 0.5).abs() < 0.15,
+            "{}",
+            r.base_rate_present
+        );
     }
 
     #[test]
@@ -216,9 +389,48 @@ mod tests {
         // usually cached, and probing it answers well above 50%.
         let sc = scenario(3, (0.05, 0.15));
         let plan = plan_attack(&sc, Evaluator::mean_field()).unwrap();
-        let r = run_trials(&sc, &plan, &[AttackerKind::Naive, AttackerKind::Random], 100, 11);
+        let r = run_trials(
+            &sc,
+            &plan,
+            &[AttackerKind::Naive, AttackerKind::Random],
+            100,
+            11,
+        );
         let naive = r.accuracy(AttackerKind::Naive);
         assert!(naive > 0.6, "naive accuracy {naive}");
+    }
+
+    #[test]
+    fn parallel_policies_match_serial_bit_for_bit() {
+        let sc = scenario(5, (0.3, 0.7));
+        let plan = plan_attack(&sc, Evaluator::mean_field()).unwrap();
+        let kinds = [
+            AttackerKind::Naive,
+            AttackerKind::Model,
+            AttackerKind::Random,
+        ];
+        let serial = run_trials_policy(&sc, &plan, &kinds, 17, 42, ExecPolicy::Serial);
+        for threads in [2, 3, 8, 32] {
+            let parallel =
+                run_trials_policy(&sc, &plan, &kinds, 17, 42, ExecPolicy::Parallel { threads });
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_trials_is_well_defined() {
+        let sc = scenario(6, (0.3, 0.7));
+        let plan = plan_attack(&sc, Evaluator::mean_field()).unwrap();
+        let r = run_trials_policy(
+            &sc,
+            &plan,
+            &[AttackerKind::Naive],
+            0,
+            1,
+            ExecPolicy::Parallel { threads: 4 },
+        );
+        assert_eq!(r.by_attacker[0].1.n(), 0);
+        assert_eq!(r.base_rate_present, 0.0);
     }
 
     #[test]

@@ -12,7 +12,10 @@ fn bench_compact_build(c: &mut Criterion) {
     g.sample_size(10);
     let paper = paper_scale_scenario(1);
     let small = small_scenario(2);
-    for (name, sc) in [("paper_scale_12rules_n6", &paper), ("small_3rules_n2", &small)] {
+    for (name, sc) in [
+        ("paper_scale_12rules_n6", &paper),
+        ("small_3rules_n2", &small),
+    ] {
         let rates = sc.rates();
         g.bench_with_input(BenchmarkId::new("mean_field", name), sc, |b, sc| {
             b.iter(|| {

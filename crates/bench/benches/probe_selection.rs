@@ -37,7 +37,11 @@ fn bench_probe_selection(c: &mut Criterion) {
         b.iter(|| model.matrix().evolve_n(&model.initial(), 750));
     });
     g.bench_function("evolve_n_750_extrapolated", |b| {
-        b.iter(|| model.matrix().evolve_n_extrapolated(&model.initial(), 750, 1e-11));
+        b.iter(|| {
+            model
+                .matrix()
+                .evolve_n_extrapolated(&model.initial(), 750, 1e-11)
+        });
     });
     g.finish();
 }

@@ -47,7 +47,11 @@ fn bench_simulator(c: &mut Criterion) {
             run_trials(
                 &sc,
                 &plan,
-                &[AttackerKind::Naive, AttackerKind::Model, AttackerKind::Random],
+                &[
+                    AttackerKind::Naive,
+                    AttackerKind::Model,
+                    AttackerKind::Random,
+                ],
                 10,
                 3,
             )

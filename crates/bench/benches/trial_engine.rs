@@ -1,0 +1,48 @@
+//! Benchmarks for the deterministic parallel trial engine: serial vs
+//! parallel execution of the Monte-Carlo evaluation loop at 100 and 1000
+//! trials. Parallel results are bit-identical to serial at the same seed
+//! (see `attack::trial`), so this measures pure scheduling overhead /
+//! speedup.
+//!
+//! Baseline numbers are recorded in `results/bench_trial_engine.txt`.
+
+use attack::{plan_attack, run_trials_policy, AttackerKind, ExecPolicy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recon_bench::paper_scale_scenario;
+use recon_core::useq::Evaluator;
+
+fn bench_trial_engine(c: &mut Criterion) {
+    let sc = paper_scale_scenario(9);
+    let plan = plan_attack(&sc, Evaluator::mean_field()).expect("plan");
+    let kinds = [
+        AttackerKind::Naive,
+        AttackerKind::Model,
+        AttackerKind::Random,
+    ];
+    let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let mut g = c.benchmark_group("trial_engine");
+    g.sample_size(10);
+    for &trials in &[100usize, 1000] {
+        g.bench_with_input(BenchmarkId::new("serial", trials), &trials, |b, &n| {
+            b.iter(|| run_trials_policy(&sc, &plan, &kinds, n, 3, ExecPolicy::Serial));
+        });
+        for &threads in &[2usize, 4] {
+            let label = format!("parallel{threads}");
+            g.bench_with_input(BenchmarkId::new(&label, trials), &trials, |b, &n| {
+                b.iter(|| {
+                    run_trials_policy(&sc, &plan, &kinds, n, 3, ExecPolicy::Parallel { threads })
+                });
+            });
+        }
+        let auto = ExecPolicy::auto();
+        let label = format!("auto_{available}cores");
+        g.bench_with_input(BenchmarkId::new(&label, trials), &trials, |b, &n| {
+            b.iter(|| run_trials_policy(&sc, &plan, &kinds, n, 3, auto));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_trial_engine);
+criterion_main!(benches);

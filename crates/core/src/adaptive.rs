@@ -54,12 +54,25 @@ impl AdaptiveTree {
         assert!((1..=12).contains(&depth), "depth {depth} not in 1..=12");
         let n_nodes = (1usize << (depth + 1)) - 1;
         let mut nodes = vec![
-            AdaptiveNode { probe: None, posterior_present: f64::NAN, p_reach: 0.0 };
+            AdaptiveNode {
+                probe: None,
+                posterior_present: f64::NAN,
+                p_reach: 0.0
+            };
             n_nodes
         ];
         let dist = planner.state_distribution().clone();
         let joint = planner.absent_joint().clone();
-        Self::fill(planner, candidates, &mut nodes, 0, depth, &dist, &joint, &mut Vec::new());
+        Self::fill(
+            planner,
+            candidates,
+            &mut nodes,
+            0,
+            depth,
+            &dist,
+            &joint,
+            &mut Vec::new(),
+        );
         AdaptiveTree { nodes, depth }
     }
 
@@ -77,7 +90,11 @@ impl AdaptiveTree {
         let p = dist.total();
         let pa = joint.total();
         nodes[idx].p_reach = p;
-        nodes[idx].posterior_present = if p > 0.0 { (1.0 - pa / p).clamp(0.0, 1.0) } else { f64::NAN };
+        nodes[idx].posterior_present = if p > 0.0 {
+            (1.0 - pa / p).clamp(0.0, 1.0)
+        } else {
+            f64::NAN
+        };
         if remaining == 0 || p <= 0.0 {
             return;
         }
@@ -99,7 +116,7 @@ impl AdaptiveTree {
                 }
             }
             let ig = (h_now - h_cond).max(0.0);
-            if best.map_or(true, |(_, b)| ig > b) {
+            if best.is_none_or(|(_, b)| ig > b) {
                 best = Some((c, ig));
             }
         }
@@ -109,7 +126,16 @@ impl AdaptiveTree {
         for (hit, child) in [(false, 2 * idx + 1), (true, 2 * idx + 2)] {
             let d2 = planner.model().apply_probe(dist, probe, hit);
             let j2 = planner.model().apply_probe(joint, probe, hit);
-            Self::fill(planner, candidates, nodes, child, remaining - 1, &d2, &j2, path);
+            Self::fill(
+                planner,
+                candidates,
+                nodes,
+                child,
+                remaining - 1,
+                &d2,
+                &j2,
+                path,
+            );
         }
         path.pop();
     }
@@ -189,7 +215,10 @@ impl AdaptiveTree {
     }
 
     fn node_index(&self, outcomes: &[bool]) -> usize {
-        assert!(outcomes.len() <= self.depth, "more outcomes than the tree depth");
+        assert!(
+            outcomes.len() <= self.depth,
+            "more outcomes than the tree depth"
+        );
         let mut idx = 0;
         for &hit in outcomes {
             idx = 2 * idx + 1 + usize::from(hit);

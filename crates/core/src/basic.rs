@@ -112,7 +112,11 @@ impl BasicModel {
                     })
                     .collect();
                 let g_total: f64 = arrivals.iter().map(|(_, g, _)| g).sum();
-                let p_any = if g_total > 0.0 { 1.0 - (-g_total).exp() } else { 0.0 };
+                let p_any = if g_total > 0.0 {
+                    1.0 - (-g_total).exp()
+                } else {
+                    0.0
+                };
                 // Null event: every timer decrements.
                 let mut quiet = state.clone();
                 quiet.step_null();
@@ -138,7 +142,11 @@ impl BasicModel {
                         states.len() - 1
                     }
                 };
-                row.push(Edge { to, prob: w / total, cause });
+                row.push(Edge {
+                    to,
+                    prob: w / total,
+                    cause,
+                });
             }
             edges.push(row);
             frontier += 1;

@@ -62,7 +62,10 @@ pub struct CompactModel {
 }
 
 fn mask_rules(mask: u32) -> Vec<RuleId> {
-    (0..32).filter(|b| mask & (1 << b) != 0).map(|b| RuleId(b as usize)).collect()
+    (0..32)
+        .filter(|b| mask & (1 << b) != 0)
+        .map(|b| RuleId(b as usize))
+        .collect()
 }
 
 impl CompactModel {
@@ -81,7 +84,10 @@ impl CompactModel {
         evaluator: Evaluator,
     ) -> Result<Self, ModelError> {
         if rules.len() > MAX_RULES {
-            return Err(ModelError::TooManyRules { found: rules.len(), max: MAX_RULES });
+            return Err(ModelError::TooManyRules {
+                found: rules.len(),
+                max: MAX_RULES,
+            });
         }
         if rules.universe_size() != rates.universe_size() {
             return Err(ModelError::UniverseMismatch {
@@ -117,7 +123,11 @@ impl CompactModel {
                 })
                 .collect();
             let g_total: f64 = gammas.iter().map(|(_, g)| g).sum();
-            let p_any = if g_total > 0.0 { 1.0 - (-g_total).exp() } else { 0.0 };
+            let p_any = if g_total > 0.0 {
+                1.0 - (-g_total).exp()
+            } else {
+                0.0
+            };
             for &(j, g) in &gammas {
                 let w = p_any * g / g_total;
                 if cached.contains(&j) {
@@ -515,7 +525,13 @@ mod tests {
         .unwrap();
         let rates = FlowRates::from_per_step(vec![0.01; 32]);
         let err = CompactModel::build(&rules, &rates, 4, Evaluator::mean_field()).unwrap_err();
-        assert_eq!(err, ModelError::TooManyRules { found: 25, max: MAX_RULES });
+        assert_eq!(
+            err,
+            ModelError::TooManyRules {
+                found: 25,
+                max: MAX_RULES
+            }
+        );
     }
 
     #[test]

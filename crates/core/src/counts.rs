@@ -17,7 +17,10 @@
 /// enumeration limit).
 #[must_use]
 pub fn basic_state_count(timeouts: &[u32], capacity: usize) -> f64 {
-    assert!(timeouts.len() <= 30, "subset enumeration supports at most 30 rules");
+    assert!(
+        timeouts.len() <= 30,
+        "subset enumeration supports at most 30 rules"
+    );
     let r = timeouts.len();
     let mut total = 0.0f64;
     for mask in 0u32..(1u32 << r) {
@@ -39,7 +42,10 @@ pub fn basic_state_count(timeouts: &[u32], capacity: usize) -> f64 {
 /// Exact integer version of [`basic_state_count`]; `None` on overflow.
 #[must_use]
 pub fn basic_state_count_exact(timeouts: &[u32], capacity: usize) -> Option<u128> {
-    assert!(timeouts.len() <= 30, "subset enumeration supports at most 30 rules");
+    assert!(
+        timeouts.len() <= 30,
+        "subset enumeration supports at most 30 rules"
+    );
     let r = timeouts.len();
     let mut total: u128 = 0;
     for mask in 0u32..(1u32 << r) {
@@ -148,7 +154,13 @@ mod tests {
         // printed formula gives astronomically more. We record the actual
         // value of the formula here so EXPERIMENTS.md can report both.
         let count = basic_state_count(&[100; 10], 8);
-        assert!(count > 5.9e7, "formula value {count} should exceed the quoted 5.9e7");
-        assert!(count > 1e16, "formula value is astronomically larger: {count}");
+        assert!(
+            count > 5.9e7,
+            "formula value {count} should exceed the quoted 5.9e7"
+        );
+        assert!(
+            count > 1e16,
+            "formula value is astronomically larger: {count}"
+        );
     }
 }

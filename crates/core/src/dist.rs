@@ -32,7 +32,10 @@ impl Distribution {
     #[must_use]
     pub fn from_masses(v: Vec<f64>) -> Self {
         for (i, &p) in v.iter().enumerate() {
-            assert!(p >= 0.0 && p.is_finite(), "mass for state {i} is invalid: {p}");
+            assert!(
+                p >= 0.0 && p.is_finite(),
+                "mass for state {i} is invalid: {p}"
+            );
         }
         Distribution(v)
     }

@@ -111,11 +111,7 @@ mod tests {
 
     fn setup() -> (RuleSet, FlowRates) {
         let u = 4;
-        let rules = RuleSet::new(
-            vec![rule(u, &[0], 30, 8), rule(u, &[1, 2], 20, 8)],
-            u,
-        )
-        .unwrap();
+        let rules = RuleSet::new(vec![rule(u, &[0], 30, 8), rule(u, &[1, 2], 20, 8)], u).unwrap();
         let rates = FlowRates::from_per_step(vec![0.01, 0.005, 0.2, 0.0]);
         (rules, rates)
     }
@@ -142,8 +138,16 @@ mod tests {
         let merged_rules = merge_rules(&rules, RuleId(0), RuleId(1)).unwrap();
         assert!(covers_preserved(&rules, &merged_rules));
         let after = measure_leakage(&merged_rules, &rates, 2, 200, Evaluator::exact()).unwrap();
-        let f0_before = before.targets.iter().find(|t| t.target == FlowId(0)).unwrap();
-        let f0_after = after.targets.iter().find(|t| t.target == FlowId(0)).unwrap();
+        let f0_before = before
+            .targets
+            .iter()
+            .find(|t| t.target == FlowId(0))
+            .unwrap();
+        let f0_after = after
+            .targets
+            .iter()
+            .find(|t| t.target == FlowId(0))
+            .unwrap();
         assert!(
             f0_after.info_gain < f0_before.info_gain,
             "merging should blunt f0 leakage: {} -> {}",
@@ -161,8 +165,16 @@ mod tests {
         let part = FlowSet::from_flows(4, [FlowId(1)]);
         let split = split_rule(&rules, RuleId(1), &part).unwrap();
         let after = measure_leakage(&split, &rates, 2, 200, Evaluator::exact()).unwrap();
-        let f1_before = before.targets.iter().find(|t| t.target == FlowId(1)).unwrap();
-        let f1_after = after.targets.iter().find(|t| t.target == FlowId(1)).unwrap();
+        let f1_before = before
+            .targets
+            .iter()
+            .find(|t| t.target == FlowId(1))
+            .unwrap();
+        let f1_after = after
+            .targets
+            .iter()
+            .find(|t| t.target == FlowId(1))
+            .unwrap();
         assert!(
             f1_after.info_gain > f1_before.info_gain,
             "splitting should sharpen f1 leakage: {} -> {}",

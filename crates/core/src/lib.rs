@@ -96,13 +96,22 @@ impl std::fmt::Display for ModelError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ModelError::TooManyStates { limit } => {
-                write!(f, "reachable state space exceeds the limit of {limit} states")
+                write!(
+                    f,
+                    "reachable state space exceeds the limit of {limit} states"
+                )
             }
             ModelError::TooManyRules { found, max } => {
-                write!(f, "rule set has {found} rules, compact encoding supports at most {max}")
+                write!(
+                    f,
+                    "rule set has {found} rules, compact encoding supports at most {max}"
+                )
             }
             ModelError::UniverseMismatch { rules, rates } => {
-                write!(f, "rule set universe {rules} does not match rate universe {rates}")
+                write!(
+                    f,
+                    "rule set universe {rules} does not match rate universe {rates}"
+                )
             }
             ModelError::NoCandidates => write!(f, "no candidate probe flows supplied"),
         }

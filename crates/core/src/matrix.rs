@@ -17,7 +17,9 @@ impl TransitionMatrix {
     /// Creates a matrix with `n` states and no edges.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        TransitionMatrix { rows: vec![Vec::new(); n] }
+        TransitionMatrix {
+            rows: vec![Vec::new(); n],
+        }
     }
 
     /// Number of states.
@@ -85,7 +87,11 @@ impl TransitionMatrix {
     /// Panics if the distribution's length differs from the state count.
     #[must_use]
     pub fn evolve(&self, dist: &Distribution) -> Distribution {
-        assert_eq!(dist.len(), self.rows.len(), "distribution/matrix size mismatch");
+        assert_eq!(
+            dist.len(),
+            self.rows.len(),
+            "distribution/matrix size mismatch"
+        );
         let mut out = Distribution::from_masses(vec![0.0; self.rows.len()]);
         let slice = out.as_mut_slice();
         for (from, row) in self.rows.iter().enumerate() {
@@ -122,14 +128,23 @@ impl TransitionMatrix {
     /// `r^{steps-k}`. This turns the `T = 750`-step evolutions of the
     /// paper's evaluation into ~100 steps with error below `tol`.
     #[must_use]
-    pub fn evolve_n_extrapolated(&self, dist: &Distribution, steps: usize, tol: f64) -> Distribution {
+    pub fn evolve_n_extrapolated(
+        &self,
+        dist: &Distribution,
+        steps: usize,
+        tol: f64,
+    ) -> Distribution {
         let mut d = dist.clone();
         let mut prev_total = d.total();
         let mut prev_ratio = f64::NAN;
         for k in 0..steps {
             let next = self.evolve(&d);
             let total = next.total();
-            let ratio = if prev_total > 0.0 { total / prev_total } else { 0.0 };
+            let ratio = if prev_total > 0.0 {
+                total / prev_total
+            } else {
+                0.0
+            };
             // Shape change, scale-compensated.
             let mut shape_delta = 0.0;
             if total > 0.0 && prev_total > 0.0 {
@@ -143,7 +158,11 @@ impl TransitionMatrix {
             prev_ratio = ratio;
             if shape_delta <= tol && ratio_stable {
                 let remaining = (steps - k - 1) as f64;
-                let factor = if ratio >= 1.0 { 1.0 } else { ratio.powf(remaining) };
+                let factor = if ratio >= 1.0 {
+                    1.0
+                } else {
+                    ratio.powf(remaining)
+                };
                 let scaled: Vec<f64> = d.as_slice().iter().map(|&p| p * factor).collect();
                 return Distribution::from_masses(scaled);
             }
@@ -271,7 +290,12 @@ mod tests {
         assert!(exact.total() > 0.0);
         for i in 0..2 {
             let rel = (exact.mass(i) - fast.mass(i)).abs() / exact.total();
-            assert!(rel < 1e-6, "state {i}: {} vs {}", exact.mass(i), fast.mass(i));
+            assert!(
+                rel < 1e-6,
+                "state {i}: {} vs {}",
+                exact.mass(i),
+                fast.mass(i)
+            );
         }
     }
 

@@ -89,7 +89,10 @@ impl<'a, M: SwitchModel> Monitor<'a, M> {
 
     /// Advances the filter by `steps` chain steps with no observation.
     pub fn advance(&mut self, steps: usize) {
-        self.belief = self.model.matrix().evolve_n_extrapolated(&self.belief, steps, 1e-12);
+        self.belief = self
+            .model
+            .matrix()
+            .evolve_n_extrapolated(&self.belief, steps, 1e-12);
         self.joint = self.absent.evolve_n_extrapolated(&self.joint, steps, 1e-12);
     }
 
@@ -115,14 +118,20 @@ impl<'a, M: SwitchModel> Monitor<'a, M> {
             // Model was certain of the opposite outcome; restart.
             self.belief = self.model.initial();
             self.joint = self.model.initial();
-            return IntervalEstimate { p_target_in_interval: f64::NAN, predicted_hit };
+            return IntervalEstimate {
+                p_target_in_interval: f64::NAN,
+                predicted_hit,
+            };
         }
         let p_absent = (j2.total() / b_mass).clamp(0.0, 1.0);
         self.belief = b2.normalized();
         // Reset the interval clock: the joint becomes the (normalized)
         // belief again.
         self.joint = self.belief.clone();
-        IntervalEstimate { p_target_in_interval: 1.0 - p_absent, predicted_hit }
+        IntervalEstimate {
+            p_target_in_interval: 1.0 - p_absent,
+            predicted_hit,
+        }
     }
 }
 
@@ -139,7 +148,11 @@ mod tests {
         let rules = RuleSet::new(
             vec![
                 Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(0)]), 2, Timeout::idle(6)),
-                Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(1), FlowId(2)]), 1, Timeout::idle(8)),
+                Rule::from_flow_set(
+                    FlowSet::from_flows(u, [FlowId(1), FlowId(2)]),
+                    1,
+                    Timeout::idle(8),
+                ),
             ],
             u,
         )
@@ -190,7 +203,10 @@ mod tests {
         let fresh = mon.predict_hit(FlowId(2));
         assert_eq!(fresh, 0.0, "empty cache cannot hit");
         mon.advance(100);
-        assert!(mon.predict_hit(FlowId(2)) > 0.3, "f2 is chatty; its rule is usually in");
+        assert!(
+            mon.predict_hit(FlowId(2)) > 0.3,
+            "f2 is chatty; its rule is usually in"
+        );
     }
 
     #[test]

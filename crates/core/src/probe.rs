@@ -116,7 +116,10 @@ impl DecisionTree {
                 posterior[idx] = p;
             }
         }
-        DecisionTree { probes: analysis.probes.clone(), posterior_present: posterior }
+        DecisionTree {
+            probes: analysis.probes.clone(),
+            posterior_present: posterior,
+        }
     }
 
     /// The probes to issue, in order.
@@ -178,7 +181,13 @@ impl<'a, M: SwitchModel> ProbePlanner<'a, M> {
         let j_t = model
             .absent_matrix(target)
             .evolve_n_extrapolated(&model.initial(), horizon, TOL);
-        ProbePlanner { model, target, horizon, i_t, j_t }
+        ProbePlanner {
+            model,
+            target,
+            horizon,
+            i_t,
+            j_t,
+        }
     }
 
     /// The target flow f̂.
@@ -243,7 +252,11 @@ impl<'a, M: SwitchModel> ProbePlanner<'a, M> {
                 cond += pq * entropy((pa_q / pq).clamp(0.0, 1.0));
             }
         }
-        let p_absent_given_miss = if p_miss > 0.0 { (pa_miss / p_miss).clamp(0.0, 1.0) } else { f64::NAN };
+        let p_absent_given_miss = if p_miss > 0.0 {
+            (pa_miss / p_miss).clamp(0.0, 1.0)
+        } else {
+            f64::NAN
+        };
         let p_present_given_hit = if p_hit > 0.0 {
             (1.0 - pa_hit / p_hit).clamp(0.0, 1.0)
         } else {
@@ -287,7 +300,14 @@ impl<'a, M: SwitchModel> ProbePlanner<'a, M> {
     #[must_use]
     pub fn analyze_sequence(&self, probes: &[FlowId]) -> SequenceAnalysis {
         let mut leaves = Vec::with_capacity(1 << probes.len());
-        self.walk(probes, 0, &self.i_t, &self.j_t, &mut Vec::new(), &mut leaves);
+        self.walk(
+            probes,
+            0,
+            &self.i_t,
+            &self.j_t,
+            &mut Vec::new(),
+            &mut leaves,
+        );
         let p_absent = self.p_absent();
         let prior_entropy = entropy(p_absent);
         let mut cond = 0.0;
@@ -359,7 +379,7 @@ impl<'a, M: SwitchModel> ProbePlanner<'a, M> {
                 let a = self.analyze_sequence(&seq);
                 if round_best
                     .as_ref()
-                    .map_or(true, |b| a.info_gain > b.info_gain)
+                    .is_none_or(|b| a.info_gain > b.info_gain)
                 {
                     round_best = Some(a);
                 }
@@ -407,7 +427,7 @@ impl<'a, M: SwitchModel> ProbePlanner<'a, M> {
     ) {
         if seq.len() == m {
             let a = self.analyze_sequence(seq);
-            if best.as_ref().map_or(true, |b| a.info_gain > b.info_gain) {
+            if best.as_ref().is_none_or(|b| a.info_gain > b.info_gain) {
                 *best = Some(a);
             }
             return;
@@ -476,7 +496,11 @@ mod tests {
         let best = planner.best_probe((0..4).map(FlowId)).unwrap();
         assert_eq!(best.probe, FlowId(2), "expected f2, got {:?}", best);
         let ig_target = planner.analyze(FlowId(1)).info_gain;
-        assert!(best.info_gain > ig_target, "{} <= {ig_target}", best.info_gain);
+        assert!(
+            best.info_gain > ig_target,
+            "{} <= {ig_target}",
+            best.info_gain
+        );
     }
 
     #[test]
@@ -509,14 +533,20 @@ mod tests {
         let planner = ProbePlanner::new(&m, FlowId(1), 60);
         let poisson = planner.prior_absence_poisson();
         let model = planner.p_absent();
-        assert!((poisson - model).abs() < 0.05, "poisson {poisson} vs model {model}");
+        assert!(
+            (poisson - model).abs() < 0.05,
+            "poisson {poisson} vs model {model}"
+        );
     }
 
     #[test]
     fn no_candidates_is_an_error() {
         let m = fig2c_model();
         let planner = ProbePlanner::new(&m, FlowId(1), 60);
-        assert_eq!(planner.best_probe(std::iter::empty()), Err(ModelError::NoCandidates));
+        assert_eq!(
+            planner.best_probe(std::iter::empty()),
+            Err(ModelError::NoCandidates)
+        );
         assert!(planner.best_sequence_greedy(&[], 2).is_err());
         assert!(planner.best_sequence_greedy(&[FlowId(1)], 0).is_err());
     }
@@ -592,8 +622,16 @@ mod tests {
         let u = 4;
         let rules = RuleSet::new(
             vec![
-                Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(1), FlowId(2)]), 20, Timeout::idle(4)),
-                Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(1), FlowId(3)]), 10, Timeout::idle(4)),
+                Rule::from_flow_set(
+                    FlowSet::from_flows(u, [FlowId(1), FlowId(2)]),
+                    20,
+                    Timeout::idle(4),
+                ),
+                Rule::from_flow_set(
+                    FlowSet::from_flows(u, [FlowId(1), FlowId(3)]),
+                    10,
+                    Timeout::idle(4),
+                ),
             ],
             u,
         )

@@ -37,9 +37,7 @@ pub fn stationary(
         if total <= 0.0 {
             return None; // fully absorbing substochastic chain
         }
-        let next = Distribution::from_masses(
-            next.as_slice().iter().map(|&p| p / total).collect(),
-        );
+        let next = Distribution::from_masses(next.as_slice().iter().map(|&p| p / total).collect());
         let delta: f64 = d
             .as_slice()
             .iter()
@@ -148,7 +146,11 @@ mod tests {
         let rules = RuleSet::new(
             vec![
                 Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(0)]), 2, Timeout::idle(4)),
-                Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(1), FlowId(2)]), 1, Timeout::idle(6)),
+                Rule::from_flow_set(
+                    FlowSet::from_flows(u, [FlowId(1), FlowId(2)]),
+                    1,
+                    Timeout::idle(6),
+                ),
             ],
             u,
         )

@@ -55,7 +55,11 @@ pub struct CacheAnalysis {
 
 impl CacheAnalysis {
     fn empty() -> Self {
-        CacheAnalysis { cached: Vec::new(), timeout: Vec::new(), evict: Vec::new() }
+        CacheAnalysis {
+            cached: Vec::new(),
+            timeout: Vec::new(),
+            evict: Vec::new(),
+        }
     }
 }
 
@@ -93,7 +97,9 @@ impl Evaluator {
     /// The exact evaluator with a 10-million-sequence guard.
     #[must_use]
     pub fn exact() -> Self {
-        Evaluator::Exact { max_sequences: 10_000_000 }
+        Evaluator::Exact {
+            max_sequences: 10_000_000,
+        }
     }
 
     /// The Monte Carlo evaluator with `samples` samples.
@@ -128,14 +134,20 @@ impl Evaluator {
         let mut sorted = cached.to_vec();
         sorted.sort();
         sorted.dedup();
-        assert_eq!(sorted.len(), cached.len(), "duplicate rule ids in cache state");
+        assert_eq!(
+            sorted.len(),
+            cached.len(),
+            "duplicate rule ids in cache state"
+        );
         if cached.is_empty() {
             return CacheAnalysis::empty();
         }
         let ctx = Ctx::new(rules, rates, &sorted);
         match *self {
             Evaluator::Exact { max_sequences } => exact(&ctx, at_capacity, max_sequences),
-            Evaluator::MonteCarlo { samples, seed } => monte_carlo(&ctx, at_capacity, samples, seed),
+            Evaluator::MonteCarlo { samples, seed } => {
+                monte_carlo(&ctx, at_capacity, samples, seed)
+            }
             Evaluator::MeanField { iterations } => {
                 mean_field(&ctx, iterations, MeanFieldOpts::full())
             }
@@ -160,12 +172,19 @@ struct Ctx<'a> {
     flow_rates: Vec<Vec<(usize, f64)>>, // (flow index, λΔ)
     /// For each *uncached* rule: (timeout, its per-flow rates, positions of
     /// higher-priority cached rules that overlap it).
-    uncached: Vec<(u32, Vec<(usize, f64)>, Vec<usize>)>,
+    uncached: Vec<UncachedRule>,
 }
+
+/// Timeout, per-flow `(flow index, λΔ)` rates, and higher-priority cached
+/// overlap positions of one uncached rule.
+type UncachedRule = (u32, Vec<(usize, f64)>, Vec<usize>);
 
 impl<'a> Ctx<'a> {
     fn new(rules: &'a RuleSet, rates: &'a FlowRates, cached: &[RuleId]) -> Self {
-        let t: Vec<u32> = cached.iter().map(|&j| rules.rule(j).timeout().steps).collect();
+        let t: Vec<u32> = cached
+            .iter()
+            .map(|&j| rules.rule(j).timeout().steps)
+            .collect();
         let cover_rates = |j: RuleId| -> Vec<(usize, f64)> {
             rules
                 .rule(j)
@@ -189,7 +208,14 @@ impl<'a> Ctx<'a> {
             .filter(|j| !cached.contains(j))
             .map(|j| (rules.rule(j).timeout().steps, cover_rates(j), hp_of(j)))
             .collect();
-        Ctx { rules, cached: cached.to_vec(), t, hp_cached, flow_rates, uncached }
+        Ctx {
+            rules,
+            cached: cached.to_vec(),
+            t,
+            hp_cached,
+            flow_rates,
+            uncached,
+        }
     }
 
     fn n(&self) -> usize {
@@ -205,7 +231,11 @@ impl<'a> Ctx<'a> {
             .iter()
             .filter(|&&(f, _)| {
                 !hp.iter().any(|&h| {
-                    u[h] > k && self.rules.rule(self.cached[h]).covers_flow(flowspace::FlowId(f as u32))
+                    u[h] > k
+                        && self
+                            .rules
+                            .rule(self.cached[h])
+                            .covers_flow(flowspace::FlowId(f as u32))
                 })
             })
             .map(|&(_, r)| r)
@@ -257,7 +287,11 @@ struct Sums {
 
 impl Sums {
     fn new(n: usize) -> Self {
-        Sums { d: 0.0, timeout: vec![0.0; n], evict: vec![0.0; n] }
+        Sums {
+            d: 0.0,
+            timeout: vec![0.0; n],
+            evict: vec![0.0; n],
+        }
     }
 
     fn add(&mut self, ctx: &Ctx<'_>, u: &[u32], w: f64) {
@@ -280,7 +314,10 @@ impl Sums {
     fn finish(self, cached: Vec<RuleId>) -> CacheAnalysis {
         let n = cached.len();
         let timeout = if self.d > 0.0 {
-            self.timeout.iter().map(|&x| (x / self.d).clamp(0.0, 1.0)).collect()
+            self.timeout
+                .iter()
+                .map(|&x| (x / self.d).clamp(0.0, 1.0))
+                .collect()
         } else {
             vec![0.0; n]
         };
@@ -290,7 +327,11 @@ impl Sums {
         } else {
             vec![1.0 / n as f64; n]
         };
-        CacheAnalysis { cached, timeout, evict }
+        CacheAnalysis {
+            cached,
+            timeout,
+            evict,
+        }
     }
 }
 
@@ -356,11 +397,17 @@ struct MeanFieldOpts {
 
 impl MeanFieldOpts {
     fn full() -> Self {
-        MeanFieldOpts { upward: true, exclusion: true }
+        MeanFieldOpts {
+            upward: true,
+            exclusion: true,
+        }
     }
 
     fn raw() -> Self {
-        MeanFieldOpts { upward: false, exclusion: false }
+        MeanFieldOpts {
+            upward: false,
+            exclusion: false,
+        }
     }
 }
 
@@ -372,7 +419,11 @@ fn mean_field_marginals(ctx: &Ctx<'_>, iterations: usize, opts: MeanFieldOpts) -
         .collect();
     // down[pos] = cached positions whose effective rate pos influences.
     let down: Vec<Vec<usize>> = (0..n)
-        .map(|pos| (0..n).filter(|&p2| ctx.hp_cached[p2].contains(&pos)).collect())
+        .map(|pos| {
+            (0..n)
+                .filter(|&p2| ctx.hp_cached[p2].contains(&pos))
+                .collect()
+        })
         .collect();
     for _ in 0..iterations.max(1) {
         // Survival s[pos][k] = P(u(pos) > k), k in 0..=t (s[t] = 0).
@@ -397,7 +448,7 @@ fn mean_field_marginals(ctx: &Ctx<'_>, iterations: usize, opts: MeanFieldOpts) -
             }
         };
         let mut next = Vec::with_capacity(n);
-        for pos in 0..n {
+        for (pos, down_of_pos) in down.iter().enumerate() {
             let t = ctx.t[pos] as usize;
             let fr = &ctx.flow_rates[pos];
             let hp = &ctx.hp_cached[pos];
@@ -408,7 +459,11 @@ fn mean_field_marginals(ctx: &Ctx<'_>, iterations: usize, opts: MeanFieldOpts) -
                     .map(|&(f, r)| {
                         let mut keep = 1.0;
                         for &h in hp {
-                            if ctx.rules.rule(ctx.cached[h]).covers_flow(flowspace::FlowId(f as u32)) {
+                            if ctx
+                                .rules
+                                .rule(ctx.cached[h])
+                                .covers_flow(flowspace::FlowId(f as u32))
+                            {
                                 keep *= 1.0 - surv(h, k);
                             }
                         }
@@ -420,13 +475,17 @@ fn mean_field_marginals(ctx: &Ctx<'_>, iterations: usize, opts: MeanFieldOpts) -
             let mut quiet = 0.0; // Σ_{k'<k} γ̄(k')
             for k in 1..=t {
                 let g = gamma_bar(k);
-                m[k - 1] = if g > 0.0 { (g.ln() - g - quiet).exp() } else { 0.0 };
+                m[k - 1] = if g > 0.0 {
+                    (g.ln() - g - quiet).exp()
+                } else {
+                    0.0
+                };
                 quiet += g;
             }
             // Upward correction: multiply by Π_{pos2 ∈ down(pos)}
             // Z_{pos2}(u), the alive-likelihood of each influenced rule
             // given u(pos) = u (other couplings at their mean field).
-            let down_of_pos: &[usize] = if opts.upward { &down[pos] } else { &[] };
+            let down_of_pos: &[usize] = if opts.upward { down_of_pos } else { &[] };
             for &pos2 in down_of_pos {
                 let t2 = ctx.t[pos2] as usize;
                 // Split pos2's flows into those covered by pos (gated by
@@ -467,7 +526,12 @@ fn mean_field_marginals(ctx: &Ctx<'_>, iterations: usize, opts: MeanFieldOpts) -
                     // C(m) = Σ_{k≤m} γ̃(k).
                     let cum = |mm: usize| -> f64 {
                         let mm = mm.min(t2);
-                        base[mm] + if mm >= u { extra[mm] - extra[u - 1] } else { 0.0 }
+                        base[mm]
+                            + if mm >= u {
+                                extra[mm] - extra[u - 1]
+                            } else {
+                                0.0
+                            }
                     };
                     let mut z = 0.0;
                     for u2 in 1..=t2 {
@@ -508,7 +572,9 @@ fn mean_field(ctx: &Ctx<'_>, iterations: usize, opts: MeanFieldOpts) -> CacheAna
     let n = ctx.n();
     let marg = mean_field_marginals(ctx, iterations, opts);
     // Timeout: P(u = t | alive) directly from the marginal.
-    let timeout: Vec<f64> = (0..n).map(|pos| *marg[pos].last().expect("t >= 1")).collect();
+    let timeout: Vec<f64> = (0..n)
+        .map(|pos| *marg[pos].last().expect("t >= 1"))
+        .collect();
     // Eviction: remaining time r = t - u ∈ 0..t-1; q(r) = m[t - r - 1 + 1]?
     // u = t - r, so q_pos(r) = marg[pos][t - r - 1].
     let rem_dist: Vec<Vec<f64>> = (0..n)
@@ -545,10 +611,10 @@ fn mean_field(ctx: &Ctx<'_>, iterations: usize, opts: MeanFieldOpts) -> CacheAna
     for (pos, ev) in evict.iter_mut().enumerate() {
         let q = &rem_dist[pos];
         let t_pos = ctx.t[pos] as usize;
-        for r in 0..q.len() {
+        for (r, &q_r) in q.iter().enumerate() {
             let u_pos = t_pos - r;
-            let mut w = q[r];
-            for other in 0..n {
+            let mut w = q_r;
+            for (other, rem_other) in rem_dist.iter().enumerate() {
                 if other == pos {
                     continue;
                 }
@@ -559,7 +625,7 @@ fn mean_field(ctx: &Ctx<'_>, iterations: usize, opts: MeanFieldOpts) -> CacheAna
                 if u_pos <= t_o {
                     let r_o = t_o - u_pos;
                     if r_o >= r {
-                        term -= rem_dist[other][r_o];
+                        term -= rem_other[r_o];
                     }
                 }
                 w *= term.max(0.0);
@@ -573,7 +639,11 @@ fn mean_field(ctx: &Ctx<'_>, iterations: usize, opts: MeanFieldOpts) -> CacheAna
     } else {
         vec![1.0 / n as f64; n]
     };
-    CacheAnalysis { cached: ctx.cached.clone(), timeout, evict }
+    CacheAnalysis {
+        cached: ctx.cached.clone(),
+        timeout,
+        evict,
+    }
 }
 
 fn monte_carlo(ctx: &Ctx<'_>, at_capacity: bool, samples: usize, seed: u64) -> CacheAnalysis {
@@ -641,8 +711,16 @@ mod tests {
         let u = 4;
         let rules = RuleSet::new(
             vec![
-                Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(0), FlowId(1)]), 20, Timeout::idle(4)),
-                Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(1), FlowId(2)]), 10, Timeout::idle(5)),
+                Rule::from_flow_set(
+                    FlowSet::from_flows(u, [FlowId(0), FlowId(1)]),
+                    20,
+                    Timeout::idle(4),
+                ),
+                Rule::from_flow_set(
+                    FlowSet::from_flows(u, [FlowId(1), FlowId(2)]),
+                    10,
+                    Timeout::idle(5),
+                ),
             ],
             u,
         )
@@ -661,11 +739,19 @@ mod tests {
     #[test]
     fn single_rule_eviction_is_certain() {
         let (rules, rates) = rules_two_disjoint(4, 4);
-        for ev in [Evaluator::exact(), Evaluator::mean_field(), Evaluator::monte_carlo(2000, 7)] {
+        for ev in [
+            Evaluator::exact(),
+            Evaluator::mean_field(),
+            Evaluator::monte_carlo(2000, 7),
+        ] {
             let a = ev.analyze(&rules, &rates, &[RuleId(0)], true);
             assert_eq!(a.evict, vec![1.0], "{ev:?}");
             assert_eq!(a.timeout.len(), 1);
-            assert!(a.timeout[0] > 0.0 && a.timeout[0] < 1.0, "{ev:?}: {:?}", a.timeout);
+            assert!(
+                a.timeout[0] > 0.0 && a.timeout[0] < 1.0,
+                "{ev:?}: {:?}",
+                a.timeout
+            );
         }
     }
 
@@ -678,7 +764,11 @@ mod tests {
         let g: f64 = 0.25;
         let t = 6u32;
         let rules = RuleSet::new(
-            vec![Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(0)]), 10, Timeout::idle(t))],
+            vec![Rule::from_flow_set(
+                FlowSet::from_flows(u, [FlowId(0)]),
+                10,
+                Timeout::idle(t),
+            )],
             u,
         )
         .unwrap();
@@ -688,7 +778,11 @@ mod tests {
         // e^{-γt} / Σ_k e^{-γk}.
         let z: f64 = (1..=t).map(|k| (-g * f64::from(k)).exp()).sum();
         let expected = (-g * f64::from(t)).exp() / z;
-        assert!((a.timeout[0] - expected).abs() < 1e-12, "{} vs {expected}", a.timeout[0]);
+        assert!(
+            (a.timeout[0] - expected).abs() < 1e-12,
+            "{} vs {expected}",
+            a.timeout[0]
+        );
         // Mean field agrees exactly in this uncoupled case.
         let mf = Evaluator::mean_field().analyze(&rules, &rates, &[RuleId(0)], false);
         assert!((mf.timeout[0] - expected).abs() < 1e-9);
@@ -699,17 +793,20 @@ mod tests {
         // rule0's flow arrives at 0.3/step, rule1's at 0.1: rule0 was
         // likely matched more recently, so rule1 is likelier to be evicted.
         let (rules, rates) = rules_two_disjoint(5, 5);
-        for ev in [Evaluator::exact(), Evaluator::mean_field(), Evaluator::monte_carlo(20_000, 3)]
-        {
+        for ev in [
+            Evaluator::exact(),
+            Evaluator::mean_field(),
+            Evaluator::monte_carlo(20_000, 3),
+        ] {
             let a = ev.analyze(&rules, &rates, &[RuleId(0), RuleId(1)], true);
-            assert!(
-                a.evict[1] > a.evict[0],
-                "{ev:?}: evict = {:?}",
-                a.evict
-            );
+            assert!(a.evict[1] > a.evict[0], "{ev:?}: evict = {:?}", a.evict);
             assert!((a.evict.iter().sum::<f64>() - 1.0).abs() < 1e-9);
             // Same story for timeouts.
-            assert!(a.timeout[1] > a.timeout[0], "{ev:?}: timeout = {:?}", a.timeout);
+            assert!(
+                a.timeout[1] > a.timeout[0],
+                "{ev:?}: timeout = {:?}",
+                a.timeout
+            );
         }
     }
 
@@ -720,8 +817,14 @@ mod tests {
         let ex = Evaluator::exact().analyze(&rules, &rates, &cached, true);
         let mf = Evaluator::mean_field().analyze(&rules, &rates, &cached, true);
         for i in 0..2 {
-            assert!((ex.evict[i] - mf.evict[i]).abs() < 0.06, "evict {ex:?} vs {mf:?}");
-            assert!((ex.timeout[i] - mf.timeout[i]).abs() < 0.06, "timeout {ex:?} vs {mf:?}");
+            assert!(
+                (ex.evict[i] - mf.evict[i]).abs() < 0.06,
+                "evict {ex:?} vs {mf:?}"
+            );
+            assert!(
+                (ex.timeout[i] - mf.timeout[i]).abs() < 0.06,
+                "timeout {ex:?} vs {mf:?}"
+            );
         }
     }
 
@@ -732,8 +835,14 @@ mod tests {
         let ex = Evaluator::exact().analyze(&rules, &rates, &cached, true);
         let mf = Evaluator::mean_field().analyze(&rules, &rates, &cached, true);
         for i in 0..2 {
-            assert!((ex.evict[i] - mf.evict[i]).abs() < 0.1, "evict {ex:?} vs {mf:?}");
-            assert!((ex.timeout[i] - mf.timeout[i]).abs() < 0.1, "timeout {ex:?} vs {mf:?}");
+            assert!(
+                (ex.evict[i] - mf.evict[i]).abs() < 0.1,
+                "evict {ex:?} vs {mf:?}"
+            );
+            assert!(
+                (ex.timeout[i] - mf.timeout[i]).abs() < 0.1,
+                "timeout {ex:?} vs {mf:?}"
+            );
         }
     }
 
@@ -744,8 +853,14 @@ mod tests {
         let ex = Evaluator::exact().analyze(&rules, &rates, &cached, true);
         let mc = Evaluator::monte_carlo(50_000, 11).analyze(&rules, &rates, &cached, true);
         for i in 0..2 {
-            assert!((ex.evict[i] - mc.evict[i]).abs() < 0.03, "evict {ex:?} vs {mc:?}");
-            assert!((ex.timeout[i] - mc.timeout[i]).abs() < 0.03, "timeout {ex:?} vs {mc:?}");
+            assert!(
+                (ex.evict[i] - mc.evict[i]).abs() < 0.03,
+                "evict {ex:?} vs {mc:?}"
+            );
+            assert!(
+                (ex.timeout[i] - mc.timeout[i]).abs() < 0.03,
+                "timeout {ex:?} vs {mc:?}"
+            );
         }
     }
 
@@ -792,7 +907,9 @@ mod tests {
         )
         .unwrap();
         let rates = FlowRates::from_per_step(vec![0.1, 0.1]);
-        let ev = Evaluator::Exact { max_sequences: 1000 };
+        let ev = Evaluator::Exact {
+            max_sequences: 1000,
+        };
         let _ = ev.analyze(&rules, &rates, &[RuleId(0), RuleId(1)], false);
     }
 
@@ -803,9 +920,8 @@ mod tests {
         let ex = Evaluator::exact().analyze(&rules, &rates, &cached, true);
         let full = Evaluator::mean_field().analyze(&rules, &rates, &cached, true);
         let raw = Evaluator::MeanFieldRaw { iterations: 4 }.analyze(&rules, &rates, &cached, true);
-        let l1 = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
-        };
+        let l1 =
+            |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
         assert_ne!(full, raw, "corrections must change the estimates");
         assert!(
             l1(&ex.evict, &full.evict) <= l1(&ex.evict, &raw.evict) + 1e-9,
@@ -819,7 +935,11 @@ mod tests {
     #[test]
     fn evict_distribution_sums_to_one() {
         let (rules, rates) = rules_overlapping();
-        for ev in [Evaluator::exact(), Evaluator::mean_field(), Evaluator::monte_carlo(5_000, 1)] {
+        for ev in [
+            Evaluator::exact(),
+            Evaluator::mean_field(),
+            Evaluator::monte_carlo(5_000, 1),
+        ] {
             let a = ev.analyze(&rules, &rates, &[RuleId(0), RuleId(1)], true);
             let s: f64 = a.evict.iter().sum();
             assert!((s - 1.0).abs() < 1e-9, "{ev:?}: {s}");

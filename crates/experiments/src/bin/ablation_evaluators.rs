@@ -22,8 +22,8 @@ fn main() {
         bits: 3,
         n_rules: 5,
         capacity: 3,
-        delta: 0.1,          // coarse steps keep TTLs small enough for exact
-        ttl_max_secs: 0.8,   // t_j ≤ 8 steps
+        delta: 0.1,        // coarse steps keep TTLs small enough for exact
+        ttl_max_secs: 0.8, // t_j ≤ 8 steps
         window_secs: 10.0,
         ..ScenarioSampler::default()
     };
@@ -50,8 +50,11 @@ fn main() {
             if mask.count_ones() as usize != sc.capacity {
                 continue;
             }
-            let cached: Vec<RuleId> =
-                ids.iter().filter(|r| mask & (1 << r.0) != 0).copied().collect();
+            let cached: Vec<RuleId> = ids
+                .iter()
+                .filter(|r| mask & (1 << r.0) != 0)
+                .copied()
+                .collect();
             let t0 = Instant::now();
             let exact = Evaluator::exact().analyze(&sc.rules, &rates, &cached, true);
             time_exact += t0.elapsed().as_secs_f64();

@@ -3,7 +3,7 @@
 //!
 //! Run before choosing `--configs`/`--trials` for the figure binaries.
 
-use attack::{plan_attack, run_trials, AttackerKind};
+use attack::{plan_attack, run_trials_policy, AttackerKind};
 use experiments::harness::sampler_for;
 use experiments::ExpOpts;
 use rand::rngs::StdRng;
@@ -30,13 +30,24 @@ fn main() {
         use recon_core::probe::ProbePlanner;
         let rates = scenario.rates();
         let tb = Instant::now();
-        let model =
-            CompactModel::build(&scenario.rules, &rates, scenario.capacity, Evaluator::mean_field())
-                .expect("model");
-        println!("  [breakdown] model build: {:?} ({} states)", tb.elapsed(), model.n_states());
+        let model = CompactModel::build(
+            &scenario.rules,
+            &rates,
+            scenario.capacity,
+            Evaluator::mean_field(),
+        )
+        .expect("model");
+        println!(
+            "  [breakdown] model build: {:?} ({} states)",
+            tb.elapsed(),
+            model.n_states()
+        );
         let tp = Instant::now();
         let planner = ProbePlanner::new(&model, scenario.target, scenario.horizon_steps());
-        println!("  [breakdown] planner (2 matrix powers): {:?}", tp.elapsed());
+        println!(
+            "  [breakdown] planner (2 matrix powers): {:?}",
+            tp.elapsed()
+        );
         let ts = Instant::now();
         let _ = planner.best_probe(scenario.all_flows());
         println!("  [breakdown] best_probe scan: {:?}", ts.elapsed());
@@ -44,19 +55,27 @@ fn main() {
 
     let t0 = Instant::now();
     let plan = plan_attack(&scenario, Evaluator::mean_field()).expect("plan");
-    println!("plan_attack (mean-field model + probe selection): {:?}", t0.elapsed());
+    println!(
+        "plan_attack (mean-field model + probe selection): {:?}",
+        t0.elapsed()
+    );
     println!(
         "  optimal probe {} (IG {:.4}), naive IG {:.4}, P(absent) {:.3}",
         plan.optimal.probe, plan.optimal.info_gain, plan.naive.info_gain, plan.p_absent
     );
 
     let t1 = Instant::now();
-    let report = run_trials(
+    let report = run_trials_policy(
         &scenario,
         &plan,
-        &[AttackerKind::Naive, AttackerKind::Model, AttackerKind::Random],
+        &[
+            AttackerKind::Naive,
+            AttackerKind::Model,
+            AttackerKind::Random,
+        ],
         opts.trials,
         opts.seed,
+        opts.policy,
     );
     println!("{} trials x 3 attackers: {:?}", opts.trials, t1.elapsed());
     for (k, acc) in &report.by_attacker {

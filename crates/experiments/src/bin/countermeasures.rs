@@ -5,7 +5,7 @@
 //! Expected shape: both defenses push every probing attacker down to (or
 //! below) the prior-only random attacker's accuracy.
 
-use attack::{plan_attack, run_trials_with, scenario_net_config, AttackerKind};
+use attack::{plan_attack, run_trials_with_policy, scenario_net_config, AttackerKind};
 use experiments::harness::{mean, sampler_for, write_csv};
 use experiments::{ascii_bars, ExpOpts};
 use netsim::{Defense, NetConfig};
@@ -23,24 +23,40 @@ fn main() {
     let opts = ExpOpts::from_env();
     let sampler = sampler_for(&opts);
     let mut rng = StdRng::seed_from_u64(opts.seed);
-    let kinds = [AttackerKind::Naive, AttackerKind::Model, AttackerKind::Random];
+    let kinds = [
+        AttackerKind::Naive,
+        AttackerKind::Model,
+        AttackerKind::Random,
+    ];
     let defenses: Vec<(&str, Defense)> = vec![
         ("none", Defense::default()),
         (
             "delay-padding",
             Defense {
-                delay_first: Some(netsim::DelayPadding { packets: 3, pad_secs: 4.0e-3 }),
+                delay_first: Some(netsim::DelayPadding {
+                    packets: 3,
+                    pad_secs: 4.0e-3,
+                }),
                 ..Defense::default()
             },
         ),
         (
             "window-padding",
             Defense {
-                pad_recent: Some(netsim::WindowPadding { window_secs: 2.0, pad_secs: 4.0e-3 }),
+                pad_recent: Some(netsim::WindowPadding {
+                    window_secs: 2.0,
+                    pad_secs: 4.0e-3,
+                }),
                 ..Defense::default()
             },
         ),
-        ("proactive", Defense { proactive: true, ..Defense::default() }),
+        (
+            "proactive",
+            Defense {
+                proactive: true,
+                ..Defense::default()
+            },
+        ),
     ];
 
     // Accuracy[defense][attacker], averaged over detector-feasible configs.
@@ -50,7 +66,9 @@ fn main() {
     while found < opts.configs && attempts < 60 * opts.configs {
         attempts += 1;
         let sc = sampler.sample_forced((0.05, 0.95), &mut rng);
-        let Ok(plan) = plan_attack(&sc, Evaluator::mean_field()) else { continue };
+        let Ok(plan) = plan_attack(&sc, Evaluator::mean_field()) else {
+            continue;
+        };
         if !plan.is_detector() {
             continue;
         }
@@ -58,7 +76,15 @@ fn main() {
         let base = scenario_net_config(&sc);
         for (d, (_, defense)) in defenses.iter().enumerate() {
             let net = with_defense(&base, *defense);
-            let report = run_trials_with(&sc, &plan, &kinds, opts.trials, opts.seed ^ found as u64, &net);
+            let report = run_trials_with_policy(
+                &sc,
+                &plan,
+                &kinds,
+                opts.trials,
+                opts.seed ^ found as u64,
+                &net,
+                opts.policy,
+            );
             for (k, kind) in kinds.iter().enumerate() {
                 acc[d][k].push(report.accuracy(*kind));
             }
@@ -69,11 +95,15 @@ fn main() {
     let mut series: Vec<(&str, Vec<f64>)> = Vec::new();
     let mut rows = Vec::new();
     for (k, kind) in kinds.iter().enumerate() {
-        let vals: Vec<f64> = (0..defenses.len()).map(|d| mean(acc[d][k].iter().copied())).collect();
+        let vals: Vec<f64> = (0..defenses.len())
+            .map(|d| mean(acc[d][k].iter().copied()))
+            .collect();
         series.push((kind.name(), vals));
     }
     for (d, (name, _)) in defenses.iter().enumerate() {
-        let vals: Vec<f64> = (0..kinds.len()).map(|k| mean(acc[d][k].iter().copied())).collect();
+        let vals: Vec<f64> = (0..kinds.len())
+            .map(|k| mean(acc[d][k].iter().copied()))
+            .collect();
         println!(
             "defense {name:<14} naive {:.3}  model {:.3}  random {:.3}",
             vals[0], vals[1], vals[2]

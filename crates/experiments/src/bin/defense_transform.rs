@@ -6,7 +6,7 @@
 //! Expected shape: each merge round lowers leakage and drags the model
 //! attacker toward the random baseline, at the cost of coarser forwarding.
 
-use attack::{plan_attack, run_trials, AttackerKind};
+use attack::{plan_attack, run_trials_policy, AttackerKind};
 use experiments::harness::{mean, sampler_for, write_csv};
 use experiments::ExpOpts;
 use flowspace::transform::{covers_preserved, merge_candidates, merge_rules};
@@ -25,7 +25,10 @@ fn coarsen_once(sc: &NetworkScenario) -> Option<NetworkScenario> {
         .find(|(a, b)| sc.rules.rule(*a).overlaps(sc.rules.rule(*b)))?;
     let rules = merge_rules(&sc.rules, a, b).ok()?;
     assert!(covers_preserved(&sc.rules, &rules));
-    Some(NetworkScenario { rules, ..sc.clone() })
+    Some(NetworkScenario {
+        rules,
+        ..sc.clone()
+    })
 }
 
 fn main() {
@@ -44,7 +47,9 @@ fn main() {
     while found < opts.configs && attempts < 60 * opts.configs {
         attempts += 1;
         let sc0 = sampler.sample_forced((0.05, 0.95), &mut rng);
-        let Ok(plan0) = plan_attack(&sc0, Evaluator::mean_field()) else { continue };
+        let Ok(plan0) = plan_attack(&sc0, Evaluator::mean_field()) else {
+            continue;
+        };
         if !plan0.is_detector() {
             continue;
         }
@@ -63,7 +68,14 @@ fn main() {
                 leakage_max[r].push(report.max_info_gain());
             }
             if let Ok(plan) = plan_attack(&sc, Evaluator::mean_field()) {
-                let rep = run_trials(&sc, &plan, &kinds, opts.trials, opts.seed ^ (found * 7 + r) as u64);
+                let rep = run_trials_policy(
+                    &sc,
+                    &plan,
+                    &kinds,
+                    opts.trials,
+                    opts.seed ^ (found * 7 + r) as u64,
+                    opts.policy,
+                );
                 for (k, kind) in kinds.iter().enumerate() {
                     acc[r][k].push(rep.accuracy(*kind));
                 }
@@ -82,7 +94,10 @@ fn main() {
         let lx = mean(leakage_max[r].iter().copied());
         let am = mean(acc[r][0].iter().copied());
         let ar = mean(acc[r][1].iter().copied());
-        println!("{r:>5}  {:>12}  {lm:>13.4}  {lx:>12.4}  {am:>9.3}  {ar:>10.3}", r);
+        println!(
+            "{r:>5}  {:>12}  {lm:>13.4}  {lx:>12.4}  {am:>9.3}  {ar:>10.3}",
+            r
+        );
         rows.push(format!("{r},{lm},{lx},{am},{ar}"));
     }
     write_csv(

@@ -5,7 +5,7 @@
 //! configuration class four times for the final report).
 
 use attack::AttackerKind;
-use experiments::harness::{collect_configs, mean, write_csv, ConfigClass};
+use experiments::harness::{collect_configs_timed, mean, write_csv, write_stats, ConfigClass};
 use experiments::{ascii_bars, ascii_cdf, ConfigOutcome, ExpOpts};
 use std::collections::BTreeMap;
 
@@ -30,7 +30,13 @@ fn main() {
         AttackerKind::RestrictedModel,
         AttackerKind::Random,
     ];
-    let all = collect_configs(&opts, ConfigClass::DetectorFeasible, (0.05, 0.95), &kinds, opts.configs);
+    let (all, stats) = collect_configs_timed(
+        &opts,
+        ConfigClass::DetectorFeasible,
+        (0.05, 0.95),
+        &kinds,
+        opts.configs,
+    );
     let fig7: Vec<&ConfigOutcome> = all.iter().collect();
     let fig6: Vec<&ConfigOutcome> = all
         .iter()
@@ -56,10 +62,14 @@ fn main() {
         rows.push(format!("{lo},{hi},{},{na},{mo}", os.len()));
     }
     println!("== Figure 6a (model vs naive, optimal ≠ target) ==");
-    println!("{}", ascii_bars(&labels, &[("naive", naive_s), ("model", model_s)]));
-    let avg_gain = mean(fig6.iter().map(|o| {
-        o.report.accuracy(AttackerKind::Model) - o.report.accuracy(AttackerKind::Naive)
-    }));
+    println!(
+        "{}",
+        ascii_bars(&labels, &[("naive", naive_s), ("model", model_s)])
+    );
+    let avg_gain =
+        mean(fig6.iter().map(|o| {
+            o.report.accuracy(AttackerKind::Model) - o.report.accuracy(AttackerKind::Naive)
+        }));
     println!("average improvement: {avg_gain:+.4} (paper ≈ +0.02)\n");
     write_csv(
         &opts.out_file("fig6a.csv"),
@@ -78,7 +88,11 @@ fn main() {
     let frac_ge = |x: f64| {
         improvements.iter().filter(|&&v| v >= x).count() as f64 / improvements.len().max(1) as f64
     };
-    println!("fraction ≥ 0.15: {:.3} (paper ≈ 0.20); > 0.35: {:.3} (paper ≈ 0.05)\n", frac_ge(0.15), frac_ge(0.35));
+    println!(
+        "fraction ≥ 0.15: {:.3} (paper ≈ 0.20); > 0.35: {:.3} (paper ≈ 0.05)\n",
+        frac_ge(0.15),
+        frac_ge(0.35)
+    );
     let rows: Vec<String> = improvements
         .iter()
         .enumerate()
@@ -98,7 +112,10 @@ fn main() {
     let mut rows = Vec::new();
     for (&count, os) in &groups {
         let na = mean(os.iter().map(|o| o.report.accuracy(AttackerKind::Naive)));
-        let mo = mean(os.iter().map(|o| o.report.accuracy(AttackerKind::RestrictedModel)));
+        let mo = mean(
+            os.iter()
+                .map(|o| o.report.accuracy(AttackerKind::RestrictedModel)),
+        );
         let ra = mean(os.iter().map(|o| o.report.accuracy(AttackerKind::Random)));
         println!(
             "  {count} covering rule(s): {:>3} configs  naive {na:.3}  restricted {mo:.3}  random {ra:.3}",
@@ -117,12 +134,18 @@ fn main() {
     println!("== Figure 7b (accuracy vs absence, restricted model) ==");
     let mut rows = Vec::new();
     let mut labels = Vec::new();
-    let mut series: Vec<(&str, Vec<f64>)> =
-        vec![("naive", vec![]), ("model-restricted", vec![]), ("random", vec![])];
+    let mut series: Vec<(&str, Vec<f64>)> = vec![
+        ("naive", vec![]),
+        ("model-restricted", vec![]),
+        ("random", vec![]),
+    ];
     for &(lo, hi) in BINS {
         let os: Vec<_> = in_bin(&fig7, lo, hi).collect();
         let na = mean(os.iter().map(|o| o.report.accuracy(AttackerKind::Naive)));
-        let mo = mean(os.iter().map(|o| o.report.accuracy(AttackerKind::RestrictedModel)));
+        let mo = mean(
+            os.iter()
+                .map(|o| o.report.accuracy(AttackerKind::RestrictedModel)),
+        );
         let ra = mean(os.iter().map(|o| o.report.accuracy(AttackerKind::Random)));
         labels.push(format!("[{lo:.2},{hi:.2})"));
         series[0].1.push(na);
@@ -140,8 +163,11 @@ fn main() {
     // Aggregate summary for EXPERIMENTS.md.
     let overall_naive = mean(fig7.iter().map(|o| o.report.accuracy(AttackerKind::Naive)));
     let overall_model = mean(fig7.iter().map(|o| o.report.accuracy(AttackerKind::Model)));
-    let overall_restricted =
-        mean(fig7.iter().map(|o| o.report.accuracy(AttackerKind::RestrictedModel)));
+    let overall_restricted = mean(
+        fig7.iter()
+            .map(|o| o.report.accuracy(AttackerKind::RestrictedModel)),
+    );
     let overall_random = mean(fig7.iter().map(|o| o.report.accuracy(AttackerKind::Random)));
     println!("overall accuracy: naive {overall_naive:.3}  model {overall_model:.3}  restricted {overall_restricted:.3}  random {overall_random:.3}");
+    write_stats(&opts, "evaluate_suite", &stats);
 }

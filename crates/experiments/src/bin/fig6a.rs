@@ -13,21 +13,24 @@
 //! exists — see EXPERIMENTS.md).
 
 use attack::AttackerKind;
-use experiments::harness::{collect_configs, mean, write_csv, ConfigClass};
+use experiments::harness::{collect_configs_timed, mean, write_csv, write_stats, ConfigClass};
 use experiments::{ascii_bars, ConfigOutcome, ExpOpts};
 
 fn main() {
     let opts = ExpOpts::from_env();
     let bins: &[(f64, f64)] = &[(0.05, 0.2), (0.2, 0.4), (0.4, 0.6), (0.6, 0.8), (0.8, 0.95)];
     let kinds = [AttackerKind::Naive, AttackerKind::Model];
-    let outcomes = collect_configs(
+    let (outcomes, stats) = collect_configs_timed(
         &opts,
         ConfigClass::OptimalDiffersFromTarget,
         (0.05, 0.95),
         &kinds,
         opts.configs,
     );
-    println!("{} configurations (detector-feasible, optimal ≠ target)\n", outcomes.len());
+    println!(
+        "{} configurations (detector-feasible, optimal ≠ target)\n",
+        outcomes.len()
+    );
 
     let mut labels = Vec::new();
     let mut naive = Vec::new();
@@ -42,8 +45,16 @@ fn main() {
             })
             .collect();
         let n = in_bin.len();
-        let na = mean(in_bin.iter().map(|o| o.report.accuracy(AttackerKind::Naive)));
-        let mo = mean(in_bin.iter().map(|o| o.report.accuracy(AttackerKind::Model)));
+        let na = mean(
+            in_bin
+                .iter()
+                .map(|o| o.report.accuracy(AttackerKind::Naive)),
+        );
+        let mo = mean(
+            in_bin
+                .iter()
+                .map(|o| o.report.accuracy(AttackerKind::Model)),
+        );
         println!(
             "absence [{lo:.2},{hi:.2}): {n} configs, naive {na:.3}, model {mo:.3}, Δ {:+.3}",
             mo - na
@@ -53,14 +64,22 @@ fn main() {
         model.push(mo);
         rows.push(format!("{lo},{hi},{n},{na},{mo}"));
     }
-    println!("\n{}", ascii_bars(&labels, &[("naive", naive.clone()), ("model", model.clone())]));
-    let avg_gain = mean(outcomes.iter().map(|o| {
-        o.report.accuracy(AttackerKind::Model) - o.report.accuracy(AttackerKind::Naive)
-    }));
+    println!(
+        "\n{}",
+        ascii_bars(
+            &labels,
+            &[("naive", naive.clone()), ("model", model.clone())]
+        )
+    );
+    let avg_gain =
+        mean(outcomes.iter().map(|o| {
+            o.report.accuracy(AttackerKind::Model) - o.report.accuracy(AttackerKind::Naive)
+        }));
     println!("average model-over-naive improvement: {avg_gain:+.4} (paper: ≈ +0.02)");
     write_csv(
         &opts.out_file("fig6a.csv"),
         "absence_lo,absence_hi,configs,naive_accuracy,model_accuracy",
         &rows,
     );
+    write_stats(&opts, "fig6a", &stats);
 }

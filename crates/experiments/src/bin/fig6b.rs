@@ -6,13 +6,13 @@
 //! ~5% of configurations.
 
 use attack::AttackerKind;
-use experiments::harness::{collect_configs, write_csv, ConfigClass};
+use experiments::harness::{collect_configs_timed, write_csv, write_stats, ConfigClass};
 use experiments::{ascii_cdf, ExpOpts};
 
 fn main() {
     let opts = ExpOpts::from_env();
     let kinds = [AttackerKind::Naive, AttackerKind::Model];
-    let outcomes = collect_configs(
+    let (outcomes, stats) = collect_configs_timed(
         &opts,
         ConfigClass::OptimalDiffersFromTarget,
         (0.05, 0.95),
@@ -24,14 +24,23 @@ fn main() {
         .map(|o| o.report.accuracy(AttackerKind::Model) - o.report.accuracy(AttackerKind::Naive))
         .collect();
     improvements.sort_by(f64::total_cmp);
-    println!("{} configurations (optimal probe ≠ target)\n", improvements.len());
+    println!(
+        "{} configurations (optimal probe ≠ target)\n",
+        improvements.len()
+    );
     println!("{}", ascii_cdf(&improvements, 12));
 
     let frac_ge = |x: f64| {
         improvements.iter().filter(|&&v| v >= x).count() as f64 / improvements.len().max(1) as f64
     };
-    println!("fraction of configs with improvement ≥ 0.15: {:.3} (paper ≈ 0.20)", frac_ge(0.15));
-    println!("fraction of configs with improvement > 0.35: {:.3} (paper ≈ 0.05)", frac_ge(0.35));
+    println!(
+        "fraction of configs with improvement ≥ 0.15: {:.3} (paper ≈ 0.20)",
+        frac_ge(0.15)
+    );
+    println!(
+        "fraction of configs with improvement > 0.35: {:.3} (paper ≈ 0.05)",
+        frac_ge(0.35)
+    );
 
     let rows: Vec<String> = improvements
         .iter()
@@ -39,4 +48,5 @@ fn main() {
         .map(|(i, v)| format!("{v},{}", (i + 1) as f64 / improvements.len() as f64))
         .collect();
     write_csv(&opts.out_file("fig6b.csv"), "improvement,cdf", &rows);
+    write_stats(&opts, "fig6b", &stats);
 }

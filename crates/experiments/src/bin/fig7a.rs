@@ -7,15 +7,24 @@
 //! every covering count; random is worst.
 
 use attack::AttackerKind;
-use experiments::harness::{collect_configs, mean, write_csv, ConfigClass};
+use experiments::harness::{collect_configs_timed, mean, write_csv, write_stats, ConfigClass};
 use experiments::{ascii_bars, ExpOpts};
 use std::collections::BTreeMap;
 
 fn main() {
     let opts = ExpOpts::from_env();
-    let kinds = [AttackerKind::Naive, AttackerKind::RestrictedModel, AttackerKind::Random];
-    let outcomes =
-        collect_configs(&opts, ConfigClass::DetectorFeasible, (0.05, 0.95), &kinds, opts.configs);
+    let kinds = [
+        AttackerKind::Naive,
+        AttackerKind::RestrictedModel,
+        AttackerKind::Random,
+    ];
+    let (outcomes, stats) = collect_configs_timed(
+        &opts,
+        ConfigClass::DetectorFeasible,
+        (0.05, 0.95),
+        &kinds,
+        opts.configs,
+    );
     println!("{} detector-feasible configurations\n", outcomes.len());
 
     // Group by #rules covering the target.
@@ -26,12 +35,18 @@ fn main() {
     }
 
     let mut labels = Vec::new();
-    let mut series: Vec<(&str, Vec<f64>)> =
-        vec![("naive", vec![]), ("model-restricted", vec![]), ("random", vec![])];
+    let mut series: Vec<(&str, Vec<f64>)> = vec![
+        ("naive", vec![]),
+        ("model-restricted", vec![]),
+        ("random", vec![]),
+    ];
     let mut rows = Vec::new();
     for (&count, os) in &groups {
         let na = mean(os.iter().map(|o| o.report.accuracy(AttackerKind::Naive)));
-        let mo = mean(os.iter().map(|o| o.report.accuracy(AttackerKind::RestrictedModel)));
+        let mo = mean(
+            os.iter()
+                .map(|o| o.report.accuracy(AttackerKind::RestrictedModel)),
+        );
         let ra = mean(os.iter().map(|o| o.report.accuracy(AttackerKind::Random)));
         println!(
             "{count} covering rule(s): {} configs, naive {na:.3}, restricted model {mo:.3}, random {ra:.3}",
@@ -49,4 +64,5 @@ fn main() {
         "covering_rules,configs,naive_accuracy,restricted_model_accuracy,random_accuracy",
         &rows,
     );
+    write_stats(&opts, "fig7a", &stats);
 }

@@ -7,20 +7,32 @@
 //! querying f̂ would have"), both clearly above random.
 
 use attack::AttackerKind;
-use experiments::harness::{collect_configs, mean, write_csv, ConfigClass};
+use experiments::harness::{collect_configs_timed, mean, write_csv, write_stats, ConfigClass};
 use experiments::{ascii_bars, ConfigOutcome, ExpOpts};
 
 fn main() {
     let opts = ExpOpts::from_env();
     let bins: &[(f64, f64)] = &[(0.05, 0.2), (0.2, 0.4), (0.4, 0.6), (0.6, 0.8), (0.8, 0.95)];
-    let kinds = [AttackerKind::Naive, AttackerKind::RestrictedModel, AttackerKind::Random];
-    let outcomes =
-        collect_configs(&opts, ConfigClass::DetectorFeasible, (0.05, 0.95), &kinds, opts.configs);
+    let kinds = [
+        AttackerKind::Naive,
+        AttackerKind::RestrictedModel,
+        AttackerKind::Random,
+    ];
+    let (outcomes, stats) = collect_configs_timed(
+        &opts,
+        ConfigClass::DetectorFeasible,
+        (0.05, 0.95),
+        &kinds,
+        opts.configs,
+    );
     println!("{} detector-feasible configurations\n", outcomes.len());
 
     let mut labels = Vec::new();
-    let mut series: Vec<(&str, Vec<f64>)> =
-        vec![("naive", vec![]), ("model-restricted", vec![]), ("random", vec![])];
+    let mut series: Vec<(&str, Vec<f64>)> = vec![
+        ("naive", vec![]),
+        ("model-restricted", vec![]),
+        ("random", vec![]),
+    ];
     let mut rows = Vec::new();
     for &(lo, hi) in bins {
         let in_bin: Vec<&ConfigOutcome> = outcomes
@@ -30,9 +42,21 @@ fn main() {
                 p >= lo && p < hi
             })
             .collect();
-        let na = mean(in_bin.iter().map(|o| o.report.accuracy(AttackerKind::Naive)));
-        let mo = mean(in_bin.iter().map(|o| o.report.accuracy(AttackerKind::RestrictedModel)));
-        let ra = mean(in_bin.iter().map(|o| o.report.accuracy(AttackerKind::Random)));
+        let na = mean(
+            in_bin
+                .iter()
+                .map(|o| o.report.accuracy(AttackerKind::Naive)),
+        );
+        let mo = mean(
+            in_bin
+                .iter()
+                .map(|o| o.report.accuracy(AttackerKind::RestrictedModel)),
+        );
+        let ra = mean(
+            in_bin
+                .iter()
+                .map(|o| o.report.accuracy(AttackerKind::Random)),
+        );
         println!(
             "absence [{lo:.2},{hi:.2}): {} configs, naive {na:.3}, restricted {mo:.3}, random {ra:.3}",
             in_bin.len()
@@ -49,4 +73,5 @@ fn main() {
         "absence_lo,absence_hi,configs,naive_accuracy,restricted_model_accuracy,random_accuracy",
         &rows,
     );
+    write_stats(&opts, "fig7b", &stats);
 }

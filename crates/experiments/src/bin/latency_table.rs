@@ -24,7 +24,10 @@ fn main() {
         t.miss.mean * ms,
         t.miss.std * ms
     );
-    println!("\n  1 ms threshold misclassification rate: {:.4}", t.threshold_error);
+    println!(
+        "\n  1 ms threshold misclassification rate: {:.4}",
+        t.threshold_error
+    );
     write_csv(
         &opts.out_file("latency_table.csv"),
         "case,mean_ms,std_ms,paper_mean_ms,paper_std_ms",

@@ -2,7 +2,7 @@
 //! probes (§V-B) and adaptive probing (our extension of it) add over the
 //! single optimal probe?
 
-use attack::{plan_attack_with, run_trials, AttackerKind};
+use attack::{plan_attack_with, run_trials_policy, AttackerKind};
 use experiments::harness::{mean, sampler_for, write_csv};
 use experiments::{ascii_bars, ExpOpts};
 use rand::rngs::StdRng;
@@ -28,7 +28,9 @@ fn main() {
         attempts += 1;
         let sc = sampler.sample_forced((0.05, 0.95), &mut rng);
         // Three probes for the fixed sequence, depth-3 adaptive policy.
-        let Ok(plan) = plan_attack_with(&sc, Evaluator::mean_field(), 3, 3) else { continue };
+        let Ok(plan) = plan_attack_with(&sc, Evaluator::mean_field(), 3, 3) else {
+            continue;
+        };
         if !plan.optimal.is_detector() {
             continue;
         }
@@ -37,7 +39,14 @@ fn main() {
         if let Some(ref adaptive) = plan.adaptive {
             ig_adaptive.push(adaptive.expected_info_gain());
         }
-        let report = run_trials(&sc, &plan, &kinds, opts.trials, opts.seed ^ found as u64);
+        let report = run_trials_policy(
+            &sc,
+            &plan,
+            &kinds,
+            opts.trials,
+            opts.seed ^ found as u64,
+            opts.policy,
+        );
         for (i, k) in kinds.iter().enumerate() {
             acc[i].push(report.accuracy(*k));
         }
@@ -45,10 +54,7 @@ fn main() {
     println!("{found} detector-feasible configurations\n");
     let labels: Vec<String> = kinds.iter().map(|k| k.name().to_string()).collect();
     let values: Vec<f64> = acc.iter().map(|v| mean(v.iter().copied())).collect();
-    println!(
-        "{}",
-        ascii_bars(&labels, &[("accuracy", values.clone())])
-    );
+    println!("{}", ascii_bars(&labels, &[("accuracy", values.clone())]));
     println!(
         "mean info gain: single probe {:.4}, adaptive-3 {:.4}",
         mean(ig_single.iter().copied()),

@@ -8,7 +8,7 @@
 //! the attacker's reading of `Q_f` — the single-switch model no longer
 //! matches the network it is probing.
 
-use attack::{plan_attack, run_trials_with, scenario_net_config, AttackerKind};
+use attack::{plan_attack, run_trials_with_policy, scenario_net_config, AttackerKind};
 use experiments::harness::{mean, sampler_for, write_csv};
 use experiments::{ascii_bars, ExpOpts};
 use rand::rngs::StdRng;
@@ -19,7 +19,11 @@ fn main() {
     let opts = ExpOpts::from_env();
     let sampler = sampler_for(&opts);
     let mut rng = StdRng::seed_from_u64(opts.seed);
-    let kinds = [AttackerKind::Naive, AttackerKind::Model, AttackerKind::Random];
+    let kinds = [
+        AttackerKind::Naive,
+        AttackerKind::Model,
+        AttackerKind::Random,
+    ];
     let fabrics: [(&str, bool); 2] = [("proactive-transit", false), ("reactive-transit", true)];
 
     let mut acc = vec![vec![Vec::new(); kinds.len()]; fabrics.len()];
@@ -28,7 +32,9 @@ fn main() {
     while found < opts.configs && attempts < 60 * opts.configs {
         attempts += 1;
         let sc = sampler.sample_forced((0.05, 0.95), &mut rng);
-        let Ok(plan) = plan_attack(&sc, Evaluator::mean_field()) else { continue };
+        let Ok(plan) = plan_attack(&sc, Evaluator::mean_field()) else {
+            continue;
+        };
         if !plan.is_detector() {
             continue;
         }
@@ -36,8 +42,15 @@ fn main() {
         for (fi, (_, reactive)) in fabrics.iter().enumerate() {
             let mut net = scenario_net_config(&sc);
             net.transit_reactive = *reactive;
-            let report =
-                run_trials_with(&sc, &plan, &kinds, opts.trials, opts.seed ^ (found * 3 + fi) as u64, &net);
+            let report = run_trials_with_policy(
+                &sc,
+                &plan,
+                &kinds,
+                opts.trials,
+                opts.seed ^ (found * 3 + fi) as u64,
+                &net,
+                opts.policy,
+            );
             for (k, kind) in kinds.iter().enumerate() {
                 acc[fi][k].push(report.accuracy(*kind));
             }
@@ -47,13 +60,17 @@ fn main() {
     let labels: Vec<String> = fabrics.iter().map(|(n, _)| n.to_string()).collect();
     let mut series: Vec<(&str, Vec<f64>)> = Vec::new();
     for (k, kind) in kinds.iter().enumerate() {
-        let vals: Vec<f64> = (0..fabrics.len()).map(|fi| mean(acc[fi][k].iter().copied())).collect();
+        let vals: Vec<f64> = (0..fabrics.len())
+            .map(|fi| mean(acc[fi][k].iter().copied()))
+            .collect();
         series.push((kind.name(), vals));
     }
     println!("{}", ascii_bars(&labels, &series));
     let mut rows = Vec::new();
     for (fi, (name, _)) in fabrics.iter().enumerate() {
-        let vals: Vec<f64> = (0..kinds.len()).map(|k| mean(acc[fi][k].iter().copied())).collect();
+        let vals: Vec<f64> = (0..kinds.len())
+            .map(|k| mean(acc[fi][k].iter().copied()))
+            .collect();
         rows.push(format!("{name},{},{},{}", vals[0], vals[1], vals[2]));
     }
     write_csv(

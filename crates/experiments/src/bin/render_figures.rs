@@ -29,8 +29,10 @@ fn main() {
     let opts = ExpOpts::from_env();
 
     if let Some((_, rows)) = read_csv(&opts.out.join("fig6a.csv")) {
-        let labels: Vec<String> =
-            rows.iter().map(|r| format!("[{},{})", r[0], r[1])).collect();
+        let labels: Vec<String> = rows
+            .iter()
+            .map(|r| format!("[{},{})", r[0], r[1]))
+            .collect();
         let naive: Vec<f64> = rows.iter().map(|r| f(&r[3])).collect();
         let model: Vec<f64> = rows.iter().map(|r| f(&r[4])).collect();
         write_svg(
@@ -69,15 +71,21 @@ fn main() {
             &grouped_bars(
                 "Fig. 7a — accuracy vs rules covering the target",
                 &labels,
-                &[("naive", naive), ("restricted model", model), ("random", random)],
+                &[
+                    ("naive", naive),
+                    ("restricted model", model),
+                    ("random", random),
+                ],
                 "average accuracy",
             ),
         );
     }
 
     if let Some((_, rows)) = read_csv(&opts.out.join("fig7b.csv")) {
-        let labels: Vec<String> =
-            rows.iter().map(|r| format!("[{},{})", r[0], r[1])).collect();
+        let labels: Vec<String> = rows
+            .iter()
+            .map(|r| format!("[{},{})", r[0], r[1]))
+            .collect();
         let naive: Vec<f64> = rows.iter().map(|r| f(&r[3])).collect();
         let model: Vec<f64> = rows.iter().map(|r| f(&r[4])).collect();
         let random: Vec<f64> = rows.iter().map(|r| f(&r[5])).collect();
@@ -87,7 +95,11 @@ fn main() {
             &grouped_bars(
                 "Fig. 7b — accuracy vs P(target absent), restricted",
                 &labels,
-                &[("naive", naive), ("restricted model", model), ("random", random)],
+                &[
+                    ("naive", naive),
+                    ("restricted model", model),
+                    ("random", random),
+                ],
                 "average accuracy",
             ),
         );

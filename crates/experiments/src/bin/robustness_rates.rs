@@ -6,7 +6,7 @@
 //! biased by ×½ / ×2, or replaced by the coarse per-rule split
 //! λ_f = λ_j / |rule_j| that §IV-A1 suggests as the realistic fallback?
 
-use attack::{plan_attack, run_trials, AttackerKind};
+use attack::{plan_attack, run_trials_policy, AttackerKind};
 use experiments::harness::{mean, sampler_for, write_csv};
 use experiments::ExpOpts;
 use rand::rngs::StdRng;
@@ -22,14 +22,21 @@ fn rule_split_estimate(sc: &NetworkScenario) -> Vec<f64> {
     traffic::estimate::rule_split(&sc.rules, &per_rule)
 }
 
+/// A labeled way of deriving the attacker's believed rates from the truth.
+type RateVariant = (&'static str, fn(&NetworkScenario) -> Vec<f64>);
+
 fn main() {
     let opts = ExpOpts::from_env();
     let sampler = sampler_for(&opts);
     let mut rng = StdRng::seed_from_u64(opts.seed);
-    let variants: [(&str, fn(&NetworkScenario) -> Vec<f64>); 4] = [
+    let variants: [RateVariant; 4] = [
         ("true-rates", |sc| sc.lambdas.clone()),
-        ("half-rates", |sc| sc.lambdas.iter().map(|l| l * 0.5).collect()),
-        ("double-rates", |sc| sc.lambdas.iter().map(|l| l * 2.0).collect()),
+        ("half-rates", |sc| {
+            sc.lambdas.iter().map(|l| l * 0.5).collect()
+        }),
+        ("double-rates", |sc| {
+            sc.lambdas.iter().map(|l| l * 2.0).collect()
+        }),
         ("rule-split", rule_split_estimate),
     ];
     let mut acc: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
@@ -39,7 +46,9 @@ fn main() {
     while found < opts.configs && attempts < 60 * opts.configs {
         attempts += 1;
         let sc = sampler.sample_forced((0.05, 0.95), &mut rng);
-        let Ok(true_plan) = plan_attack(&sc, Evaluator::mean_field()) else { continue };
+        let Ok(true_plan) = plan_attack(&sc, Evaluator::mean_field()) else {
+            continue;
+        };
         if !true_plan.is_detector() {
             continue;
         }
@@ -47,17 +56,23 @@ fn main() {
         for (v, (_, estimate)) in variants.iter().enumerate() {
             // The attacker *plans* with its (possibly wrong) estimates but
             // the *network* runs the true rates.
-            let believed = NetworkScenario { lambdas: estimate(&sc), ..sc.clone() };
-            let Ok(plan) = plan_attack(&believed, Evaluator::mean_field()) else { continue };
+            let believed = NetworkScenario {
+                lambdas: estimate(&sc),
+                ..sc.clone()
+            };
+            let Ok(plan) = plan_attack(&believed, Evaluator::mean_field()) else {
+                continue;
+            };
             if plan.optimal.probe == true_plan.optimal.probe {
                 probe_agree[v] += 1;
             }
-            let report = run_trials(
+            let report = run_trials_policy(
                 &sc, // true traffic
                 &plan,
                 &[AttackerKind::Model],
                 opts.trials,
                 opts.seed ^ (found * 31 + v) as u64,
+                opts.policy,
             );
             acc[v].push(report.accuracy(AttackerKind::Model));
         }

@@ -43,7 +43,11 @@ fn main() {
     let timeout = 10u32;
     println!("state counts and model build times (capacity {capacity}, t_j = {timeout} steps)\n");
     println!("|Rules|  basic-formula     compact  basic-build(s)  compact-build(s)");
-    let sizes: &[usize] = if opts.fast { &[2, 3, 4] } else { &[2, 3, 4, 6, 8, 10, 12, 16, 20] };
+    let sizes: &[usize] = if opts.fast {
+        &[2, 3, 4]
+    } else {
+        &[2, 3, 4, 6, 8, 10, 12, 16, 20]
+    };
     let mut rows = Vec::new();
     for &r in sizes {
         let (rules, rates) = instance(r, timeout);
@@ -61,9 +65,7 @@ fn main() {
             Some((t, n)) => (format!("{t:.4}"), n.to_string()),
             None => ("> cap".to_string(), "-".to_string()),
         };
-        println!(
-            "{r:>7}  {formula:>13.3e}  {compact_n:>10}  {basic_s:>14}  {compact_time:>16.4}"
-        );
+        println!("{r:>7}  {formula:>13.3e}  {compact_n:>10}  {basic_s:>14}  {compact_time:>16.4}");
         rows.push(format!(
             "{r},{formula},{compact_n},{},{basic_states},{compact_time},{}",
             basic_s.trim_start_matches("> "),

@@ -6,9 +6,9 @@
 //! negatives from eviction); longer TTLs widen the observable window and
 //! raise hit-side information; longer windows dilute it.
 
-use attack::sweep::{sweep, SweepParameter};
-use attack::{plan_attack, AttackerKind};
-use experiments::harness::{mean, sampler_for, write_csv};
+use attack::sweep::{sweep_policy, SweepParameter};
+use attack::{plan_attack, AttackerKind, RunStats};
+use experiments::harness::{mean, sampler_for, write_csv, write_stats};
 use experiments::ExpOpts;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -20,7 +20,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let kinds = [AttackerKind::Model, AttackerKind::Random];
     let sweeps: [(SweepParameter, Vec<f64>); 3] = [
-        (SweepParameter::Capacity, vec![1.0, 2.0, 4.0, 6.0, 9.0, 12.0]),
+        (
+            SweepParameter::Capacity,
+            vec![1.0, 2.0, 4.0, 6.0, 9.0, 12.0],
+        ),
         (SweepParameter::TimeoutScale, vec![0.25, 0.5, 1.0, 2.0, 4.0]),
         (SweepParameter::WindowSecs, vec![2.0, 5.0, 10.0, 15.0, 30.0]),
     ];
@@ -40,14 +43,31 @@ fn main() {
     println!("{} scenarios\n", scenarios.len());
 
     let mut rows = Vec::new();
+    let mut total_stats = RunStats {
+        trials: 0,
+        threads: opts.policy.threads(),
+        wall_secs: 0.0,
+    };
     for (param, values) in &sweeps {
         println!("sweep: {}", param.name());
         // accuracy[value][kind] across scenarios.
         let mut acc = vec![vec![Vec::new(); kinds.len()]; values.len()];
         let mut gains = vec![Vec::new(); values.len()];
         for (si, sc) in scenarios.iter().enumerate() {
-            if let Ok(points) = sweep(sc, *param, values, &kinds, opts.trials, opts.seed ^ si as u64)
-            {
+            let (result, stats) =
+                RunStats::measure(opts.policy, values.len() * opts.trials, || {
+                    sweep_policy(
+                        sc,
+                        *param,
+                        values,
+                        &kinds,
+                        opts.trials,
+                        opts.seed ^ si as u64,
+                        opts.policy,
+                    )
+                });
+            total_stats.absorb(&stats);
+            if let Ok(points) = result {
                 for (vi, p) in points.iter().enumerate() {
                     for (k, &a) in p.accuracy.iter().enumerate() {
                         acc[vi][k].push(a);
@@ -70,4 +90,5 @@ fn main() {
         "parameter,value,model_accuracy,random_accuracy,info_gain",
         &rows,
     );
+    write_stats(&opts, "sweep_parameters", &total_stats);
 }

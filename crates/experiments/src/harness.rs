@@ -1,10 +1,11 @@
 //! Sampling, filtering and evaluating batches of network configurations.
 
-use attack::{plan_attack, run_trials, AttackPlan, AttackerKind, TrialReport};
+use attack::{plan_attack, run_trials_policy, AttackPlan, AttackerKind, RunStats, TrialReport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use recon_core::useq::Evaluator;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 use traffic::{NetworkScenario, ScenarioSampler};
 
 use crate::ExpOpts;
@@ -65,6 +66,21 @@ pub fn collect_configs(
     kinds: &[AttackerKind],
     count: usize,
 ) -> Vec<ConfigOutcome> {
+    collect_configs_timed(opts, class, absence_range, kinds, count).0
+}
+
+/// [`collect_configs`], additionally reporting wall-clock [`RunStats`]
+/// for the trials executed (sampling and planning time included — the
+/// trials dominate at any realistic trial count).
+#[must_use]
+pub fn collect_configs_timed(
+    opts: &ExpOpts,
+    class: ConfigClass,
+    absence_range: (f64, f64),
+    kinds: &[AttackerKind],
+    count: usize,
+) -> (Vec<ConfigOutcome>, RunStats) {
+    let start = Instant::now();
     let sampler = sampler_for(opts);
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut out = Vec::with_capacity(count);
@@ -84,16 +100,45 @@ pub fn collect_configs(
         if !keep {
             continue;
         }
-        let report = run_trials(
+        let report = run_trials_policy(
             &scenario,
             &plan,
             kinds,
             opts.trials,
             opts.seed ^ (out.len() as u64).wrapping_mul(0xA5A5_5A5A_1234_5678),
+            opts.policy,
         );
-        out.push(ConfigOutcome { scenario, plan, report });
+        out.push(ConfigOutcome {
+            scenario,
+            plan,
+            report,
+        });
     }
-    out
+    let stats = RunStats {
+        trials: (out.len() * opts.trials) as u64,
+        threads: opts.policy.threads(),
+        wall_secs: start.elapsed().as_secs_f64(),
+    };
+    (out, stats)
+}
+
+/// Writes run statistics next to an experiment's CSVs (as
+/// `<experiment>_stats.txt`) and echoes them to stdout.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn write_stats(opts: &ExpOpts, experiment: &str, stats: &RunStats) {
+    let path = opts.out_file(&format!("{experiment}_stats.txt"));
+    let body = format!(
+        "experiment: {experiment}\nthreads: {}\ntrials: {}\nwall_secs: {:.6}\ntrials_per_sec: {:.3}\n",
+        stats.threads,
+        stats.trials,
+        stats.wall_secs,
+        stats.trials_per_sec(),
+    );
+    std::fs::write(&path, body).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("run stats: {stats}");
 }
 
 /// Writes rows as CSV (header + records) to `path`.
@@ -134,16 +179,24 @@ mod tests {
     use super::*;
 
     fn fast_opts() -> ExpOpts {
-        ExpOpts { fast: true, configs: 2, trials: 5, seed: 11, ..ExpOpts::default() }
+        ExpOpts {
+            fast: true,
+            configs: 2,
+            trials: 5,
+            seed: 11,
+            ..ExpOpts::default()
+        }
     }
 
     #[test]
     fn collect_detector_feasible_configs() {
         let opts = fast_opts();
         let kinds = [AttackerKind::Naive, AttackerKind::Model];
-        let outcomes =
-            collect_configs(&opts, ConfigClass::DetectorFeasible, (0.2, 0.8), &kinds, 2);
-        assert!(!outcomes.is_empty(), "should find at least one feasible config");
+        let outcomes = collect_configs(&opts, ConfigClass::DetectorFeasible, (0.2, 0.8), &kinds, 2);
+        assert!(
+            !outcomes.is_empty(),
+            "should find at least one feasible config"
+        );
         for o in &outcomes {
             assert!(o.plan.is_detector());
             assert_eq!(o.report.by_attacker.len(), 2);
@@ -155,11 +208,55 @@ mod tests {
     fn fig6_class_filters_on_probe_difference() {
         let opts = fast_opts();
         let kinds = [AttackerKind::Naive];
-        let outcomes =
-            collect_configs(&opts, ConfigClass::OptimalDiffersFromTarget, (0.2, 0.8), &kinds, 1);
+        let outcomes = collect_configs(
+            &opts,
+            ConfigClass::OptimalDiffersFromTarget,
+            (0.2, 0.8),
+            &kinds,
+            1,
+        );
         for o in &outcomes {
             assert_ne!(o.plan.optimal.probe, o.scenario.target);
         }
+    }
+
+    #[test]
+    fn timed_collection_reports_stats() {
+        let opts = fast_opts();
+        let kinds = [AttackerKind::Naive];
+        let (outcomes, stats) =
+            collect_configs_timed(&opts, ConfigClass::DetectorFeasible, (0.2, 0.8), &kinds, 2);
+        assert_eq!(stats.trials, (outcomes.len() * opts.trials) as u64);
+        assert_eq!(stats.threads, opts.policy.threads());
+        assert!(stats.wall_secs > 0.0);
+    }
+
+    #[test]
+    fn execution_policy_does_not_change_outcomes() {
+        let kinds = [AttackerKind::Naive, AttackerKind::Model];
+        let serial = ExpOpts {
+            policy: attack::ExecPolicy::Serial,
+            ..fast_opts()
+        };
+        let parallel = ExpOpts {
+            policy: attack::ExecPolicy::Parallel { threads: 4 },
+            ..fast_opts()
+        };
+        let a = collect_configs(
+            &serial,
+            ConfigClass::DetectorFeasible,
+            (0.2, 0.8),
+            &kinds,
+            2,
+        );
+        let b = collect_configs(
+            &parallel,
+            ConfigClass::DetectorFeasible,
+            (0.2, 0.8),
+            &kinds,
+            2,
+        );
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Minimal command-line option parsing shared by the experiment binaries.
 
+use attack::ExecPolicy;
 use std::path::PathBuf;
 
 /// Options common to every experiment binary.
@@ -15,6 +16,9 @@ pub struct ExpOpts {
     pub out: PathBuf,
     /// Smoke-run mode (tiny sizes).
     pub fast: bool,
+    /// Trial execution policy (`--threads`, falling back to the
+    /// `FLOW_RECON_THREADS` environment variable, then to auto).
+    pub policy: ExecPolicy,
 }
 
 impl Default for ExpOpts {
@@ -25,13 +29,15 @@ impl Default for ExpOpts {
             seed: 7,
             out: PathBuf::from("results"),
             fast: false,
+            policy: ExecPolicy::from_env(),
         }
     }
 }
 
 impl ExpOpts {
-    /// Parses `--configs N --trials N --seed N --out DIR --fast` from an
-    /// iterator of arguments (without the program name).
+    /// Parses `--configs N --trials N --seed N --out DIR --fast
+    /// --threads N|auto` from an iterator of arguments (without the
+    /// program name).
     ///
     /// # Panics
     ///
@@ -53,8 +59,14 @@ impl ExpOpts {
                 "--seed" => opts.seed = grab().parse().expect("--seed expects an integer"),
                 "--out" => opts.out = PathBuf::from(grab()),
                 "--fast" => opts.fast = true,
+                "--threads" => {
+                    let v = grab();
+                    opts.policy = ExecPolicy::parse(&v).unwrap_or_else(|| {
+                        panic!("--threads expects a thread count or `auto`, got `{v}`")
+                    });
+                }
                 other => panic!(
-                    "unknown flag {other}; supported: --configs --trials --seed --out --fast"
+                    "unknown flag {other}; supported: --configs --trials --seed --out --fast --threads"
                 ),
             }
         }
@@ -114,6 +126,22 @@ mod tests {
         assert_eq!(o.configs, 6);
         assert_eq!(o.trials, 20);
         assert!(o.fast);
+    }
+
+    #[test]
+    fn threads_flag_sets_policy() {
+        let o = ExpOpts::parse(args("--threads 4"));
+        assert_eq!(o.policy, ExecPolicy::Parallel { threads: 4 });
+        let o = ExpOpts::parse(args("--threads 1"));
+        assert_eq!(o.policy, ExecPolicy::Serial);
+        let o = ExpOpts::parse(args("--threads auto"));
+        assert_eq!(o.policy, ExecPolicy::auto());
+    }
+
+    #[test]
+    #[should_panic(expected = "--threads expects")]
+    fn bad_threads_value_panics() {
+        let _ = ExpOpts::parse(args("--threads lots"));
     }
 
     #[test]

@@ -31,7 +31,9 @@ fn header(title: &str) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn y_of(v: f64, lo: f64, hi: f64) -> f64 {
@@ -256,7 +258,12 @@ mod tests {
                 .filter(|&h| h < 399.0) // exclude the canvas/background
                 .fold(0.0f64, f64::max)
         };
-        assert!(max_h(&high) > max_h(&low), "{} vs {}", max_h(&high), max_h(&low));
+        assert!(
+            max_h(&high) > max_h(&low),
+            "{} vs {}",
+            max_h(&high),
+            max_h(&low)
+        );
         let _ = h; // keep helper for documentation purposes
     }
 }

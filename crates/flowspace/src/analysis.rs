@@ -39,7 +39,10 @@ pub fn shadowed_by(rules: &RuleSet, j: RuleId) -> Vec<RuleId> {
 /// reactive deployment containing such rules is usually misconfigured.
 #[must_use]
 pub fn dead_rules(rules: &RuleSet) -> Vec<RuleId> {
-    rules.ids().filter(|&j| effective_cover(rules, j).is_empty()).collect()
+    rules
+        .ids()
+        .filter(|&j| effective_cover(rules, j).is_empty())
+        .collect()
 }
 
 /// Whether a rule covers exactly one flow (a *microflow* rule, §III-B1 —
@@ -83,7 +86,11 @@ pub fn stats(rules: &RuleSet) -> StructureStats {
         microflows: rules.rules().iter().filter(|r| is_microflow(r)).count(),
         dead: dead_rules(rules).len(),
         overlapping_pairs,
-        mean_cover: rules.rules().iter().map(|r| r.covers().len() as f64).sum::<f64>()
+        mean_cover: rules
+            .rules()
+            .iter()
+            .map(|r| r.covers().len() as f64)
+            .sum::<f64>()
             / rules.len() as f64,
         uncovered_flows: rules.uncovered().len(),
     }

@@ -128,7 +128,15 @@ impl FlowKey {
 
 impl fmt::Display for FlowKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let ip = |v: u32| format!("{}.{}.{}.{}", v >> 24, (v >> 16) & 255, (v >> 8) & 255, v & 255);
+        let ip = |v: u32| {
+            format!(
+                "{}.{}.{}.{}",
+                v >> 24,
+                (v >> 16) & 255,
+                (v >> 8) & 255,
+                v & 255
+            )
+        };
         write!(
             f,
             "{} {}:{} -> {}:{}",

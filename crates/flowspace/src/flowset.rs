@@ -82,7 +82,11 @@ impl FlowSet {
     #[must_use]
     pub fn contains(&self, flow: FlowId) -> bool {
         let i = flow.index();
-        assert!(i < self.universe, "flow {flow} outside universe of {}", self.universe);
+        assert!(
+            i < self.universe,
+            "flow {flow} outside universe of {}",
+            self.universe
+        );
         self.words[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
     }
 
@@ -93,7 +97,11 @@ impl FlowSet {
     /// Panics if `flow` is outside the universe.
     pub fn insert(&mut self, flow: FlowId) -> bool {
         let i = flow.index();
-        assert!(i < self.universe, "flow {flow} outside universe of {}", self.universe);
+        assert!(
+            i < self.universe,
+            "flow {flow} outside universe of {}",
+            self.universe
+        );
         let word = &mut self.words[i / WORD_BITS];
         let bit = 1u64 << (i % WORD_BITS);
         let fresh = *word & bit == 0;
@@ -108,7 +116,11 @@ impl FlowSet {
     /// Panics if `flow` is outside the universe.
     pub fn remove(&mut self, flow: FlowId) -> bool {
         let i = flow.index();
-        assert!(i < self.universe, "flow {flow} outside universe of {}", self.universe);
+        assert!(
+            i < self.universe,
+            "flow {flow} outside universe of {}",
+            self.universe
+        );
         let word = &mut self.words[i / WORD_BITS];
         let bit = 1u64 << (i % WORD_BITS);
         let present = *word & bit != 0;
@@ -125,7 +137,12 @@ impl FlowSet {
     pub fn union(&self, other: &FlowSet) -> FlowSet {
         self.check_universe(other);
         FlowSet {
-            words: self.words.iter().zip(&other.words).map(|(a, b)| a | b).collect(),
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
             universe: self.universe,
         }
     }
@@ -151,7 +168,12 @@ impl FlowSet {
     pub fn intersection(&self, other: &FlowSet) -> FlowSet {
         self.check_universe(other);
         FlowSet {
-            words: self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect(),
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
             universe: self.universe,
         }
     }
@@ -165,7 +187,12 @@ impl FlowSet {
     pub fn difference(&self, other: &FlowSet) -> FlowSet {
         self.check_universe(other);
         FlowSet {
-            words: self.words.iter().zip(&other.words).map(|(a, b)| a & !b).collect(),
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & !b)
+                .collect(),
             universe: self.universe,
         }
     }
@@ -201,7 +228,10 @@ impl FlowSet {
     #[must_use]
     pub fn is_subset(&self, other: &FlowSet) -> bool {
         self.check_universe(other);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates the flows in the set in increasing index order.
@@ -290,7 +320,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside universe")]
     fn contains_out_of_universe_panics() {
-        FlowSet::empty(4).contains(FlowId(4));
+        let _ = FlowSet::empty(4).contains(FlowId(4));
     }
 
     #[test]

@@ -30,7 +30,10 @@ impl FieldPattern {
     /// Matches exactly `value`.
     #[must_use]
     pub fn exact(value: u32) -> Self {
-        FieldPattern { value, mask: u32::MAX }
+        FieldPattern {
+            value,
+            mask: u32::MAX,
+        }
     }
 
     /// Matches the CIDR-style prefix `value/len`.
@@ -42,7 +45,10 @@ impl FieldPattern {
     pub fn prefix(value: u32, len: u32) -> Self {
         assert!(len <= 32, "prefix length {len} > 32");
         let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
-        FieldPattern { value: value & mask, mask }
+        FieldPattern {
+            value: value & mask,
+            mask,
+        }
     }
 
     /// Parses dotted-quad CIDR notation, e.g. `"10.0.1.0/28"` or a bare
@@ -53,7 +59,11 @@ impl FieldPattern {
     /// Returns a description of the malformed component.
     pub fn parse_cidr(s: &str) -> Result<Self, String> {
         let (addr, len) = match s.split_once('/') {
-            Some((a, l)) => (a, l.parse::<u32>().map_err(|e| format!("bad prefix length: {e}"))?),
+            Some((a, l)) => (
+                a,
+                l.parse::<u32>()
+                    .map_err(|e| format!("bad prefix length: {e}"))?,
+            ),
             None => (s, 32),
         };
         if len > 32 {
@@ -65,7 +75,9 @@ impl FieldPattern {
             if n == 4 {
                 return Err("too many octets".to_string());
             }
-            octets[n] = part.parse::<u32>().map_err(|e| format!("bad octet {part:?}: {e}"))?;
+            octets[n] = part
+                .parse::<u32>()
+                .map_err(|e| format!("bad octet {part:?}: {e}"))?;
             if octets[n] > 255 {
                 return Err(format!("octet {} out of range", octets[n]));
             }
@@ -129,7 +141,7 @@ impl HeaderPattern {
             && self.dst_ip.covers(key.dst_ip)
             && self.src_port.covers(u32::from(key.src_port))
             && self.dst_port.covers(u32::from(key.dst_port))
-            && self.proto.map_or(true, |p| p == key.proto)
+            && self.proto.is_none_or(|p| p == key.proto)
     }
 
     /// Whether two header patterns can match a common header.
@@ -151,7 +163,13 @@ impl fmt::Display for HeaderPattern {
         let ip = |p: FieldPattern| {
             let v = p.value;
             let len = p.mask.count_ones();
-            format!("{}.{}.{}.{}/{len}", v >> 24, (v >> 16) & 255, (v >> 8) & 255, v & 255)
+            format!(
+                "{}.{}.{}.{}/{len}",
+                v >> 24,
+                (v >> 16) & 255,
+                (v >> 8) & 255,
+                v & 255
+            )
         };
         write!(f, "src {} dst {}", ip(self.src_ip), ip(self.dst_ip))?;
         if let Some(p) = self.proto {
@@ -186,7 +204,10 @@ impl HeaderUniverse {
     /// Builds a universe from concrete flow keys (duplicates collapse).
     #[must_use]
     pub fn new<I: IntoIterator<Item = FlowKey>>(keys: I) -> Self {
-        let mut out = HeaderUniverse { keys: Vec::new(), index: HashMap::new() };
+        let mut out = HeaderUniverse {
+            keys: Vec::new(),
+            index: HashMap::new(),
+        };
         for k in keys {
             out.index.entry(k).or_insert_with(|| {
                 out.keys.push(k);
@@ -276,7 +297,10 @@ pub fn compile(
             rules.push(Rule::from_flow_set(cover, *priority, *timeout));
         }
     }
-    Ok(Compiled { rules: RuleSet::new(rules, universe.len())?, dropped })
+    Ok(Compiled {
+        rules: RuleSet::new(rules, universe.len())?,
+        dropped,
+    })
 }
 
 #[cfg(test)]
@@ -320,7 +344,10 @@ mod tests {
         };
         let cover = universe.cover_of(&pat);
         assert_eq!(cover.len(), 4);
-        let tcp_only = HeaderPattern { proto: Some(Protocol::Tcp), ..pat };
+        let tcp_only = HeaderPattern {
+            proto: Some(Protocol::Tcp),
+            ..pat
+        };
         assert!(universe.cover_of(&tcp_only).is_empty());
     }
 
@@ -347,7 +374,10 @@ mod tests {
             ..HeaderPattern::default()
         };
         let compiled = compile(
-            &[(lo_half, 20, Timeout::idle(10)), (nothing, 10, Timeout::idle(10))],
+            &[
+                (lo_half, 20, Timeout::idle(10)),
+                (nothing, 10, Timeout::idle(10)),
+            ],
             &universe,
         )
         .unwrap();

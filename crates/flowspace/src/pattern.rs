@@ -60,9 +60,17 @@ impl TernaryPattern {
     #[must_use]
     pub fn new(bits: u32, value: u32, mask: u32) -> Self {
         assert!((1..=32).contains(&bits), "bits {bits} not in 1..=32");
-        let limit = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+        let limit = if bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << bits) - 1
+        };
         assert_eq!(mask & !limit, 0, "mask {mask:#b} exceeds {bits} bits");
-        assert_eq!(value & !mask, 0, "value {value:#b} has bits outside mask {mask:#b}");
+        assert_eq!(
+            value & !mask,
+            0,
+            "value {value:#b} has bits outside mask {mask:#b}"
+        );
         TernaryPattern { bits, value, mask }
     }
 
@@ -191,7 +199,11 @@ impl TernaryPattern {
     /// Iterates every concrete value the pattern covers (2^wildcards of
     /// them), in increasing order.
     pub fn expand(self) -> impl Iterator<Item = FlowId> {
-        let limit = if self.bits == 32 { u32::MAX } else { (1u32 << self.bits) - 1 };
+        let limit = if self.bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.bits) - 1
+        };
         let wild = limit & !self.mask;
         let count = 1u64 << wild.count_ones();
         (0..count).map(move |i| {
@@ -279,10 +291,19 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        assert_eq!(TernaryPattern::parse(""), Err(PatternParseError::BadLength(0)));
-        assert_eq!(TernaryPattern::parse("01x"), Err(PatternParseError::BadChar('x')));
+        assert_eq!(
+            TernaryPattern::parse(""),
+            Err(PatternParseError::BadLength(0))
+        );
+        assert_eq!(
+            TernaryPattern::parse("01x"),
+            Err(PatternParseError::BadChar('x'))
+        );
         let long = "0".repeat(33);
-        assert_eq!(TernaryPattern::parse(&long), Err(PatternParseError::BadLength(33)));
+        assert_eq!(
+            TernaryPattern::parse(&long),
+            Err(PatternParseError::BadLength(33))
+        );
         assert!(PatternParseError::BadChar('x').to_string().contains('x'));
     }
 
@@ -346,7 +367,9 @@ mod tests {
         let pats: Vec<_> = TernaryPattern::enumerate(4).collect();
         for &a in &pats {
             for &b in &pats {
-                let expected = a.to_flow_set(universe).intersection(&b.to_flow_set(universe));
+                let expected = a
+                    .to_flow_set(universe)
+                    .intersection(&b.to_flow_set(universe));
                 match a.intersect(b) {
                     Some(c) => assert_eq!(c.to_flow_set(universe), expected, "{a} ∩ {b}"),
                     None => assert!(expected.is_empty(), "{a} ∩ {b}"),

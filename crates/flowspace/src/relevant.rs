@@ -31,7 +31,10 @@ impl FlowRates {
     /// is negative or non-finite.
     #[must_use]
     pub fn new(lambda: &[f64], delta: f64) -> Self {
-        assert!(delta > 0.0 && delta.is_finite(), "delta must be positive and finite");
+        assert!(
+            delta > 0.0 && delta.is_finite(),
+            "delta must be positive and finite"
+        );
         Self::from_per_step(lambda.iter().map(|&l| l * delta).collect())
     }
 
@@ -43,7 +46,10 @@ impl FlowRates {
     #[must_use]
     pub fn from_per_step(per_step: Vec<f64>) -> Self {
         for (i, &r) in per_step.iter().enumerate() {
-            assert!(r >= 0.0 && r.is_finite(), "rate for flow {i} is invalid: {r}");
+            assert!(
+                r >= 0.0 && r.is_finite(),
+                "rate for flow {i} is invalid: {r}"
+            );
         }
         FlowRates { per_step }
     }
@@ -77,7 +83,11 @@ impl FlowRates {
     /// Panics if the set's universe does not match.
     #[must_use]
     pub fn sum_over(&self, set: &FlowSet) -> f64 {
-        assert_eq!(set.universe_size(), self.per_step.len(), "universe mismatch");
+        assert_eq!(
+            set.universe_size(),
+            self.per_step.len(),
+            "universe mismatch"
+        );
         set.iter().map(|f| self.per_step[f.index()]).sum()
     }
 

@@ -52,7 +52,10 @@ impl Timeout {
     #[must_use]
     pub fn idle(steps: u32) -> Self {
         assert!(steps > 0, "timeout must be at least one step");
-        Timeout { kind: TimeoutKind::Idle, steps }
+        Timeout {
+            kind: TimeoutKind::Idle,
+            steps,
+        }
     }
 
     /// A hard timeout of `steps` steps.
@@ -63,7 +66,10 @@ impl Timeout {
     #[must_use]
     pub fn hard(steps: u32) -> Self {
         assert!(steps > 0, "timeout must be at least one step");
-        Timeout { kind: TimeoutKind::Hard, steps }
+        Timeout {
+            kind: TimeoutKind::Hard,
+            steps,
+        }
     }
 }
 
@@ -101,7 +107,12 @@ impl Rule {
     #[must_use]
     pub fn from_flow_set(covers: FlowSet, priority: Priority, timeout: Timeout) -> Self {
         assert!(!covers.is_empty(), "a rule must cover at least one flow");
-        Rule { covers, priority, timeout, pattern: None }
+        Rule {
+            covers,
+            priority,
+            timeout,
+            pattern: None,
+        }
     }
 
     /// Creates a rule covering the flows matched by `pattern` within a
@@ -122,7 +133,12 @@ impl Rule {
             !covers.is_empty(),
             "pattern {pattern} covers no flow in universe of {universe}"
         );
-        Rule { covers, priority, timeout, pattern: Some(*pattern) }
+        Rule {
+            covers,
+            priority,
+            timeout,
+            pattern: Some(*pattern),
+        }
     }
 
     /// The set of flows this rule covers (`f ∈ rule` in the paper).
@@ -170,7 +186,11 @@ impl fmt::Display for Rule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.pattern {
             Some(p) => write!(f, "[{} pri={} {}]", p, self.priority, self.timeout),
-            None => write!(f, "[{:?} pri={} {}]", self.covers, self.priority, self.timeout),
+            None => write!(
+                f,
+                "[{:?} pri={} {}]",
+                self.covers, self.priority, self.timeout
+            ),
         }
     }
 }
@@ -238,6 +258,9 @@ mod tests {
         let p = TernaryPattern::parse("01").unwrap();
         let r = Rule::from_pattern(&p, 4, 9, Timeout::hard(3));
         let s = r.to_string();
-        assert!(s.contains("01") && s.contains("pri=9") && s.contains("hard:3"), "{s}");
+        assert!(
+            s.contains("01") && s.contains("pri=9") && s.contains("hard:3"),
+            "{s}"
+        );
     }
 }

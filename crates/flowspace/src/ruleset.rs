@@ -78,13 +78,16 @@ impl RuleSet {
             }
         }
         let mut sorted = rules;
-        sorted.sort_by(|a, b| b.priority().cmp(&a.priority()));
+        sorted.sort_by_key(|r| std::cmp::Reverse(r.priority()));
         for pair in sorted.windows(2) {
             if pair[0].priority() == pair[1].priority() {
                 return Err(RuleSetError::DuplicatePriority(pair[0].priority()));
             }
         }
-        Ok(RuleSet { rules: sorted, universe })
+        Ok(RuleSet {
+            rules: sorted,
+            universe,
+        })
     }
 
     /// Number of rules.
@@ -142,12 +145,16 @@ impl RuleSet {
     /// controller installs on a table miss for `f` (§IV).
     #[must_use]
     pub fn highest_covering(&self, f: FlowId) -> Option<RuleId> {
-        self.iter().find(|(_, r)| r.covers_flow(f)).map(|(id, _)| id)
+        self.iter()
+            .find(|(_, r)| r.covers_flow(f))
+            .map(|(id, _)| id)
     }
 
     /// All rules covering `f`, in descending priority order.
     pub fn covering(&self, f: FlowId) -> impl Iterator<Item = RuleId> + '_ {
-        self.iter().filter(move |(_, r)| r.covers_flow(f)).map(|(id, _)| id)
+        self.iter()
+            .filter(move |(_, r)| r.covers_flow(f))
+            .map(|(id, _)| id)
     }
 
     /// Number of rules covering `f` (x-axis of the paper's Fig. 7a).
@@ -217,7 +224,14 @@ mod tests {
     #[test]
     fn universe_mismatch_rejected() {
         let err = RuleSet::new(vec![rule(8, &[0], 5), rule(4, &[1], 6)], 8).unwrap_err();
-        assert!(matches!(err, RuleSetError::UniverseMismatch { found: 4, expected: 8, .. }));
+        assert!(matches!(
+            err,
+            RuleSetError::UniverseMismatch {
+                found: 4,
+                expected: 8,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -228,7 +242,10 @@ mod tests {
         assert_eq!(set.highest_covering(FlowId(1)), Some(RuleId(0)));
         assert_eq!(set.highest_covering(FlowId(2)), Some(RuleId(1)));
         assert_eq!(set.highest_covering(FlowId(3)), None);
-        assert_eq!(set.covering(FlowId(1)).collect::<Vec<_>>(), vec![RuleId(0), RuleId(1)]);
+        assert_eq!(
+            set.covering(FlowId(1)).collect::<Vec<_>>(),
+            vec![RuleId(0), RuleId(1)]
+        );
         assert_eq!(set.covering_count(FlowId(1)), 2);
         assert_eq!(set.covering_count(FlowId(3)), 0);
     }

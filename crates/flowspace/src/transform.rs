@@ -37,7 +37,10 @@ impl std::fmt::Display for TransformError {
             TransformError::NoSuchRule(r) => write!(f, "no such rule: {r}"),
             TransformError::SameRule(r) => write!(f, "cannot merge {r} with itself"),
             TransformError::BadSplit => {
-                write!(f, "split part must be a nonempty proper subset of the rule's cover")
+                write!(
+                    f,
+                    "split part must be a nonempty proper subset of the rule's cover"
+                )
             }
             TransformError::WouldBeEmpty => write!(f, "transformation would leave no rules"),
         }
@@ -129,8 +132,16 @@ pub fn split_rule(rules: &RuleSet, r: RuleId, part: &FlowSet) -> Result<RuleSet,
     let mut out: Vec<Rule> = Vec::with_capacity(rules.len() + 1);
     for (id, rule) in rules.iter() {
         if id == r {
-            out.push(Rule::from_flow_set(part.clone(), rule.priority() * 2 + 1, rule.timeout()));
-            out.push(Rule::from_flow_set(rest.clone(), rule.priority() * 2, rule.timeout()));
+            out.push(Rule::from_flow_set(
+                part.clone(),
+                rule.priority() * 2 + 1,
+                rule.timeout(),
+            ));
+            out.push(Rule::from_flow_set(
+                rest.clone(),
+                rule.priority() * 2,
+                rule.timeout(),
+            ));
         } else {
             out.push(Rule::from_flow_set(
                 rule.covers().clone(),
@@ -162,8 +173,7 @@ pub fn merge_candidates(rules: &RuleSet) -> Vec<(RuleId, RuleId)> {
 /// criterion for §VII-B3 transformations).
 #[must_use]
 pub fn covers_preserved(before: &RuleSet, after: &RuleSet) -> bool {
-    before.universe_size() == after.universe_size()
-        && before.uncovered() == after.uncovered()
+    before.universe_size() == after.universe_size() && before.uncovered() == after.uncovered()
 }
 
 #[cfg(test)]
@@ -181,7 +191,11 @@ mod tests {
 
     fn base() -> RuleSet {
         RuleSet::new(
-            vec![rule(8, &[0, 1], 30, 5), rule(8, &[1, 2], 20, 9), rule(8, &[4], 10, 7)],
+            vec![
+                rule(8, &[0, 1], 30, 5),
+                rule(8, &[1, 2], 20, 9),
+                rule(8, &[4], 10, 7),
+            ],
             8,
         )
         .unwrap()
@@ -204,7 +218,10 @@ mod tests {
     #[test]
     fn merge_rejects_identity_and_bad_ids() {
         let rules = base();
-        assert_eq!(merge_rules(&rules, RuleId(1), RuleId(1)), Err(TransformError::SameRule(RuleId(1))));
+        assert_eq!(
+            merge_rules(&rules, RuleId(1), RuleId(1)),
+            Err(TransformError::SameRule(RuleId(1)))
+        );
         assert_eq!(
             merge_rules(&rules, RuleId(0), RuleId(9)),
             Err(TransformError::NoSuchRule(RuleId(9)))
@@ -232,11 +249,20 @@ mod tests {
     fn split_rejects_bad_parts() {
         let rules = base();
         let whole = rules.rule(RuleId(0)).covers().clone();
-        assert_eq!(split_rule(&rules, RuleId(0), &whole), Err(TransformError::BadSplit));
+        assert_eq!(
+            split_rule(&rules, RuleId(0), &whole),
+            Err(TransformError::BadSplit)
+        );
         let empty = FlowSet::empty(8);
-        assert_eq!(split_rule(&rules, RuleId(0), &empty), Err(TransformError::BadSplit));
+        assert_eq!(
+            split_rule(&rules, RuleId(0), &empty),
+            Err(TransformError::BadSplit)
+        );
         let outside = FlowSet::from_flows(8, [FlowId(7)]);
-        assert_eq!(split_rule(&rules, RuleId(0), &outside), Err(TransformError::BadSplit));
+        assert_eq!(
+            split_rule(&rules, RuleId(0), &outside),
+            Err(TransformError::BadSplit)
+        );
     }
 
     #[test]
@@ -245,7 +271,10 @@ mod tests {
         let part = FlowSet::from_flows(8, [FlowId(1)]);
         let split = split_rule(&rules, RuleId(1), &part).unwrap();
         // Rule 0 still outranks both split parts; rule 2 is still below.
-        assert_eq!(split.highest_covering(FlowId(0)), split.highest_covering(FlowId(0)));
+        assert_eq!(
+            split.highest_covering(FlowId(0)),
+            split.highest_covering(FlowId(0))
+        );
         let prios: Vec<u32> = split.rules().iter().map(Rule::priority).collect();
         assert!(prios.windows(2).all(|w| w[0] > w[1]));
     }
@@ -256,7 +285,7 @@ mod tests {
         let cands = merge_candidates(&rules);
         assert!(cands.contains(&(RuleId(0), RuleId(1)))); // overlap on f1
         assert!(cands.contains(&(RuleId(1), RuleId(2)))); // priority-adjacent
-        // No duplicate unordered pairs.
+                                                          // No duplicate unordered pairs.
         let set: std::collections::HashSet<_> = cands.iter().collect();
         assert_eq!(set.len(), cands.len());
     }

@@ -55,7 +55,10 @@ impl ClockTable {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "flow table capacity must be at least 1");
-        ClockTable { capacity, entries: Vec::with_capacity(capacity) }
+        ClockTable {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
     }
 
     /// The table's capacity.
@@ -78,7 +81,9 @@ impl ClockTable {
     /// Whether `rule` is live at time `now`.
     #[must_use]
     pub fn contains_at(&self, rule: RuleId, now: f64) -> bool {
-        self.entries.iter().any(|e| e.rule == rule && e.expiry > now)
+        self.entries
+            .iter()
+            .any(|e| e.rule == rule && e.expiry > now)
     }
 
     /// Drops entries whose deadline has passed.
@@ -114,7 +119,13 @@ impl ClockTable {
     /// Installing a rule that is already cached refreshes it in place (the
     /// controller never double-installs, but probe races can make the
     /// simulator try).
-    pub fn install(&mut self, rule: RuleId, ttl: f64, kind: TimeoutKind, now: f64) -> Option<RuleId> {
+    pub fn install(
+        &mut self,
+        rule: RuleId,
+        ttl: f64,
+        kind: TimeoutKind,
+        now: f64,
+    ) -> Option<RuleId> {
         self.purge_expired(now);
         if let Some(idx) = self.entries.iter().position(|e| e.rule == rule) {
             let mut entry = self.entries.remove(idx);
@@ -138,7 +149,15 @@ impl ClockTable {
         } else {
             None
         };
-        self.entries.insert(0, ClockEntry { rule, expiry: now + ttl, ttl, kind });
+        self.entries.insert(
+            0,
+            ClockEntry {
+                rule,
+                expiry: now + ttl,
+                ttl,
+                kind,
+            },
+        );
         evicted
     }
 
@@ -159,7 +178,11 @@ mod tests {
         RuleSet::new(
             vec![
                 Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(1)]), 30, Timeout::idle(3)),
-                Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(1), FlowId(2)]), 20, Timeout::idle(10)),
+                Rule::from_flow_set(
+                    FlowSet::from_flows(u, [FlowId(1), FlowId(2)]),
+                    20,
+                    Timeout::idle(10),
+                ),
                 Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(3)]), 10, Timeout::hard(7)),
             ],
             u,
@@ -211,7 +234,6 @@ mod tests {
 
     #[test]
     fn eviction_picks_shortest_remaining_lifetime() {
-        let rules = rules();
         let mut t = ClockTable::new(2);
         t.install(RuleId(0), 0.3, TimeoutKind::Idle, 0.0); // expires 0.3
         t.install(RuleId(1), 1.0, TimeoutKind::Idle, 0.0); // expires 1.0

@@ -78,7 +78,10 @@ impl FlowTable {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "flow table capacity must be at least 1");
-        FlowTable { capacity, entries: Vec::with_capacity(capacity) }
+        FlowTable {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
     }
 
     /// The table's capacity (`n` in the paper).
@@ -160,7 +163,11 @@ impl FlowTable {
     pub fn on_arrival(&mut self, f: FlowId, rules: &RuleSet) -> Access {
         debug_assert!(!self.has_expiring(), "timeout transition pending");
         if let Some(hit) = self.covering_hit(f, rules) {
-            let idx = self.entries.iter().position(|e| e.rule == hit).expect("hit is cached");
+            let idx = self
+                .entries
+                .iter()
+                .position(|e| e.rule == hit)
+                .expect("hit is cached");
             let mut entry = self.entries.remove(idx);
             let spec = rules.rule(hit).timeout();
             entry.remaining = match spec.kind {
@@ -181,7 +188,12 @@ impl FlowTable {
             // Smallest remaining time; ties broken toward the least
             // recently used (largest index), which a real LRU-ish switch
             // would drop first. The paper does not specify tie-breaking.
-            let min = self.entries.iter().map(|e| e.remaining).min().expect("table is full");
+            let min = self
+                .entries
+                .iter()
+                .map(|e| e.remaining)
+                .min()
+                .expect("table is full");
             let idx = self
                 .entries
                 .iter()
@@ -194,8 +206,17 @@ impl FlowTable {
         for e in &mut self.entries {
             e.remaining = e.remaining.saturating_sub(1);
         }
-        self.entries.insert(0, Entry { rule: install, remaining: rules.rule(install).timeout().steps });
-        Access::Install { rule: install, evicted }
+        self.entries.insert(
+            0,
+            Entry {
+                rule: install,
+                remaining: rules.rule(install).timeout().steps,
+            },
+        );
+        Access::Install {
+            rule: install,
+            evicted,
+        }
     }
 
     /// Processes a step in which no flow arrives: every timer decrements.
@@ -215,7 +236,11 @@ impl FlowTable {
     /// timeout clock", not by passing a Δ step.
     pub fn apply_probe(&mut self, f: FlowId, rules: &RuleSet) -> Access {
         if let Some(hit) = self.covering_hit(f, rules) {
-            let idx = self.entries.iter().position(|e| e.rule == hit).expect("hit is cached");
+            let idx = self
+                .entries
+                .iter()
+                .position(|e| e.rule == hit)
+                .expect("hit is cached");
             let mut entry = self.entries.remove(idx);
             if rules.rule(hit).timeout().kind == TimeoutKind::Idle {
                 entry.remaining = rules.rule(hit).timeout().steps;
@@ -227,7 +252,12 @@ impl FlowTable {
             return Access::Uncovered;
         };
         let evicted = if self.is_full() {
-            let min = self.entries.iter().map(|e| e.remaining).min().expect("table is full");
+            let min = self
+                .entries
+                .iter()
+                .map(|e| e.remaining)
+                .min()
+                .expect("table is full");
             let idx = self
                 .entries
                 .iter()
@@ -237,8 +267,17 @@ impl FlowTable {
         } else {
             None
         };
-        self.entries.insert(0, Entry { rule: install, remaining: rules.rule(install).timeout().steps });
-        Access::Install { rule: install, evicted }
+        self.entries.insert(
+            0,
+            Entry {
+                rule: install,
+                remaining: rules.rule(install).timeout().steps,
+            },
+        );
+        Access::Install {
+            rule: install,
+            evicted,
+        }
     }
 
     /// Performs one full basic-model transition with the correct priority:
@@ -275,7 +314,11 @@ mod tests {
         RuleSet::new(
             vec![
                 Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(1)]), 30, Timeout::idle(3)),
-                Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(1), FlowId(2)]), 20, Timeout::idle(10)),
+                Rule::from_flow_set(
+                    FlowSet::from_flows(u, [FlowId(1), FlowId(2)]),
+                    20,
+                    Timeout::idle(10),
+                ),
                 Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(3)]), 10, Timeout::idle(7)),
             ],
             u,
@@ -295,8 +338,20 @@ mod tests {
         let mut t = FlowTable::new(2);
         // f1 is covered by rule0 and rule1; rule0 wins.
         let a = t.on_arrival(FlowId(1), &rules);
-        assert_eq!(a, Access::Install { rule: RuleId(0), evicted: None });
-        assert_eq!(t.entries()[0], Entry { rule: RuleId(0), remaining: 3 });
+        assert_eq!(
+            a,
+            Access::Install {
+                rule: RuleId(0),
+                evicted: None
+            }
+        );
+        assert_eq!(
+            t.entries()[0],
+            Entry {
+                rule: RuleId(0),
+                remaining: 3
+            }
+        );
     }
 
     #[test]
@@ -316,12 +371,27 @@ mod tests {
         let mut t = FlowTable::new(3);
         t.on_arrival(FlowId(3), &rules); // install rule2 (t=7)
         t.on_arrival(FlowId(2), &rules); // install rule1 (t=10); rule2 now 6
-        assert_eq!(t.cached_rules().collect::<Vec<_>>(), vec![RuleId(1), RuleId(2)]);
+        assert_eq!(
+            t.cached_rules().collect::<Vec<_>>(),
+            vec![RuleId(1), RuleId(2)]
+        );
         // Hit rule2 via f3: moves to front, timer resets to 7, rule1 -> 9.
         let a = t.on_arrival(FlowId(3), &rules);
         assert_eq!(a, Access::Hit { rule: RuleId(2) });
-        assert_eq!(t.entries()[0], Entry { rule: RuleId(2), remaining: 7 });
-        assert_eq!(t.entries()[1], Entry { rule: RuleId(1), remaining: 9 });
+        assert_eq!(
+            t.entries()[0],
+            Entry {
+                rule: RuleId(2),
+                remaining: 7
+            }
+        );
+        assert_eq!(
+            t.entries()[1],
+            Entry {
+                rule: RuleId(1),
+                remaining: 9
+            }
+        );
     }
 
     #[test]
@@ -330,9 +400,9 @@ mod tests {
         let mut t = FlowTable::new(3);
         t.on_arrival(FlowId(2), &rules); // installs rule1 (covers f1,f2)
         t.on_arrival(FlowId(1), &rules); // rule1 cached & covers f1...
-        // f1's highest *covering* rule overall is rule0, but rule1 is cached
-        // and covers f1, so this is a HIT on rule1 (the switch never
-        // consults the controller on a hit).
+                                         // f1's highest *covering* rule overall is rule0, but rule1 is cached
+                                         // and covers f1, so this is a HIT on rule1 (the switch never
+                                         // consults the controller on a hit).
         assert_eq!(t.cached_rules().collect::<Vec<_>>(), vec![RuleId(1)]);
         // Install rule0 can never happen while rule1 is cached for f1.
         let a = t.on_arrival(FlowId(1), &rules);
@@ -343,7 +413,11 @@ mod tests {
     fn hard_timeout_keeps_counting_down_on_hit() {
         let u = 2;
         let rules = RuleSet::new(
-            vec![Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(0)]), 10, Timeout::hard(5))],
+            vec![Rule::from_flow_set(
+                FlowSet::from_flows(u, [FlowId(0)]),
+                10,
+                Timeout::hard(5),
+            )],
             u,
         )
         .unwrap();
@@ -362,19 +436,28 @@ mod tests {
         let mut t = FlowTable::new(2);
         t.on_arrival(FlowId(3), &rules); // rule2, t=7
         t.on_arrival(FlowId(2), &rules); // rule1, t=10; rule2 -> 6
-        // Table full. f1 misses (rule0 not cached; rule1 covers f1 though!).
-        // f1 actually HITS rule1 here, so use a fresh scenario: evict by
-        // installing rule0 after filling with rule1+rule2 is impossible via
-        // f1. Instead check Fig 3's eviction: cache [rule2:6, rule0:1], f2
-        // arrives -> rule1 installed, rule0 (smallest remaining) evicted.
+                                         // Table full. f1 misses (rule0 not cached; rule1 covers f1 though!).
+                                         // f1 actually HITS rule1 here, so use a fresh scenario: evict by
+                                         // installing rule0 after filling with rule1+rule2 is impossible via
+                                         // f1. Instead check Fig 3's eviction: cache [rule2:6, rule0:1], f2
+                                         // arrives -> rule1 installed, rule0 (smallest remaining) evicted.
         let mut t = FlowTable::new(2);
         t.on_arrival(FlowId(3), &rules); // rule2: 7
         t.on_arrival(FlowId(1), &rules); // rule0: 3, rule2: 6
         t.step_null(); // rule0: 2, rule2: 5
         t.step_null(); // rule0: 1, rule2: 4
         let a = t.on_arrival(FlowId(2), &rules);
-        assert_eq!(a, Access::Install { rule: RuleId(1), evicted: Some(RuleId(0)) });
-        assert_eq!(t.cached_rules().collect::<Vec<_>>(), vec![RuleId(1), RuleId(2)]);
+        assert_eq!(
+            a,
+            Access::Install {
+                rule: RuleId(1),
+                evicted: Some(RuleId(0))
+            }
+        );
+        assert_eq!(
+            t.cached_rules().collect::<Vec<_>>(),
+            vec![RuleId(1), RuleId(2)]
+        );
         assert_eq!(t.entries()[0].remaining, 10);
         assert_eq!(t.entries()[1].remaining, 3);
     }
@@ -398,13 +481,19 @@ mod tests {
         t.step_null(); // rule1: 4, rule0: 2
         t.step_null(); // rule1: 3, rule0: 1
         t.step_null(); // rule1: 2, rule0: 0 -> would expire; avoid that
-        // Restart with a clean tie instead.
+                       // Restart with a clean tie instead.
         let mut t = FlowTable::new(2);
         t.on_arrival(FlowId(1), &rules); // rule1: 6
         t.on_arrival(FlowId(0), &rules); // rule0: 5, rule1: 5  (tie)
         let a = t.on_arrival(FlowId(2), &rules);
         // rule1 is deeper (least recent) — it goes.
-        assert_eq!(a, Access::Install { rule: RuleId(2), evicted: Some(RuleId(1)) });
+        assert_eq!(
+            a,
+            Access::Install {
+                rule: RuleId(2),
+                evicted: Some(RuleId(1))
+            }
+        );
     }
 
     #[test]
@@ -422,7 +511,13 @@ mod tests {
         assert!(t.is_empty());
         // Next advance processes arrivals normally.
         let out = t.advance(Some(FlowId(3)), &rules);
-        assert_eq!(out, StepOutcome::Arrival(Access::Install { rule: RuleId(2), evicted: None }));
+        assert_eq!(
+            out,
+            StepOutcome::Arrival(Access::Install {
+                rule: RuleId(2),
+                evicted: None
+            })
+        );
         assert_eq!(t.advance(None, &rules), StepOutcome::Quiet);
     }
 
@@ -457,16 +552,40 @@ mod tests {
         let mut t = FlowTable::new(2);
         t.on_arrival(FlowId(3), &rules); // rule2: 7
         t.step_null(); // rule2: 6
-        // Probe miss: installs rule0 for f1 but rule2's timer is untouched.
+                       // Probe miss: installs rule0 for f1 but rule2's timer is untouched.
         let a = t.apply_probe(FlowId(1), &rules);
-        assert_eq!(a, Access::Install { rule: RuleId(0), evicted: None });
-        assert_eq!(t.entries()[1], Entry { rule: RuleId(2), remaining: 6 });
+        assert_eq!(
+            a,
+            Access::Install {
+                rule: RuleId(0),
+                evicted: None
+            }
+        );
+        assert_eq!(
+            t.entries()[1],
+            Entry {
+                rule: RuleId(2),
+                remaining: 6
+            }
+        );
         // Probe hit: idle timer resets, nothing else changes.
         t.step_null(); // rule0: 2, rule2: 5
         let a = t.apply_probe(FlowId(3), &rules);
         assert_eq!(a, Access::Hit { rule: RuleId(2) });
-        assert_eq!(t.entries()[0], Entry { rule: RuleId(2), remaining: 7 });
-        assert_eq!(t.entries()[1], Entry { rule: RuleId(0), remaining: 2 });
+        assert_eq!(
+            t.entries()[0],
+            Entry {
+                rule: RuleId(2),
+                remaining: 7
+            }
+        );
+        assert_eq!(
+            t.entries()[1],
+            Entry {
+                rule: RuleId(0),
+                remaining: 2
+            }
+        );
         // Uncovered probe: no change at all.
         let before = t.clone();
         assert_eq!(t.apply_probe(FlowId(0), &rules), Access::Uncovered);
@@ -488,7 +607,13 @@ mod tests {
         t.on_arrival(FlowId(1), &rules); // rule0: 3
         t.on_arrival(FlowId(3), &rules); // rule2: 7, rule0: 2
         let a = t.apply_probe(FlowId(2), &rules);
-        assert_eq!(a, Access::Install { rule: RuleId(1), evicted: Some(RuleId(0)) });
+        assert_eq!(
+            a,
+            Access::Install {
+                rule: RuleId(1),
+                evicted: Some(RuleId(0))
+            }
+        );
     }
 
     #[test]

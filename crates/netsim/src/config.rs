@@ -152,7 +152,10 @@ mod tests {
         assert_eq!(c.rules, back.rules);
         assert_eq!(c.topology, back.topology);
         assert_eq!(c.defense, back.defense);
-        assert_eq!((c.capacity, c.ingress, c.server), (back.capacity, back.ingress, back.server));
+        assert_eq!(
+            (c.capacity, c.ingress, c.server),
+            (back.capacity, back.ingress, back.server)
+        );
         assert!((c.latency.rule_setup.mu - back.latency.rule_setup.mu).abs() < 1e-12);
     }
 }

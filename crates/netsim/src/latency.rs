@@ -52,7 +52,11 @@ impl ShiftedLogNormal {
         assert!(std > 0.0, "std must be positive");
         let m = mean - shift;
         let sigma2 = (1.0 + (std / m).powi(2)).ln();
-        ShiftedLogNormal { shift, mu: m.ln() - sigma2 / 2.0, sigma: sigma2.sqrt() }
+        ShiftedLogNormal {
+            shift,
+            mu: m.ln() - sigma2 / 2.0,
+            sigma: sigma2.sqrt(),
+        }
     }
 
     /// Samples one value (always ≥ `shift`).
@@ -86,7 +90,10 @@ impl LatencyModel {
         LatencyModel {
             // Hit RTT ≈ N(0.087 ms, 0.021 ms) → one-way half of both moments
             // (two independent half-path samples sum to the full RTT).
-            path_one_way: Gaussian { mean: 0.087e-3 / 2.0, std: 0.021e-3 / 1.5 },
+            path_one_way: Gaussian {
+                mean: 0.087e-3 / 2.0,
+                std: 0.021e-3 / 1.5,
+            },
             // Miss RTT ≈ hit RTT + setup; setup moments N-matched to
             // (3.983 ms, 1.806 ms) with a 1.3 ms hard floor, so every miss
             // stays above the 1 ms threshold (as on the paper's testbed).
@@ -111,7 +118,10 @@ impl LatencyModel {
     #[must_use]
     pub fn segment(&self) -> Gaussian {
         let r = Self::REFERENCE_SEGMENTS as f64;
-        Gaussian { mean: self.path_one_way.mean / r, std: self.path_one_way.std / r.sqrt() }
+        Gaussian {
+            mean: self.path_one_way.mean / r,
+            std: self.path_one_way.std / r.sqrt(),
+        }
     }
 
     /// Segments of the calibration reference path: the evaluation
@@ -133,7 +143,10 @@ mod tests {
 
     #[test]
     fn gaussian_moments_are_close() {
-        let g = Gaussian { mean: 4.0e-3, std: 1.8e-3 };
+        let g = Gaussian {
+            mean: 4.0e-3,
+            std: 1.8e-3,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let n = 200_000;
         let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
@@ -145,7 +158,10 @@ mod tests {
 
     #[test]
     fn gaussian_never_negative() {
-        let g = Gaussian { mean: 0.0, std: 1.0 };
+        let g = Gaussian {
+            mean: 0.0,
+            std: 1.0,
+        };
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..10_000 {
             assert!(g.sample(&mut rng) >= 0.0);

@@ -121,9 +121,17 @@ impl Simulation {
                 if node == config.ingress {
                     Switch::new(SwitchMode::Reactive, config.capacity, config.defense)
                 } else if config.transit_reactive {
-                    Switch::new(SwitchMode::Reactive, config.transit_capacity, config.defense)
+                    Switch::new(
+                        SwitchMode::Reactive,
+                        config.transit_capacity,
+                        config.defense,
+                    )
                 } else {
-                    Switch::new(SwitchMode::Proactive, config.transit_capacity.max(1), config.defense)
+                    Switch::new(
+                        SwitchMode::Proactive,
+                        config.transit_capacity.max(1),
+                        config.defense,
+                    )
                 }
             })
             .collect();
@@ -224,7 +232,11 @@ impl Simulation {
     ///
     /// Panics if `at` is in the past.
     pub fn schedule_flow(&mut self, flow: FlowId, at: f64) {
-        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
         let ingress = self.config.ingress;
         // Host → ingress link.
         let hop = self.segment_sample();
@@ -232,7 +244,11 @@ impl Simulation {
             at + hop,
             EventKind::AtSwitch {
                 node: ingress,
-                packet: Packet { flow, probe: None, injected_at: at },
+                packet: Packet {
+                    flow,
+                    probe: None,
+                    injected_at: at,
+                },
             },
         );
     }
@@ -263,14 +279,21 @@ impl Simulation {
             at + hop,
             EventKind::AtSwitch {
                 node: ingress,
-                packet: Packet { flow, probe: Some(token), injected_at: at },
+                packet: Packet {
+                    flow,
+                    probe: Some(token),
+                    injected_at: at,
+                },
             },
         );
         loop {
             if let Some(obs) = self.probe_results[token as usize] {
                 return obs;
             }
-            let e = self.queue.pop().expect("probe reply must eventually arrive");
+            let e = self
+                .queue
+                .pop()
+                .expect("probe reply must eventually arrive");
             self.now = e.time;
             self.dispatch(e);
         }
@@ -284,7 +307,11 @@ impl Simulation {
 
     fn push(&mut self, time: f64, kind: EventKind) {
         self.seq += 1;
-        self.queue.push(Event { time, seq: self.seq, kind });
+        self.queue.push(Event {
+            time,
+            seq: self.seq,
+            kind,
+        });
     }
 
     fn segment_sample(&mut self) -> f64 {
@@ -299,7 +326,11 @@ impl Simulation {
         if node == self.config.server {
             self.push(t, EventKind::AtServer { packet });
         } else {
-            let pos = self.path.iter().position(|&n| n == node).expect("node on path");
+            let pos = self
+                .path
+                .iter()
+                .position(|&n| n == node)
+                .expect("node on path");
             let next = self.path[pos + 1];
             self.push(t, EventKind::AtSwitch { node: next, packet });
         }
@@ -317,8 +348,7 @@ impl Simulation {
                     probe: packet.probe.is_some(),
                     time: e.time,
                 });
-                let lookup =
-                    self.switches[node.0].lookup(packet.flow, e.time, &self.config.rules);
+                let lookup = self.switches[node.0].lookup(packet.flow, e.time, &self.config.rules);
                 match lookup {
                     Lookup::Hit { pad } => {
                         if let Some(rule) = self.config.rules.highest_covering(packet.flow) {
@@ -340,7 +370,12 @@ impl Simulation {
                         self.forward(node, packet, e.time, pad);
                     }
                     Lookup::Miss { rule, fresh } => {
-                        self.record(TraceEvent::Miss { node, flow: packet.flow, rule, time: e.time });
+                        self.record(TraceEvent::Miss {
+                            node,
+                            flow: packet.flow,
+                            rule,
+                            time: e.time,
+                        });
                         if fresh {
                             let setup = self.config.latency.rule_setup.sample(&mut self.rng);
                             self.push(e.time + setup, EventKind::ControllerReply { node, rule });
@@ -351,16 +386,29 @@ impl Simulation {
                         // Every such packet detours via the controller
                         // (the pre-installed send-to-controller rule);
                         // nothing is installed.
-                        self.record(TraceEvent::Uncovered { node, flow: packet.flow, time: e.time });
+                        self.record(TraceEvent::Uncovered {
+                            node,
+                            flow: packet.flow,
+                            time: e.time,
+                        });
                         let setup = self.config.latency.rule_setup.sample(&mut self.rng);
                         self.forward(node, packet, e.time, setup);
                     }
                 }
             }
             EventKind::ControllerReply { node, rule } => {
-                let evicted =
-                    self.switches[node.0].install(rule, e.time, &self.config.rules, self.config.delta);
-                self.record(TraceEvent::Install { node, rule, evicted, time: e.time });
+                let evicted = self.switches[node.0].install(
+                    rule,
+                    e.time,
+                    &self.config.rules,
+                    self.config.delta,
+                );
+                self.record(TraceEvent::Install {
+                    node,
+                    rule,
+                    evicted,
+                    time: e.time,
+                });
                 let released: Vec<Packet> = self
                     .pending
                     .iter()
@@ -523,7 +571,10 @@ mod tests {
     #[test]
     fn proactive_defense_blinds_probes() {
         let mut cfg = NetConfig::eval_topology(rules(), 2, 0.02);
-        cfg.defense = Defense { proactive: true, ..Defense::default() };
+        cfg.defense = Defense {
+            proactive: true,
+            ..Defense::default()
+        };
         let mut s = Simulation::new(cfg, 8);
         // Every probe hits, regardless of history.
         assert!(s.probe(FlowId(0)).hit);
@@ -535,13 +586,16 @@ mod tests {
     fn delay_padding_masks_fresh_rules() {
         let mut cfg = NetConfig::eval_topology(rules(), 2, 0.02);
         cfg.defense = Defense {
-            delay_first: Some(DelayPadding { packets: 3, pad_secs: 4.0e-3 }),
+            delay_first: Some(DelayPadding {
+                packets: 3,
+                pad_secs: 4.0e-3,
+            }),
             ..Defense::default()
         };
         let mut s = Simulation::new(cfg, 9);
         let _ = s.probe(FlowId(0)); // miss (slow anyway)
-        // The next probes hit but are padded above the threshold: the
-        // attacker cannot distinguish them from misses.
+                                    // The next probes hit but are padded above the threshold: the
+                                    // attacker cannot distinguish them from misses.
         let p2 = s.probe(FlowId(0));
         assert!(!p2.hit, "padded hit should look slow: rtt {}", p2.rtt);
     }
@@ -622,7 +676,11 @@ mod tests {
         s.schedule_flow(FlowId(1), 0.0);
         s.run_until(0.2);
         // Only the ingress switch saw reactive work.
-        let path = s.config().topology.path(s.config().ingress, s.config().server).unwrap();
+        let path = s
+            .config()
+            .topology
+            .path(s.config().ingress, s.config().server)
+            .unwrap();
         for &node in &path[1..] {
             assert_eq!(s.stats_of(node).misses, 0, "transit {node} missed");
             assert!(s.cached_rules_at(node).is_empty());
@@ -637,7 +695,11 @@ mod tests {
         let mut s = Simulation::new(cfg, 14);
         s.schedule_flow(FlowId(1), 0.0);
         s.run_until(0.5);
-        let path = s.config().topology.path(s.config().ingress, s.config().server).unwrap();
+        let path = s
+            .config()
+            .topology
+            .path(s.config().ingress, s.config().server)
+            .unwrap();
         for &node in &path {
             assert_eq!(s.stats_of(node).misses, 1, "{node}");
             assert_eq!(s.cached_rules_at(node), vec![RuleId(1)], "{node}");

@@ -66,7 +66,11 @@ pub(crate) struct Switch {
 
 impl Switch {
     pub(crate) fn new(mode: SwitchMode, capacity: usize, defense: Defense) -> Self {
-        let mode = if defense.proactive { SwitchMode::Proactive } else { mode };
+        let mode = if defense.proactive {
+            SwitchMode::Proactive
+        } else {
+            mode
+        };
         Switch {
             mode,
             table: ClockTable::new(capacity.max(1)),
@@ -177,15 +181,24 @@ mod tests {
         let mut sw = Switch::new(SwitchMode::Reactive, 2, Defense::default());
         assert_eq!(
             sw.lookup(FlowId(0), 0.0, &rules),
-            Lookup::Miss { rule: RuleId(0), fresh: true }
+            Lookup::Miss {
+                rule: RuleId(0),
+                fresh: true
+            }
         );
         // A second packet while the query is in flight is not fresh.
         assert_eq!(
             sw.lookup(FlowId(0), 0.001, &rules),
-            Lookup::Miss { rule: RuleId(0), fresh: false }
+            Lookup::Miss {
+                rule: RuleId(0),
+                fresh: false
+            }
         );
         sw.install(RuleId(0), 0.004, &rules, 0.02);
-        assert_eq!(sw.lookup(FlowId(0), 0.005, &rules), Lookup::Hit { pad: 0.0 });
+        assert_eq!(
+            sw.lookup(FlowId(0), 0.005, &rules),
+            Lookup::Hit { pad: 0.0 }
+        );
         assert_eq!(sw.stats.hits, 1);
         assert_eq!(sw.stats.misses, 2);
         assert_eq!(sw.stats.installs, 1);
@@ -213,7 +226,10 @@ mod tests {
     #[test]
     fn proactive_defense_overrides_mode() {
         let rules = rules();
-        let defense = Defense { proactive: true, ..Defense::default() };
+        let defense = Defense {
+            proactive: true,
+            ..Defense::default()
+        };
         let mut sw = Switch::new(SwitchMode::Reactive, 2, defense);
         assert_eq!(sw.lookup(FlowId(0), 0.0, &rules), Lookup::Hit { pad: 0.0 });
     }
@@ -224,11 +240,17 @@ mod tests {
         let mut sw = Switch::new(SwitchMode::Reactive, 2, Defense::default());
         sw.lookup(FlowId(0), 0.0, &rules);
         sw.install(RuleId(0), 0.004, &rules, 0.02); // ttl = 0.2 s
-        assert!(matches!(sw.lookup(FlowId(0), 0.1, &rules), Lookup::Hit { .. }));
+        assert!(matches!(
+            sw.lookup(FlowId(0), 0.1, &rules),
+            Lookup::Hit { .. }
+        ));
         // Idle timer re-armed at 0.1 → expires at 0.3.
         assert!(matches!(
             sw.lookup(FlowId(0), 0.35, &rules),
-            Lookup::Miss { rule: RuleId(0), fresh: true }
+            Lookup::Miss {
+                rule: RuleId(0),
+                fresh: true
+            }
         ));
     }
 
@@ -236,14 +258,23 @@ mod tests {
     fn delay_padding_pads_first_packets_only() {
         let rules = rules();
         let defense = Defense {
-            delay_first: Some(DelayPadding { packets: 2, pad_secs: 0.004 }),
+            delay_first: Some(DelayPadding {
+                packets: 2,
+                pad_secs: 0.004,
+            }),
             ..Defense::default()
         };
         let mut sw = Switch::new(SwitchMode::Reactive, 2, defense);
         sw.lookup(FlowId(0), 0.0, &rules);
         sw.install(RuleId(0), 0.004, &rules, 0.02);
-        assert_eq!(sw.lookup(FlowId(0), 0.01, &rules), Lookup::Hit { pad: 0.004 });
-        assert_eq!(sw.lookup(FlowId(0), 0.02, &rules), Lookup::Hit { pad: 0.004 });
+        assert_eq!(
+            sw.lookup(FlowId(0), 0.01, &rules),
+            Lookup::Hit { pad: 0.004 }
+        );
+        assert_eq!(
+            sw.lookup(FlowId(0), 0.02, &rules),
+            Lookup::Hit { pad: 0.004 }
+        );
         assert_eq!(sw.lookup(FlowId(0), 0.03, &rules), Lookup::Hit { pad: 0.0 });
         assert_eq!(sw.stats.padded, 2);
     }
@@ -252,16 +283,28 @@ mod tests {
     fn window_padding_pads_until_window_elapses() {
         let rules = rules();
         let defense = Defense {
-            pad_recent: Some(crate::config::WindowPadding { window_secs: 0.5, pad_secs: 0.004 }),
+            pad_recent: Some(crate::config::WindowPadding {
+                window_secs: 0.5,
+                pad_secs: 0.004,
+            }),
             ..Defense::default()
         };
         let mut sw = Switch::new(SwitchMode::Reactive, 2, defense);
         sw.lookup(FlowId(0), 0.0, &rules);
         sw.install(RuleId(0), 0.004, &rules, 0.02);
         // Every hit within 0.5 s of installation is padded...
-        assert_eq!(sw.lookup(FlowId(0), 0.1, &rules), Lookup::Hit { pad: 0.004 });
-        assert_eq!(sw.lookup(FlowId(0), 0.3, &rules), Lookup::Hit { pad: 0.004 });
-        assert_eq!(sw.lookup(FlowId(0), 0.49, &rules), Lookup::Hit { pad: 0.004 });
+        assert_eq!(
+            sw.lookup(FlowId(0), 0.1, &rules),
+            Lookup::Hit { pad: 0.004 }
+        );
+        assert_eq!(
+            sw.lookup(FlowId(0), 0.3, &rules),
+            Lookup::Hit { pad: 0.004 }
+        );
+        assert_eq!(
+            sw.lookup(FlowId(0), 0.49, &rules),
+            Lookup::Hit { pad: 0.004 }
+        );
         // ...and unpadded afterwards (the idle rule is kept alive by the
         // hits themselves).
         assert_eq!(sw.lookup(FlowId(0), 0.6, &rules), Lookup::Hit { pad: 0.0 });

@@ -224,8 +224,14 @@ mod tests {
 
     #[test]
     fn bad_link_rejected() {
-        assert_eq!(Topology::new(2, &[(0, 5)]), Err(TopologyError::BadLink(0, 5)));
-        assert_eq!(Topology::new(2, &[(1, 1)]), Err(TopologyError::BadLink(1, 1)));
+        assert_eq!(
+            Topology::new(2, &[(0, 5)]),
+            Err(TopologyError::BadLink(0, 5))
+        );
+        assert_eq!(
+            Topology::new(2, &[(1, 1)]),
+            Err(TopologyError::BadLink(1, 1))
+        );
     }
 
     #[test]

@@ -98,23 +98,52 @@ impl TraceEvent {
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            TraceEvent::Arrival { node, flow, probe, time } => {
-                write!(f, "{time:.6} {node} ARRIVE {flow}{}", if probe { " [probe]" } else { "" })
+            TraceEvent::Arrival {
+                node,
+                flow,
+                probe,
+                time,
+            } => {
+                write!(
+                    f,
+                    "{time:.6} {node} ARRIVE {flow}{}",
+                    if probe { " [probe]" } else { "" }
+                )
             }
-            TraceEvent::Hit { node, flow, rule, time } => {
+            TraceEvent::Hit {
+                node,
+                flow,
+                rule,
+                time,
+            } => {
                 write!(f, "{time:.6} {node} HIT {flow} -> {rule}")
             }
-            TraceEvent::Miss { node, flow, rule, time } => {
+            TraceEvent::Miss {
+                node,
+                flow,
+                rule,
+                time,
+            } => {
                 write!(f, "{time:.6} {node} MISS {flow} (query {rule})")
             }
-            TraceEvent::Install { node, rule, evicted, time } => match evicted {
+            TraceEvent::Install {
+                node,
+                rule,
+                evicted,
+                time,
+            } => match evicted {
                 Some(e) => write!(f, "{time:.6} {node} INSTALL {rule} (evict {e})"),
                 None => write!(f, "{time:.6} {node} INSTALL {rule}"),
             },
             TraceEvent::Uncovered { node, flow, time } => {
                 write!(f, "{time:.6} {node} UNCOVERED {flow}")
             }
-            TraceEvent::Delivered { flow, probe, rtt, time } => write!(
+            TraceEvent::Delivered {
+                flow,
+                probe,
+                rtt,
+                time,
+            } => write!(
                 f,
                 "{time:.6} host DELIVERED {flow} rtt {:.3}ms{}",
                 rtt * 1e3,
@@ -142,7 +171,11 @@ impl Trace {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "trace capacity must be positive");
-        Trace { events: Vec::new(), capacity, discarded: 0 }
+        Trace {
+            events: Vec::new(),
+            capacity,
+            discarded: 0,
+        }
     }
 
     /// Records one event.
@@ -207,7 +240,12 @@ mod tests {
     use super::*;
 
     fn ev(t: f64) -> TraceEvent {
-        TraceEvent::Arrival { node: NodeId(0), flow: FlowId(1), probe: false, time: t }
+        TraceEvent::Arrival {
+            node: NodeId(0),
+            flow: FlowId(1),
+            probe: false,
+            time: t,
+        }
     }
 
     #[test]
@@ -227,9 +265,24 @@ mod tests {
     fn flow_filter_skips_installs() {
         let mut tr = Trace::new(10);
         tr.record(ev(1.0));
-        tr.record(TraceEvent::Install { node: NodeId(0), rule: RuleId(0), evicted: None, time: 1.5 });
-        tr.record(TraceEvent::Delivered { flow: FlowId(1), probe: true, rtt: 0.004, time: 2.0 });
-        tr.record(TraceEvent::Hit { node: NodeId(0), flow: FlowId(2), rule: RuleId(0), time: 2.5 });
+        tr.record(TraceEvent::Install {
+            node: NodeId(0),
+            rule: RuleId(0),
+            evicted: None,
+            time: 1.5,
+        });
+        tr.record(TraceEvent::Delivered {
+            flow: FlowId(1),
+            probe: true,
+            rtt: 0.004,
+            time: 2.0,
+        });
+        tr.record(TraceEvent::Hit {
+            node: NodeId(0),
+            flow: FlowId(2),
+            rule: RuleId(0),
+            time: 2.5,
+        });
         let of1: Vec<_> = tr.of_flow(FlowId(1)).collect();
         assert_eq!(of1.len(), 2);
     }
@@ -237,7 +290,12 @@ mod tests {
     #[test]
     fn rendering_includes_key_fields() {
         let mut tr = Trace::new(10);
-        tr.record(TraceEvent::Miss { node: NodeId(3), flow: FlowId(7), rule: RuleId(2), time: 0.25 });
+        tr.record(TraceEvent::Miss {
+            node: NodeId(3),
+            flow: FlowId(7),
+            rule: RuleId(2),
+            time: 0.25,
+        });
         tr.record(TraceEvent::Install {
             node: NodeId(3),
             rule: RuleId(2),

@@ -132,7 +132,11 @@ mod tests {
         // rules still divide by their full cover size).
         let rules = RuleSet::new(
             vec![
-                Rule::from_flow_set(FlowSet::from_flows(4, [FlowId(0), FlowId(1)]), 2, Timeout::idle(5)),
+                Rule::from_flow_set(
+                    FlowSet::from_flows(4, [FlowId(0), FlowId(1)]),
+                    2,
+                    Timeout::idle(5),
+                ),
                 Rule::from_flow_set(FlowSet::from_flows(4, [FlowId(2)]), 1, Timeout::idle(5)),
             ],
             4,

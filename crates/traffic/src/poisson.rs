@@ -17,7 +17,10 @@ impl PoissonProcess {
     /// Panics if `rate` is negative or non-finite.
     #[must_use]
     pub fn new(rate: f64) -> Self {
-        assert!(rate >= 0.0 && rate.is_finite(), "invalid Poisson rate {rate}");
+        assert!(
+            rate >= 0.0 && rate.is_finite(),
+            "invalid Poisson rate {rate}"
+        );
         PoissonProcess { rate }
     }
 
@@ -120,8 +123,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let s = schedule(&[1.0, 3.0, 0.0], 0.0, 100.0, &mut rng);
         assert!(s.windows(2).all(|w| w[0].1 <= w[1].1));
-        let count =
-            |f: u32| s.iter().filter(|(id, _)| *id == FlowId(f)).count() as f64 / 100.0;
+        let count = |f: u32| s.iter().filter(|(id, _)| *id == FlowId(f)).count() as f64 / 100.0;
         assert!((count(0) - 1.0).abs() < 0.35);
         assert!((count(1) - 3.0).abs() < 0.6);
         assert_eq!(count(2), 0.0);

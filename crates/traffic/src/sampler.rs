@@ -65,7 +65,10 @@ impl fmt::Display for SampleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SampleError::NoEligibleTarget { attempts } => {
-                write!(f, "no eligible target flow after {attempts} sampled configurations")
+                write!(
+                    f,
+                    "no eligible target flow after {attempts} sampled configurations"
+                )
             }
         }
     }
@@ -151,7 +154,9 @@ impl ScenarioSampler {
             })
             .collect();
         let rules = RuleSet::new(rules, universe).expect("sampled rules are valid");
-        let lambdas: Vec<f64> = (0..universe).map(|_| rng.gen::<f64>() * self.lambda_max).collect();
+        let lambdas: Vec<f64> = (0..universe)
+            .map(|_| rng.gen::<f64>() * self.lambda_max)
+            .collect();
         (rules, lambdas)
     }
 
@@ -175,9 +180,7 @@ impl ScenarioSampler {
                 .map(FlowId)
                 .filter(|&f| {
                     let p = (-lambdas[f.index()] * self.window_secs).exp();
-                    p >= absence_range.0
-                        && p <= absence_range.1
-                        && rules.covering_count(f) > 0
+                    p >= absence_range.0 && p <= absence_range.1 && rules.covering_count(f) > 0
                 })
                 .collect();
             if let Some(&target) = eligible.as_slice().choose(rng) {
@@ -191,7 +194,9 @@ impl ScenarioSampler {
                 });
             }
         }
-        Err(SampleError::NoEligibleTarget { attempts: max_attempts })
+        Err(SampleError::NoEligibleTarget {
+            attempts: max_attempts,
+        })
     }
 
     /// Like [`ScenarioSampler::sample`], but guarantees success by
@@ -210,7 +215,9 @@ impl ScenarioSampler {
                 .map(FlowId)
                 .filter(|&f| rules.covering_count(f) > 0)
                 .collect();
-            let Some(&target) = covered.as_slice().choose(rng) else { continue };
+            let Some(&target) = covered.as_slice().choose(rng) else {
+                continue;
+            };
             let p = rng.gen_range(absence_range.0.max(1e-12)..=absence_range.1.max(1e-12));
             lambdas[target.index()] = -p.ln() / self.window_secs;
             return NetworkScenario {
@@ -252,11 +259,18 @@ mod tests {
         // Priorities are distinct by construction (RuleSet::new checked).
         // TTLs are multiples of 0.1 s in steps: 5..=50 with Δ=0.02.
         for r in rules.rules() {
-            assert!((5..=50).contains(&r.timeout().steps), "steps {}", r.timeout().steps);
+            assert!(
+                (5..=50).contains(&r.timeout().steps),
+                "steps {}",
+                r.timeout().steps
+            );
         }
         // Rules are distinct patterns.
-        let pats: std::collections::HashSet<_> =
-            rules.rules().iter().map(|r| *r.pattern().unwrap()).collect();
+        let pats: std::collections::HashSet<_> = rules
+            .rules()
+            .iter()
+            .map(|r| *r.pattern().unwrap())
+            .collect();
         assert_eq!(pats.len(), 12);
     }
 
@@ -278,7 +292,10 @@ mod tests {
         for range in [(0.05, 0.1), (0.45, 0.5), (0.9, 0.95)] {
             let sc = s.sample_forced(range, &mut rng);
             let p = sc.target_absence_probability();
-            assert!((range.0..=range.1).contains(&p), "absence {p} not in {range:?}");
+            assert!(
+                (range.0..=range.1).contains(&p),
+                "absence {p} not in {range:?}"
+            );
             assert!(sc.rules.covering_count(sc.target) > 0);
         }
     }
@@ -306,7 +323,10 @@ mod tests {
 
     #[test]
     fn rates_and_horizon_consistent() {
-        let s = ScenarioSampler { delta: 0.05, ..ScenarioSampler::default() };
+        let s = ScenarioSampler {
+            delta: 0.05,
+            ..ScenarioSampler::default()
+        };
         let mut rng = StdRng::seed_from_u64(6);
         let sc = s.sample_forced((0.2, 0.8), &mut rng);
         let rates = sc.rates();

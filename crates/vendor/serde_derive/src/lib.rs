@@ -1,0 +1,497 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Generates `Serialize`/`Deserialize` impls against serde's vendored
+//! value-tree data model (see `crates/vendor/serde`). Supports exactly
+//! the shapes this workspace derives: non-generic structs (named, tuple,
+//! unit), enums with unit/named/tuple variants, and the container
+//! attribute `#[serde(from = "T", into = "T")]`.
+//!
+//! Implementation note: input token trees are parsed by hand (no `syn`)
+//! and output is produced by string formatting then re-parsed — the
+//! crates.io-free environment leaves no alternative, and the supported
+//! grammar is small enough for this to stay readable.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    shape: Shape,
+    /// `#[serde(from = "T")]` proxy type, if any.
+    from: Option<String>,
+    /// `#[serde(into = "T")]` proxy type, if any.
+    into: Option<String>,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+#[derive(Debug)]
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Derives `serde::Serialize` for the annotated type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for the annotated type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---- parsing ----
+
+fn parse_input(ts: TokenStream) -> Input {
+    let mut iter = ts.into_iter().peekable();
+    let mut from = None;
+    let mut into = None;
+    // Leading attributes and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    parse_serde_attr(g.stream(), &mut from, &mut into);
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                skip_vis_restriction(&mut iter);
+            }
+            _ => break,
+        }
+    }
+    let kw = expect_ident(&mut iter, "`struct` or `enum`");
+    let name = expect_ident(&mut iter, "type name");
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde derive does not support generic types (deriving {name})");
+    }
+    let shape = match kw.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("unexpected token after `struct {name}`: {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unexpected token after `enum {name}`: {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other} {name}`"),
+    };
+    Input {
+        name,
+        shape,
+        from,
+        into,
+    }
+}
+
+fn expect_ident<I: Iterator<Item = TokenTree>>(iter: &mut I, what: &str) -> String {
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected {what}, found {other:?}"),
+    }
+}
+
+fn skip_vis_restriction<I: Iterator<Item = TokenTree>>(iter: &mut Peekable<I>) {
+    if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis) {
+        iter.next();
+    }
+}
+
+/// Extracts `from`/`into` from a `serde(...)` attribute body, ignoring
+/// every other attribute.
+fn parse_serde_attr(ts: TokenStream, from: &mut Option<String>, into: &mut Option<String>) {
+    let mut iter = ts.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(g)) = iter.next() else {
+        return;
+    };
+    let mut inner = g.stream().into_iter().peekable();
+    while let Some(tt) = inner.next() {
+        let TokenTree::Ident(key) = tt else { continue };
+        let key = key.to_string();
+        if !matches!(inner.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            if key == "from" || key == "into" {
+                panic!("#[serde({key})] expects = \"Type\"");
+            }
+            continue;
+        }
+        inner.next();
+        let Some(TokenTree::Literal(lit)) = inner.next() else {
+            panic!("#[serde({key} = ...)] expects a string literal");
+        };
+        let raw = lit.to_string();
+        let ty = raw.trim_matches('"').to_string();
+        match key.as_str() {
+            "from" => *from = Some(ty),
+            "into" => *into = Some(ty),
+            other => panic!("unsupported serde container attribute `{other}`"),
+        }
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = ts.into_iter().peekable();
+    loop {
+        skip_attrs(&mut iter);
+        if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            skip_vis_restriction(&mut iter);
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => {
+                fields.push(id.to_string());
+                skip_type_until_comma(&mut iter);
+            }
+            None => break,
+            Some(other) => panic!("unexpected token in fields: {other:?}"),
+        }
+    }
+    fields
+}
+
+fn skip_attrs<I: Iterator<Item = TokenTree>>(iter: &mut Peekable<I>) {
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        iter.next();
+    }
+}
+
+/// Skips a `: Type` tail up to (and including) the next comma that is not
+/// nested inside `<...>` generics. Parenthesized tuple types arrive as
+/// single groups, so only angle brackets need depth tracking.
+fn skip_type_until_comma<I: Iterator<Item = TokenTree>>(iter: &mut I) {
+    let mut depth = 0i64;
+    for tt in iter.by_ref() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut depth = 0i64;
+    let mut count = 0usize;
+    let mut pending = false;
+    for tt in ts {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    count += 1;
+                    pending = false;
+                }
+                _ => pending = true,
+            },
+            _ => pending = true,
+        }
+    }
+    count + usize::from(pending)
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = ts.into_iter().peekable();
+    loop {
+        skip_attrs(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("unexpected token in enum body: {other:?}"),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = VariantFields::Named(parse_named_fields(g.stream()));
+                iter.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = VariantFields::Tuple(count_tuple_fields(g.stream()));
+                iter.next();
+                f
+            }
+            _ => VariantFields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip an optional `= discriminant` and the separating comma.
+        for tt in iter.by_ref() {
+            if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    variants
+}
+
+// ---- code generation ----
+
+const IMPL_ATTRS: &str = "#[automatically_derived]\n#[allow(clippy::all, clippy::pedantic)]\n";
+
+fn object_literal(pairs: &[(String, String)]) -> String {
+    if pairs.is_empty() {
+        return "::serde::Value::Object(::std::vec::Vec::new())".to_string();
+    }
+    let entries: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("(::std::string::String::from(\"{k}\"), {v})"))
+        .collect();
+    format!(
+        "::serde::Value::Object(::std::vec::Vec::from([{}]))",
+        entries.join(", ")
+    )
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = if let Some(into_ty) = &input.into {
+        format!(
+            "let __proxy: {into_ty} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&__proxy)"
+        )
+    } else {
+        match &input.shape {
+            Shape::Unit => "::serde::Value::Null".to_string(),
+            Shape::Named(fields) => {
+                let pairs: Vec<(String, String)> = fields
+                    .iter()
+                    .map(|f| {
+                        (
+                            f.clone(),
+                            format!("::serde::Serialize::to_value(&self.{f})"),
+                        )
+                    })
+                    .collect();
+                object_literal(&pairs)
+            }
+            Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Shape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!(
+                    "::serde::Value::Array(::std::vec::Vec::from([{}]))",
+                    items.join(", ")
+                )
+            }
+            Shape::Enum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| {
+                        let vname = &v.name;
+                        match &v.fields {
+                            VariantFields::Unit => format!(
+                                "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                            ),
+                            VariantFields::Named(fields) => {
+                                let binders = fields.join(", ");
+                                let pairs: Vec<(String, String)> = fields
+                                    .iter()
+                                    .map(|f| {
+                                        (f.clone(), format!("::serde::Serialize::to_value({f})"))
+                                    })
+                                    .collect();
+                                let payload = object_literal(&pairs);
+                                let tagged = object_literal(&[(vname.clone(), payload)]);
+                                format!("{name}::{vname} {{ {binders} }} => {tagged},")
+                            }
+                            VariantFields::Tuple(n) => {
+                                let binders: Vec<String> =
+                                    (0..*n).map(|i| format!("__f{i}")).collect();
+                                let payload = if *n == 1 {
+                                    "::serde::Serialize::to_value(__f0)".to_string()
+                                } else {
+                                    let items: Vec<String> = binders
+                                        .iter()
+                                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                        .collect();
+                                    format!(
+                                        "::serde::Value::Array(::std::vec::Vec::from([{}]))",
+                                        items.join(", ")
+                                    )
+                                };
+                                let tagged = object_literal(&[(vname.clone(), payload)]);
+                                format!("{name}::{vname}({}) => {tagged},", binders.join(", "))
+                            }
+                        }
+                    })
+                    .collect();
+                format!("match self {{\n{}\n}}", arms.join("\n"))
+            }
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn named_constructor(path: &str, fields: &[String], obj_var: &str, context: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(::serde::get_field({obj_var}, \"{f}\", \"{context}\")?)?,"
+            )
+        })
+        .collect();
+    format!("{path} {{\n{}\n}}", inits.join("\n"))
+}
+
+fn tuple_constructor(path: &str, n: usize, arr_var: &str) -> String {
+    let inits: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&{arr_var}[{i}])?"))
+        .collect();
+    format!("{path}({})", inits.join(", "))
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = if let Some(from_ty) = &input.from {
+        format!(
+            "let __proxy: {from_ty} = ::serde::Deserialize::from_value(__v)?;\n\
+             ::core::result::Result::Ok(::core::convert::From::from(__proxy))"
+        )
+    } else {
+        match &input.shape {
+            Shape::Unit => format!("::core::result::Result::Ok({name})"),
+            Shape::Named(fields) => {
+                let ctor = named_constructor(name, fields, "__obj", name);
+                format!(
+                    "let __obj = __v.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+                     ::core::result::Result::Ok({ctor})"
+                )
+            }
+            Shape::Tuple(1) => format!(
+                "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+            ),
+            Shape::Tuple(n) => format!(
+                "let __arr = __v.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", \"{name}\"))?;\n\
+                 if __arr.len() != {n} {{\n\
+                     return ::core::result::Result::Err(::serde::DeError::expected(\"{n}-element array\", \"{name}\"));\n\
+                 }}\n\
+                 ::core::result::Result::Ok({ctor})",
+                ctor = tuple_constructor(name, *n, "__arr")
+            ),
+            Shape::Enum(variants) => gen_deserialize_enum(name, variants),
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, VariantFields::Unit))
+        .collect();
+    let data: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| !matches!(v.fields, VariantFields::Unit))
+        .collect();
+    let mut arms = Vec::new();
+    if !unit.is_empty() {
+        let unit_arms: Vec<String> = unit
+            .iter()
+            .map(|v| {
+                format!(
+                    "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),",
+                    vname = v.name
+                )
+            })
+            .collect();
+        arms.push(format!(
+            "::serde::Value::Str(__s) => match __s.as_str() {{\n{}\n\
+             __other => ::core::result::Result::Err(::serde::DeError(::std::format!(\
+             \"unknown variant `{{__other}}` of {name}\"))),\n}},",
+            unit_arms.join("\n")
+        ));
+    }
+    if !data.is_empty() {
+        let data_arms: Vec<String> = data
+            .iter()
+            .map(|v| {
+                let vname = &v.name;
+                let path = format!("{name}::{vname}");
+                let context = format!("{name}::{vname}");
+                let build = match &v.fields {
+                    VariantFields::Unit => unreachable!("filtered above"),
+                    VariantFields::Named(fields) => {
+                        let ctor = named_constructor(&path, fields, "__obj", &context);
+                        format!(
+                            "let __obj = __inner.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", \"{context}\"))?;\n\
+                             ::core::result::Result::Ok({ctor})"
+                        )
+                    }
+                    VariantFields::Tuple(1) => format!(
+                        "::core::result::Result::Ok({path}(::serde::Deserialize::from_value(__inner)?))"
+                    ),
+                    VariantFields::Tuple(n) => format!(
+                        "let __arr = __inner.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", \"{context}\"))?;\n\
+                         if __arr.len() != {n} {{\n\
+                             return ::core::result::Result::Err(::serde::DeError::expected(\"{n}-element array\", \"{context}\"));\n\
+                         }}\n\
+                         ::core::result::Result::Ok({ctor})",
+                        ctor = tuple_constructor(&path, *n, "__arr")
+                    ),
+                };
+                format!("\"{vname}\" => {{\n{build}\n}}")
+            })
+            .collect();
+        arms.push(format!(
+            "::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+             let (__tag, __inner) = &__entries[0];\n\
+             match __tag.as_str() {{\n{}\n\
+             __other => ::core::result::Result::Err(::serde::DeError(::std::format!(\
+             \"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},",
+            data_arms.join("\n")
+        ));
+    }
+    arms.push(format!(
+        "__other => ::core::result::Result::Err(::serde::DeError::expected(\"{name} variant\", \"{name}\")),"
+    ));
+    format!("match __v {{\n{}\n}}", arms.join("\n"))
+}

@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let delta = 0.05;
     let rules = RuleSet::new(
         vec![
-            Rule::from_flow_set(FlowSet::from_flows(universe, [FlowId(0)]), 2, Timeout::idle(20)),
+            Rule::from_flow_set(
+                FlowSet::from_flows(universe, [FlowId(0)]),
+                2,
+                Timeout::idle(20),
+            ),
             Rule::from_flow_set(
                 FlowSet::from_flows(universe, [FlowId(1), FlowId(2)]),
                 1,
@@ -74,13 +78,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .max_by(|a, b| a.1.total_cmp(&b.1))
         .expect("nonempty series");
-    let quiet: f64 = series.iter().filter(|&&(t, _)| t != spike).map(|&(_, p)| p).sum::<f64>()
+    let quiet: f64 = series
+        .iter()
+        .filter(|&&(t, _)| t != spike)
+        .map(|&(_, p)| p)
+        .sum::<f64>()
         / (series.len() - 1) as f64;
     println!(
         "\ntarget burst at t = 21.3 s; peak estimate {peak:.3} at interval ending {spike:.1} s \
          (quiet baseline {quiet:.3})"
     );
-    assert_eq!(spike, 22.0, "the burst interval should carry the peak estimate");
-    assert!(peak > 3.0 * quiet, "the spike should stand well clear of the baseline");
+    assert_eq!(
+        spike, 22.0,
+        "the burst interval should carry the peak estimate"
+    );
+    assert!(
+        peak > 3.0 * quiet,
+        "the spike should stand well clear of the baseline"
+    );
     Ok(())
 }

@@ -27,15 +27,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
     };
     let entries = [
-        (icmp("10.0.1.3")?, 40, Timeout::idle(50)),      // the sensitive host
-        (icmp("10.0.1.0/30")?, 30, Timeout::idle(20)),   // its /30 neighborhood
-        (icmp("10.0.1.8/29")?, 20, Timeout::idle(40)),   // the upper half
-        (icmp("10.0.1.0/28")?, 10, Timeout::idle(50)),   // catch-all
+        (icmp("10.0.1.3")?, 40, Timeout::idle(50)), // the sensitive host
+        (icmp("10.0.1.0/30")?, 30, Timeout::idle(20)), // its /30 neighborhood
+        (icmp("10.0.1.8/29")?, 20, Timeout::idle(40)), // the upper half
+        (icmp("10.0.1.0/28")?, 10, Timeout::idle(50)), // catch-all
     ];
     let compiled = compile(&entries, &universe)?;
-    println!("compiled {} rules ({} dropped)", compiled.rules.len(), compiled.dropped.len());
+    println!(
+        "compiled {} rules ({} dropped)",
+        compiled.rules.len(),
+        compiled.dropped.len()
+    );
     for (id, rule) in compiled.rules.iter() {
-        println!("  {id}: covers {} flows, priority {}", rule.covers().len(), rule.priority());
+        println!(
+            "  {id}: covers {} flows, priority {}",
+            rule.covers().len(),
+            rule.priority()
+        );
     }
 
     // Measure the structure's information leakage. Host 3 (the one with a
@@ -46,7 +54,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let horizon = 100; // a 2 s window
     let target = flow_recon::flowspace::FlowId(3);
     let leak_of = |report: &flow_recon::model::leakage::LeakageReport| {
-        report.targets.iter().find(|t| t.target == target).cloned().expect("covered")
+        report
+            .targets
+            .iter()
+            .find(|t| t.target == target)
+            .cloned()
+            .expect("covered")
     };
 
     let before = measure_leakage(&compiled.rules, &rates, 4, horizon, Evaluator::mean_field())?;

@@ -31,13 +31,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let delta = 0.02;
     let rules = RuleSet::new(
         vec![
-            Rule::from_flow_set(FlowSet::from_flows(universe, [FlowId(0)]), 30, Timeout::idle(40)),
+            Rule::from_flow_set(
+                FlowSet::from_flows(universe, [FlowId(0)]),
+                30,
+                Timeout::idle(40),
+            ),
             Rule::from_flow_set(
                 FlowSet::from_flows(universe, [FlowId(0), FlowId(1)]),
                 20,
                 Timeout::idle(40),
             ),
-            Rule::from_flow_set(FlowSet::from_flows(universe, [FlowId(2)]), 10, Timeout::idle(40)),
+            Rule::from_flow_set(
+                FlowSet::from_flows(universe, [FlowId(2)]),
+                10,
+                Timeout::idle(40),
+            ),
         ],
         universe,
     )?;
@@ -50,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let planner = ProbePlanner::new(&model, target, (window / delta) as usize);
     let best = planner.best_probe((0..universe as u32).map(FlowId))?;
     let naive = planner.analyze(target);
-    println!("prior P(no detection logged in the last {window} s) = {:.3}", planner.p_absent());
+    println!(
+        "prior P(no detection logged in the last {window} s) = {:.3}",
+        planner.p_absent()
+    );
     println!(
         "naive probe (the IDS flow itself): info gain {:.5}, P(detected | hit) = {:.3}",
         naive.info_gain, naive.p_present_given_hit

@@ -20,7 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let universe = 3;
     let rules = RuleSet::new(
         vec![
-            Rule::from_flow_set(FlowSet::from_flows(universe, [FlowId(1)]), 20, Timeout::idle(30)),
+            Rule::from_flow_set(
+                FlowSet::from_flows(universe, [FlowId(1)]),
+                20,
+                Timeout::idle(30),
+            ),
             Rule::from_flow_set(
                 FlowSet::from_flows(universe, [FlowId(1), FlowId(2)]),
                 10,
@@ -50,12 +54,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seq = planner.best_sequence_exhaustive(&candidates, 2)?;
     println!(
         "\nbest sequence {:?}: joint info gain {:.5}",
-        seq.probes.iter().map(ToString::to_string).collect::<Vec<_>>(),
+        seq.probes
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>(),
         seq.info_gain
     );
 
     let tree = DecisionTree::from_analysis(&seq);
-    println!("\ndecision tree over (Q_{}, Q_{}):", seq.probes[0], seq.probes[1]);
+    println!(
+        "\ndecision tree over (Q_{}, Q_{}):",
+        seq.probes[0], seq.probes[1]
+    );
     for q1 in [false, true] {
         for q2 in [false, true] {
             println!(
@@ -63,7 +73,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 u8::from(q1),
                 u8::from(q2),
                 tree.posterior(&[q1, q2]),
-                if tree.decide(&[q1, q2]) { "OCCURRED" } else { "absent" },
+                if tree.decide(&[q1, q2]) {
+                    "OCCURRED"
+                } else {
+                    "absent"
+                },
             );
         }
     }

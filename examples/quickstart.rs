@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Build the compact Markov model of the switch (§IV-B).
     let model = CompactModel::build(&rules, &rates, 2, Evaluator::mean_field())?;
-    println!("compact model: {} states", flow_recon::model::SwitchModel::n_states(&model));
+    println!(
+        "compact model: {} states",
+        flow_recon::model::SwitchModel::n_states(&model)
+    );
 
     // 2. Select the probe with the largest information gain (§V).
     let planner = ProbePlanner::new(&model, target, horizon);
@@ -71,7 +74,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "probe {} came back in {:.3} ms -> {}",
         obs.flow,
         obs.rtt * 1e3,
-        if obs.hit { "HIT (covering rule cached)" } else { "MISS (no covering rule)" }
+        if obs.hit {
+            "HIT (covering rule cached)"
+        } else {
+            "MISS (no covering rule)"
+        }
     );
     println!(
         "attacker concludes the target {}; ground truth: it {}",

@@ -21,15 +21,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let delta = 0.02;
     let rules = RuleSet::new(
         vec![
-            Rule::from_flow_set(FlowSet::from_flows(universe, [FlowId(0)]), 2, Timeout::idle(50)),
-            Rule::from_flow_set(FlowSet::from_flows(universe, [FlowId(1)]), 1, Timeout::idle(50)),
+            Rule::from_flow_set(
+                FlowSet::from_flows(universe, [FlowId(0)]),
+                2,
+                Timeout::idle(50),
+            ),
+            Rule::from_flow_set(
+                FlowSet::from_flows(universe, [FlowId(1)]),
+                1,
+                Timeout::idle(50),
+            ),
         ],
         universe,
     )?;
     let attacker_flow = FlowId(0);
     let forged_a_flow = FlowId(1);
 
-    for (label, a_visited_b) in [("A visited B 0.3 s ago", true), ("A never visited B", false)] {
+    for (label, a_visited_b) in [
+        ("A visited B 0.3 s ago", true),
+        ("A never visited B", false),
+    ] {
         let mut sim = Simulation::new(NetConfig::eval_topology(rules.clone(), 6, delta), 21);
         if a_visited_b {
             sim.schedule_flow(forged_a_flow, 0.2); // the genuine visit
@@ -44,12 +55,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         let verdict = forged.rtt < own.rtt / 2.0;
         println!("{label}:");
-        println!("  own flow RTT    {:.3} ms (t_fetch + t_setup)", own.rtt * 1e3);
+        println!(
+            "  own flow RTT    {:.3} ms (t_fetch + t_setup)",
+            own.rtt * 1e3
+        );
         println!("  forged flow RTT {:.3} ms", forged.rtt * 1e3);
         println!(
             "  attacker infers: A {} B recently -> {}\n",
             if verdict { "visited" } else { "did not visit" },
-            if verdict == a_visited_b { "correct" } else { "WRONG" },
+            if verdict == a_visited_b {
+                "correct"
+            } else {
+                "WRONG"
+            },
         );
         assert_eq!(verdict, a_visited_b, "the example should infer correctly");
     }

@@ -1,8 +1,45 @@
 #!/bin/sh
 # Regenerates every table and figure (see DESIGN.md experiment index).
 # The combined evaluate_suite covers Figures 6a/6b/7a/7b.
+#
+# Usage:
+#   ./run_all_experiments.sh           # full run (paper-scale parameters)
+#   ./run_all_experiments.sh --smoke   # CI smoke: tiny trial counts, no SVG
+#
+# Thread count for the trial engine is taken from FLOW_RECON_THREADS
+# (`auto` or 0 = one thread per core) or per-bin `--threads`.
+set -e
+
+SMOKE=0
+for arg in "$@"; do
+    case "$arg" in
+        --smoke) SMOKE=1 ;;
+        *) echo "usage: $0 [--smoke]" >&2; exit 2 ;;
+    esac
+done
+
 set -x
 BIN="cargo run --release -p experiments --bin"
+
+if [ "$SMOKE" -eq 1 ]; then
+    # Reduced trial counts: exercises every experiment end to end in
+    # minutes, skips SVG rendering, and writes to results/smoke so the
+    # committed paper-scale CSVs are untouched. Shapes are noisy at this
+    # scale; only the full run reproduces the paper's numbers.
+    OUT="results/smoke"
+    $BIN latency_table -- --seed 7 --fast --out "$OUT"
+    $BIN scalability -- --seed 7 --fast --out "$OUT"
+    $BIN ablation_evaluators -- --seed 7 --fast --out "$OUT"
+    $BIN countermeasures -- --configs 4 --trials 10 --seed 7 --fast --out "$OUT"
+    $BIN multiprobe -- --configs 4 --trials 10 --seed 7 --fast --out "$OUT"
+    $BIN multiswitch -- --configs 4 --trials 10 --seed 7 --fast --out "$OUT"
+    $BIN robustness_rates -- --configs 4 --trials 10 --seed 7 --fast --out "$OUT"
+    $BIN defense_transform -- --configs 3 --trials 10 --seed 7 --fast --out "$OUT"
+    $BIN sweep_parameters -- --configs 2 --trials 10 --seed 7 --fast --out "$OUT"
+    $BIN evaluate_suite -- --configs 4 --trials 10 --seed 7 --fast --out "$OUT"
+    exit 0
+fi
+
 $BIN latency_table -- --seed 7
 $BIN scalability -- --seed 7
 $BIN ablation_evaluators -- --seed 7
@@ -12,3 +49,5 @@ $BIN multiswitch -- --configs 25 --trials 80 --seed 7
 $BIN robustness_rates -- --configs 25 --trials 80 --seed 7
 $BIN defense_transform -- --configs 15 --trials 60 --seed 7
 $BIN sweep_parameters -- --configs 8 --trials 60 --seed 7
+$BIN evaluate_suite -- --configs 40 --trials 100 --seed 7
+$BIN render_figures

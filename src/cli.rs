@@ -9,7 +9,7 @@
 //!
 //! All subcommands read/write JSON so they compose in shell pipelines.
 
-use attack::{plan_attack_with, run_trials, AttackerKind};
+use attack::{plan_attack_with, run_trials_policy, AttackerKind, ExecPolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use recon_core::leakage::measure_leakage;
@@ -51,12 +51,17 @@ impl Args {
     }
 
     fn get(&self, key: &str) -> Option<&str> {
-        self.options.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.options
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
         match self.get(key) {
-            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse {v:?}")),
             None => Ok(default),
         }
     }
@@ -70,7 +75,7 @@ pub fn usage() -> String {
        sample    --seed N [--bits B] [--rules R] [--capacity C] [--absence-lo X] [--absence-hi Y]\n\
        plan      --scenario FILE [--multi M] [--adaptive D]\n\
        leakage   --scenario FILE\n\
-       simulate  --scenario FILE [--trials N] [--seed N]\n"
+       simulate  --scenario FILE [--trials N] [--seed N] [--threads K|auto]\n"
         .to_string()
 }
 
@@ -108,7 +113,11 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             let plan = plan_attack_with(&sc, Evaluator::mean_field(), multi, adaptive)
                 .map_err(|e| e.to_string())?;
             let mut out = String::new();
-            let _ = writeln!(out, "target: {} (P(absent) = {:.3})", sc.target, plan.p_absent);
+            let _ = writeln!(
+                out,
+                "target: {} (P(absent) = {:.3})",
+                sc.target, plan.p_absent
+            );
             let _ = writeln!(
                 out,
                 "optimal probe: {} (info gain {:.5}, detector: {})",
@@ -162,7 +171,11 @@ pub fn run(args: &Args) -> Result<String, CliError> {
                     t.target,
                     t.best_probe,
                     t.info_gain,
-                    if t.detector_feasible { " [detector]" } else { "" }
+                    if t.detector_feasible {
+                        " [detector]"
+                    } else {
+                        ""
+                    }
                 );
             }
             Ok(out)
@@ -171,10 +184,16 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             let sc = load_scenario(args)?;
             let trials: usize = args.get_parse("trials", 100)?;
             let seed: u64 = args.get_parse("seed", 7)?;
-            let plan = plan_attack_with(&sc, Evaluator::mean_field(), 0, 0)
-                .map_err(|e| e.to_string())?;
+            let policy = match args.get("threads") {
+                Some(v) => ExecPolicy::parse(v).ok_or_else(|| {
+                    format!("--threads: expected a thread count or `auto`, got {v:?}")
+                })?,
+                None => ExecPolicy::from_env(),
+            };
+            let plan =
+                plan_attack_with(&sc, Evaluator::mean_field(), 0, 0).map_err(|e| e.to_string())?;
             let kinds = AttackerKind::all();
-            let report = run_trials(&sc, &plan, &kinds, trials, seed);
+            let report = run_trials_policy(&sc, &plan, &kinds, trials, seed, policy);
             let mut out = String::new();
             let _ = writeln!(
                 out,
@@ -239,10 +258,41 @@ mod tests {
         let leak_out = run(&args(&format!("leakage --scenario {}", path.display()))).unwrap();
         assert!(leak_out.contains("rule-structure leakage"));
 
-        let sim_out =
-            run(&args(&format!("simulate --scenario {} --trials 10", path.display()))).unwrap();
+        let sim_out = run(&args(&format!(
+            "simulate --scenario {} --trials 10",
+            path.display()
+        )))
+        .unwrap();
         assert!(sim_out.contains("naive"), "{sim_out}");
         assert!(sim_out.contains("accuracy"));
+    }
+
+    #[test]
+    fn simulate_threads_flag_does_not_change_output() {
+        let dir = std::env::temp_dir().join("flow-recon-cli-threads-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scenario.json");
+        let json = run(&args("sample --seed 5 --bits 3 --rules 6 --capacity 3")).unwrap();
+        std::fs::write(&path, &json).unwrap();
+
+        let serial = run(&args(&format!(
+            "simulate --scenario {} --trials 12 --threads 1",
+            path.display()
+        )))
+        .unwrap();
+        let parallel = run(&args(&format!(
+            "simulate --scenario {} --trials 12 --threads 4",
+            path.display()
+        )))
+        .unwrap();
+        assert_eq!(serial, parallel);
+
+        let err = run(&args(&format!(
+            "simulate --scenario {} --threads nope",
+            path.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
     }
 
     #[test]

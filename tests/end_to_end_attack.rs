@@ -61,7 +61,10 @@ fn model_attacker_beats_random_on_feasible_configs() {
         model_acc > random_acc + 0.02,
         "model {model_acc:.3} should beat random {random_acc:.3}"
     );
-    assert!(model_acc > 0.55, "model accuracy {model_acc:.3} should beat coin flipping");
+    assert!(
+        model_acc > 0.55,
+        "model accuracy {model_acc:.3} should beat coin flipping"
+    );
 }
 
 #[test]
@@ -73,8 +76,13 @@ fn model_attacker_at_least_matches_naive_on_average() {
     for _ in 0..n_configs {
         let (sc, plan) = feasible_scenario(seed);
         seed += 999;
-        let report =
-            run_trials(&sc, &plan, &[AttackerKind::Model, AttackerKind::Naive], 80, seed);
+        let report = run_trials(
+            &sc,
+            &plan,
+            &[AttackerKind::Model, AttackerKind::Naive],
+            80,
+            seed,
+        );
         model_sum += report.accuracy(AttackerKind::Model);
         naive_sum += report.accuracy(AttackerKind::Naive);
     }
@@ -95,13 +103,19 @@ fn defenses_degrade_the_attack() {
 
     let mut padded = base.clone();
     padded.defense = Defense {
-        delay_first: Some(DelayPadding { packets: 3, pad_secs: 4.0e-3 }),
+        delay_first: Some(DelayPadding {
+            packets: 3,
+            pad_secs: 4.0e-3,
+        }),
         ..Defense::default()
     };
     let with_padding = run_trials_with(&sc, &plan, &kinds, 80, 1, &padded);
 
     let mut proactive = base.clone();
-    proactive.defense = Defense { proactive: true, ..Defense::default() };
+    proactive.defense = Defense {
+        proactive: true,
+        ..Defense::default()
+    };
     let with_proactive = run_trials_with(&sc, &plan, &kinds, 80, 1, &proactive);
 
     let base_acc = no_defense.accuracy(AttackerKind::Model);

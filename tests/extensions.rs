@@ -8,8 +8,8 @@ use flow_recon::attack::{
     sweep::{sweep, SweepParameter},
     AttackerKind,
 };
+use flow_recon::flowspace::analysis;
 use flow_recon::flowspace::transform::{covers_preserved, merge_candidates, merge_rules};
-use flow_recon::flowspace::{analysis, FlowId};
 use flow_recon::model::leakage::measure_leakage;
 use flow_recon::model::useq::Evaluator;
 use flow_recon::netsim::Simulation;
@@ -35,7 +35,11 @@ fn multi_probe_and_adaptive_attackers_run_end_to_end() {
     let sc = scenario(1);
     let plan = plan_attack_with(&sc, Evaluator::mean_field(), 2, 2).unwrap();
     assert!(plan.multi.is_some() && plan.adaptive.is_some());
-    let kinds = [AttackerKind::Model, AttackerKind::MultiProbe, AttackerKind::Adaptive];
+    let kinds = [
+        AttackerKind::Model,
+        AttackerKind::MultiProbe,
+        AttackerKind::Adaptive,
+    ];
     let report = run_trials(&sc, &plan, &kinds, 30, 5);
     for (kind, acc) in &report.by_attacker {
         let a = acc.accuracy();
@@ -77,7 +81,9 @@ fn capacity_sweep_replans_each_point() {
     }
     // Different capacities genuinely produce different models.
     assert!(
-        points.iter().any(|p| (p.info_gain - points[0].info_gain).abs() > 1e-12),
+        points
+            .iter()
+            .any(|p| (p.info_gain - points[0].info_gain).abs() > 1e-12),
         "sweep should not be a no-op"
     );
 }

@@ -19,7 +19,11 @@ fn instance() -> (RuleSet, FlowRates, usize) {
     let rules = RuleSet::new(
         vec![
             Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(0)]), 30, Timeout::idle(4)),
-            Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(0), FlowId(1)]), 20, Timeout::idle(6)),
+            Rule::from_flow_set(
+                FlowSet::from_flows(u, [FlowId(0), FlowId(1)]),
+                20,
+                Timeout::idle(6),
+            ),
             Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(2)]), 10, Timeout::idle(5)),
         ],
         u,
@@ -67,7 +71,11 @@ fn empirical_hit_rates(
                 }
             }
             let g_total: f64 = events.iter().map(|(_, g)| g).sum();
-            let p_any = if g_total > 0.0 { 1.0 - (-g_total).exp() } else { 0.0 };
+            let p_any = if g_total > 0.0 {
+                1.0 - (-g_total).exp()
+            } else {
+                0.0
+            };
             let mut arrival = None;
             if rng.gen::<f64>() < p_any {
                 let mut x = rng.gen::<f64>() * g_total;
@@ -138,9 +146,7 @@ fn compact_model_predicts_simulator_hit_rates() {
     // window within a loose tolerance.
     let (rules, rates, capacity) = instance();
     let delta = 0.05;
-    let lambdas: Vec<f64> = (0..4)
-        .map(|i| rates.rate(FlowId(i)) / delta)
-        .collect();
+    let lambdas: Vec<f64> = (0..4).map(|i| rates.rate(FlowId(i)) / delta).collect();
     let window = 8.0;
     let steps = (window / delta) as usize;
 
@@ -148,7 +154,7 @@ fn compact_model_predicts_simulator_hit_rates() {
     let dist = compact.evolve(steps);
 
     let runs = 1500;
-    let mut hit_counts = vec![0usize; 4];
+    let mut hit_counts = [0usize; 4];
     for run in 0..runs {
         let mut schedule_rng = StdRng::seed_from_u64(1000 + run);
         let schedule = poisson::schedule(&lambdas, 0.0, window, &mut schedule_rng);
@@ -187,7 +193,9 @@ fn absent_joint_matches_conditioned_simulation() {
     let window = 8.0;
     let steps = (window / delta) as usize;
     let compact = CompactModel::build(&rules, &rates, capacity, Evaluator::exact()).unwrap();
-    let joint = compact.absent_matrix(target).evolve_n(&compact.initial(), steps);
+    let joint = compact
+        .absent_matrix(target)
+        .evolve_n(&compact.initial(), steps);
     let predicted = compact.prob_flow_hit(&joint, probe) / joint.total();
 
     let mut lambdas: Vec<f64> = (0..4).map(|i| rates.rate(FlowId(i)) / delta).collect();

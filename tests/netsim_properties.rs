@@ -8,7 +8,11 @@ use proptest::prelude::*;
 const UNIVERSE: usize = 6;
 
 fn rule_set_strategy() -> impl Strategy<Value = RuleSet> {
-    let rule = (1u32..=100, 5u32..=40, proptest::collection::btree_set(0u32..6, 1..=3));
+    let rule = (
+        1u32..=100,
+        5u32..=40,
+        proptest::collection::btree_set(0u32..6, 1..=3),
+    );
     proptest::collection::vec(rule, 1..=4).prop_filter_map("distinct priorities", |specs| {
         let mut seen = std::collections::HashSet::new();
         let mut rules = Vec::new();

@@ -68,8 +68,7 @@ fn fig2b_two_probes_disambiguate() {
 #[test]
 fn fig2c_optimal_probe_is_not_target() {
     let u = 4;
-    let rules =
-        RuleSet::new(vec![rule(u, &[1, 2], 20, 20), rule(u, &[1, 3], 10, 20)], u).unwrap();
+    let rules = RuleSet::new(vec![rule(u, &[1, 2], 20, 20), rule(u, &[1, 3], 10, 20)], u).unwrap();
     let rates = FlowRates::from_per_step(vec![0.0, 0.02, 0.01, 0.20]);
     let model = CompactModel::build(&rules, &rates, 2, Evaluator::exact()).unwrap();
     let planner = ProbePlanner::new(&model, FlowId(1), 300);
@@ -93,7 +92,12 @@ fn fig2b_live_network_agrees() {
     sim.run_until(0.3);
     let q1 = sim.probe(FlowId(1));
     let q2 = sim.probe(FlowId(2));
-    assert!(q1.hit && !q2.hit, "f1 occurred ⇒ (hit, miss), got ({}, {})", q1.hit, q2.hit);
+    assert!(
+        q1.hit && !q2.hit,
+        "f1 occurred ⇒ (hit, miss), got ({}, {})",
+        q1.hit,
+        q2.hit
+    );
 
     // Case 2: only the sibling f2 occurred.
     let mut sim = Simulation::new(NetConfig::eval_topology(rules, 6, delta), 6);
@@ -101,7 +105,12 @@ fn fig2b_live_network_agrees() {
     sim.run_until(0.3);
     let q1 = sim.probe(FlowId(1));
     let q2 = sim.probe(FlowId(2));
-    assert!(q1.hit && q2.hit, "f2 occurred ⇒ (hit, hit), got ({}, {})", q1.hit, q2.hit);
+    assert!(
+        q1.hit && q2.hit,
+        "f2 occurred ⇒ (hit, hit), got ({}, {})",
+        q1.hit,
+        q2.hit
+    );
 }
 
 /// §III-B3: limited cache size causes false negatives — the target's rule
@@ -111,7 +120,11 @@ fn eviction_causes_false_negatives_as_modeled() {
     let u = 3;
     let delta = 0.02;
     let rules = RuleSet::new(
-        vec![rule(u, &[0], 30, 50), rule(u, &[1], 20, 50), rule(u, &[2], 10, 50)],
+        vec![
+            rule(u, &[0], 30, 50),
+            rule(u, &[1], 20, 50),
+            rule(u, &[2], 10, 50),
+        ],
         u,
     )
     .unwrap();
@@ -122,5 +135,8 @@ fn eviction_causes_false_negatives_as_modeled() {
     sim.run_until(0.3);
     let probe = sim.probe(FlowId(0));
     assert!(!probe.hit, "target's rule was evicted: the probe must miss");
-    assert!(sim.occurred_since(FlowId(0), 0.0), "yet the target DID occur");
+    assert!(
+        sim.occurred_since(FlowId(0), 0.0),
+        "yet the target DID occur"
+    );
 }

@@ -15,7 +15,11 @@ const UNIVERSE: usize = 8;
 
 /// Strategy: a valid rule set over 8 flows with ≤ 5 rules.
 fn rule_set_strategy() -> impl Strategy<Value = RuleSet> {
-    let rule = (1u32..=255, 1u32..=8, proptest::collection::btree_set(0u32..8, 1..=4));
+    let rule = (
+        1u32..=255,
+        1u32..=8,
+        proptest::collection::btree_set(0u32..8, 1..=4),
+    );
     proptest::collection::vec(rule, 1..=5).prop_filter_map("distinct priorities", |specs| {
         let mut seen = std::collections::HashSet::new();
         let mut rules = Vec::new();

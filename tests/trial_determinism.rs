@@ -1,0 +1,104 @@
+//! Determinism regression tests for the parallel trial engine.
+//!
+//! Contract (see `attack::trial` and DESIGN.md): for a given seed, the
+//! `TrialReport` produced under `ExecPolicy::Parallel { .. }` is
+//! bit-identical to the serial report, for any thread count. Each trial's
+//! RNG streams are pure functions of `(seed, trial index, attacker
+//! index)`, and the confusion-matrix reduction is commutative integer
+//! addition, so scheduling order cannot leak into the result.
+
+use attack::sweep::{sweep_policy, SweepParameter};
+use attack::{plan_attack, run_trials_policy, AttackerKind, ExecPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recon_core::useq::Evaluator;
+use traffic::{NetworkScenario, ScenarioSampler};
+
+/// Samples a detector-feasible scenario from a small configuration class.
+fn scenario(seed: u64, bits: u32, n_rules: usize, capacity: usize) -> NetworkScenario {
+    let sampler = ScenarioSampler {
+        bits,
+        n_rules,
+        capacity,
+        ..ScenarioSampler::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    sampler.sample_forced((0.3, 0.7), &mut rng)
+}
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn parallel_reports_bit_identical_across_scenarios_and_thread_counts() {
+    let scenarios = [scenario(11, 3, 6, 3), scenario(23, 4, 12, 6)];
+    let kinds = [
+        AttackerKind::Naive,
+        AttackerKind::Model,
+        AttackerKind::RestrictedModel,
+        AttackerKind::Random,
+    ];
+    for (i, sc) in scenarios.iter().enumerate() {
+        let plan = plan_attack(sc, Evaluator::mean_field()).expect("plan");
+        let seed = 0xC0FFEE ^ i as u64;
+        let trials = 23; // odd on purpose: uneven chunking across workers
+        let serial = run_trials_policy(sc, &plan, &kinds, trials, seed, ExecPolicy::Serial);
+        for threads in THREAD_COUNTS {
+            let parallel = run_trials_policy(
+                sc,
+                &plan,
+                &kinds,
+                trials,
+                seed,
+                ExecPolicy::Parallel { threads },
+            );
+            assert_eq!(
+                serial, parallel,
+                "scenario {i}: parallel({threads}) diverged from serial at seed {seed:#x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_sweep_bit_identical_across_thread_counts() {
+    let sc = scenario(11, 3, 6, 3);
+    let kinds = [AttackerKind::Naive, AttackerKind::Model];
+    let values = [1.0, 2.0, 4.0, 6.0];
+    let serial = sweep_policy(
+        &sc,
+        SweepParameter::Capacity,
+        &values,
+        &kinds,
+        9,
+        77,
+        ExecPolicy::Serial,
+    )
+    .expect("serial sweep");
+    for threads in THREAD_COUNTS {
+        let parallel = sweep_policy(
+            &sc,
+            SweepParameter::Capacity,
+            &values,
+            &kinds,
+            9,
+            77,
+            ExecPolicy::Parallel { threads },
+        )
+        .expect("parallel sweep");
+        assert_eq!(
+            serial, parallel,
+            "sweep with {threads} thread(s) diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn auto_policy_matches_serial() {
+    // `auto` picks whatever the host offers; results must still match.
+    let sc = scenario(23, 4, 12, 6);
+    let kinds = [AttackerKind::Naive, AttackerKind::Model];
+    let plan = plan_attack(&sc, Evaluator::mean_field()).expect("plan");
+    let serial = run_trials_policy(&sc, &plan, &kinds, 15, 5, ExecPolicy::Serial);
+    let auto = run_trials_policy(&sc, &plan, &kinds, 15, 5, ExecPolicy::auto());
+    assert_eq!(serial, auto);
+}
