@@ -23,7 +23,6 @@
 
 mod attacker;
 mod calibrate;
-mod exec;
 mod plan;
 pub mod sweep;
 mod timing;
@@ -31,8 +30,11 @@ mod trial;
 
 pub use attacker::{Attacker, AttackerKind};
 pub use calibrate::{calibrate_threshold, CalibratedThreshold};
-pub use exec::{ExecPolicy, RunStats, THREADS_ENV_VAR};
-pub use plan::{plan_attack, plan_attack_with, AttackPlan, PlanError};
+pub use plan::{
+    plan_attack, plan_attack_policy, plan_attack_with, plan_attack_with_policy, AttackPlan,
+    PlanError,
+};
+pub use recon_core::exec::{ExecPolicy, RunStats, THREADS_ENV_VAR};
 pub use timing::{measure_latency, LatencyStats, LatencyTable};
 pub use trial::{
     run_trials, run_trials_policy, run_trials_with, run_trials_with_policy, scenario_net_config,

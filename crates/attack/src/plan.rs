@@ -1,5 +1,6 @@
 //! Building an attack plan (model + probe selection) for a scenario.
 
+use crate::ExecPolicy;
 use flowspace::FlowId;
 use recon_core::adaptive::AdaptiveTree;
 use recon_core::compact::CompactModel;
@@ -84,6 +85,20 @@ pub fn plan_attack(
     plan_attack_with(scenario, evaluator, 0, 0)
 }
 
+/// [`plan_attack`] with candidate-probe scoring scheduled under `policy`
+/// (bit-identical to serial — the planner's determinism contract).
+///
+/// # Errors
+///
+/// [`PlanError::Model`] if the model cannot be built.
+pub fn plan_attack_policy(
+    scenario: &NetworkScenario,
+    evaluator: Evaluator,
+    policy: ExecPolicy,
+) -> Result<AttackPlan, PlanError> {
+    plan_attack_with_policy(scenario, evaluator, 0, 0, policy)
+}
+
 /// Like [`plan_attack`], additionally preparing a non-adaptive multi-probe
 /// decision tree over `multi_probes` greedily chosen probes (0 = skip) and
 /// an adaptive policy of depth `adaptive_depth` (0 = skip).
@@ -97,9 +112,32 @@ pub fn plan_attack_with(
     multi_probes: usize,
     adaptive_depth: usize,
 ) -> Result<AttackPlan, PlanError> {
+    plan_attack_with_policy(
+        scenario,
+        evaluator,
+        multi_probes,
+        adaptive_depth,
+        ExecPolicy::Serial,
+    )
+}
+
+/// The full planning entry point: multi-probe options *and* execution
+/// policy. All other `plan_attack*` entry points delegate here.
+///
+/// # Errors
+///
+/// [`PlanError::Model`] if the model cannot be built.
+pub fn plan_attack_with_policy(
+    scenario: &NetworkScenario,
+    evaluator: Evaluator,
+    multi_probes: usize,
+    adaptive_depth: usize,
+    policy: ExecPolicy,
+) -> Result<AttackPlan, PlanError> {
     let rates = scenario.rates();
     let model = CompactModel::build(&scenario.rules, &rates, scenario.capacity, evaluator)?;
-    let planner = ProbePlanner::new(&model, scenario.target, scenario.horizon_steps());
+    let planner =
+        ProbePlanner::with_policy(&model, scenario.target, scenario.horizon_steps(), policy);
     let optimal = planner.best_probe(scenario.all_flows())?;
     let optimal_non_target =
         planner.best_probe(scenario.all_flows().filter(|&f| f != scenario.target))?;

@@ -8,8 +8,8 @@
 //! ("Determinism contract").
 
 use crate::attacker::{Attacker, AttackerKind};
-use crate::exec::ExecPolicy;
 use crate::plan::AttackPlan;
+use crate::ExecPolicy;
 use netsim::{NetConfig, Simulation};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -1,0 +1,93 @@
+//! Benchmarks for the frozen CSR evolution kernel (Eqn 8).
+//!
+//! Compares the legacy row-list scatter (reimplemented here as the
+//! reference) against the frozen [`CsrMatrix`] kernel on the paper-scale
+//! compact model, for a stochastic chain and the substochastic
+//! absent-target chain, from both a concentrated (`I₀`-like) and a mixed
+//! source distribution. The batch group measures fanning independent
+//! evolutions out across worker threads with `exec::map_indexed`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use recon_bench::paper_scale_scenario;
+use recon_core::compact::CompactModel;
+use recon_core::exec::{map_indexed, ExecPolicy};
+use recon_core::useq::Evaluator;
+use recon_core::{CsrMatrix, Distribution, SwitchModel};
+
+/// The pre-refactor row-list representation, rebuilt from a frozen matrix.
+struct RowListMatrix {
+    rows: Vec<Vec<(usize, f64)>>,
+}
+
+impl RowListMatrix {
+    fn from_csr(m: &CsrMatrix) -> Self {
+        RowListMatrix {
+            rows: (0..m.n_states()).map(|i| m.row(i).collect()).collect(),
+        }
+    }
+
+    /// The legacy scatter with its zero-mass row skip, verbatim.
+    fn evolve(&self, dist: &Distribution) -> Distribution {
+        let mut out = vec![0.0; self.rows.len()];
+        for (from, row) in self.rows.iter().enumerate() {
+            let mass = dist.mass(from);
+            if mass == 0.0 {
+                continue;
+            }
+            for &(to, p) in row {
+                out[to] += mass * p;
+            }
+        }
+        Distribution::from_masses(out)
+    }
+}
+
+fn bench_matrix_evolve(c: &mut Criterion) {
+    let sc = paper_scale_scenario(3);
+    let rates = sc.rates();
+    let model = CompactModel::build(&sc.rules, &rates, sc.capacity, Evaluator::mean_field())
+        .expect("builds");
+    let stochastic = model.matrix();
+    let substochastic = model.absent_matrix(sc.target);
+    let legacy = RowListMatrix::from_csr(stochastic);
+    let legacy_sub = RowListMatrix::from_csr(&substochastic);
+    let sparse = model.initial();
+    let dense = stochastic.evolve_n(&sparse, 100);
+
+    let mut g = c.benchmark_group("evolve_step");
+    g.sample_size(20);
+    g.bench_function("legacy_rowlist_sparse_src", |b| {
+        b.iter(|| legacy.evolve(&sparse));
+    });
+    g.bench_function("frozen_csr_sparse_src", |b| {
+        b.iter(|| stochastic.evolve(&sparse));
+    });
+    g.bench_function("legacy_rowlist_dense_src", |b| {
+        b.iter(|| legacy.evolve(&dense));
+    });
+    g.bench_function("frozen_csr_dense_src", |b| {
+        b.iter(|| stochastic.evolve(&dense));
+    });
+    g.bench_function("legacy_rowlist_substochastic", |b| {
+        b.iter(|| legacy_sub.evolve(&dense));
+    });
+    g.bench_function("frozen_csr_substochastic", |b| {
+        b.iter(|| substochastic.evolve(&dense));
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("evolve_batch_T200_x8");
+    g.sample_size(10);
+    for (label, policy) in [
+        ("serial", ExecPolicy::Serial),
+        ("threads_4", ExecPolicy::with_threads(4)),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| map_indexed(policy, 8, |_| stochastic.evolve_n(&sparse, 200)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_matrix_evolve);
+criterion_main!(benches);

@@ -29,6 +29,16 @@ fn bench_probe_selection(c: &mut Criterion) {
     g.bench_function("two_probe_sequence_analysis", |b| {
         b.iter(|| planner.analyze_sequence(&[FlowId(0), FlowId(5)]));
     });
+    // The |Rules|=12, n=6 greedy 3-probe workload: the acceptance
+    // workload for the frozen-kernel/probe-engine refactor.
+    let candidates: Vec<FlowId> = sc.all_flows().collect();
+    g.bench_function("greedy_seq_m3_16_candidates", |b| {
+        b.iter(|| {
+            planner
+                .best_sequence_greedy(&candidates, 3)
+                .expect("sequence")
+        });
+    });
     g.finish();
 
     let mut g = c.benchmark_group("evolution");

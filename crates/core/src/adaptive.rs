@@ -7,6 +7,11 @@
 //! greedy policy as an explicit binary tree: each internal node holds the
 //! probe to send, each edge an outcome (miss/hit), each node the current
 //! posterior that the target occurred.
+//!
+//! Planning reuses the [`ProbePlanner`]'s cached evolved pair
+//! (`I_T`/`J_T`): each tree level conditions the parent's distributions
+//! through one probe via [`SwitchModel::apply_probe`], never re-evolving
+//! the chain from `I₀`.
 
 use crate::probe::ProbePlanner;
 use crate::{entropy, Distribution, SwitchModel};

@@ -1,6 +1,6 @@
 //! The interface the probe planner needs from a switch model.
 
-use crate::{Distribution, TransitionMatrix};
+use crate::{CsrMatrix, Distribution};
 use flowspace::relevant::FlowRates;
 use flowspace::{FlowId, RuleSet};
 
@@ -10,7 +10,10 @@ use flowspace::{FlowId, RuleSet};
 /// Implemented by [`CompactModel`](crate::compact::CompactModel) (fully) and
 /// [`BasicModel`](crate::basic::BasicModel) (single-probe calculations
 /// only — see [`SwitchModel::apply_probe`]).
-pub trait SwitchModel {
+///
+/// `Sync` is required so the probe-evaluation engine can score candidate
+/// probes against a shared model from multiple worker threads.
+pub trait SwitchModel: Sync {
     /// Number of states.
     fn n_states(&self) -> usize;
 
@@ -23,13 +26,13 @@ pub trait SwitchModel {
     /// The initial distribution (all mass on the empty cache).
     fn initial(&self) -> Distribution;
 
-    /// The normalized transition matrix `A`.
-    fn matrix(&self) -> &TransitionMatrix;
+    /// The normalized transition matrix `A`, frozen for evolution.
+    fn matrix(&self) -> &CsrMatrix;
 
     /// The substochastic matrix `Â` of §V-A: transitions attributable to
     /// arrivals of `target` are removed, other edges unchanged. Evolving
     /// `I₀` under `Â` yields joint probabilities with "target absent".
-    fn absent_matrix(&self, target: FlowId) -> TransitionMatrix;
+    fn absent_matrix(&self, target: FlowId) -> CsrMatrix;
 
     /// Whether a probe of `f` would hit (some cached rule covers `f`) in
     /// the given state.

@@ -16,7 +16,7 @@
 //! "≥ 1 arrival per Δ" marginal at finite Δ — validated against the
 //! continuous-time simulator in the workspace integration tests.
 
-use crate::{Distribution, ModelError, TransitionMatrix};
+use crate::{CsrMatrix, Distribution, MatrixBuilder, ModelError};
 use flowspace::relevant::{effective_rate, irrelevant_rate, relevant_flow_ids, FlowRates};
 use flowspace::{FlowId, RuleId, RuleSet};
 use ftcache::FlowTable;
@@ -51,7 +51,7 @@ pub struct BasicModel {
     states: Vec<FlowTable>,
     index: HashMap<FlowTable, usize>,
     edges: Vec<Vec<Edge>>,
-    matrix: TransitionMatrix,
+    matrix: CsrMatrix,
 }
 
 impl BasicModel {
@@ -152,12 +152,13 @@ impl BasicModel {
             frontier += 1;
         }
 
-        let mut matrix = TransitionMatrix::new(states.len());
+        let mut matrix = MatrixBuilder::new(states.len());
         for (from, row) in edges.iter().enumerate() {
             for e in row {
                 matrix.add_edge(from, e.to, e.prob);
             }
         }
+        let matrix = matrix.freeze();
         Ok(BasicModel {
             rules: rules.clone(),
             rates: rates.clone(),
@@ -187,9 +188,9 @@ impl BasicModel {
         &self.states
     }
 
-    /// The normalized transition matrix.
+    /// The normalized transition matrix, frozen for evolution.
     #[must_use]
-    pub fn matrix(&self) -> &TransitionMatrix {
+    pub fn matrix(&self) -> &CsrMatrix {
         &self.matrix
     }
 
@@ -231,8 +232,8 @@ impl BasicModel {
     /// edges unchanged. Evolving `I₀` with Â yields joint probabilities
     /// with the event "target did not arrive".
     #[must_use]
-    pub fn absent_matrix(&self, target: FlowId) -> TransitionMatrix {
-        let mut m = TransitionMatrix::new(self.states.len());
+    pub fn absent_matrix(&self, target: FlowId) -> CsrMatrix {
+        let mut m = MatrixBuilder::new(self.states.len());
         for (from, row) in self.edges.iter().enumerate() {
             let cached: Vec<RuleId> = self.states[from].cached_rules().collect();
             for e in row {
@@ -256,7 +257,7 @@ impl BasicModel {
                 m.add_edge(from, e.to, p);
             }
         }
-        m
+        m.freeze()
     }
 
     /// Convenience: effective rate γ of rule `j` in state `state_idx`.
@@ -299,11 +300,11 @@ impl crate::SwitchModel for BasicModel {
         BasicModel::initial(self)
     }
 
-    fn matrix(&self) -> &TransitionMatrix {
+    fn matrix(&self) -> &CsrMatrix {
         BasicModel::matrix(self)
     }
 
-    fn absent_matrix(&self, target: FlowId) -> TransitionMatrix {
+    fn absent_matrix(&self, target: FlowId) -> CsrMatrix {
         BasicModel::absent_matrix(self, target)
     }
 

@@ -23,7 +23,7 @@
 //! * **quiet event** — the remaining probability.
 
 use crate::useq::{CacheAnalysis, Evaluator};
-use crate::{Distribution, ModelError, SwitchModel, TransitionMatrix};
+use crate::{CsrMatrix, Distribution, MatrixBuilder, ModelError, SwitchModel};
 use flowspace::relevant::{relevant_flow_ids, FlowRates};
 use flowspace::{FlowId, RuleId, RuleSet};
 use std::collections::HashMap;
@@ -58,7 +58,10 @@ pub struct CompactModel {
     /// Per-state eviction/timeout analysis from the evaluator.
     analyses: Vec<CacheAnalysis>,
     edges: Vec<Vec<Edge>>,
-    matrix: TransitionMatrix,
+    matrix: CsrMatrix,
+    /// Per-flow mask of the rules covering it, so probe-hit checks are a
+    /// single AND instead of a walk over the cached rules.
+    cover_masks: Vec<u32>,
 }
 
 fn mask_rules(mask: u32) -> Vec<RuleId> {
@@ -192,12 +195,21 @@ impl CompactModel {
             edges.push(out);
         }
 
-        let mut matrix = TransitionMatrix::new(states.len());
+        let mut matrix = MatrixBuilder::new(states.len());
         for (from, row) in edges.iter().enumerate() {
             for e in row {
                 matrix.add_edge(from, e.to, e.prob);
             }
         }
+        let matrix = matrix.freeze();
+        let cover_masks = (0..rules.universe_size() as u32)
+            .map(|f| {
+                rules
+                    .ids()
+                    .filter(|&j| rules.rule(j).covers_flow(FlowId(f)))
+                    .fold(0u32, |m, j| m | (1 << j.0))
+            })
+            .collect();
         Ok(CompactModel {
             rules: rules.clone(),
             rates: rates.clone(),
@@ -207,6 +219,7 @@ impl CompactModel {
             analyses,
             edges,
             matrix,
+            cover_masks,
         })
     }
 
@@ -284,12 +297,12 @@ impl SwitchModel for CompactModel {
         Distribution::point(self.states.len(), 0)
     }
 
-    fn matrix(&self) -> &TransitionMatrix {
+    fn matrix(&self) -> &CsrMatrix {
         &self.matrix
     }
 
-    fn absent_matrix(&self, target: FlowId) -> TransitionMatrix {
-        let mut m = TransitionMatrix::new(self.states.len());
+    fn absent_matrix(&self, target: FlowId) -> CsrMatrix {
+        let mut m = MatrixBuilder::new(self.states.len());
         for (from, row) in self.edges.iter().enumerate() {
             let cached = mask_rules(self.states[from]);
             for e in row {
@@ -312,13 +325,12 @@ impl SwitchModel for CompactModel {
                 m.add_edge(from, e.to, p);
             }
         }
-        m
+        m.freeze()
     }
 
     fn covers_in_state(&self, state: usize, f: FlowId) -> bool {
-        mask_rules(self.states[state])
-            .iter()
-            .any(|&j| self.rules.rule(j).covers_flow(f))
+        let cover = self.cover_masks.get(f.0 as usize).copied().unwrap_or(0);
+        self.states[state] & cover != 0
     }
 
     fn apply_probe(&self, dist: &Distribution, f: FlowId, hit: bool) -> Distribution {

@@ -1,24 +1,30 @@
-//! Execution policy and run statistics for the trial engine.
+//! Execution policy, run statistics, and the deterministic fan-out helper
+//! shared by the trial engine and the probe-evaluation engine.
 //!
 //! Monte-Carlo evaluation (§VI) runs hundreds of independent trials per
-//! configuration. Each trial's RNG streams are derived purely from
-//! `(seed, trial index, attacker index)`, and per-attacker confusion
-//! matrices reduce by unsigned addition — both order-independent — so
-//! trials can be distributed across worker threads with **bit-identical**
-//! results to a serial run at the same seed. [`ExecPolicy`] selects how
-//! the engine schedules that work; [`RunStats`] reports what it cost.
+//! configuration, and probe selection (§V) scores dozens of independent
+//! candidate probes. In both cases each work item is a pure function of
+//! its index — trial RNG streams derive purely from
+//! `(seed, trial index, attacker index)`, and a candidate probe's
+//! information gain depends only on the cached evolved distributions — so
+//! the batch can be distributed across worker threads with
+//! **bit-identical** results to a serial run. [`ExecPolicy`] selects how
+//! that work is scheduled; [`map_indexed`] performs the index-ordered
+//! fan-out/reduction; [`RunStats`] reports what it cost.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Environment variable consulted by [`ExecPolicy::from_env`]: a thread
 /// count, or `auto`/`0` for one thread per available core.
 pub const THREADS_ENV_VAR: &str = "FLOW_RECON_THREADS";
 
-/// How a batch of independent work items (trials, sweep points) is
-/// scheduled.
+/// How a batch of independent work items (trials, sweep points, candidate
+/// probes) is scheduled.
 ///
 /// The policy never affects results, only wall time: parallel execution
 /// is bit-identical to [`ExecPolicy::Serial`] at the same seed (see the
@@ -98,7 +104,7 @@ impl ExecPolicy {
 
     /// Threads actually worth spawning for `work_items` items.
     #[must_use]
-    pub(crate) fn effective_threads(self, work_items: usize) -> usize {
+    pub fn effective_threads(self, work_items: usize) -> usize {
         self.threads().min(work_items.max(1))
     }
 }
@@ -110,6 +116,47 @@ impl fmt::Display for ExecPolicy {
             ExecPolicy::Parallel { threads } => write!(f, "parallel({threads})"),
         }
     }
+}
+
+/// Evaluates `f(0), f(1), …, f(n - 1)` under `policy` and returns the
+/// results in index order.
+///
+/// Each invocation of `f` must be a pure function of its index — workers
+/// pull indices from a shared cursor, so the *schedule* is
+/// non-deterministic while the returned `Vec` is always identical to the
+/// serial `(0..n).map(f).collect()`. Any order-sensitive reduction
+/// (tie-breaking argmax folds, first-error-wins scans) therefore stays
+/// with the caller, running serially over this index-ordered output —
+/// that is what keeps parallel runs bit-identical to serial ones.
+pub fn map_indexed<T, F>(policy: ExecPolicy, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = policy.effective_threads(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                slots.lock().expect("worker panicked")[i] = Some(value);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("worker panicked")
+        .into_iter()
+        .map(|slot| slot.expect("every index filled"))
+        .collect()
 }
 
 /// Wall-clock accounting for one batch of trials.
@@ -210,6 +257,27 @@ mod tests {
         assert_eq!(p.effective_threads(100), 8);
         assert_eq!(p.effective_threads(0), 1);
         assert_eq!(ExecPolicy::Serial.effective_threads(100), 1);
+    }
+
+    #[test]
+    fn map_indexed_matches_serial_at_any_thread_count() {
+        let expected: Vec<u64> = (0..100).map(|i| (i as u64).wrapping_mul(0x9E37)).collect();
+        for policy in [
+            ExecPolicy::Serial,
+            ExecPolicy::Parallel { threads: 2 },
+            ExecPolicy::Parallel { threads: 8 },
+        ] {
+            let got = map_indexed(policy, 100, |i| (i as u64).wrapping_mul(0x9E37));
+            assert_eq!(got, expected, "policy {policy}");
+        }
+    }
+
+    #[test]
+    fn map_indexed_handles_empty_and_excess_threads() {
+        let empty: Vec<usize> = map_indexed(ExecPolicy::Parallel { threads: 8 }, 0, |i| i);
+        assert!(empty.is_empty());
+        let few = map_indexed(ExecPolicy::Parallel { threads: 8 }, 2, |i| i * 3);
+        assert_eq!(few, vec![0, 3]);
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod basic;
 pub mod compact;
 pub mod counts;
 mod dist;
+pub mod exec;
 pub mod leakage;
 mod matrix;
 pub mod monitor;
@@ -64,7 +65,7 @@ pub mod useq;
 
 pub use api::SwitchModel;
 pub use dist::{entropy, Distribution};
-pub use matrix::TransitionMatrix;
+pub use matrix::{CsrMatrix, MatrixBuilder};
 
 /// Errors produced while building or querying models.
 #[derive(Debug, Clone, PartialEq)]

@@ -17,7 +17,7 @@
 //! After each update, `P(target occurred in the last interval)` falls out
 //! of the two vectors' masses.
 
-use crate::{Distribution, SwitchModel, TransitionMatrix};
+use crate::{CsrMatrix, Distribution, SwitchModel};
 use flowspace::FlowId;
 
 /// One monitoring step's inference output.
@@ -53,7 +53,7 @@ pub struct IntervalEstimate {
 #[derive(Debug)]
 pub struct Monitor<'a, M: SwitchModel> {
     model: &'a M,
-    absent: TransitionMatrix,
+    absent: CsrMatrix,
     target: FlowId,
     /// Current belief over states (normalized).
     belief: Distribution,

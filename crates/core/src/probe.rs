@@ -5,12 +5,25 @@
 //! yields `Q_f ∈ {0,1}` (miss/hit); the best probe maximizes the
 //! information gain `𝕀𝔾(X̂ | Q_f) = ℍ(X̂) − ℍ(X̂ | Q_f)`.
 //!
-//! [`ProbePlanner`] evolves the model's state distribution to `I_T = Aᵀ·I₀`
-//! and the joint-with-absent vector `J_T = Âᵀ·I₀` once, then scores any
-//! number of candidate probes against them. Multi-probe sequences (§V-B)
-//! thread both vectors through each probe's conditioning + cache effect and
-//! produce a [`DecisionTree`] over outcome vectors.
+//! [`ProbePlanner`] is the probe-evaluation engine: it freezes the model's
+//! matrices and evolves the state distribution to `I_T = Aᵀ·I₀` and the
+//! joint-with-absent vector `J_T = Âᵀ·I₀` exactly once, then scores any
+//! number of candidate probes against the cached pair. Multi-probe
+//! sequences (§V-B) thread both vectors through each probe's conditioning +
+//! cache effect; the engine shares the conditioned *prefix frontier* (the
+//! per-outcome distribution pairs of the probes fixed so far) across the
+//! candidate extensions of [`ProbePlanner::best_sequence_greedy`] and
+//! [`ProbePlanner::best_sequence_exhaustive`] instead of re-walking every
+//! sequence from `I_T`, and fans candidate scoring out across worker
+//! threads under an [`ExecPolicy`].
+//!
+//! **Determinism contract** (extends the trial engine's, see `DESIGN.md`):
+//! every candidate's score is a pure function of the cached evolved
+//! distributions, scores are reduced in candidate-index order, and ties
+//! break exactly as the serial scan breaks them — so results are
+//! bit-identical to [`ExecPolicy::Serial`] at any thread count.
 
+use crate::exec::{map_indexed, ExecPolicy};
 use crate::{entropy, Distribution, ModelError, SwitchModel};
 use flowspace::FlowId;
 use serde::{Deserialize, Serialize};
@@ -154,26 +167,54 @@ impl DecisionTree {
     }
 }
 
-/// Plans probes for one (model, target flow, horizon) triple.
+/// One partial outcome path through a probe sequence: the conditioned
+/// state distribution and absent-joint after the outcomes fixed so far.
+///
+/// A *frontier* (`Vec<FrontierLeaf>`) is the full set of outcome paths of
+/// a probe prefix, in the engine's canonical leaf order (later probes vary
+/// fastest). Sequence search extends a cached frontier by one probe per
+/// candidate instead of re-walking the whole sequence from `I_T`.
+#[derive(Debug, Clone)]
+struct FrontierLeaf {
+    outcomes: Vec<bool>,
+    dist: Distribution,
+    joint: Distribution,
+}
+
+type Frontier = Vec<FrontierLeaf>;
+
+/// The probe-evaluation engine for one (model, target flow, horizon)
+/// triple.
 #[derive(Debug)]
 pub struct ProbePlanner<'a, M: SwitchModel> {
     model: &'a M,
     target: FlowId,
     horizon: usize,
+    policy: ExecPolicy,
     i_t: Distribution,
     j_t: Distribution,
 }
 
 impl<'a, M: SwitchModel> ProbePlanner<'a, M> {
     /// Evolves `I_T = Aᵀ·I₀` and `J_T = Âᵀ·I₀` (Eqn 8) for a window of
-    /// `horizon` steps ending now.
+    /// `horizon` steps ending now, scoring candidates serially.
     ///
     /// Long horizons are computed with geometric extrapolation once the
     /// chain has mixed (see
-    /// [`TransitionMatrix::evolve_n_extrapolated`](crate::TransitionMatrix::evolve_n_extrapolated)),
+    /// [`CsrMatrix::evolve_n_extrapolated`](crate::CsrMatrix::evolve_n_extrapolated)),
     /// with per-entry error far below the probe-analysis tolerances.
     #[must_use]
     pub fn new(model: &'a M, target: FlowId, horizon: usize) -> Self {
+        Self::with_policy(model, target, horizon, ExecPolicy::Serial)
+    }
+
+    /// Like [`ProbePlanner::new`], but candidate-probe scoring in
+    /// [`ProbePlanner::best_probe`], [`ProbePlanner::best_sequence_greedy`]
+    /// and [`ProbePlanner::best_sequence_exhaustive`] fans out across
+    /// `policy`'s worker threads (bit-identical to serial — see the module
+    /// docs).
+    #[must_use]
+    pub fn with_policy(model: &'a M, target: FlowId, horizon: usize, policy: ExecPolicy) -> Self {
         const TOL: f64 = 1e-11;
         let i_t = model
             .matrix()
@@ -185,9 +226,22 @@ impl<'a, M: SwitchModel> ProbePlanner<'a, M> {
             model,
             target,
             horizon,
+            policy,
             i_t,
             j_t,
         }
+    }
+
+    /// The execution policy candidate scoring is scheduled under.
+    #[must_use]
+    pub fn policy(&self) -> ExecPolicy {
+        self.policy
+    }
+
+    /// Changes the execution policy (results are unaffected; only wall
+    /// time changes).
+    pub fn set_policy(&mut self, policy: ExecPolicy) {
+        self.policy = policy;
     }
 
     /// The target flow f̂.
@@ -274,8 +328,10 @@ impl<'a, M: SwitchModel> ProbePlanner<'a, M> {
         }
     }
 
-    /// Scores every candidate and returns the one with the largest
-    /// information gain (first wins ties).
+    /// Scores every candidate (in parallel under the planner's policy) and
+    /// returns the one with the largest information gain (among equal
+    /// gains, the last candidate wins, as `Iterator::max_by` resolves
+    /// ties — identical at every thread count).
     ///
     /// # Errors
     ///
@@ -284,11 +340,13 @@ impl<'a, M: SwitchModel> ProbePlanner<'a, M> {
         &self,
         candidates: I,
     ) -> Result<ProbeAnalysis, ModelError> {
-        candidates
-            .into_iter()
-            .map(|f| self.analyze(f))
-            .max_by(|a, b| a.info_gain.total_cmp(&b.info_gain))
-            .ok_or(ModelError::NoCandidates)
+        let candidates: Vec<FlowId> = candidates.into_iter().collect();
+        map_indexed(self.policy, candidates.len(), |i| {
+            self.analyze(candidates[i])
+        })
+        .into_iter()
+        .max_by(|a, b| a.info_gain.total_cmp(&b.info_gain))
+        .ok_or(ModelError::NoCandidates)
     }
 
     /// Analyzes an ordered sequence of probes (§V-B): the state
@@ -299,15 +357,52 @@ impl<'a, M: SwitchModel> ProbePlanner<'a, M> {
     /// compact model).
     #[must_use]
     pub fn analyze_sequence(&self, probes: &[FlowId]) -> SequenceAnalysis {
-        let mut leaves = Vec::with_capacity(1 << probes.len());
-        self.walk(
-            probes,
-            0,
-            &self.i_t,
-            &self.j_t,
-            &mut Vec::new(),
-            &mut leaves,
-        );
+        let mut frontier = self.root_frontier();
+        for &f in probes {
+            frontier = self.extend_frontier(&frontier, f);
+        }
+        self.analysis_from_frontier(probes, &frontier)
+    }
+
+    /// The length-zero frontier: one leaf holding the cached `I_T`/`J_T`.
+    fn root_frontier(&self) -> Frontier {
+        vec![FrontierLeaf {
+            outcomes: Vec::new(),
+            dist: self.i_t.clone(),
+            joint: self.j_t.clone(),
+        }]
+    }
+
+    /// Extends every leaf of `frontier` by one probe (miss before hit, so
+    /// leaf order — later probes vary fastest — and every floating-point
+    /// composition match the legacy depth-first walk exactly).
+    fn extend_frontier(&self, frontier: &Frontier, probe: FlowId) -> Frontier {
+        let mut out = Vec::with_capacity(frontier.len() * 2);
+        for leaf in frontier {
+            for hit in [false, true] {
+                let dist = self.model.apply_probe(&leaf.dist, probe, hit);
+                let joint = self.model.apply_probe(&leaf.joint, probe, hit);
+                let mut outcomes = leaf.outcomes.clone();
+                outcomes.push(hit);
+                out.push(FrontierLeaf {
+                    outcomes,
+                    dist,
+                    joint,
+                });
+            }
+        }
+        out
+    }
+
+    fn analysis_from_frontier(&self, probes: &[FlowId], frontier: &Frontier) -> SequenceAnalysis {
+        let leaves: Vec<OutcomeLeaf> = frontier
+            .iter()
+            .map(|leaf| OutcomeLeaf {
+                outcomes: leaf.outcomes.clone(),
+                p: leaf.dist.total(),
+                p_and_absent: leaf.joint.total(),
+            })
+            .collect();
         let p_absent = self.p_absent();
         let prior_entropy = entropy(p_absent);
         let mut cond = 0.0;
@@ -325,35 +420,15 @@ impl<'a, M: SwitchModel> ProbePlanner<'a, M> {
         }
     }
 
-    fn walk(
-        &self,
-        probes: &[FlowId],
-        depth: usize,
-        dist: &Distribution,
-        joint: &Distribution,
-        outcomes: &mut Vec<bool>,
-        leaves: &mut Vec<OutcomeLeaf>,
-    ) {
-        if depth == probes.len() {
-            leaves.push(OutcomeLeaf {
-                outcomes: outcomes.clone(),
-                p: dist.total(),
-                p_and_absent: joint.total(),
-            });
-            return;
-        }
-        let f = probes[depth];
-        for hit in [false, true] {
-            let d2 = self.model.apply_probe(dist, f, hit);
-            let j2 = self.model.apply_probe(joint, f, hit);
-            outcomes.push(hit);
-            self.walk(probes, depth + 1, &d2, &j2, outcomes, leaves);
-            outcomes.pop();
-        }
-    }
-
     /// Greedily selects up to `m` probes from `candidates` maximizing the
-    /// joint information gain, re-analyzing the full sequence at each step.
+    /// joint information gain.
+    ///
+    /// Each round extends the chosen prefix's cached frontier by one probe
+    /// per remaining candidate — fanned out under the planner's policy —
+    /// instead of re-walking the full sequence, and keeps the winner's
+    /// frontier for the next round. The reduction runs serially in
+    /// candidate order with strictly-greater comparisons, so the earliest
+    /// maximum wins exactly as the legacy serial scan's did.
     ///
     /// # Errors
     ///
@@ -367,37 +442,48 @@ impl<'a, M: SwitchModel> ProbePlanner<'a, M> {
             return Err(ModelError::NoCandidates);
         }
         let mut chosen: Vec<FlowId> = Vec::new();
+        let mut frontier = self.root_frontier();
         let mut best_analysis: Option<SequenceAnalysis> = None;
         for _ in 0..m {
-            let mut round_best: Option<SequenceAnalysis> = None;
-            for &c in candidates {
-                if chosen.contains(&c) {
-                    continue;
-                }
-                let mut seq = chosen.clone();
-                seq.push(c);
-                let a = self.analyze_sequence(&seq);
+            let avail: Vec<FlowId> = candidates
+                .iter()
+                .copied()
+                .filter(|c| !chosen.contains(c))
+                .collect();
+            if avail.is_empty() {
+                break; // ran out of distinct candidates
+            }
+            let scored = map_indexed(self.policy, avail.len(), |i| {
+                let cand_frontier = self.extend_frontier(&frontier, avail[i]);
+                let mut probes = chosen.clone();
+                probes.push(avail[i]);
+                let analysis = self.analysis_from_frontier(&probes, &cand_frontier);
+                (analysis, cand_frontier)
+            });
+            let mut round_best: Option<(SequenceAnalysis, Frontier)> = None;
+            for item in scored {
                 if round_best
                     .as_ref()
-                    .is_none_or(|b| a.info_gain > b.info_gain)
+                    .is_none_or(|(b, _)| item.0.info_gain > b.info_gain)
                 {
-                    round_best = Some(a);
+                    round_best = Some(item);
                 }
             }
-            match round_best {
-                Some(a) => {
-                    chosen = a.probes.clone();
-                    best_analysis = Some(a);
-                }
-                None => break, // ran out of distinct candidates
-            }
+            let Some((a, f)) = round_best else { break };
+            chosen = a.probes.clone();
+            frontier = f;
+            best_analysis = Some(a);
         }
         best_analysis.ok_or(ModelError::NoCandidates)
     }
 
     /// Exhaustively searches all ordered sequences of exactly `m` distinct
     /// candidates (use only for small `m`; cost is O(k^m · 2^m) model
-    /// applications).
+    /// applications, with shared prefixes evaluated once).
+    ///
+    /// The search fans out across first probes under the planner's policy;
+    /// within and across branches the earliest maximum wins, matching the
+    /// legacy serial enumeration order exactly.
     ///
     /// # Errors
     ///
@@ -412,9 +498,23 @@ impl<'a, M: SwitchModel> ProbePlanner<'a, M> {
         m: usize,
     ) -> Result<SequenceAnalysis, ModelError> {
         assert!(m <= 4, "exhaustive search limited to m <= 4 probes");
+        let root = self.root_frontier();
+        if m == 0 {
+            return Ok(self.analysis_from_frontier(&[], &root));
+        }
+        let branch_best = map_indexed(self.policy, candidates.len(), |i| {
+            let mut best = None;
+            let mut seq = vec![candidates[i]];
+            let frontier = self.extend_frontier(&root, candidates[i]);
+            self.exhaustive(candidates, m, &mut seq, frontier, &mut best);
+            best
+        });
         let mut best: Option<SequenceAnalysis> = None;
-        let mut seq = Vec::with_capacity(m);
-        self.exhaustive(candidates, m, &mut seq, &mut best);
+        for b in branch_best.into_iter().flatten() {
+            if best.as_ref().is_none_or(|cur| b.info_gain > cur.info_gain) {
+                best = Some(b);
+            }
+        }
         best.ok_or(ModelError::NoCandidates)
     }
 
@@ -423,10 +523,11 @@ impl<'a, M: SwitchModel> ProbePlanner<'a, M> {
         candidates: &[FlowId],
         m: usize,
         seq: &mut Vec<FlowId>,
+        frontier: Frontier,
         best: &mut Option<SequenceAnalysis>,
     ) {
         if seq.len() == m {
-            let a = self.analyze_sequence(seq);
+            let a = self.analysis_from_frontier(seq, &frontier);
             if best.as_ref().is_none_or(|b| a.info_gain > b.info_gain) {
                 *best = Some(a);
             }
@@ -435,7 +536,8 @@ impl<'a, M: SwitchModel> ProbePlanner<'a, M> {
         for &c in candidates {
             if !seq.contains(&c) {
                 seq.push(c);
-                self.exhaustive(candidates, m, seq, best);
+                let child = self.extend_frontier(&frontier, c);
+                self.exhaustive(candidates, m, seq, child, best);
                 seq.pop();
             }
         }

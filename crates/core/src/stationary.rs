@@ -3,13 +3,13 @@
 //! The probe planner evolves `I_T = Aᵀ·I₀` for a fixed window `T`; for the
 //! paper's parameters the chain mixes long before `T`, which is what makes
 //! the geometric extrapolation of
-//! [`TransitionMatrix::evolve_n_extrapolated`](crate::TransitionMatrix::evolve_n_extrapolated)
+//! [`CsrMatrix::evolve_n_extrapolated`](crate::CsrMatrix::evolve_n_extrapolated)
 //! exact in practice. This module computes the stationary distribution and
 //! an empirical mixing time directly, for diagnostics and for steady-state
 //! variants of the attack (a long-running attacker needn't know when the
 //! switch booted).
 
-use crate::{Distribution, TransitionMatrix};
+use crate::{CsrMatrix, Distribution};
 
 /// The stationary distribution of a stochastic chain by power iteration.
 ///
@@ -22,11 +22,7 @@ use crate::{Distribution, TransitionMatrix};
 /// Panics if the matrix is not (sub)stochastic within 1e-9, or has no
 /// states.
 #[must_use]
-pub fn stationary(
-    matrix: &TransitionMatrix,
-    tol: f64,
-    max_iters: usize,
-) -> Option<(Distribution, usize)> {
+pub fn stationary(matrix: &CsrMatrix, tol: f64, max_iters: usize) -> Option<(Distribution, usize)> {
     assert!(matrix.n_states() > 0, "empty chain");
     assert!(matrix.is_substochastic(1e-9), "rows must sum to at most 1");
     let n = matrix.n_states();
@@ -56,7 +52,7 @@ pub fn stationary(
 /// given stationary distribution; `None` if not reached in `max_steps`.
 #[must_use]
 pub fn mixing_time(
-    matrix: &TransitionMatrix,
+    matrix: &CsrMatrix,
     from: &Distribution,
     pi: &Distribution,
     tol: f64,
@@ -82,14 +78,14 @@ pub fn mixing_time(
 mod tests {
     use super::*;
 
-    fn two_state() -> TransitionMatrix {
+    fn two_state() -> CsrMatrix {
         // P(0→1) = 0.3, P(1→0) = 0.1 → π = (0.25, 0.75).
-        let mut m = TransitionMatrix::new(2);
+        let mut m = crate::MatrixBuilder::new(2);
         m.add_edge(0, 0, 0.7);
         m.add_edge(0, 1, 0.3);
         m.add_edge(1, 0, 0.1);
         m.add_edge(1, 1, 0.9);
-        m
+        m.freeze()
     }
 
     #[test]
@@ -126,9 +122,10 @@ mod tests {
     fn absorbing_substochastic_chain_returns_quasi_stationary() {
         // Substochastic: leaks 10% per step from each state; power
         // iteration still converges to the normalized lead eigenvector.
-        let mut m = TransitionMatrix::new(2);
+        let mut m = crate::MatrixBuilder::new(2);
         m.add_edge(0, 1, 0.9);
         m.add_edge(1, 0, 0.9);
+        let m = m.freeze();
         // Period-2 structure under normalization never settles from a
         // uniform start? Uniform is symmetric -> converges immediately.
         let (pi, _) = stationary(&m, 1e-12, 1000).unwrap();

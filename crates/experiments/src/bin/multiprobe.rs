@@ -2,7 +2,7 @@
 //! probes (§V-B) and adaptive probing (our extension of it) add over the
 //! single optimal probe?
 
-use attack::{plan_attack_with, run_trials_policy, AttackerKind};
+use attack::{plan_attack_with_policy, run_trials_policy, AttackerKind};
 use experiments::harness::{mean, sampler_for, write_csv};
 use experiments::{ascii_bars, ExpOpts};
 use rand::rngs::StdRng;
@@ -28,7 +28,8 @@ fn main() {
         attempts += 1;
         let sc = sampler.sample_forced((0.05, 0.95), &mut rng);
         // Three probes for the fixed sequence, depth-3 adaptive policy.
-        let Ok(plan) = plan_attack_with(&sc, Evaluator::mean_field(), 3, 3) else {
+        let Ok(plan) = plan_attack_with_policy(&sc, Evaluator::mean_field(), 3, 3, opts.policy)
+        else {
             continue;
         };
         if !plan.optimal.is_detector() {

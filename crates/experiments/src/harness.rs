@@ -1,6 +1,8 @@
 //! Sampling, filtering and evaluating batches of network configurations.
 
-use attack::{plan_attack, run_trials_policy, AttackPlan, AttackerKind, RunStats, TrialReport};
+use attack::{
+    plan_attack_policy, run_trials_policy, AttackPlan, AttackerKind, RunStats, TrialReport,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use recon_core::useq::Evaluator;
@@ -88,7 +90,7 @@ pub fn collect_configs_timed(
     while out.len() < count && attempts < 60 * count {
         attempts += 1;
         let scenario = sampler.sample_forced(absence_range, &mut rng);
-        let Ok(plan) = plan_attack(&scenario, Evaluator::mean_field()) else {
+        let Ok(plan) = plan_attack_policy(&scenario, Evaluator::mean_field(), opts.policy) else {
             continue;
         };
         let keep = match class {
