@@ -1,6 +1,7 @@
 //! The attacker flavors evaluated in §VI.
 
 use crate::plan::AttackPlan;
+use crate::robust::{robust_probe, ProbePolicy, RobustState, Verdict};
 use flowspace::FlowId;
 use netsim::Simulation;
 use rand::Rng;
@@ -165,6 +166,78 @@ impl Attacker {
             }
         }
     }
+
+    /// Fault-tolerant variant of [`Attacker::decide`]: every probe goes
+    /// through the robust measurement loop (timeout, retries, MAD
+    /// outlier rejection, drift-aware classification — see
+    /// [`crate::robust`]). A question whose measurements exhaust the
+    /// retry budget returns [`Verdict::Inconclusive`]; the handled
+    /// faults are tallied in `state.counters`.
+    ///
+    /// On a fault-free network this takes exactly the same measurements
+    /// as [`Attacker::decide`] and agrees with it.
+    pub fn decide_robust<R: Rng + ?Sized>(
+        &self,
+        sim: &mut Simulation,
+        rng: &mut R,
+        policy: &ProbePolicy,
+        state: &mut RobustState,
+    ) -> Verdict {
+        let verdict = match self {
+            Attacker::SingleProbe { probe } => match robust_probe(sim, *probe, policy, state) {
+                Some(obs) => Verdict::from_present(obs.hit),
+                None => Verdict::Inconclusive,
+            },
+            Attacker::BayesProbe {
+                probe,
+                present_if_hit,
+                present_if_miss,
+            } => match robust_probe(sim, *probe, policy, state) {
+                Some(obs) => Verdict::from_present(if obs.hit {
+                    *present_if_hit
+                } else {
+                    *present_if_miss
+                }),
+                None => Verdict::Inconclusive,
+            },
+            Attacker::Prior { p_present } => {
+                // No probe, nothing to lose: the prior always answers.
+                Verdict::from_present(rng.gen::<f64>() < *p_present)
+            }
+            Attacker::Tree(tree) => {
+                let mut outcomes = Vec::with_capacity(tree.probes().len());
+                for &f in tree.probes() {
+                    match robust_probe(sim, f, policy, state) {
+                        Some(obs) => outcomes.push(obs.hit),
+                        None => return self.give_up(state),
+                    }
+                }
+                Verdict::from_present(tree.decide(&outcomes))
+            }
+            Attacker::Adaptive(tree) => {
+                let mut outcomes = Vec::with_capacity(tree.depth());
+                while let Some(probe) = tree.next_probe(&outcomes) {
+                    match robust_probe(sim, probe, policy, state) {
+                        Some(obs) => outcomes.push(obs.hit),
+                        None => return self.give_up(state),
+                    }
+                    if outcomes.len() == tree.depth() {
+                        break;
+                    }
+                }
+                Verdict::from_present(tree.decide(&outcomes))
+            }
+        };
+        if verdict == Verdict::Inconclusive {
+            state.counters.inconclusive += 1;
+        }
+        verdict
+    }
+
+    fn give_up(&self, state: &mut RobustState) -> Verdict {
+        state.counters.inconclusive += 1;
+        Verdict::Inconclusive
+    }
 }
 
 #[cfg(test)]
@@ -245,5 +318,53 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         assert!(Attacker::Prior { p_present: 1.0 }.decide(&mut sim, &mut rng));
         assert!(!Attacker::Prior { p_present: 0.0 }.decide(&mut sim, &mut rng));
+    }
+
+    #[test]
+    fn robust_decide_agrees_with_decide_on_clean_network() {
+        let policy = crate::robust::ProbePolicy::default();
+        for (kind, atk) in [
+            ("single", Attacker::SingleProbe { probe: FlowId(0) }),
+            (
+                "bayes",
+                Attacker::BayesProbe {
+                    probe: FlowId(0),
+                    present_if_hit: true,
+                    present_if_miss: false,
+                },
+            ),
+        ] {
+            let mut plain = Simulation::new(NetConfig::eval_topology(rules(), 2, 0.02), 17);
+            let mut robust = Simulation::new(NetConfig::eval_topology(rules(), 2, 0.02), 17);
+            let mut rng_a = StdRng::seed_from_u64(17);
+            let mut rng_b = StdRng::seed_from_u64(17);
+            let mut state = crate::robust::RobustState::new(&policy);
+            for _ in 0..3 {
+                let direct = atk.decide(&mut plain, &mut rng_a);
+                let verdict = atk.decide_robust(&mut robust, &mut rng_b, &policy, &mut state);
+                assert_eq!(verdict.answer(), Some(direct), "{kind}");
+            }
+            assert_eq!(state.counters.timeouts, 0);
+            assert_eq!(state.counters.inconclusive, 0);
+        }
+    }
+
+    #[test]
+    fn robust_decide_goes_inconclusive_under_total_loss() {
+        let mut cfg = NetConfig::eval_topology(rules(), 2, 0.02);
+        cfg.faults.packet_loss = 1.0;
+        let mut sim = Simulation::new(cfg, 4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let policy = crate::robust::ProbePolicy::default();
+        let mut state = crate::robust::RobustState::new(&policy);
+        let atk = Attacker::SingleProbe { probe: FlowId(0) };
+        let v = atk.decide_robust(&mut sim, &mut rng, &policy, &mut state);
+        assert_eq!(v, crate::robust::Verdict::Inconclusive);
+        assert_eq!(state.counters.inconclusive, 1);
+        assert_eq!(state.counters.probes, 1 + u64::from(policy.max_retries));
+        // The prior attacker needs no probe and still answers.
+        let prior = Attacker::Prior { p_present: 1.0 };
+        let v = prior.decide_robust(&mut sim, &mut rng, &policy, &mut state);
+        assert_eq!(v.answer(), Some(true));
     }
 }

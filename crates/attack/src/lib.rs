@@ -24,19 +24,23 @@
 mod attacker;
 mod calibrate;
 mod plan;
+mod robust;
 pub mod sweep;
 mod timing;
 mod trial;
 
 pub use attacker::{Attacker, AttackerKind};
-pub use calibrate::{calibrate_threshold, CalibratedThreshold};
+pub use calibrate::{calibrate_threshold, CalibratedThreshold, DRIFT_LIMIT};
 pub use plan::{
     plan_attack, plan_attack_policy, plan_attack_with, plan_attack_with_policy, AttackPlan,
     PlanError,
 };
 pub use recon_core::exec::{ExecPolicy, RunStats, THREADS_ENV_VAR};
+pub use robust::{
+    robust_probe, FaultCounters, ProbePolicy, RobustObservation, RobustState, RttWindow, Verdict,
+};
 pub use timing::{measure_latency, LatencyStats, LatencyTable};
 pub use trial::{
-    run_trials, run_trials_policy, run_trials_with, run_trials_with_policy, scenario_net_config,
-    Accuracy, TrialReport,
+    run_trials, run_trials_policy, run_trials_robust_policy, run_trials_with,
+    run_trials_with_policy, scenario_net_config, Accuracy, TrialReport,
 };

@@ -76,8 +76,12 @@ impl SweepParameter {
 pub struct SweepPoint {
     /// The swept value.
     pub value: f64,
-    /// Accuracy per attacker, parallel to the sweep's `kinds`.
+    /// Accuracy per attacker (over answered questions), parallel to the
+    /// sweep's `kinds`.
     pub accuracy: Vec<f64>,
+    /// Answer rate per attacker, parallel to `accuracy`. Always 1.0 on
+    /// the fault-free configurations this sweep runs.
+    pub answer_rate: Vec<f64>,
     /// The optimal probe's information gain at this point.
     pub info_gain: f64,
 }
@@ -148,6 +152,7 @@ pub fn sweep_policy(
         Ok(SweepPoint {
             value: v,
             accuracy: kinds.iter().map(|&k| report.accuracy(k)).collect(),
+            answer_rate: kinds.iter().map(|&k| report.answer_rate(k)).collect(),
             info_gain: plan.optimal.info_gain,
         })
     };

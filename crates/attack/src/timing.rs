@@ -18,6 +18,15 @@ pub struct LatencyStats {
 impl LatencyStats {
     fn from_samples(samples: &[f64]) -> Self {
         let n = samples.len();
+        if n == 0 {
+            // Dividing by zero below would yield NaN mean/std; an empty
+            // sample set is a well-defined "no data" result instead.
+            return LatencyStats {
+                mean: 0.0,
+                std: 0.0,
+                n: 0,
+            };
+        }
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         LatencyStats {
@@ -72,7 +81,11 @@ pub fn measure_latency(samples: usize, seed: u64) -> LatencyTable {
     LatencyTable {
         hit: LatencyStats::from_samples(&hits),
         miss: LatencyStats::from_samples(&misses),
-        threshold_error: errors as f64 / (2 * samples) as f64,
+        threshold_error: if samples == 0 {
+            0.0
+        } else {
+            errors as f64 / (2 * samples) as f64
+        },
     }
 }
 
@@ -111,5 +124,17 @@ mod tests {
     fn deterministic_per_seed() {
         assert_eq!(measure_latency(50, 1), measure_latency(50, 1));
         assert_ne!(measure_latency(50, 1), measure_latency(50, 2));
+    }
+
+    #[test]
+    fn zero_samples_yield_zeroed_stats_not_nan() {
+        let t = measure_latency(0, 7);
+        assert_eq!(t.hit.n, 0);
+        assert_eq!(t.miss.n, 0);
+        assert_eq!(t.hit.mean, 0.0);
+        assert_eq!(t.hit.std, 0.0);
+        assert_eq!(t.miss.mean, 0.0);
+        assert_eq!(t.miss.std, 0.0);
+        assert_eq!(t.threshold_error, 0.0);
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::attacker::{Attacker, AttackerKind};
 use crate::plan::AttackPlan;
+use crate::robust::{FaultCounters, ProbePolicy, RobustState, Verdict};
 use crate::ExecPolicy;
 use netsim::{NetConfig, Simulation};
 use rand::rngs::StdRng;
@@ -17,7 +18,9 @@ use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use traffic::{poisson, NetworkScenario};
 
-/// A confusion-matrix accumulator.
+/// A confusion-matrix accumulator, plus the trials the attacker could
+/// not answer. Accuracy is computed over **answered** trials only;
+/// [`Accuracy::answer_rate`] reports how many got an answer at all.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Accuracy {
     /// Target occurred, attacker said occurred.
@@ -28,10 +31,13 @@ pub struct Accuracy {
     pub fp: u64,
     /// Target occurred, attacker said absent.
     pub fn_: u64,
+    /// Trials where the attacker gave no answer (retry budget
+    /// exhausted under faults). Zero on fault-free runs.
+    pub inconclusive: u64,
 }
 
 impl Accuracy {
-    /// Records one trial.
+    /// Records one answered trial.
     pub fn add(&mut self, truth: bool, answer: bool) {
         match (truth, answer) {
             (true, true) => self.tp += 1,
@@ -41,15 +47,40 @@ impl Accuracy {
         }
     }
 
-    /// Number of trials recorded.
+    /// Records one trial's verdict, conclusive or not.
+    pub fn add_verdict(&mut self, truth: bool, verdict: Verdict) {
+        match verdict.answer() {
+            Some(answer) => self.add(truth, answer),
+            None => self.inconclusive += 1,
+        }
+    }
+
+    /// Number of answered trials.
     #[must_use]
     pub fn n(&self) -> u64 {
         self.tp + self.tn + self.fp + self.fn_
     }
 
-    /// The paper's metric: (TP + TN) / total.
+    /// Number of trials recorded, answered or not.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.n() + self.inconclusive
+    }
+
+    /// Fraction of trials that received an answer. 1.0 on fault-free
+    /// runs; NaN if no trials were recorded.
+    #[must_use]
+    pub fn answer_rate(&self) -> f64 {
+        if self.total() == 0 {
+            f64::NAN
+        } else {
+            self.n() as f64 / self.total() as f64
+        }
+    }
+
+    /// The paper's metric over answered trials: (TP + TN) / answered.
     ///
-    /// Returns NaN if no trials were recorded.
+    /// Returns NaN if no trials were answered.
     #[must_use]
     pub fn accuracy(&self) -> f64 {
         if self.n() == 0 {
@@ -65,6 +96,7 @@ impl Accuracy {
         self.tn += other.tn;
         self.fp += other.fp;
         self.fn_ += other.fn_;
+        self.inconclusive += other.inconclusive;
     }
 }
 
@@ -75,20 +107,64 @@ pub struct TrialReport {
     pub by_attacker: Vec<(AttackerKind, Accuracy)>,
     /// Fraction of trials in which the target genuinely occurred.
     pub base_rate_present: f64,
+    /// Per-attacker measurement-fault tallies, parallel to
+    /// `by_attacker`. All zeros when the batch ran without the robust
+    /// probe loop (fault-free configurations).
+    pub fault_counters: Vec<FaultCounters>,
 }
 
 impl TrialReport {
-    /// The accuracy of one attacker kind.
+    /// The accuracy of one attacker kind (over answered trials).
     ///
     /// # Panics
     ///
     /// Panics if `kind` was not part of the batch.
     #[must_use]
     pub fn accuracy(&self, kind: AttackerKind) -> f64 {
+        self.entry(kind).accuracy()
+    }
+
+    /// The answer rate of one attacker kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` was not part of the batch.
+    #[must_use]
+    pub fn answer_rate(&self, kind: AttackerKind) -> f64 {
+        self.entry(kind).answer_rate()
+    }
+
+    /// The full confusion matrix of one attacker kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` was not part of the batch.
+    #[must_use]
+    pub fn entry_for(&self, kind: AttackerKind) -> &Accuracy {
+        self.entry(kind)
+    }
+
+    /// The measurement-fault tallies of one attacker kind (all zeros
+    /// when the batch ran without the robust probe loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` was not part of the batch.
+    #[must_use]
+    pub fn fault_counters(&self, kind: AttackerKind) -> &FaultCounters {
+        let i = self
+            .by_attacker
+            .iter()
+            .position(|(k, _)| *k == kind)
+            .expect("attacker kind not in report");
+        &self.fault_counters[i]
+    }
+
+    fn entry(&self, kind: AttackerKind) -> &Accuracy {
         self.by_attacker
             .iter()
             .find(|(k, _)| *k == kind)
-            .map(|(_, a)| a.accuracy())
+            .map(|(_, a)| a)
             .expect("attacker kind not in report")
     }
 }
@@ -177,15 +253,62 @@ pub fn run_trials_with_policy(
     net: &NetConfig,
     policy: ExecPolicy,
 ) -> TrialReport {
+    run_trials_engine(scenario, plan, kinds, trials, seed, net, policy, None)
+}
+
+/// [`run_trials_with_policy`] with the attackers' measurements routed
+/// through the robust probe loop (timeouts, retries, outlier rejection
+/// — see [`crate::robust`]). This is the entry point for fault-injected
+/// configurations: attackers degrade to [`Verdict::Inconclusive`]
+/// instead of hanging or silently misclassifying, and the report's
+/// `fault_counters` tally what was absorbed.
+///
+/// On a fault-free `net` the accuracies match the non-robust engine.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn run_trials_robust_policy(
+    scenario: &NetworkScenario,
+    plan: &AttackPlan,
+    kinds: &[AttackerKind],
+    trials: usize,
+    seed: u64,
+    net: &NetConfig,
+    policy: ExecPolicy,
+    probe_policy: &ProbePolicy,
+) -> TrialReport {
+    run_trials_engine(
+        scenario,
+        plan,
+        kinds,
+        trials,
+        seed,
+        net,
+        policy,
+        Some(probe_policy),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_trials_engine(
+    scenario: &NetworkScenario,
+    plan: &AttackPlan,
+    kinds: &[AttackerKind],
+    trials: usize,
+    seed: u64,
+    net: &NetConfig,
+    policy: ExecPolicy,
+    robust: Option<&ProbePolicy>,
+) -> TrialReport {
     let threads = policy.effective_threads(trials);
-    let (accs, present) = if threads <= 1 {
-        run_trial_range(scenario, plan, kinds, seed, net, 0..trials)
+    let (accs, counters, present) = if threads <= 1 {
+        run_trial_range(scenario, plan, kinds, seed, net, robust, 0..trials)
     } else {
-        run_trials_parallel(scenario, plan, kinds, trials, seed, net, threads)
+        run_trials_parallel(scenario, plan, kinds, trials, seed, net, robust, threads)
     };
     TrialReport {
         by_attacker: kinds.iter().copied().zip(accs).collect(),
         base_rate_present: present as f64 / trials.max(1) as f64,
+        fault_counters: counters,
     }
 }
 
@@ -194,14 +317,17 @@ pub fn run_trials_with_policy(
 /// answer. Every RNG stream is derived from `(seed, trial, attacker
 /// index)` — nothing else — which is what makes the engine's scheduling
 /// freedom sound.
+#[allow(clippy::too_many_arguments)]
 fn run_one_trial(
     scenario: &NetworkScenario,
     plan: &AttackPlan,
     kinds: &[AttackerKind],
     seed: u64,
     net: &NetConfig,
+    robust: Option<&ProbePolicy>,
     trial: usize,
-    answers: &mut Vec<bool>,
+    answers: &mut Vec<Verdict>,
+    counters: &mut [FaultCounters],
 ) -> bool {
     let mut traffic_rng =
         StdRng::seed_from_u64(seed ^ (trial as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -224,35 +350,56 @@ fn run_one_trial(
         let attacker = Attacker::from_plan(kind, plan, scenario.target);
         let mut decide_rng =
             StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF ^ ((trial as u64) << 8) ^ i as u64);
-        answers.push(attacker.decide(&mut sim, &mut decide_rng));
+        let verdict = match robust {
+            None => Verdict::from_present(attacker.decide(&mut sim, &mut decide_rng)),
+            Some(probe_policy) => {
+                let mut state = RobustState::new(probe_policy);
+                let v = attacker.decide_robust(&mut sim, &mut decide_rng, probe_policy, &mut state);
+                counters[i].merge(&state.counters);
+                v
+            }
+        };
+        answers.push(verdict);
     }
     truth
 }
 
 /// Runs a contiguous range of trials on the calling thread, returning
-/// per-attacker accumulators and the count of trials where the target
-/// was genuinely present.
+/// per-attacker accumulators, fault tallies, and the count of trials
+/// where the target was genuinely present.
 fn run_trial_range(
     scenario: &NetworkScenario,
     plan: &AttackPlan,
     kinds: &[AttackerKind],
     seed: u64,
     net: &NetConfig,
+    robust: Option<&ProbePolicy>,
     range: std::ops::Range<usize>,
-) -> (Vec<Accuracy>, u64) {
+) -> (Vec<Accuracy>, Vec<FaultCounters>, u64) {
     let mut accs = vec![Accuracy::default(); kinds.len()];
+    let mut counters = vec![FaultCounters::default(); kinds.len()];
     let mut present = 0u64;
     let mut answers = Vec::with_capacity(kinds.len());
     for trial in range {
-        let truth = run_one_trial(scenario, plan, kinds, seed, net, trial, &mut answers);
+        let truth = run_one_trial(
+            scenario,
+            plan,
+            kinds,
+            seed,
+            net,
+            robust,
+            trial,
+            &mut answers,
+            &mut counters,
+        );
         if truth {
             present += 1;
         }
-        for (acc, &answer) in accs.iter_mut().zip(&answers) {
-            acc.add(truth, answer);
+        for (acc, &verdict) in accs.iter_mut().zip(&answers) {
+            acc.add_verdict(truth, verdict);
         }
     }
-    (accs, present)
+    (accs, counters, present)
 }
 
 /// Distributes trials over `threads` scoped workers. Workers claim fixed
@@ -260,6 +407,7 @@ fn run_trial_range(
 /// locally; the main thread merges worker results. Because merging is
 /// unsigned addition, the outcome is independent of which worker ran
 /// which chunk — bit-identical to the serial path.
+#[allow(clippy::too_many_arguments)]
 fn run_trials_parallel(
     scenario: &NetworkScenario,
     plan: &AttackPlan,
@@ -267,19 +415,22 @@ fn run_trials_parallel(
     trials: usize,
     seed: u64,
     net: &NetConfig,
+    robust: Option<&ProbePolicy>,
     threads: usize,
-) -> (Vec<Accuracy>, u64) {
+) -> (Vec<Accuracy>, Vec<FaultCounters>, u64) {
     // Chunks several times smaller than a fair share keep workers busy
     // when trial costs vary, without contending on the cursor per trial.
     let chunk = (trials / (threads * 4)).max(1);
     let cursor = AtomicUsize::new(0);
     let mut accs = vec![Accuracy::default(); kinds.len()];
+    let mut counters = vec![FaultCounters::default(); kinds.len()];
     let mut present = 0u64;
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
                     let mut local = vec![Accuracy::default(); kinds.len()];
+                    let mut local_counters = vec![FaultCounters::default(); kinds.len()];
                     let mut local_present = 0u64;
                     let mut answers = Vec::with_capacity(kinds.len());
                     loop {
@@ -295,30 +446,36 @@ fn run_trials_parallel(
                                 kinds,
                                 seed,
                                 net,
+                                robust,
                                 trial,
                                 &mut answers,
+                                &mut local_counters,
                             );
                             if truth {
                                 local_present += 1;
                             }
-                            for (acc, &answer) in local.iter_mut().zip(&answers) {
-                                acc.add(truth, answer);
+                            for (acc, &verdict) in local.iter_mut().zip(&answers) {
+                                acc.add_verdict(truth, verdict);
                             }
                         }
                     }
-                    (local, local_present)
+                    (local, local_counters, local_present)
                 })
             })
             .collect();
         for worker in workers {
-            let (local, local_present) = worker.join().expect("trial worker panicked");
+            let (local, local_counters, local_present) =
+                worker.join().expect("trial worker panicked");
             for (acc, l) in accs.iter_mut().zip(&local) {
                 acc.merge(l);
+            }
+            for (c, l) in counters.iter_mut().zip(&local_counters) {
+                c.merge(l);
             }
             present += local_present;
         }
     });
-    (accs, present)
+    (accs, counters, present)
 }
 
 #[cfg(test)]
@@ -440,5 +597,125 @@ mod tests {
         let plan = plan_attack(&sc, Evaluator::mean_field()).unwrap();
         let r = run_trials(&sc, &plan, &[AttackerKind::Naive], 2, 1);
         let _ = r.accuracy(AttackerKind::Model);
+    }
+
+    #[test]
+    fn verdict_bookkeeping_separates_inconclusive() {
+        let mut a = Accuracy::default();
+        a.add_verdict(true, Verdict::Present);
+        a.add_verdict(false, Verdict::Absent);
+        a.add_verdict(true, Verdict::Inconclusive);
+        a.add_verdict(false, Verdict::Inconclusive);
+        assert_eq!(a.n(), 2, "answered only");
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.inconclusive, 2);
+        assert_eq!(a.accuracy(), 1.0, "accuracy over answered questions");
+        assert_eq!(a.answer_rate(), 0.5);
+        let mut b = Accuracy::default();
+        b.add_verdict(true, Verdict::Inconclusive);
+        a.merge(&b);
+        assert_eq!(a.inconclusive, 3);
+        assert!(Accuracy::default().answer_rate().is_nan());
+    }
+
+    #[test]
+    fn non_robust_reports_zero_fault_counters() {
+        let sc = scenario(1, (0.3, 0.7));
+        let plan = plan_attack(&sc, Evaluator::mean_field()).unwrap();
+        let kinds = [AttackerKind::Naive, AttackerKind::Random];
+        let r = run_trials(&sc, &plan, &kinds, 5, 3);
+        assert_eq!(r.fault_counters.len(), kinds.len());
+        assert!(r.fault_counters.iter().all(FaultCounters::is_zero));
+        for (k, a) in &r.by_attacker {
+            assert_eq!(a.inconclusive, 0, "{k:?}");
+            assert_eq!(r.answer_rate(*k), 1.0);
+        }
+    }
+
+    #[test]
+    fn robust_engine_matches_plain_engine_without_faults() {
+        let sc = scenario(7, (0.3, 0.7));
+        let plan = plan_attack(&sc, Evaluator::mean_field()).unwrap();
+        let kinds = [
+            AttackerKind::Naive,
+            AttackerKind::Model,
+            AttackerKind::Random,
+        ];
+        let net = scenario_net_config(&sc);
+        let plain = run_trials_with_policy(&sc, &plan, &kinds, 15, 5, &net, ExecPolicy::Serial);
+        let robust = run_trials_robust_policy(
+            &sc,
+            &plan,
+            &kinds,
+            15,
+            5,
+            &net,
+            ExecPolicy::Serial,
+            &ProbePolicy::default(),
+        );
+        // Same measurements, same verdicts — only the probe/no-fault
+        // counters differ.
+        assert_eq!(plain.by_attacker, robust.by_attacker);
+        assert_eq!(plain.base_rate_present, robust.base_rate_present);
+        for c in &robust.fault_counters {
+            assert_eq!(c.timeouts, 0);
+            assert_eq!(c.inconclusive, 0);
+        }
+    }
+
+    #[test]
+    fn robust_trials_parallel_match_serial_bit_for_bit() {
+        let sc = scenario(8, (0.3, 0.7));
+        let plan = plan_attack(&sc, Evaluator::mean_field()).unwrap();
+        let kinds = [AttackerKind::Naive, AttackerKind::Model];
+        let mut net = scenario_net_config(&sc);
+        net.faults = netsim::FaultPlan::uniform(0.1);
+        let probe = ProbePolicy::default();
+        let serial =
+            run_trials_robust_policy(&sc, &plan, &kinds, 16, 21, &net, ExecPolicy::Serial, &probe);
+        for threads in [2, 8] {
+            let parallel = run_trials_robust_policy(
+                &sc,
+                &plan,
+                &kinds,
+                16,
+                21,
+                &net,
+                ExecPolicy::Parallel { threads },
+                &probe,
+            );
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn faulty_network_degrades_gracefully_not_silently() {
+        let sc = scenario(9, (0.3, 0.7));
+        let plan = plan_attack(&sc, Evaluator::mean_field()).unwrap();
+        let kinds = [AttackerKind::Naive];
+        let mut net = scenario_net_config(&sc);
+        net.faults = netsim::FaultPlan::uniform(0.25);
+        let r = run_trials_robust_policy(
+            &sc,
+            &plan,
+            &kinds,
+            60,
+            13,
+            &net,
+            ExecPolicy::Serial,
+            &ProbePolicy::default(),
+        );
+        let acc = &r.by_attacker[0].1;
+        assert_eq!(acc.total(), 60, "every trial is accounted for");
+        let c = &r.fault_counters[0];
+        assert!(c.timeouts > 0, "25% loss must cost some probes: {c:?}");
+        assert_eq!(
+            c.inconclusive, acc.inconclusive,
+            "counters and accuracy agree on inconclusive trials"
+        );
+        assert!(
+            r.answer_rate(AttackerKind::Naive) < 1.0,
+            "some questions must go unanswered at 25% faults"
+        );
     }
 }

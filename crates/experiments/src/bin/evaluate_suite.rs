@@ -160,6 +160,37 @@ fn main() {
         &rows,
     );
 
+    // ---- Robustness sidecar ----
+    // Per-attacker answer bookkeeping pooled over every configuration.
+    // This suite runs fault-free, so the fault tallies are all zero and
+    // the answer rate is 1.0 — the columns exist so that fault-injected
+    // runs (see `fault_sweep`) and this baseline stay diffable.
+    let mut rows = Vec::new();
+    for &k in &kinds {
+        let mut acc = attack::Accuracy::default();
+        let mut counters = attack::FaultCounters::default();
+        for o in &fig7 {
+            acc.merge(o.report.entry_for(k));
+            counters.merge(o.report.fault_counters(k));
+        }
+        rows.push(format!(
+            "{},{},{},{},{},{},{},{}",
+            k.name(),
+            acc.n(),
+            acc.inconclusive,
+            acc.answer_rate(),
+            counters.probes,
+            counters.timeouts,
+            counters.retries,
+            counters.outliers
+        ));
+    }
+    write_csv(
+        &opts.out_file("suite_robust.csv"),
+        "attacker,answered,inconclusive,answer_rate,probes,timeouts,retries,outliers",
+        &rows,
+    );
+
     // Aggregate summary for EXPERIMENTS.md.
     let overall_naive = mean(fig7.iter().map(|o| o.report.accuracy(AttackerKind::Naive)));
     let overall_model = mean(fig7.iter().map(|o| o.report.accuracy(AttackerKind::Model)));

@@ -1,0 +1,62 @@
+//! Determinism gate for the fault-injection sweep: `fault_sweep` must
+//! emit byte-identical CSVs at any thread count for a fixed seed, *with
+//! faults active*.
+//!
+//! This is the hardest determinism case in the repo: fault draws come
+//! from their own RNG stream, retries and timeouts change how much
+//! simulated work each trial does, and the robust probe loop keeps
+//! per-question state — none of which may leak across the parallel
+//! trial chunking. The sweep's nonzero rates (5% and 15% in `--fast`
+//! mode) exercise every fault path.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_sweep(out_dir: &Path, threads: &str) {
+    let status = Command::new(env!("CARGO_BIN_EXE_fault_sweep"))
+        .args([
+            "--seed",
+            "7",
+            "--configs",
+            "2",
+            "--trials",
+            "5",
+            "--fast",
+            "--threads",
+            threads,
+            "--out",
+        ])
+        .arg(out_dir)
+        .status()
+        .expect("fault_sweep runs");
+    assert!(
+        status.success(),
+        "fault_sweep failed at --threads {threads}"
+    );
+}
+
+#[test]
+fn fault_sweep_csv_byte_identical_across_thread_counts() {
+    let tmp = Path::new(env!("CARGO_TARGET_TMPDIR")).join("fault_sweep_determinism");
+    let serial_dir = tmp.join("t1");
+    std::fs::create_dir_all(&serial_dir).expect("mkdir");
+    run_sweep(&serial_dir, "1");
+    let serial = std::fs::read(serial_dir.join("fault_sweep.csv")).expect("serial csv");
+    let text = String::from_utf8(serial.clone()).expect("utf8 csv");
+    assert!(text.lines().count() > 1, "sweep produced no data");
+    assert!(
+        text.lines().any(|l| l.starts_with("0.15,")),
+        "sweep must include a nonzero fault rate: {text}"
+    );
+
+    for threads in ["2", "8"] {
+        let dir = tmp.join(format!("t{threads}"));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        run_sweep(&dir, threads);
+        let got = std::fs::read(dir.join("fault_sweep.csv")).expect("parallel csv");
+        assert_eq!(
+            got, serial,
+            "fault_sweep.csv differs between --threads 1 and --threads {threads}"
+        );
+    }
+}

@@ -1,8 +1,102 @@
 //! Simulation configuration.
 
+use crate::fault::FaultPlan;
 use crate::{LatencyModel, NodeId, Topology};
 use flowspace::RuleSet;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A typed validation error for a malformed [`NetConfig`].
+///
+/// Experiment sweeps construct thousands of configurations
+/// programmatically; a bad one should surface as a `Result` at the
+/// CLI/experiments boundary instead of aborting mid-sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The topology has no switches.
+    EmptyTopology,
+    /// The reactive flow-table capacity is zero.
+    ZeroCapacity,
+    /// `transit_reactive` is set but the transit capacity is zero.
+    ZeroTransitCapacity,
+    /// The model step Δ is non-positive or non-finite.
+    BadDelta(f64),
+    /// A switch id is out of range for the topology.
+    NodeOutOfRange {
+        /// Which field named the switch (`"ingress"` or `"server"`).
+        role: &'static str,
+        /// The offending id.
+        node: NodeId,
+        /// Number of switches in the topology.
+        len: usize,
+    },
+    /// The ingress and server switches are not connected.
+    Disconnected {
+        /// The attacker's switch.
+        ingress: NodeId,
+        /// The server's switch.
+        server: NodeId,
+    },
+    /// A latency-model parameter is non-finite.
+    NonFiniteLatency {
+        /// Which parameter.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A fault probability lies outside `[0, 1]` (or is NaN).
+    FaultProbabilityOutOfRange {
+        /// Which [`FaultPlan`] field.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A fault-plan duration/amplitude is negative or non-finite.
+    BadFaultParameter {
+        /// Which [`FaultPlan`] field.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ConfigError::EmptyTopology => write!(f, "topology has no switches"),
+            ConfigError::ZeroCapacity => write!(f, "reactive flow-table capacity must be ≥ 1"),
+            ConfigError::ZeroTransitCapacity => {
+                write!(f, "transit_reactive requires transit_capacity ≥ 1")
+            }
+            ConfigError::BadDelta(d) => {
+                write!(f, "model step delta must be finite and > 0, got {d}")
+            }
+            ConfigError::NodeOutOfRange { role, node, len } => {
+                write!(f, "{role} switch {node} out of range (topology has {len})")
+            }
+            ConfigError::Disconnected { ingress, server } => {
+                write!(f, "ingress {ingress} and server {server} are disconnected")
+            }
+            ConfigError::NonFiniteLatency { field, value } => {
+                write!(f, "latency parameter {field} must be finite, got {value}")
+            }
+            ConfigError::FaultProbabilityOutOfRange { field, value } => {
+                write!(
+                    f,
+                    "fault probability {field} must lie in [0, 1], got {value}"
+                )
+            }
+            ConfigError::BadFaultParameter { field, value } => {
+                write!(
+                    f,
+                    "fault parameter {field} must be finite and ≥ 0, got {value}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Countermeasure configuration (§VII-B).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -74,6 +168,8 @@ pub struct NetConfig {
     pub transit_capacity: usize,
     /// Enabled countermeasures.
     pub defense: Defense,
+    /// Deterministic fault injection (defaults to the no-op plan).
+    pub faults: FaultPlan,
 }
 
 impl NetConfig {
@@ -94,6 +190,7 @@ impl NetConfig {
             transit_reactive: false,
             transit_capacity: capacity,
             defense: Defense::default(),
+            faults: FaultPlan::default(),
         }
     }
 
@@ -111,7 +208,78 @@ impl NetConfig {
             transit_reactive: false,
             transit_capacity: capacity,
             defense: Defense::default(),
+            faults: FaultPlan::default(),
         }
+    }
+
+    /// Checks the configuration for the mistakes a programmatic sweep can
+    /// make: zero-capacity tables, empty topologies, non-finite latencies,
+    /// out-of-range fault probabilities, disconnected endpoints.
+    ///
+    /// [`Simulation::try_new`](crate::Simulation::try_new) runs this
+    /// before building the event loop, so a malformed configuration
+    /// surfaces as a `Result` instead of a panic mid-sweep.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ConfigError`] found, in the declaration order above.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let len = self.topology.len();
+        if len == 0 {
+            return Err(ConfigError::EmptyTopology);
+        }
+        if self.capacity == 0 {
+            return Err(ConfigError::ZeroCapacity);
+        }
+        if self.transit_reactive && self.transit_capacity == 0 {
+            return Err(ConfigError::ZeroTransitCapacity);
+        }
+        if !self.delta.is_finite() || self.delta <= 0.0 {
+            return Err(ConfigError::BadDelta(self.delta));
+        }
+        for (role, node) in [("ingress", self.ingress), ("server", self.server)] {
+            if node.0 >= len {
+                return Err(ConfigError::NodeOutOfRange { role, node, len });
+            }
+        }
+        if self.topology.path(self.ingress, self.server).is_err() {
+            return Err(ConfigError::Disconnected {
+                ingress: self.ingress,
+                server: self.server,
+            });
+        }
+        let latency = [
+            ("path_one_way.mean", self.latency.path_one_way.mean),
+            ("path_one_way.std", self.latency.path_one_way.std),
+            ("rule_setup.shift", self.latency.rule_setup.shift),
+            ("rule_setup.mu", self.latency.rule_setup.mu),
+            ("rule_setup.sigma", self.latency.rule_setup.sigma),
+        ];
+        for (field, value) in latency {
+            if !value.is_finite() {
+                return Err(ConfigError::NonFiniteLatency { field, value });
+            }
+        }
+        for (field, value) in self.faults.probabilities() {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                return Err(ConfigError::FaultProbabilityOutOfRange { field, value });
+            }
+        }
+        let mut durations = vec![("flow_mod_delay_secs", self.faults.flow_mod_delay_secs)];
+        if let Some(j) = self.faults.jitter {
+            durations.extend([
+                ("jitter.period_secs", j.period_secs),
+                ("jitter.burst_secs", j.burst_secs),
+                ("jitter.extra.mean", j.extra.mean),
+                ("jitter.extra.std", j.extra.std),
+            ]);
+        }
+        for (field, value) in durations {
+            if !value.is_finite() || value < 0.0 {
+                return Err(ConfigError::BadFaultParameter { field, value });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -157,5 +325,111 @@ mod tests {
             (back.capacity, back.ingress, back.server)
         );
         assert!((c.latency.rule_setup.mu - back.latency.rule_setup.mu).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_configs_validate() {
+        assert_eq!(
+            NetConfig::eval_topology(rules(), 6, 0.02).validate(),
+            Ok(())
+        );
+        assert_eq!(
+            NetConfig::single_switch(rules(), 2, 0.05).validate(),
+            Ok(())
+        );
+        let mut faulty = NetConfig::eval_topology(rules(), 6, 0.02);
+        faulty.faults = crate::FaultPlan::uniform(0.1);
+        assert_eq!(faulty.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_zero_capacity_and_bad_delta() {
+        let mut c = NetConfig::eval_topology(rules(), 6, 0.02);
+        c.capacity = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroCapacity));
+        c.capacity = 6;
+        c.delta = 0.0;
+        assert_eq!(c.validate(), Err(ConfigError::BadDelta(0.0)));
+        c.delta = f64::NAN;
+        assert!(matches!(c.validate(), Err(ConfigError::BadDelta(_))));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_and_disconnected_nodes() {
+        let mut c = NetConfig::eval_topology(rules(), 6, 0.02);
+        c.server = NodeId(99);
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NodeOutOfRange { role: "server", .. })
+        ));
+        let mut c = NetConfig::eval_topology(rules(), 6, 0.02);
+        c.topology = Topology::new(2, &[]).unwrap();
+        c.ingress = NodeId(0);
+        c.server = NodeId(1);
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::Disconnected { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_latency() {
+        let mut c = NetConfig::eval_topology(rules(), 6, 0.02);
+        c.latency.path_one_way.mean = f64::INFINITY;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NonFiniteLatency {
+                field: "path_one_way.mean",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_bad_fault_parameters() {
+        let mut c = NetConfig::eval_topology(rules(), 6, 0.02);
+        c.faults.packet_loss = 1.5;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::FaultProbabilityOutOfRange {
+                field: "packet_loss",
+                ..
+            })
+        ));
+        c.faults.packet_loss = 0.5;
+        c.faults.flow_mod_delay_secs = -1.0;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BadFaultParameter {
+                field: "flow_mod_delay_secs",
+                ..
+            })
+        ));
+        c.faults.flow_mod_delay_secs = 0.0;
+        c.faults.jitter = Some(crate::JitterBursts {
+            period_secs: f64::NAN,
+            burst_secs: 0.5,
+            extra: crate::Gaussian {
+                mean: 1e-3,
+                std: 1e-3,
+            },
+        });
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BadFaultParameter {
+                field: "jitter.period_secs",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn errors_render_readably() {
+        let e = ConfigError::FaultProbabilityOutOfRange {
+            field: "packet_loss",
+            value: 2.0,
+        };
+        assert!(e.to_string().contains("packet_loss"));
+        assert!(ConfigError::ZeroCapacity.to_string().contains("capacity"));
     }
 }

@@ -46,15 +46,17 @@
 #![warn(missing_docs)]
 
 mod config;
+mod fault;
 mod latency;
 mod sim;
 mod switch;
 mod topology;
 pub mod trace;
 
-pub use config::{Defense, DelayPadding, NetConfig, WindowPadding};
+pub use config::{ConfigError, Defense, DelayPadding, NetConfig, WindowPadding};
+pub use fault::{FaultPlan, JitterBursts};
 pub use latency::{Gaussian, LatencyModel, ShiftedLogNormal};
-pub use sim::{ProbeObservation, Simulation, SwitchStats};
+pub use sim::{FaultStats, ProbeObservation, Simulation, SwitchStats};
 pub use switch::SwitchMode;
 pub use topology::{NodeId, Topology, TopologyError};
 pub use trace::{Trace, TraceEvent};

@@ -1,17 +1,51 @@
 //! The discrete-event simulation loop.
 
-use crate::config::NetConfig;
+use crate::config::{ConfigError, NetConfig};
+use crate::fault::JitterBursts;
 use crate::switch::{Lookup, Switch, SwitchMode};
 use crate::topology::NodeId;
 use crate::trace::{Trace, TraceEvent};
 use crate::LatencyModel;
 use flowspace::{FlowId, RuleId};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 pub use crate::switch::SwitchStats;
+
+/// Salt deriving the fault-RNG stream from the trial seed. Faults draw
+/// from their own stream so that a zero-probability fault (or a no-op
+/// plan) consumes no randomness and leaves the latency stream — and
+/// therefore every RTT — bit-identical to a fault-free run.
+const FAULT_STREAM_SALT: u64 = 0xFA17_0BAD_5EED_0001;
+
+/// Counters of injected faults, exposed for experiments and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Data-plane packets lost on a link (forward hops and replies).
+    pub packets_dropped: u64,
+    /// Table-miss packet-ins that never reached the controller.
+    pub packet_ins_lost: u64,
+    /// Flow-mods lost on the control channel.
+    pub flow_mods_lost: u64,
+    /// Flow-mods delayed on the control channel.
+    pub flow_mods_delayed: u64,
+    /// Flow-mods rejected by a full table (`OFPFMFC_TABLE_FULL`).
+    pub flow_mods_rejected: u64,
+    /// Probes that hit their response deadline without a reply.
+    pub probe_timeouts: u64,
+}
+
+/// Burst-jitter episode state: the link layer alternates between quiet
+/// and burst periods with exponentially distributed durations, toggling
+/// lazily as simulation time passes the next boundary.
+#[derive(Debug)]
+struct JitterState {
+    bursts: JitterBursts,
+    active: bool,
+    next_toggle: f64,
+}
 
 /// The attacker's measurement of one probe (§III): the observed response
 /// time and its classification against the 1 ms threshold.
@@ -73,6 +107,18 @@ impl PartialOrd for Event {
     }
 }
 
+/// One exponential draw with the given mean, floored at a picosecond so
+/// episode boundaries always advance. A non-positive mean yields
+/// infinity: the episode never ends, which keeps degenerate jitter
+/// parameters (zero-length periods) from spinning the toggle loop.
+fn exponential(mean: f64, rng: &mut StdRng) -> f64 {
+    if mean <= 0.0 {
+        return f64::INFINITY;
+    }
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    (-mean * u.ln()).max(1e-12)
+}
+
 /// A running simulated network: hosts, per-switch flow tables, a reactive
 /// controller and a common server, per §VI-A's client–server layout.
 ///
@@ -101,6 +147,12 @@ pub struct Simulation {
     probe_results: Vec<Option<ProbeObservation>>,
     /// Optional packet-level event recording.
     trace: Option<Trace>,
+    /// Dedicated RNG stream for fault draws (see [`FAULT_STREAM_SALT`]).
+    fault_rng: StdRng,
+    /// Burst-jitter episode state, if the fault plan enables jitter.
+    jitter: Option<JitterState>,
+    /// Injected-fault counters.
+    fault_stats: FaultStats,
 }
 
 impl Simulation {
@@ -135,6 +187,12 @@ impl Simulation {
                 }
             })
             .collect();
+        let mut fault_rng = StdRng::seed_from_u64(seed ^ FAULT_STREAM_SALT);
+        let jitter = config.faults.jitter.map(|bursts| JitterState {
+            bursts,
+            active: false,
+            next_toggle: exponential(bursts.period_secs, &mut fault_rng),
+        });
         Simulation {
             switches,
             path,
@@ -146,8 +204,23 @@ impl Simulation {
             history: Vec::new(),
             probe_results: Vec::new(),
             trace: None,
+            fault_rng,
+            jitter,
+            fault_stats: FaultStats::default(),
             config,
         }
+    }
+
+    /// Like [`Simulation::new`], but validates the configuration first
+    /// and returns a typed error instead of panicking on a malformed
+    /// `NetConfig`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found by [`NetConfig::validate`].
+    pub fn try_new(config: NetConfig, seed: u64) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Simulation::new(config, seed))
     }
 
     /// Enables packet-level tracing, keeping at most `capacity` events
@@ -184,6 +257,12 @@ impl Simulation {
     #[must_use]
     pub fn ingress_stats(&self) -> SwitchStats {
         self.switches[self.config.ingress.0].stats
+    }
+
+    /// Counters of faults injected so far.
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
     }
 
     /// Counters of an arbitrary switch.
@@ -238,17 +317,21 @@ impl Simulation {
             self.now
         );
         let ingress = self.config.ingress;
+        let packet = Packet {
+            flow,
+            probe: None,
+            injected_at: at,
+        };
         // Host → ingress link.
-        let hop = self.segment_sample();
+        if self.link_drops(ingress, packet, at) {
+            return;
+        }
+        let hop = self.segment_sample(at);
         self.push(
             at + hop,
             EventKind::AtSwitch {
                 node: ingress,
-                packet: Packet {
-                    flow,
-                    probe: None,
-                    injected_at: at,
-                },
+                packet,
             },
         );
     }
@@ -269,31 +352,71 @@ impl Simulation {
     /// Injects an attacker probe of `flow` right now, runs the simulation
     /// until its reply returns (processing intervening genuine traffic in
     /// order), and returns the timing observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reply can never arrive — which under a fault plan
+    /// with packet loss is a real possibility; fault-tolerant callers
+    /// should use [`Simulation::probe_with_timeout`] instead.
     pub fn probe(&mut self, flow: FlowId) -> ProbeObservation {
+        self.probe_with_timeout(flow, f64::INFINITY)
+            .expect("probe reply must eventually arrive")
+    }
+
+    /// Injects an attacker probe of `flow` right now and runs the
+    /// simulation until its reply returns or `timeout` seconds elapse.
+    ///
+    /// On timeout the clock is advanced to the deadline (the attacker
+    /// waited that long), a [`TraceEvent::ProbeTimeout`] is recorded, and
+    /// `None` is returned — the explicit representation of a lost probe.
+    /// An infinite `timeout` reproduces [`Simulation::probe`] except that
+    /// an unanswerable probe yields `None` instead of panicking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout` is not positive.
+    pub fn probe_with_timeout(&mut self, flow: FlowId, timeout: f64) -> Option<ProbeObservation> {
+        assert!(timeout > 0.0, "probe timeout must be positive");
         let token = self.probe_results.len() as u64;
         self.probe_results.push(None);
         let at = self.now;
+        let deadline = at + timeout;
         let ingress = self.config.ingress;
-        let hop = self.segment_sample();
-        self.push(
-            at + hop,
-            EventKind::AtSwitch {
-                node: ingress,
-                packet: Packet {
-                    flow,
-                    probe: Some(token),
-                    injected_at: at,
+        let packet = Packet {
+            flow,
+            probe: Some(token),
+            injected_at: at,
+        };
+        if !self.link_drops(ingress, packet, at) {
+            let hop = self.segment_sample(at);
+            self.push(
+                at + hop,
+                EventKind::AtSwitch {
+                    node: ingress,
+                    packet,
                 },
-            },
-        );
+            );
+        }
         loop {
             if let Some(obs) = self.probe_results[token as usize] {
-                return obs;
+                return Some(obs);
             }
-            let e = self
-                .queue
-                .pop()
-                .expect("probe reply must eventually arrive");
+            let timed_out = match self.queue.peek() {
+                None => true,
+                Some(e) => e.time > deadline,
+            };
+            if timed_out {
+                if deadline.is_finite() {
+                    self.now = self.now.max(deadline);
+                    self.fault_stats.probe_timeouts += 1;
+                    self.record(TraceEvent::ProbeTimeout {
+                        flow,
+                        time: deadline,
+                    });
+                }
+                return None;
+            }
+            let e = self.queue.pop().expect("peeked");
             self.now = e.time;
             self.dispatch(e);
         }
@@ -314,17 +437,70 @@ impl Simulation {
         });
     }
 
-    fn segment_sample(&mut self) -> f64 {
-        self.config.latency.segment().sample(&mut self.rng)
+    /// Whether an injected fault with probability `p` fires. Takes no
+    /// draw when `p` is zero, so disabled faults leave the fault stream
+    /// untouched.
+    fn fault_fires(&mut self, p: f64) -> bool {
+        p > 0.0 && self.fault_rng.gen::<f64>() < p
+    }
+
+    /// One link-segment latency sample at time `now`: the base latency
+    /// model plus any burst-jitter extra while an episode is active.
+    fn segment_sample(&mut self, now: f64) -> f64 {
+        let base = self.config.latency.segment().sample(&mut self.rng);
+        base + self.jitter_extra(now)
+    }
+
+    /// Advances the jitter episode state to `now` and returns the extra
+    /// per-segment delay (0.0 outside bursts or without a jitter plan).
+    fn jitter_extra(&mut self, now: f64) -> f64 {
+        let Some(j) = self.jitter.as_mut() else {
+            return 0.0;
+        };
+        let mut toggles = Vec::new();
+        while j.next_toggle <= now {
+            j.active = !j.active;
+            toggles.push((j.active, j.next_toggle));
+            let mean = if j.active {
+                j.bursts.burst_secs
+            } else {
+                j.bursts.period_secs
+            };
+            j.next_toggle += exponential(mean, &mut self.fault_rng);
+        }
+        let extra = if j.active {
+            j.bursts.extra.sample(&mut self.fault_rng)
+        } else {
+            0.0
+        };
+        for (active, time) in toggles {
+            self.record(TraceEvent::JitterToggle { active, time });
+        }
+        extra
+    }
+
+    /// Draws the per-link packet-loss fault for a hop towards `to` at
+    /// time `at`; returns `true` (recording the drop) when the packet is
+    /// lost.
+    fn link_drops(&mut self, to: NodeId, packet: Packet, at: f64) -> bool {
+        if !self.fault_fires(self.config.faults.packet_loss) {
+            return false;
+        }
+        self.fault_stats.packets_dropped += 1;
+        self.record(TraceEvent::PacketDropped {
+            node: Some(to),
+            flow: packet.flow,
+            probe: packet.probe.is_some(),
+            time: at,
+        });
+        true
     }
 
     /// Forwards `packet` out of `node` toward the server: either to the
     /// next switch on the path or to the server host.
     fn forward(&mut self, node: NodeId, packet: Packet, at: f64, extra_delay: f64) {
-        let hop = self.segment_sample();
-        let t = at + extra_delay + hop;
-        if node == self.config.server {
-            self.push(t, EventKind::AtServer { packet });
+        let (kind, to) = if node == self.config.server {
+            (EventKind::AtServer { packet }, node)
         } else {
             let pos = self
                 .path
@@ -332,8 +508,13 @@ impl Simulation {
                 .position(|&n| n == node)
                 .expect("node on path");
             let next = self.path[pos + 1];
-            self.push(t, EventKind::AtSwitch { node: next, packet });
+            (EventKind::AtSwitch { node: next, packet }, next)
+        };
+        if self.link_drops(to, packet, at) {
+            return;
         }
+        let hop = self.segment_sample(at);
+        self.push(at + extra_delay + hop, kind);
     }
 
     fn dispatch(&mut self, e: Event) {
@@ -377,7 +558,34 @@ impl Simulation {
                             time: e.time,
                         });
                         if fresh {
-                            let setup = self.config.latency.rule_setup.sample(&mut self.rng);
+                            if self.fault_fires(self.config.faults.packet_in_loss) {
+                                // The packet-in never reaches the
+                                // controller: no flow-mod will come, the
+                                // buffered packet is dropped, and the
+                                // next miss must query afresh.
+                                self.fault_stats.packet_ins_lost += 1;
+                                self.switches[node.0].abort_query(rule);
+                                self.record(TraceEvent::PacketInLost {
+                                    node,
+                                    rule,
+                                    time: e.time,
+                                });
+                                return;
+                            }
+                            let mut setup = self.config.latency.rule_setup.sample(&mut self.rng);
+                            if self.config.faults.flow_mod_delay_secs > 0.0
+                                && self.fault_fires(self.config.faults.flow_mod_delay)
+                            {
+                                let extra = self.config.faults.flow_mod_delay_secs;
+                                self.fault_stats.flow_mods_delayed += 1;
+                                self.record(TraceEvent::FlowModDelayed {
+                                    node,
+                                    rule,
+                                    extra,
+                                    time: e.time,
+                                });
+                                setup += extra;
+                            }
                             self.push(e.time + setup, EventKind::ControllerReply { node, rule });
                         }
                         self.pending.push((node, rule, packet));
@@ -397,18 +605,49 @@ impl Simulation {
                 }
             }
             EventKind::ControllerReply { node, rule } => {
-                let evicted = self.switches[node.0].install(
-                    rule,
-                    e.time,
-                    &self.config.rules,
-                    self.config.delta,
-                );
-                self.record(TraceEvent::Install {
-                    node,
-                    rule,
-                    evicted,
-                    time: e.time,
-                });
+                if self.fault_fires(self.config.faults.flow_mod_loss) {
+                    // The flow-mod is lost on the control channel: no
+                    // rule is cached and the packets buffered behind the
+                    // query are dropped with it.
+                    self.fault_stats.flow_mods_lost += 1;
+                    self.switches[node.0].abort_query(rule);
+                    self.record(TraceEvent::FlowModLost {
+                        node,
+                        rule,
+                        time: e.time,
+                    });
+                    self.pending.retain(|&(n, r, _)| !(n == node && r == rule));
+                    return;
+                }
+                let rejected = self.switches[node.0].is_full_at(e.time)
+                    && self.fault_fires(self.config.faults.table_full_reject);
+                if rejected {
+                    // OFPFMFC_TABLE_FULL: the switch refuses the install
+                    // instead of evicting a victim. The controller's
+                    // packet-out side is unaffected, so the buffered
+                    // packets are still forwarded — the probe correctly
+                    // observes a slow miss, but nothing is cached.
+                    self.fault_stats.flow_mods_rejected += 1;
+                    self.switches[node.0].abort_query(rule);
+                    self.record(TraceEvent::FlowModRejected {
+                        node,
+                        rule,
+                        time: e.time,
+                    });
+                } else {
+                    let evicted = self.switches[node.0].install(
+                        rule,
+                        e.time,
+                        &self.config.rules,
+                        self.config.delta,
+                    );
+                    self.record(TraceEvent::Install {
+                        node,
+                        rule,
+                        evicted,
+                        time: e.time,
+                    });
+                }
                 let released: Vec<Packet> = self
                     .pending
                     .iter()
@@ -422,11 +661,22 @@ impl Simulation {
             }
             EventKind::AtServer { packet } => {
                 // The echo reply rides the pre-installed reply rule: no
-                // lookups, one propagation sample per path segment.
+                // lookups, one propagation sample per path segment. Loss
+                // is drawn once for the whole reply path.
+                if self.fault_fires(self.config.faults.packet_loss) {
+                    self.fault_stats.packets_dropped += 1;
+                    self.record(TraceEvent::PacketDropped {
+                        node: None,
+                        flow: packet.flow,
+                        probe: packet.probe.is_some(),
+                        time: e.time,
+                    });
+                    return;
+                }
                 let segments = self.path.len() + 1; // server link + hops + host link
                 let mut delay = 0.0;
                 for _ in 0..segments {
-                    delay += self.segment_sample();
+                    delay += self.segment_sample(e.time);
                 }
                 self.push(e.time + delay, EventKind::ReplyArrives { packet });
             }
@@ -724,6 +974,158 @@ mod tests {
         // Warm probes are fast in both.
         assert!(multi.probe(FlowId(0)).hit);
         assert!(single.probe(FlowId(0)).hit);
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical_to_no_plan() {
+        // Wiring a (no-op) FaultPlan through the simulator must not
+        // perturb the latency RNG stream: same seed, same RTTs.
+        let mut plain = sim(99);
+        let mut cfg = NetConfig::eval_topology(rules(), 2, 0.02);
+        cfg.faults = crate::FaultPlan::none();
+        let mut with_plan = Simulation::new(cfg, 99);
+        for f in [FlowId(0), FlowId(1), FlowId(0), FlowId(2)] {
+            assert_eq!(plain.probe(f).rtt, with_plan.probe(f).rtt);
+        }
+        assert_eq!(with_plan.fault_stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn probe_timeout_returns_none_and_advances_clock() {
+        // Certain loss: the probe never comes back.
+        let mut cfg = NetConfig::eval_topology(rules(), 2, 0.02);
+        cfg.faults.packet_loss = 1.0;
+        let mut s = Simulation::new(cfg, 30);
+        s.enable_trace(100);
+        let res = s.probe_with_timeout(FlowId(0), 0.05);
+        assert_eq!(res, None);
+        assert_eq!(s.now(), 0.05, "clock advances to the deadline");
+        assert_eq!(s.fault_stats().probe_timeouts, 1);
+        assert!(s.fault_stats().packets_dropped >= 1);
+        assert!(s
+            .trace()
+            .unwrap()
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::ProbeTimeout { .. })));
+    }
+
+    #[test]
+    fn probe_with_infinite_timeout_matches_probe() {
+        let mut a = sim(31);
+        let mut b = sim(31);
+        let pa = a.probe(FlowId(0));
+        let pb = b.probe_with_timeout(FlowId(0), f64::INFINITY).unwrap();
+        assert_eq!(pa.rtt, pb.rtt);
+        assert_eq!(pa.hit, pb.hit);
+    }
+
+    #[test]
+    fn lost_packet_in_leaves_next_miss_fresh() {
+        let mut cfg = NetConfig::eval_topology(rules(), 2, 0.02);
+        cfg.faults.packet_in_loss = 1.0;
+        let mut s = Simulation::new(cfg, 32);
+        assert_eq!(s.probe_with_timeout(FlowId(0), 0.05), None);
+        assert_eq!(s.fault_stats().packet_ins_lost, 1);
+        assert!(s.cached_rules().is_empty(), "no rule installed");
+        // The in-flight marker was cleared: a later probe queries afresh
+        // (and is lost afresh — every packet-in is lost here).
+        assert_eq!(s.probe_with_timeout(FlowId(0), 0.05), None);
+        assert_eq!(s.fault_stats().packet_ins_lost, 2);
+    }
+
+    #[test]
+    fn lost_flow_mod_drops_buffered_packets() {
+        let mut cfg = NetConfig::eval_topology(rules(), 2, 0.02);
+        cfg.faults.flow_mod_loss = 1.0;
+        let mut s = Simulation::new(cfg, 33);
+        assert_eq!(s.probe_with_timeout(FlowId(0), 0.1), None);
+        assert_eq!(s.fault_stats().flow_mods_lost, 1);
+        assert!(s.cached_rules().is_empty());
+    }
+
+    #[test]
+    fn delayed_flow_mod_slows_the_miss() {
+        let mut cfg = NetConfig::eval_topology(rules(), 2, 0.02);
+        cfg.faults.flow_mod_delay = 1.0;
+        cfg.faults.flow_mod_delay_secs = 50.0e-3;
+        let mut s = Simulation::new(cfg, 34);
+        let p = s.probe(FlowId(0));
+        assert!(!p.hit);
+        assert!(p.rtt > 50.0e-3, "rtt {} should include the delay", p.rtt);
+        assert_eq!(s.fault_stats().flow_mods_delayed, 1);
+        // The rule still installs: the follow-up probe hits fast.
+        assert!(s.probe(FlowId(0)).hit);
+    }
+
+    #[test]
+    fn table_full_rejection_blocks_caching_but_forwards() {
+        // Capacity 1 and certain rejection: the second rule can never be
+        // cached, but its packets still get through (slow misses).
+        let mut cfg = NetConfig::eval_topology(rules(), 1, 0.02);
+        cfg.faults.table_full_reject = 1.0;
+        let mut s = Simulation::new(cfg, 35);
+        let p0 = s.probe(FlowId(0)); // table empty: installs normally
+        assert!(!p0.hit);
+        assert_eq!(s.cached_rules(), vec![RuleId(0)]);
+        let p1 = s.probe(FlowId(1)); // table full: rejected, no eviction
+        assert!(!p1.hit, "rejected install still answers as a miss");
+        assert_eq!(s.fault_stats().flow_mods_rejected, 1);
+        assert_eq!(s.cached_rules(), vec![RuleId(0)], "no eviction happened");
+        let p1b = s.probe(FlowId(1)); // still not cached: misses again
+        assert!(!p1b.hit);
+        assert_eq!(s.ingress_stats().evictions, 0);
+    }
+
+    #[test]
+    fn jitter_bursts_inflate_rtts() {
+        // A permanently-active burst regime (quiet time ~0 → the first
+        // toggle happens immediately... here we use a long burst starting
+        // early) must add delay to every segment.
+        let mut cfg = NetConfig::eval_topology(rules(), 2, 0.02);
+        cfg.faults.jitter = Some(crate::JitterBursts {
+            period_secs: 1e-9,
+            burst_secs: 1e9,
+            extra: crate::Gaussian {
+                mean: 2.0e-3,
+                std: 0.0,
+            },
+        });
+        let mut noisy = Simulation::new(cfg, 36);
+        let mut clean = sim(36);
+        let _ = clean.probe(FlowId(0));
+        let _ = noisy.probe(FlowId(0));
+        // Warm probes: the clean run hits fast, the noisy run pays ~2 ms
+        // per segment and is pushed over the 1 ms threshold.
+        let pc = clean.probe(FlowId(0));
+        let pn = noisy.probe(FlowId(0));
+        assert!(pc.hit);
+        assert!(!pn.hit, "jitter should blow the hit budget: {}", pn.rtt);
+        assert!(pn.rtt > pc.rtt);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_under_seed() {
+        let mut cfg = NetConfig::eval_topology(rules(), 2, 0.02);
+        cfg.faults = crate::FaultPlan::uniform(0.3);
+        let mut a = Simulation::new(cfg.clone(), 77);
+        let mut b = Simulation::new(cfg, 77);
+        for f in [FlowId(0), FlowId(1), FlowId(0), FlowId(2), FlowId(3)] {
+            assert_eq!(a.probe_with_timeout(f, 0.05), b.probe_with_timeout(f, 0.05));
+        }
+        assert_eq!(a.fault_stats(), b.fault_stats());
+    }
+
+    #[test]
+    fn try_new_rejects_malformed_configs() {
+        let mut cfg = NetConfig::eval_topology(rules(), 2, 0.02);
+        cfg.faults.packet_loss = 7.0;
+        assert!(matches!(
+            Simulation::try_new(cfg, 1),
+            Err(crate::ConfigError::FaultProbabilityOutOfRange { .. })
+        ));
+        let ok = Simulation::try_new(NetConfig::eval_topology(rules(), 2, 0.02), 1);
+        assert!(ok.is_ok());
     }
 
     #[test]

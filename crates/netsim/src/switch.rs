@@ -130,6 +130,20 @@ impl Switch {
         evicted
     }
 
+    /// Abandons an in-flight controller query for `rule` (the packet-in
+    /// or the flow-mod was lost); the next miss for the rule is fresh
+    /// again.
+    pub(crate) fn abort_query(&mut self, rule: RuleId) {
+        self.in_flight.remove(&rule);
+    }
+
+    /// Whether the reactive table has no free slot at `now` (a flow-mod
+    /// arriving now would have to evict — or be rejected by the
+    /// table-full fault).
+    pub(crate) fn is_full_at(&self, now: f64) -> bool {
+        self.table.len_at(now) >= self.table.capacity()
+    }
+
     /// The rules live in the reactive table at `now` (recency order).
     pub(crate) fn cached_rules(&self, now: f64) -> Vec<RuleId> {
         self.table.cached_rules_at(now)
@@ -309,6 +323,33 @@ mod tests {
         // hits themselves).
         assert_eq!(sw.lookup(FlowId(0), 0.6, &rules), Lookup::Hit { pad: 0.0 });
         assert_eq!(sw.stats.padded, 3);
+    }
+
+    #[test]
+    fn aborted_query_makes_next_miss_fresh() {
+        let rules = rules();
+        let mut sw = Switch::new(SwitchMode::Reactive, 2, Defense::default());
+        sw.lookup(FlowId(0), 0.0, &rules);
+        sw.abort_query(RuleId(0));
+        assert_eq!(
+            sw.lookup(FlowId(0), 0.01, &rules),
+            Lookup::Miss {
+                rule: RuleId(0),
+                fresh: true
+            }
+        );
+    }
+
+    #[test]
+    fn fullness_tracks_live_rules() {
+        let rules = rules();
+        let mut sw = Switch::new(SwitchMode::Reactive, 1, Defense::default());
+        assert!(!sw.is_full_at(0.0));
+        sw.lookup(FlowId(0), 0.0, &rules);
+        sw.install(RuleId(0), 0.004, &rules, 0.02); // ttl = 0.2 s
+        assert!(sw.is_full_at(0.01));
+        // After the idle timeout expires the slot frees up again.
+        assert!(!sw.is_full_at(1.0));
     }
 
     #[test]

@@ -78,6 +78,73 @@ pub enum TraceEvent {
         /// Simulation time, seconds.
         time: f64,
     },
+    /// A data-plane packet was lost on a link (injected fault).
+    PacketDropped {
+        /// The switch the packet was travelling towards, if on the
+        /// forward path; `None` when the echo reply was lost.
+        node: Option<NodeId>,
+        /// The packet's flow.
+        flow: FlowId,
+        /// Whether it was an attacker probe.
+        probe: bool,
+        /// Simulation time, seconds.
+        time: f64,
+    },
+    /// A table-miss packet-in never reached the controller (injected fault).
+    PacketInLost {
+        /// The querying switch.
+        node: NodeId,
+        /// The rule the controller would have installed.
+        rule: RuleId,
+        /// Simulation time, seconds.
+        time: f64,
+    },
+    /// The controller's flow-mod was lost on the control channel
+    /// (injected fault).
+    FlowModLost {
+        /// The target switch.
+        node: NodeId,
+        /// The rule that was not installed.
+        rule: RuleId,
+        /// Simulation time, seconds.
+        time: f64,
+    },
+    /// The controller's flow-mod was delayed on the control channel
+    /// (injected fault).
+    FlowModDelayed {
+        /// The target switch.
+        node: NodeId,
+        /// The delayed rule.
+        rule: RuleId,
+        /// Extra delay added, seconds.
+        extra: f64,
+        /// Time the flow-mod was issued, seconds.
+        time: f64,
+    },
+    /// The switch rejected a flow-mod because its table was full
+    /// (`OFPFMFC_TABLE_FULL`, injected fault).
+    FlowModRejected {
+        /// The rejecting switch.
+        node: NodeId,
+        /// The rule that was not cached.
+        rule: RuleId,
+        /// Simulation time, seconds.
+        time: f64,
+    },
+    /// A burst-jitter episode started or ended (injected fault).
+    JitterToggle {
+        /// `true` when a burst begins, `false` when it ends.
+        active: bool,
+        /// Simulation time, seconds.
+        time: f64,
+    },
+    /// An attacker probe hit its response deadline without a reply.
+    ProbeTimeout {
+        /// The probe's flow.
+        flow: FlowId,
+        /// The deadline that expired, seconds.
+        time: f64,
+    },
 }
 
 impl TraceEvent {
@@ -90,8 +157,31 @@ impl TraceEvent {
             | TraceEvent::Miss { time, .. }
             | TraceEvent::Install { time, .. }
             | TraceEvent::Uncovered { time, .. }
-            | TraceEvent::Delivered { time, .. } => time,
+            | TraceEvent::Delivered { time, .. }
+            | TraceEvent::PacketDropped { time, .. }
+            | TraceEvent::PacketInLost { time, .. }
+            | TraceEvent::FlowModLost { time, .. }
+            | TraceEvent::FlowModDelayed { time, .. }
+            | TraceEvent::FlowModRejected { time, .. }
+            | TraceEvent::JitterToggle { time, .. }
+            | TraceEvent::ProbeTimeout { time, .. } => time,
         }
+    }
+
+    /// Whether this event records an injected fault (or its immediate
+    /// consequence, like a probe timeout).
+    #[must_use]
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            *self,
+            TraceEvent::PacketDropped { .. }
+                | TraceEvent::PacketInLost { .. }
+                | TraceEvent::FlowModLost { .. }
+                | TraceEvent::FlowModDelayed { .. }
+                | TraceEvent::FlowModRejected { .. }
+                | TraceEvent::JitterToggle { .. }
+                | TraceEvent::ProbeTimeout { .. }
+        )
     }
 }
 
@@ -149,6 +239,44 @@ impl fmt::Display for TraceEvent {
                 rtt * 1e3,
                 if probe { " [probe]" } else { "" }
             ),
+            TraceEvent::PacketDropped {
+                node,
+                flow,
+                probe,
+                time,
+            } => {
+                let probe = if probe { " [probe]" } else { "" };
+                match node {
+                    Some(n) => write!(f, "{time:.6} {n} DROP {flow}{probe}"),
+                    None => write!(f, "{time:.6} link DROP {flow} (reply){probe}"),
+                }
+            }
+            TraceEvent::PacketInLost { node, rule, time } => {
+                write!(f, "{time:.6} {node} PKTIN-LOST (query {rule})")
+            }
+            TraceEvent::FlowModLost { node, rule, time } => {
+                write!(f, "{time:.6} {node} FLOWMOD-LOST {rule}")
+            }
+            TraceEvent::FlowModDelayed {
+                node,
+                rule,
+                extra,
+                time,
+            } => write!(
+                f,
+                "{time:.6} {node} FLOWMOD-DELAYED {rule} +{:.3}ms",
+                extra * 1e3
+            ),
+            TraceEvent::FlowModRejected { node, rule, time } => {
+                write!(f, "{time:.6} {node} FLOWMOD-REJECTED {rule} (table full)")
+            }
+            TraceEvent::JitterToggle { active, time } => {
+                let state = if active { "BEGIN" } else { "END" };
+                write!(f, "{time:.6} link JITTER-{state}")
+            }
+            TraceEvent::ProbeTimeout { flow, time } => {
+                write!(f, "{time:.6} host PROBE-TIMEOUT {flow}")
+            }
         }
     }
 }
@@ -218,8 +346,15 @@ impl Trace {
             | TraceEvent::Hit { flow: f, .. }
             | TraceEvent::Miss { flow: f, .. }
             | TraceEvent::Uncovered { flow: f, .. }
-            | TraceEvent::Delivered { flow: f, .. } => f == flow,
-            TraceEvent::Install { .. } => false,
+            | TraceEvent::Delivered { flow: f, .. }
+            | TraceEvent::PacketDropped { flow: f, .. }
+            | TraceEvent::ProbeTimeout { flow: f, .. } => f == flow,
+            TraceEvent::Install { .. }
+            | TraceEvent::PacketInLost { .. }
+            | TraceEvent::FlowModLost { .. }
+            | TraceEvent::FlowModDelayed { .. }
+            | TraceEvent::FlowModRejected { .. }
+            | TraceEvent::JitterToggle { .. } => false,
         })
     }
 
@@ -311,5 +446,60 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = Trace::new(0);
+    }
+
+    #[test]
+    fn fault_events_render_and_classify() {
+        let drop = TraceEvent::PacketDropped {
+            node: Some(NodeId(2)),
+            flow: FlowId(5),
+            probe: true,
+            time: 1.0,
+        };
+        assert!(drop.is_fault());
+        assert!(drop.to_string().contains("DROP f5 [probe]"));
+        let reply_drop = TraceEvent::PacketDropped {
+            node: None,
+            flow: FlowId(5),
+            probe: false,
+            time: 1.0,
+        };
+        assert!(reply_drop.to_string().contains("(reply)"));
+        let rej = TraceEvent::FlowModRejected {
+            node: NodeId(1),
+            rule: RuleId(3),
+            time: 2.0,
+        };
+        assert!(rej.is_fault());
+        assert!(rej.to_string().contains("table full"));
+        assert!(!ev(0.0).is_fault());
+        assert_eq!(
+            TraceEvent::ProbeTimeout {
+                flow: FlowId(5),
+                time: 3.5
+            }
+            .time(),
+            3.5
+        );
+    }
+
+    #[test]
+    fn flow_filter_sees_drops_and_timeouts() {
+        let mut tr = Trace::new(10);
+        tr.record(TraceEvent::PacketDropped {
+            node: None,
+            flow: FlowId(9),
+            probe: true,
+            time: 1.0,
+        });
+        tr.record(TraceEvent::ProbeTimeout {
+            flow: FlowId(9),
+            time: 1.1,
+        });
+        tr.record(TraceEvent::JitterToggle {
+            active: true,
+            time: 1.2,
+        });
+        assert_eq!(tr.of_flow(FlowId(9)).count(), 2);
     }
 }

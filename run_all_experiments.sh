@@ -36,6 +36,7 @@ if [ "$SMOKE" -eq 1 ]; then
     $BIN robustness_rates -- --configs 4 --trials 10 --seed 7 --fast --out "$OUT"
     $BIN defense_transform -- --configs 3 --trials 10 --seed 7 --fast --out "$OUT"
     $BIN sweep_parameters -- --configs 2 --trials 10 --seed 7 --fast --out "$OUT"
+    $BIN fault_sweep -- --configs 4 --trials 10 --seed 7 --fast --out "$OUT"
     $BIN evaluate_suite -- --configs 4 --trials 10 --seed 7 --fast --out "$OUT"
     exit 0
 fi
@@ -49,5 +50,6 @@ $BIN multiswitch -- --configs 25 --trials 80 --seed 7
 $BIN robustness_rates -- --configs 25 --trials 80 --seed 7
 $BIN defense_transform -- --configs 15 --trials 60 --seed 7
 $BIN sweep_parameters -- --configs 8 --trials 60 --seed 7
+$BIN fault_sweep -- --configs 25 --trials 80 --seed 7
 $BIN evaluate_suite -- --configs 40 --trials 100 --seed 7
 $BIN render_figures

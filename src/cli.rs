@@ -9,7 +9,10 @@
 //!
 //! All subcommands read/write JSON so they compose in shell pipelines.
 
-use attack::{plan_attack_with, run_trials_policy, AttackerKind, ExecPolicy};
+use attack::{
+    plan_attack_with, run_trials_policy, run_trials_robust_policy, scenario_net_config,
+    AttackerKind, ExecPolicy, ProbePolicy,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use recon_core::leakage::measure_leakage;
@@ -75,7 +78,7 @@ pub fn usage() -> String {
        sample    --seed N [--bits B] [--rules R] [--capacity C] [--absence-lo X] [--absence-hi Y]\n\
        plan      --scenario FILE [--multi M] [--adaptive D]\n\
        leakage   --scenario FILE\n\
-       simulate  --scenario FILE [--trials N] [--seed N] [--threads K|auto]\n"
+       simulate  --scenario FILE [--trials N] [--seed N] [--threads K|auto] [--fault-rate P]\n"
         .to_string()
 }
 
@@ -190,10 +193,30 @@ pub fn run(args: &Args) -> Result<String, CliError> {
                 })?,
                 None => ExecPolicy::from_env(),
             };
+            let fault_rate: f64 = args.get_parse("fault-rate", 0.0)?;
             let plan =
                 plan_attack_with(&sc, Evaluator::mean_field(), 0, 0).map_err(|e| e.to_string())?;
             let kinds = AttackerKind::all();
-            let report = run_trials_policy(&sc, &plan, &kinds, trials, seed, policy);
+            // Validate the realized network config at the boundary so a
+            // bad --fault-rate fails with the typed ConfigError message
+            // instead of a panic deep inside the simulator.
+            let mut net = scenario_net_config(&sc);
+            net.faults = netsim::FaultPlan::uniform(fault_rate);
+            net.validate().map_err(|e| format!("--fault-rate: {e}"))?;
+            let report = if net.faults.is_noop() {
+                run_trials_policy(&sc, &plan, &kinds, trials, seed, policy)
+            } else {
+                run_trials_robust_policy(
+                    &sc,
+                    &plan,
+                    &kinds,
+                    trials,
+                    seed,
+                    &net,
+                    policy,
+                    &ProbePolicy::default(),
+                )
+            };
             let mut out = String::new();
             let _ = writeln!(
                 out,
@@ -201,7 +224,21 @@ pub fn run(args: &Args) -> Result<String, CliError> {
                 report.base_rate_present
             );
             for (kind, acc) in &report.by_attacker {
-                let _ = writeln!(out, "  {:<18} accuracy {:.3}", kind.name(), acc.accuracy());
+                if net.faults.is_noop() {
+                    let _ = writeln!(out, "  {:<18} accuracy {:.3}", kind.name(), acc.accuracy());
+                } else {
+                    let c = report.fault_counters(*kind);
+                    let _ = writeln!(
+                        out,
+                        "  {:<18} accuracy {:.3}  answer-rate {:.3}  (timeouts {}, retries {}, inconclusive {})",
+                        kind.name(),
+                        acc.accuracy(),
+                        acc.answer_rate(),
+                        c.timeouts,
+                        c.retries,
+                        acc.inconclusive
+                    );
+                }
             }
             Ok(out)
         }
@@ -293,6 +330,41 @@ mod tests {
         )))
         .unwrap_err();
         assert!(err.contains("--threads"), "{err}");
+    }
+
+    #[test]
+    fn simulate_fault_rate_reports_answer_rate_and_validates() {
+        let dir = std::env::temp_dir().join("flow-recon-cli-fault-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scenario.json");
+        let json = run(&args("sample --seed 5 --bits 3 --rules 6 --capacity 3")).unwrap();
+        std::fs::write(&path, &json).unwrap();
+
+        let out = run(&args(&format!(
+            "simulate --scenario {} --trials 10 --fault-rate 0.1",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("answer-rate"), "{out}");
+        assert!(out.contains("inconclusive"), "{out}");
+
+        // Fault-free runs keep the original compact output.
+        let clean = run(&args(&format!(
+            "simulate --scenario {} --trials 10 --fault-rate 0.0",
+            path.display()
+        )))
+        .unwrap();
+        assert!(!clean.contains("answer-rate"), "{clean}");
+
+        // Out-of-range rates fail at the boundary with the typed
+        // ConfigError rendering, not a panic inside the simulator.
+        let err = run(&args(&format!(
+            "simulate --scenario {} --fault-rate 1.5",
+            path.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("--fault-rate"), "{err}");
+        assert!(err.contains("probability"), "{err}");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! consistency invariants under arbitrary traffic and probing patterns.
 
 use flow_recon::flowspace::{FlowId, FlowSet, Rule, RuleSet, Timeout};
-use flow_recon::netsim::{NetConfig, Simulation};
+use flow_recon::netsim::{FaultPlan, Gaussian, JitterBursts, NetConfig, Simulation};
 use proptest::prelude::*;
 
 const UNIVERSE: usize = 6;
@@ -115,6 +115,85 @@ proptest! {
             .filter(|e| matches!(e, flow_recon::netsim::TraceEvent::Delivered { .. }))
             .count() as u64;
         prop_assert_eq!(delivered, scheduled + probes);
+    }
+
+    #[test]
+    fn no_fault_combination_panics_or_hangs(
+        rules in rule_set_strategy(),
+        actions in actions_strategy(),
+        seed in 0u64..500,
+        packet_loss in 0.0..=1.0f64,
+        packet_in_loss in 0.0..=1.0f64,
+        flow_mod_loss in 0.0..=1.0f64,
+        flow_mod_delay in 0.0..=1.0f64,
+        table_full_reject in 0.0..=1.0f64,
+        jitter_coin in 0u8..2,
+    ) {
+        // Any point of the fault-probability cube — including the
+        // degenerate corners where every packet is dropped or every
+        // flow-mod rejected — must validate, simulate without panicking,
+        // and terminate. Probes use an explicit timeout: under total
+        // loss the reply never arrives and `probe` itself would starve.
+        let mut cfg = NetConfig::eval_topology(rules, 2, 0.02);
+        cfg.faults = FaultPlan {
+            packet_loss,
+            packet_in_loss,
+            flow_mod_loss,
+            flow_mod_delay,
+            flow_mod_delay_secs: 0.02,
+            table_full_reject,
+            jitter: (jitter_coin == 1).then_some(JitterBursts {
+                period_secs: 1.0,
+                burst_secs: 0.3,
+                extra: Gaussian { mean: 2.0e-3, std: 1.0e-3 },
+            }),
+        };
+        prop_assert!(cfg.validate().is_ok(), "{:?}", cfg.validate());
+        let mut sim = Simulation::try_new(cfg, seed).unwrap();
+        let mut probed = 0u64;
+        let mut answered = 0u64;
+        let mut timed_out = 0u64;
+        for a in &actions {
+            match *a {
+                Action::Schedule(f, dt) => {
+                    let at = sim.now() + dt;
+                    sim.schedule_flow(FlowId(f), at);
+                }
+                Action::Probe(f) => {
+                    probed += 1;
+                    let before = sim.now();
+                    match sim.probe_with_timeout(FlowId(f), 0.25) {
+                        Some(obs) => {
+                            answered += 1;
+                            prop_assert!(obs.rtt > 0.0 && obs.rtt.is_finite());
+                        }
+                        None => {
+                            timed_out += 1;
+                            // A timeout still advances the clock to the
+                            // deadline — waiting costs simulated time.
+                            prop_assert!(sim.now() >= before + 0.25 - 1e-9);
+                        }
+                    }
+                }
+                Action::Run(dt) => {
+                    let t = sim.now() + dt;
+                    sim.run_until(t);
+                }
+            }
+        }
+        // Draining always terminates, whatever was dropped mid-flight.
+        let end = sim.now() + 60.0;
+        sim.run_until(end);
+        prop_assert!(sim.now() >= end);
+        let fs = sim.fault_stats();
+        prop_assert_eq!(answered + timed_out, probed);
+        prop_assert_eq!(fs.probe_timeouts, timed_out);
+        if packet_loss == 0.0 && packet_in_loss == 0.0 && flow_mod_loss == 0.0 {
+            // Non-loss faults (delay, rejection, jitter) slow probes but
+            // never starve them, so every probe beats the 250 ms deadline.
+            prop_assert_eq!(timed_out, 0);
+            prop_assert_eq!(fs.packets_dropped, 0);
+        }
     }
 
     #[test]
