@@ -20,6 +20,10 @@ use crate::{CsrMatrix, Distribution, MatrixBuilder, ModelError};
 use flowspace::relevant::{effective_rate, irrelevant_rate, relevant_flow_ids, FlowRates};
 use flowspace::{FlowId, RuleId, RuleSet};
 use ftcache::FlowTable;
+// detlint::allow(D1): lookup-only state index keyed by FlowTable (not Ord);
+// state order comes from the insertion-ordered `states` Vec, never from map
+// iteration.
+#[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
 
 /// Why a transition was taken — retained so the §V "target absent"
@@ -49,6 +53,8 @@ pub struct BasicModel {
     rates: FlowRates,
     capacity: usize,
     states: Vec<FlowTable>,
+    // detlint::allow(D1): lookup-only (`state_index`); never iterated.
+    #[allow(clippy::disallowed_types)]
     index: HashMap<FlowTable, usize>,
     edges: Vec<Vec<Edge>>,
     matrix: CsrMatrix,
@@ -79,6 +85,9 @@ impl BasicModel {
             });
         }
         let mut states: Vec<FlowTable> = vec![FlowTable::new(capacity)];
+        // detlint::allow(D1): BFS dedup lookup; exploration order is driven
+        // by the `states` Vec frontier, never by map iteration.
+        #[allow(clippy::disallowed_types)]
         let mut index: HashMap<FlowTable, usize> = HashMap::new();
         index.insert(states[0].clone(), 0);
         let mut edges: Vec<Vec<Edge>> = Vec::new();

@@ -26,7 +26,7 @@ use crate::useq::{CacheAnalysis, Evaluator};
 use crate::{CsrMatrix, Distribution, MatrixBuilder, ModelError, SwitchModel};
 use flowspace::relevant::{relevant_flow_ids, FlowRates};
 use flowspace::{FlowId, RuleId, RuleSet};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Maximum number of rules the bitmask state encoding supports.
 pub const MAX_RULES: usize = 24;
@@ -54,7 +54,7 @@ pub struct CompactModel {
     /// State bitmasks (bit `i` set ⇔ `RuleId(i)` cached), sorted ascending;
     /// state 0 is always the empty cache.
     states: Vec<u32>,
-    index: HashMap<u32, usize>,
+    index: BTreeMap<u32, usize>,
     /// Per-state eviction/timeout analysis from the evaluator.
     analyses: Vec<CacheAnalysis>,
     edges: Vec<Vec<Edge>>,
@@ -105,7 +105,7 @@ impl CompactModel {
                 states.push(mask);
             }
         }
-        let index: HashMap<u32, usize> = states.iter().enumerate().map(|(i, &m)| (m, i)).collect();
+        let index: BTreeMap<u32, usize> = states.iter().enumerate().map(|(i, &m)| (m, i)).collect();
 
         let mut analyses = Vec::with_capacity(states.len());
         let mut edges: Vec<Vec<Edge>> = Vec::with_capacity(states.len());

@@ -17,6 +17,8 @@ use std::fmt;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+// detlint::allow(D2): RunStats reports wall-clock throughput to the user;
+// the measured time never feeds back into any result.
 use std::time::Instant;
 
 /// Environment variable consulted by [`ExecPolicy::from_env`]: a thread
@@ -173,6 +175,7 @@ pub struct RunStats {
 impl RunStats {
     /// Runs `f`, timing it as `trials` trials under `policy`.
     pub fn measure<T>(policy: ExecPolicy, trials: usize, f: impl FnOnce() -> T) -> (T, RunStats) {
+        // detlint::allow(D2): throughput accounting only; see module note.
         let start = Instant::now();
         let out = f();
         let stats = RunStats {

@@ -17,6 +17,10 @@
 
 use crate::Distribution;
 use std::collections::hash_map::Entry;
+// detlint::allow(D1): per-row O(1) accumulation index (PR 2's build-phase
+// speedup); row entry order comes from the insertion-ordered row Vec, and
+// the map itself is never iterated.
+#[allow(clippy::disallowed_types)]
 use std::collections::HashMap;
 
 /// An edge-accumulation builder for a sparse, row-major Markov transition
@@ -33,15 +37,19 @@ pub struct MatrixBuilder {
     rows: Vec<Vec<(usize, f64)>>,
     /// Per-row map from destination state to its position in the row,
     /// making `add_edge` accumulation O(1).
+    // detlint::allow(D1): position lookup only; never iterated.
+    #[allow(clippy::disallowed_types)]
     index: Vec<HashMap<usize, usize>>,
 }
 
 impl MatrixBuilder {
     /// Creates a builder with `n` states and no edges.
     #[must_use]
+    #[allow(clippy::disallowed_types)]
     pub fn new(n: usize) -> Self {
         MatrixBuilder {
             rows: vec![Vec::new(); n],
+            // detlint::allow(D1): position lookup only; never iterated.
             index: vec![HashMap::new(); n],
         }
     }
@@ -166,7 +174,7 @@ impl MatrixBuilder {
                 fill[col_idx[k]] = slot + 1;
             }
         }
-        CsrMatrix {
+        let frozen = CsrMatrix {
             n,
             row_ptr,
             col_idx,
@@ -174,7 +182,12 @@ impl MatrixBuilder {
             t_row_ptr,
             t_col_idx,
             t_values,
-        }
+        };
+        debug_assert!(
+            frozen.csr_well_formed(),
+            "freeze produced malformed CSR arrays"
+        );
+        frozen
     }
 }
 
@@ -201,6 +214,24 @@ pub struct CsrMatrix {
 }
 
 impl CsrMatrix {
+    /// Structural invariants of both CSR encodings: pointer arrays span
+    /// `n + 1` entries, start at 0, end at `nnz`, grow monotonically, and
+    /// every column index is in range. Checked by `debug_assert!` at
+    /// freeze time — dev builds catch a corrupted kernel before it can
+    /// silently skew every downstream distribution.
+    fn csr_well_formed(&self) -> bool {
+        let ok = |ptr: &[usize], idx: &[usize], values: &[f64]| {
+            ptr.len() == self.n + 1
+                && ptr.first() == Some(&0)
+                && ptr.last() == Some(&idx.len())
+                && ptr.windows(2).all(|w| w[0] <= w[1])
+                && idx.len() == values.len()
+                && idx.iter().all(|&c| c < self.n)
+        };
+        ok(&self.row_ptr, &self.col_idx, &self.values)
+            && ok(&self.t_row_ptr, &self.t_col_idx, &self.t_values)
+    }
+
     /// Number of states.
     #[must_use]
     pub fn n_states(&self) -> usize {
@@ -286,6 +317,35 @@ impl CsrMatrix {
                 }
                 *out = acc;
             }
+        }
+        // Dev-build invariant: evolution can redistribute mass but never
+        // create it — for a row-stochastic matrix the total is preserved
+        // within 1e-9, and in general it is bounded by the largest row sum.
+        #[cfg(debug_assertions)]
+        {
+            let src_total: f64 = src.iter().sum();
+            let dst_total: f64 = dst.iter().sum();
+            let mut max_row_sum = 0.0f64;
+            let mut stochastic = true;
+            for i in 0..self.n {
+                let s = self.row_sum(i);
+                max_row_sum = max_row_sum.max(s);
+                if (s - 1.0).abs() > 1e-9 {
+                    stochastic = false;
+                }
+            }
+            debug_assert!(
+                dst.iter().all(|p| p.is_finite() && *p >= 0.0),
+                "evolve_into produced a negative or non-finite mass"
+            );
+            debug_assert!(
+                dst_total <= src_total * max_row_sum.max(1.0) + 1e-9,
+                "evolve_into created probability mass: {src_total} -> {dst_total}"
+            );
+            debug_assert!(
+                !stochastic || (dst_total - src_total).abs() <= 1e-9,
+                "stochastic evolution lost mass: {src_total} -> {dst_total}"
+            );
         }
     }
 

@@ -1,0 +1,345 @@
+//! A minimal, dependency-free Rust lexer.
+//!
+//! The rule engine only needs identifiers, punctuation and numeric
+//! literals with line numbers, plus the text of line comments (the
+//! `detlint::allow` escape hatch lives there). Strings, char literals and
+//! block comments are consumed so their contents can never produce false
+//! positives, but their bodies are discarded.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A single punctuation character.
+    Punct(char),
+    /// A numeric literal (verbatim text, underscores included).
+    Num(String),
+    /// A string literal (body discarded).
+    Str,
+    /// A char literal (body discarded).
+    CharLit,
+    /// A lifetime such as `'a`.
+    Lifetime,
+}
+
+/// A token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A `//` line comment (leading slashes stripped, text verbatim).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based source line.
+    pub line: u32,
+    /// Comment text after the `//`.
+    pub text: String,
+}
+
+/// Lexer output: the token stream and every line comment.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Line comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Never fails: unterminated constructs consume to EOF.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Lexed::default();
+
+    macro_rules! bump_lines {
+        ($ch:expr) => {
+            if $ch == '\n' {
+                line += 1;
+            }
+        };
+    }
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n {
+            if b[i + 1] == '/' {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && b[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: b[start..j].iter().collect(),
+                });
+                i = j;
+                continue;
+            }
+            if b[i + 1] == '*' {
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if j + 1 < n && b[j] == '/' && b[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if j + 1 < n && b[j] == '*' && b[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        bump_lines!(b[j]);
+                        j += 1;
+                    }
+                }
+                i = j;
+                continue;
+            }
+        }
+        // String literals (plain, byte, raw, raw byte).
+        if c == '"' {
+            i = consume_string(&b, i + 1, &mut line);
+            out.tokens.push(Token {
+                tok: Tok::Str,
+                line,
+            });
+            continue;
+        }
+        if c == 'b' && i + 1 < n && b[i + 1] == '"' {
+            // Byte string: same escape rules as a plain string.
+            let tok_line = line;
+            i = consume_string(&b, i + 2, &mut line);
+            out.tokens.push(Token {
+                tok: Tok::Str,
+                line: tok_line,
+            });
+            continue;
+        }
+        if (c == 'r' || (c == 'b' && i + 1 < n && b[i + 1] == 'r')) && i + 1 < n {
+            // r"..", r#".."#, br"..", br#".."#.
+            let mut j = if c == 'b' { i + 2 } else { i + 1 };
+            let mut hashes = 0usize;
+            while j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && b[j] == '"' {
+                let tok_line = line;
+                i = consume_raw_string(&b, j + 1, hashes, &mut line);
+                out.tokens.push(Token {
+                    tok: Tok::Str,
+                    line: tok_line,
+                });
+                continue;
+            }
+            // Fall through: ordinary identifier starting with r/b.
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if i + 1 < n && (b[i + 1].is_alphabetic() || b[i + 1] == '_') {
+                // Find the end of the ident run; a closing quote right
+                // after means a char literal like 'a'.
+                let mut j = i + 1;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                if j < n && b[j] == '\'' && j == i + 2 {
+                    out.tokens.push(Token {
+                        tok: Tok::CharLit,
+                        line,
+                    });
+                    i = j + 1;
+                } else {
+                    out.tokens.push(Token {
+                        tok: Tok::Lifetime,
+                        line,
+                    });
+                    i = j;
+                }
+                continue;
+            }
+            // Escaped or symbolic char literal: '\n', '\'', '%', …
+            let mut j = i + 1;
+            while j < n && b[j] != '\'' {
+                if b[j] == '\\' {
+                    j += 1;
+                }
+                j += 1;
+            }
+            out.tokens.push(Token {
+                tok: Tok::CharLit,
+                line,
+            });
+            i = (j + 1).min(n);
+            continue;
+        }
+        // Identifiers and keywords.
+        if c.is_alphabetic() || c == '_' {
+            let mut j = i;
+            while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                tok: Tok::Ident(b[i..j].iter().collect()),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Numeric literals: digits, alphanumeric suffixes/hex, underscores,
+        // and a dot only when followed by another digit (so `x.1.abs()`
+        // still lexes the method call punctuation).
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while j < n {
+                let d = b[j];
+                let continues_number = d.is_alphanumeric()
+                    || d == '_'
+                    || (d == '.' && j + 1 < n && b[j + 1].is_ascii_digit());
+                if !continues_number {
+                    break;
+                }
+                j += 1;
+            }
+            out.tokens.push(Token {
+                tok: Tok::Num(b[i..j].iter().collect()),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        out.tokens.push(Token {
+            tok: Tok::Punct(c),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Consumes a plain string body starting after the opening quote; returns
+/// the index after the closing quote.
+fn consume_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            c => {
+                if c == '\n' {
+                    *line += 1;
+                }
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Consumes a raw string body (no escapes) terminated by `"` plus
+/// `hashes` `#`s; returns the index after the terminator.
+fn consume_raw_string(b: &[char], mut i: usize, hashes: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        if b[i] == '"' {
+            let mut k = 0usize;
+            while k < hashes && i + 1 + k < b.len() && b[i + 1 + k] == '#' {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        if b[i] == '\n' {
+            *line += 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let src = r##"
+            let x = "HashMap in a string";
+            // HashMap in a line comment
+            /* HashMap in a /* nested */ block */
+            let y = r#"HashMap raw"#;
+            let z = 'h';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("HashMap"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Lifetime)
+            .count();
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::CharLit)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn lines_are_tracked_across_multiline_constructs() {
+        let src = "let a = \"x\ny\";\nlet b = 1;\n";
+        let lexed = lex(src);
+        let b_tok = lexed
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("b".into()))
+            .unwrap();
+        assert_eq!(b_tok.line, 3);
+    }
+
+    #[test]
+    fn numbers_keep_their_text() {
+        let lexed = lex("const S: u64 = 0xFA17_0BAD;");
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.tok == Tok::Num("0xFA17_0BAD".into())));
+        // A float followed by a method call still yields the dot punct.
+        let lexed = lex("1.0f64.abs()");
+        assert!(lexed.tokens.iter().any(|t| t.tok == Tok::Punct('.')));
+    }
+}

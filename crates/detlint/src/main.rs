@@ -1,0 +1,97 @@
+//! CLI entry point: `cargo run -p detlint [-- --root <dir>]`.
+//!
+//! Exit status 0 means the workspace satisfies every determinism and
+//! panic-policy rule; 1 means findings were printed; 2 means the tool
+//! itself could not run (bad arguments, unreadable tree, missing
+//! baseline).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut print_budget = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("detlint: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--print-budget" => print_budget = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: detlint [--root <workspace-dir>] [--print-budget]\n\n\
+                     Checks the workspace against the determinism rules D1-D4\n\
+                     (see DESIGN.md, \"Determinism policy\").\n\
+                     --print-budget dumps the actual panic counts as\n\
+                     baseline.toml content instead of failing on mismatch."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("detlint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("detlint: cannot determine current dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match detlint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("detlint: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match detlint::run_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("detlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if print_budget {
+        print!("{}", detlint::budget_toml(&report.panic_counts));
+        return ExitCode::SUCCESS;
+    }
+
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    if report.findings.is_empty() {
+        println!(
+            "detlint: {} files clean (D1-D4); panic budget: {}",
+            report.files_scanned,
+            report
+                .panic_counts
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "detlint: {} finding(s) in {} files",
+            report.findings.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

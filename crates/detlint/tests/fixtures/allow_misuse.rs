@@ -1,0 +1,7 @@
+//! Fixture: escape-hatch misuse — a bare allow without a reason, and an
+//! unknown rule id. Both must be findings in their own right.
+// detlint::allow(D1)
+use std::collections::HashMap; // line 4: D1 (the bare allow does not cover it)
+
+// detlint::allow(D9): no such rule
+pub type Cache = HashMap<u32, u32>; // line 7: D1

@@ -1,0 +1,27 @@
+//! Fixture: hash-collection use in a deterministic crate (D1 hits), with
+//! one annotated exception and test code that must be exempt.
+use std::collections::HashMap; // line 3: D1
+use std::collections::HashSet; // line 4: D1
+
+pub struct Model {
+    // detlint::allow(D1): lookup-only index, never iterated
+    index: HashMap<u32, usize>, // allowed
+    members: HashSet<u32>, // line 9: D1
+}
+
+impl Model {
+    pub fn tally(&self) -> usize {
+        let scratch: HashMap<u32, u32> = HashMap::new(); // line 14: D1
+        scratch.len() + self.members.len() + self.index.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        // Test code may use hash collections freely.
+        let s: std::collections::HashSet<u32> = [1, 2].into_iter().collect();
+        assert_eq!(s.len(), 2);
+    }
+}

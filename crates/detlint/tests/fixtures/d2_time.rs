@@ -1,0 +1,10 @@
+//! Fixture: wall-clock reads (D2), one justified.
+use std::time::Instant; // line 2: D2
+
+pub fn stamp() -> f64 {
+    // detlint::allow(D2): throughput display only, never feeds results
+    let t0 = Instant::now(); // allowed
+    let later = std::time::SystemTime::now(); // line 7: D2 (once, deduped)
+    drop(later);
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,11 @@
+//! Fixture: OS-entropy RNG constructions (D3) and salt constants.
+pub const ALPHA_STREAM_SALT: u64 = 0xAAAA_0001;
+pub const BETA_STREAM_SALT: u64 = 0xAAAA_0002;
+
+pub fn draw() -> u64 {
+    let mut rng = rand::thread_rng(); // line 6: D3
+    let x: u64 = rand::random(); // line 7: D3
+    let _ = StdRng::from_entropy(); // line 8: D3
+    let _ = rng.next_u64();
+    x
+}

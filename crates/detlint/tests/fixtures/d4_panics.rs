@@ -1,0 +1,22 @@
+//! Fixture: panic-site counting (D4). Library scope: 4 sites total —
+//! `unwrap_or` and test code do not count, an annotated site is excluded.
+pub fn count_me(v: Option<u32>) -> u32 {
+    let a = v.unwrap(); // site 1
+    let b = v.expect("checked above"); // site 2
+    if a != b {
+        panic!("impossible"); // site 3
+    }
+    let c = v.unwrap_or(0); // not a site
+    // detlint::allow(D4): boundary validated by the caller
+    let d = v.unwrap(); // excluded by annotation
+    let e = v.unwrap(); // site 4
+    a + b + c + d + e
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        Some(1u32).unwrap(); // test code never counts
+    }
+}

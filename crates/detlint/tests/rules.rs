@@ -1,0 +1,179 @@
+//! Fixture-driven tests for the detlint rule engine. Each fixture under
+//! `tests/fixtures/` is a real Rust source file containing deliberate
+//! violations; detlint skips its own crate when scanning the workspace,
+//! so these never trip the self-check.
+
+use detlint::rules::{
+    check_file, check_salt_uniqueness, compare_baseline, parse_baseline, FileCtx, SaltDef,
+};
+use std::collections::BTreeMap;
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Lines on which findings for `rule` were reported.
+fn lines_for(findings: &[detlint::rules::Finding], rule: &str) -> Vec<u32> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn d1_flags_hash_collections_in_deterministic_crates() {
+    let src = fixture("d1_hashmap.rs");
+    let ctx = FileCtx::classify("crates/core/src/fixture.rs").unwrap();
+    assert!(ctx.deterministic);
+    let report = check_file(&ctx, &src);
+    // Lines 3, 4, 9, 14 hit; line 8 is covered by the standalone allow on
+    // line 7; the `#[cfg(test)]` module is exempt.
+    assert_eq!(lines_for(&report.findings, "D1"), vec![3, 4, 9, 14]);
+    assert!(lines_for(&report.findings, "allow").is_empty());
+}
+
+#[test]
+fn d1_silent_outside_deterministic_crates() {
+    let src = fixture("d1_hashmap.rs");
+    let ctx = FileCtx::classify("crates/experiments/src/fixture.rs").unwrap();
+    assert!(!ctx.deterministic);
+    let report = check_file(&ctx, &src);
+    assert!(lines_for(&report.findings, "D1").is_empty());
+}
+
+#[test]
+fn d2_flags_wall_clock_outside_allowlist() {
+    let src = fixture("d2_time.rs");
+    let ctx = FileCtx::classify("crates/experiments/src/fixture.rs").unwrap();
+    assert!(!ctx.wallclock_ok);
+    let report = check_file(&ctx, &src);
+    // Line 2 (use std::time::Instant) and line 7 (SystemTime::now); the
+    // Instant::now() on line 6 carries a justified allow.
+    assert_eq!(lines_for(&report.findings, "D2"), vec![2, 7]);
+}
+
+#[test]
+fn d2_silent_on_allowlisted_modules() {
+    let src = fixture("d2_time.rs");
+    let ctx = FileCtx::classify("crates/bench/src/fixture.rs").unwrap();
+    assert!(ctx.wallclock_ok);
+    let report = check_file(&ctx, &src);
+    assert!(lines_for(&report.findings, "D2").is_empty());
+}
+
+#[test]
+fn d3_flags_entropy_rng_everywhere() {
+    let src = fixture("d3_entropy.rs");
+    // Even non-deterministic crates may not draw OS entropy.
+    let ctx = FileCtx::classify("crates/experiments/src/fixture.rs").unwrap();
+    let report = check_file(&ctx, &src);
+    assert_eq!(lines_for(&report.findings, "D3"), vec![6, 7, 8]);
+    // Both salt constants are collected for the uniqueness pass.
+    let names: Vec<&str> = report.salts.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, vec!["ALPHA_STREAM_SALT", "BETA_STREAM_SALT"]);
+}
+
+#[test]
+fn d3_salt_collision_detected() {
+    let salt = |name: &str, value: &str, line: u32| SaltDef {
+        name: name.into(),
+        value: value.into(),
+        file: "crates/netsim/src/sim.rs".into(),
+        line,
+    };
+    let unique = [
+        salt("FAULT_STREAM_SALT", "0x1", 10),
+        salt("PROBE_STREAM_SALT", "0x2", 20),
+    ];
+    assert!(check_salt_uniqueness(&unique).is_empty());
+
+    let clash = [
+        salt("FAULT_STREAM_SALT", "0x1", 10),
+        salt("PROBE_STREAM_SALT", "0x1", 20),
+    ];
+    let findings = check_salt_uniqueness(&clash);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, "D3");
+    assert_eq!(findings[0].line, 20);
+    assert!(findings[0].msg.contains("FAULT_STREAM_SALT"));
+}
+
+#[test]
+fn d4_counts_library_panic_sites() {
+    let src = fixture("d4_panics.rs");
+    let ctx = FileCtx::classify("crates/attack/src/fixture.rs").unwrap();
+    assert!(ctx.is_lib);
+    let report = check_file(&ctx, &src);
+    // unwrap x2 + expect + panic!; unwrap_or, the annotated site, and the
+    // test module do not count.
+    assert_eq!(report.panic_sites, 4);
+}
+
+#[test]
+fn d4_ignores_panic_sites_outside_library_scope() {
+    let src = fixture("d4_panics.rs");
+    let ctx = FileCtx::classify("crates/attack/src/bin/fixture.rs").unwrap();
+    assert!(!ctx.is_lib);
+    let report = check_file(&ctx, &src);
+    assert_eq!(report.panic_sites, 0);
+}
+
+#[test]
+fn bare_or_unknown_allow_is_an_error_and_suppresses_nothing() {
+    let src = fixture("allow_misuse.rs");
+    let ctx = FileCtx::classify("crates/flowspace/src/fixture.rs").unwrap();
+    let report = check_file(&ctx, &src);
+    // The bare allow (line 3) and the unknown rule (line 6) are findings
+    // themselves, and neither suppresses the D1 hit it precedes.
+    let allow_lines = lines_for(&report.findings, "allow");
+    assert_eq!(allow_lines, vec![3, 6]);
+    assert_eq!(lines_for(&report.findings, "D1"), vec![4, 7]);
+}
+
+#[test]
+fn classify_skips_vendor_and_detlint() {
+    assert!(FileCtx::classify("crates/vendor/rand/src/lib.rs").is_none());
+    assert!(FileCtx::classify("crates/detlint/src/rules.rs").is_none());
+    let facade = FileCtx::classify("src/lib.rs").unwrap();
+    assert_eq!(facade.crate_key, "flow-recon");
+    assert!(facade.is_lib);
+}
+
+#[test]
+fn baseline_ratchet_fails_on_rise_and_on_unratcheted_fall() {
+    let baseline = parse_baseline("[panic_budget]\ncore = 5\nattack = 3\n").unwrap();
+    let mut actual: BTreeMap<String, usize> = BTreeMap::new();
+    actual.insert("core".into(), 5);
+    actual.insert("attack".into(), 3);
+    assert!(compare_baseline(&actual, &baseline, "baseline.toml").is_empty());
+
+    // A new panic path fails.
+    actual.insert("core".into(), 6);
+    let up = compare_baseline(&actual, &baseline, "baseline.toml");
+    assert_eq!(up.len(), 1);
+    assert!(up[0].msg.contains("baseline allows 5"));
+
+    // An improvement also fails until the baseline is ratcheted down.
+    actual.insert("core".into(), 4);
+    let down = compare_baseline(&actual, &baseline, "baseline.toml");
+    assert_eq!(down.len(), 1);
+    assert!(down[0].msg.contains("ratchet"));
+
+    // A crate absent from the baseline gets a zero budget.
+    actual.insert("core".into(), 5);
+    actual.insert("newcrate".into(), 1);
+    let unknown = compare_baseline(&actual, &baseline, "baseline.toml");
+    assert_eq!(unknown.len(), 1);
+    assert!(unknown[0].msg.contains("newcrate"));
+}
+
+#[test]
+fn baseline_parser_rejects_garbage() {
+    assert!(parse_baseline("core five").is_err());
+    assert!(parse_baseline("core = -1").is_err());
+    assert!(parse_baseline("# comment\n[panic_budget]\n")
+        .unwrap()
+        .is_empty());
+}

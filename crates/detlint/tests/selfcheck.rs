@@ -1,0 +1,35 @@
+//! Self-check: the real workspace must pass detlint with the shipped
+//! baseline. This is the same scan CI runs via `cargo run -p detlint`,
+//! exercised as a test so `cargo test` alone catches policy regressions.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_under_shipped_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("detlint lives at <root>/crates/detlint")
+        .to_path_buf();
+    let report = detlint::run_workspace(&root).expect("workspace scan");
+    assert!(
+        report.findings.is_empty(),
+        "detlint findings in the workspace:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.files_scanned > 50, "scan looks truncated");
+
+    // The shipped baseline must exactly pin the current panic counts.
+    let baseline_text =
+        std::fs::read_to_string(root.join(detlint::BASELINE_PATH)).expect("baseline.toml present");
+    let baseline = detlint::rules::parse_baseline(&baseline_text).expect("baseline parses");
+    assert_eq!(
+        report.panic_counts, baseline,
+        "run `detlint --print-budget`"
+    );
+}

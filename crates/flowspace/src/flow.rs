@@ -34,7 +34,7 @@ impl From<u32> for FlowId {
 }
 
 /// Transport protocol of a concrete flow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Protocol {
     /// ICMP echo (the paper's evaluation traffic: probe + reply).
     Icmp,
@@ -60,7 +60,7 @@ impl fmt::Display for Protocol {
 /// (`10.0.1.0` … `10.0.1.15`, all destined to `10.0.1.16`); [`FlowKey::for_eval`]
 /// builds exactly that mapping. Ports are retained so richer scenarios (e.g.
 /// the HTTP reconnaissance example) can be expressed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FlowKey {
     /// Source IPv4 address.
     pub src_ip: u32,

@@ -10,11 +10,11 @@
 
 use crate::{FlowId, FlowKey, FlowSet, Priority, Protocol, Rule, RuleSet, RuleSetError, Timeout};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A ternary match over one 32-bit header field.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FieldPattern {
     value: u32,
     mask: u32,
@@ -107,7 +107,7 @@ impl FieldPattern {
 /// A TCAM-style match over a full 5-tuple.
 ///
 /// `Default` matches everything (all fields wildcarded).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct HeaderPattern {
     /// Source address match.
     pub src_ip: FieldPattern,
@@ -185,7 +185,7 @@ impl fmt::Display for HeaderPattern {
 #[serde(from = "Vec<FlowKey>", into = "Vec<FlowKey>")]
 pub struct HeaderUniverse {
     keys: Vec<FlowKey>,
-    index: HashMap<FlowKey, FlowId>,
+    index: BTreeMap<FlowKey, FlowId>,
 }
 
 impl From<Vec<FlowKey>> for HeaderUniverse {
@@ -206,7 +206,7 @@ impl HeaderUniverse {
     pub fn new<I: IntoIterator<Item = FlowKey>>(keys: I) -> Self {
         let mut out = HeaderUniverse {
             keys: Vec::new(),
-            index: HashMap::new(),
+            index: BTreeMap::new(),
         };
         for k in keys {
             out.index.entry(k).or_insert_with(|| {

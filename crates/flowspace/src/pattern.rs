@@ -19,7 +19,7 @@ use std::str::FromStr;
 /// use flowspace::TernaryPattern;
 /// assert_eq!(TernaryPattern::enumerate(4).count(), 81);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TernaryPattern {
     bits: u32,
     value: u32,
@@ -336,7 +336,7 @@ mod tests {
 
     #[test]
     fn enumerate_yields_distinct_patterns() {
-        let all: std::collections::HashSet<_> = TernaryPattern::enumerate(4).collect();
+        let all: std::collections::BTreeSet<_> = TernaryPattern::enumerate(4).collect();
         assert_eq!(all.len(), 81);
     }
 

@@ -286,7 +286,7 @@ mod tests {
         assert!(cands.contains(&(RuleId(0), RuleId(1)))); // overlap on f1
         assert!(cands.contains(&(RuleId(1), RuleId(2)))); // priority-adjacent
                                                           // No duplicate unordered pairs.
-        let set: std::collections::HashSet<_> = cands.iter().collect();
+        let set: std::collections::BTreeSet<_> = cands.iter().collect();
         assert_eq!(set.len(), cands.len());
     }
 

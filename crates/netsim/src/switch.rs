@@ -3,7 +3,7 @@
 use crate::config::Defense;
 use flowspace::{FlowId, RuleId, RuleSet};
 use ftcache::ClockTable;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// How a switch handles table misses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,12 +54,12 @@ pub(crate) struct Switch {
     mode: SwitchMode,
     table: ClockTable,
     /// Rules with a controller query in flight.
-    in_flight: HashMap<RuleId, ()>,
+    in_flight: BTreeSet<RuleId>,
     /// Per-rule count of packets forwarded since the rule's installation
     /// (for the delay-padding defense).
-    since_install: HashMap<RuleId, u32>,
+    since_install: BTreeMap<RuleId, u32>,
     /// Per-rule installation times (for the window-padding defense).
-    installed_at: HashMap<RuleId, f64>,
+    installed_at: BTreeMap<RuleId, f64>,
     defense: Defense,
     pub(crate) stats: SwitchStats,
 }
@@ -74,9 +74,9 @@ impl Switch {
         Switch {
             mode,
             table: ClockTable::new(capacity.max(1)),
-            in_flight: HashMap::new(),
-            since_install: HashMap::new(),
-            installed_at: HashMap::new(),
+            in_flight: BTreeSet::new(),
+            since_install: BTreeMap::new(),
+            installed_at: BTreeMap::new(),
             defense,
             stats: SwitchStats::default(),
         }
@@ -96,7 +96,7 @@ impl Switch {
         match rules.highest_covering(flow) {
             Some(rule) => {
                 self.stats.misses += 1;
-                let fresh = self.in_flight.insert(rule, ()).is_none();
+                let fresh = self.in_flight.insert(rule);
                 Lookup::Miss { rule, fresh }
             }
             None => {

@@ -266,7 +266,7 @@ mod tests {
             );
         }
         // Rules are distinct patterns.
-        let pats: std::collections::HashSet<_> = rules
+        let pats: std::collections::BTreeSet<_> = rules
             .rules()
             .iter()
             .map(|r| *r.pattern().unwrap())

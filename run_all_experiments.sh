@@ -21,6 +21,11 @@ done
 set -x
 BIN="cargo run --release -p experiments --bin"
 
+# Preflight: the determinism lint must pass before any experiment runs —
+# a hash-iteration or wall-clock dependency would silently invalidate
+# every CSV produced below.
+cargo run --release -p detlint
+
 if [ "$SMOKE" -eq 1 ]; then
     # Reduced trial counts: exercises every experiment end to end in
     # minutes, skips SVG rendering, and writes to results/smoke so the

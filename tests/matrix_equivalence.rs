@@ -245,6 +245,34 @@ proptest! {
         let (legacy, csr) = stochastic_pair(n, &edges);
         check_pair(&legacy, &csr, masses[..n].to_vec(), steps)?;
     }
+
+    /// Exercises the dev-profile `debug_assert!` invariants added with the
+    /// determinism policy (DESIGN.md): `freeze` asserts CSR row-pointer
+    /// monotonicity, and every `evolve_into` asserts mass conservation
+    /// (preserved within 1e-9 for stochastic chains, never created for
+    /// substochastic ones). Any violation panics inside the call; the
+    /// explicit total checks document the same bounds at the API surface.
+    #[test]
+    fn csr_invariants_hold_under_evolution(
+        shape in edges_strategy(),
+        damp in proptest::collection::vec(0.0f64..1.0, 8),
+        masses in masses_strategy(8),
+        steps in 1usize..20,
+    ) {
+        let (n, edges) = shape;
+        let d = Distribution::from_masses(masses[..n].to_vec());
+        let src_total = d.total();
+
+        let (_, stochastic) = stochastic_pair(n, &edges);
+        let evolved = stochastic.evolve_n(&d, steps);
+        prop_assert!((evolved.total() - src_total).abs() <= 1e-9 * (1.0 + src_total));
+
+        let (_, sub) = substochastic_pair(n, &edges, &damp);
+        let leaked = sub.evolve_n(&d, steps);
+        prop_assert!(leaked.total() <= src_total + 1e-9);
+        let fast = sub.evolve_n_extrapolated(&d, 10 * steps, 1e-11);
+        prop_assert!(fast.total() <= src_total + 1e-9);
+    }
 }
 
 #[test]

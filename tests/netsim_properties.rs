@@ -14,7 +14,7 @@ fn rule_set_strategy() -> impl Strategy<Value = RuleSet> {
         proptest::collection::btree_set(0u32..6, 1..=3),
     );
     proptest::collection::vec(rule, 1..=4).prop_filter_map("distinct priorities", |specs| {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let mut rules = Vec::new();
         for (prio, timeout, flows) in specs {
             if !seen.insert(prio) {
@@ -102,7 +102,7 @@ proptest! {
         // The cached set never exceeds capacity and contains no dead rules.
         let cached = sim.cached_rules();
         prop_assert!(cached.len() <= capacity);
-        let unique: std::collections::HashSet<_> = cached.iter().collect();
+        let unique: std::collections::BTreeSet<_> = cached.iter().collect();
         prop_assert_eq!(unique.len(), cached.len());
 
         // Trace deliveries match completions: every probe + every genuine

@@ -21,7 +21,7 @@ fn rule_set_strategy() -> impl Strategy<Value = RuleSet> {
         proptest::collection::btree_set(0u32..8, 1..=4),
     );
     proptest::collection::vec(rule, 1..=5).prop_filter_map("distinct priorities", |specs| {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let mut rules = Vec::new();
         for (prio, timeout, flows) in specs {
             if !seen.insert(prio) {
@@ -62,7 +62,7 @@ proptest! {
             // Invariant 1: never over capacity.
             prop_assert!(table.len() <= capacity);
             // Invariant 2: no duplicate rules.
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = std::collections::BTreeSet::new();
             for e in table.entries() {
                 prop_assert!(seen.insert(e.rule), "duplicate {:?}", e.rule);
                 // Invariant 3: remaining time never exceeds the timeout.
