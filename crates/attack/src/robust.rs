@@ -302,7 +302,9 @@ pub fn robust_probe(
     policy: &ProbePolicy,
     state: &mut RobustState,
 ) -> Option<RobustObservation> {
+    let question = obs::Span::begin(sim.now());
     let mut backoff = policy.backoff_secs;
+    let mut outcome = None;
     for attempt in 0..=policy.max_retries {
         state.counters.probes += 1;
         match sim.probe_with_timeout(flow, policy.timeout_secs) {
@@ -314,18 +316,24 @@ pub fn robust_probe(
                 } else {
                     state.window.push(obs.rtt, hit);
                     state.observe(obs.rtt);
-                    return Some(RobustObservation { rtt: obs.rtt, hit });
+                    outcome = Some(RobustObservation { rtt: obs.rtt, hit });
+                    break;
                 }
             }
         }
         if attempt < policy.max_retries {
             state.counters.retries += 1;
             let resume = sim.now() + backoff;
+            sim.recorder_mut()
+                .observe(obs::metrics::ROBUST_BACKOFF_SECS, backoff);
             sim.run_until(resume);
             backoff = (backoff * 2.0).min(policy.backoff_cap_secs);
         }
     }
-    None
+    let elapsed = question.end(sim.now());
+    sim.recorder_mut()
+        .observe(obs::metrics::QUESTION_SECS, elapsed);
+    outcome
 }
 
 /// An attacker's answer to "did the target flow occur in the window?" —

@@ -11,7 +11,8 @@ use crate::attacker::{Attacker, AttackerKind};
 use crate::plan::AttackPlan;
 use crate::robust::{FaultCounters, ProbePolicy, RobustState, Verdict};
 use crate::ExecPolicy;
-use netsim::{NetConfig, Simulation};
+use netsim::{FaultStats, NetConfig, Simulation};
+use obs::{metrics, Recorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -111,6 +112,11 @@ pub struct TrialReport {
     /// `by_attacker`. All zeros when the batch ran without the robust
     /// probe loop (fault-free configurations).
     pub fault_counters: Vec<FaultCounters>,
+    /// Per-attacker totals of faults the *simulator* injected across
+    /// all trials, parallel to `by_attacker` — the ground truth the
+    /// measurement-layer `fault_counters` can be cross-checked against
+    /// (injected vs observed).
+    pub sim_faults: Vec<FaultStats>,
 }
 
 impl TrialReport {
@@ -158,6 +164,24 @@ impl TrialReport {
             .position(|(k, _)| *k == kind)
             .expect("attacker kind not in report");
         &self.fault_counters[i]
+    }
+
+    /// Total simulator-injected faults of one attacker kind across the
+    /// batch (all zeros on fault-free configurations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` was not part of the batch.
+    #[must_use]
+    pub fn sim_faults(&self, kind: AttackerKind) -> &FaultStats {
+        let i = self
+            .by_attacker
+            .iter()
+            .position(|(k, _)| *k == kind)
+            // detlint::allow(D4): same caller contract as fault_counters —
+            // asking for a kind outside the batch is a programming error
+            .expect("attacker kind not in report");
+        &self.sim_faults[i]
     }
 
     fn entry(&self, kind: AttackerKind) -> &Accuracy {
@@ -253,7 +277,17 @@ pub fn run_trials_with_policy(
     net: &NetConfig,
     policy: ExecPolicy,
 ) -> TrialReport {
-    run_trials_engine(scenario, plan, kinds, trials, seed, net, policy, None)
+    run_trials_engine(
+        scenario,
+        plan,
+        kinds,
+        trials,
+        seed,
+        net,
+        policy,
+        None,
+        &mut Recorder::disabled(),
+    )
 }
 
 /// [`run_trials_with_policy`] with the attackers' measurements routed
@@ -285,6 +319,33 @@ pub fn run_trials_robust_policy(
         net,
         policy,
         Some(probe_policy),
+        &mut Recorder::disabled(),
+    )
+}
+
+/// The full engine with an explicit metric [`Recorder`]: probe-RTT
+/// hit/miss histograms, verdict and robust-loop counters, and injected
+/// fault totals are collected into `recorder` as the trials run.
+///
+/// Recording is observation only. The report — and therefore every CSV
+/// derived from it — is byte-identical whether `recorder` is enabled or
+/// [`Recorder::disabled`], under any `policy` (worker recorders merge by
+/// unsigned addition, the same contract as [`Accuracy::merge`]).
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn run_trials_recorded(
+    scenario: &NetworkScenario,
+    plan: &AttackPlan,
+    kinds: &[AttackerKind],
+    trials: usize,
+    seed: u64,
+    net: &NetConfig,
+    policy: ExecPolicy,
+    robust: Option<&ProbePolicy>,
+    recorder: &mut Recorder,
+) -> TrialReport {
+    run_trials_engine(
+        scenario, plan, kinds, trials, seed, net, policy, robust, recorder,
     )
 }
 
@@ -298,17 +359,52 @@ fn run_trials_engine(
     net: &NetConfig,
     policy: ExecPolicy,
     robust: Option<&ProbePolicy>,
+    recorder: &mut Recorder,
 ) -> TrialReport {
     let threads = policy.effective_threads(trials);
-    let (accs, counters, present) = if threads <= 1 {
-        run_trial_range(scenario, plan, kinds, seed, net, robust, 0..trials)
+    let (accs, counters, sim_faults, present) = if threads <= 1 {
+        run_trial_range(
+            scenario,
+            plan,
+            kinds,
+            seed,
+            net,
+            robust,
+            0..trials,
+            recorder,
+        )
     } else {
-        run_trials_parallel(scenario, plan, kinds, trials, seed, net, robust, threads)
+        run_trials_parallel(
+            scenario, plan, kinds, trials, seed, net, robust, threads, recorder,
+        )
     };
+    if recorder.is_enabled() {
+        recorder.add(metrics::TRIALS, trials as u64);
+        for (kind, acc) in kinds.iter().zip(&accs) {
+            recorder.add(metrics::VERDICT_PRESENT, acc.tp + acc.fp);
+            recorder.add(metrics::VERDICT_ABSENT, acc.tn + acc.fn_);
+            recorder.add(metrics::VERDICT_INCONCLUSIVE, acc.inconclusive);
+            recorder.add_with_suffix(metrics::ANSWERED_PREFIX, kind.name(), acc.n());
+            recorder.add_with_suffix(metrics::INCONCLUSIVE_PREFIX, kind.name(), acc.inconclusive);
+        }
+        for c in &counters {
+            recorder.add(metrics::ROBUST_PROBES, c.probes);
+            recorder.add(metrics::ROBUST_TIMEOUTS, c.timeouts);
+            recorder.add(metrics::ROBUST_RETRIES, c.retries);
+            recorder.add(metrics::ROBUST_OUTLIERS, c.outliers);
+            recorder.add(metrics::ROBUST_RECALIBRATIONS, c.recalibrations);
+        }
+        let mut total = FaultStats::default();
+        for f in &sim_faults {
+            total.merge(f);
+        }
+        total.record_into(recorder);
+    }
     TrialReport {
         by_attacker: kinds.iter().copied().zip(accs).collect(),
         base_rate_present: present as f64 / trials.max(1) as f64,
         fault_counters: counters,
+        sim_faults,
     }
 }
 
@@ -328,6 +424,8 @@ fn run_one_trial(
     trial: usize,
     answers: &mut Vec<Verdict>,
     counters: &mut [FaultCounters],
+    sim_faults: &mut [FaultStats],
+    recorder: &mut Recorder,
 ) -> bool {
     let mut traffic_rng =
         StdRng::seed_from_u64(seed ^ (trial as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -343,6 +441,9 @@ fn run_one_trial(
         // Each attacker gets a fresh simulation fed the same schedule, so
         // earlier attackers' probes cannot pollute later attackers' state.
         let mut sim = Simulation::new(net.clone(), seed ^ ((trial as u64) << 20) ^ (i as u64 + 1));
+        if recorder.is_enabled() {
+            sim.attach_recorder(recorder.fork());
+        }
         for &(f, t) in &schedule {
             sim.schedule_flow(f, t);
         }
@@ -359,6 +460,8 @@ fn run_one_trial(
                 v
             }
         };
+        sim_faults[i].merge(&sim.fault_stats());
+        recorder.merge(sim.take_recorder());
         answers.push(verdict);
     }
     truth
@@ -367,6 +470,7 @@ fn run_one_trial(
 /// Runs a contiguous range of trials on the calling thread, returning
 /// per-attacker accumulators, fault tallies, and the count of trials
 /// where the target was genuinely present.
+#[allow(clippy::too_many_arguments)]
 fn run_trial_range(
     scenario: &NetworkScenario,
     plan: &AttackPlan,
@@ -375,9 +479,11 @@ fn run_trial_range(
     net: &NetConfig,
     robust: Option<&ProbePolicy>,
     range: std::ops::Range<usize>,
-) -> (Vec<Accuracy>, Vec<FaultCounters>, u64) {
+    recorder: &mut Recorder,
+) -> (Vec<Accuracy>, Vec<FaultCounters>, Vec<FaultStats>, u64) {
     let mut accs = vec![Accuracy::default(); kinds.len()];
     let mut counters = vec![FaultCounters::default(); kinds.len()];
+    let mut sim_faults = vec![FaultStats::default(); kinds.len()];
     let mut present = 0u64;
     let mut answers = Vec::with_capacity(kinds.len());
     for trial in range {
@@ -391,6 +497,8 @@ fn run_trial_range(
             trial,
             &mut answers,
             &mut counters,
+            &mut sim_faults,
+            recorder,
         );
         if truth {
             present += 1;
@@ -399,7 +507,7 @@ fn run_trial_range(
             acc.add_verdict(truth, verdict);
         }
     }
-    (accs, counters, present)
+    (accs, counters, sim_faults, present)
 }
 
 /// Distributes trials over `threads` scoped workers. Workers claim fixed
@@ -417,13 +525,16 @@ fn run_trials_parallel(
     net: &NetConfig,
     robust: Option<&ProbePolicy>,
     threads: usize,
-) -> (Vec<Accuracy>, Vec<FaultCounters>, u64) {
+    recorder: &mut Recorder,
+) -> (Vec<Accuracy>, Vec<FaultCounters>, Vec<FaultStats>, u64) {
     // Chunks several times smaller than a fair share keep workers busy
     // when trial costs vary, without contending on the cursor per trial.
     let chunk = (trials / (threads * 4)).max(1);
     let cursor = AtomicUsize::new(0);
+    let record = recorder.is_enabled();
     let mut accs = vec![Accuracy::default(); kinds.len()];
     let mut counters = vec![FaultCounters::default(); kinds.len()];
+    let mut sim_faults = vec![FaultStats::default(); kinds.len()];
     let mut present = 0u64;
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
@@ -431,6 +542,15 @@ fn run_trials_parallel(
                 scope.spawn(|| {
                     let mut local = vec![Accuracy::default(); kinds.len()];
                     let mut local_counters = vec![FaultCounters::default(); kinds.len()];
+                    let mut local_faults = vec![FaultStats::default(); kinds.len()];
+                    // Each worker records into its own recorder; the
+                    // merges below are commutative, so the metrics are
+                    // independent of chunk assignment — like the results.
+                    let mut local_recorder = if record {
+                        Recorder::enabled()
+                    } else {
+                        Recorder::disabled()
+                    };
                     let mut local_present = 0u64;
                     let mut answers = Vec::with_capacity(kinds.len());
                     loop {
@@ -450,6 +570,8 @@ fn run_trials_parallel(
                                 trial,
                                 &mut answers,
                                 &mut local_counters,
+                                &mut local_faults,
+                                &mut local_recorder,
                             );
                             if truth {
                                 local_present += 1;
@@ -459,12 +581,18 @@ fn run_trials_parallel(
                             }
                         }
                     }
-                    (local, local_counters, local_present)
+                    (
+                        local,
+                        local_counters,
+                        local_faults,
+                        local_recorder,
+                        local_present,
+                    )
                 })
             })
             .collect();
         for worker in workers {
-            let (local, local_counters, local_present) =
+            let (local, local_counters, local_faults, local_recorder, local_present) =
                 worker.join().expect("trial worker panicked");
             for (acc, l) in accs.iter_mut().zip(&local) {
                 acc.merge(l);
@@ -472,10 +600,14 @@ fn run_trials_parallel(
             for (c, l) in counters.iter_mut().zip(&local_counters) {
                 c.merge(l);
             }
+            for (f, l) in sim_faults.iter_mut().zip(&local_faults) {
+                f.merge(l);
+            }
+            recorder.merge(local_recorder);
             present += local_present;
         }
     });
-    (accs, counters, present)
+    (accs, counters, sim_faults, present)
 }
 
 #[cfg(test)]
@@ -686,6 +818,84 @@ mod tests {
             );
             assert_eq!(serial, parallel, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn recorder_never_perturbs_results_and_collects_metrics() {
+        let sc = scenario(10, (0.3, 0.7));
+        let plan = plan_attack(&sc, Evaluator::mean_field()).unwrap();
+        let kinds = [AttackerKind::Naive, AttackerKind::Model];
+        let mut net = scenario_net_config(&sc);
+        net.faults = netsim::FaultPlan::uniform(0.1);
+        let probe = ProbePolicy::default();
+        for policy in [ExecPolicy::Serial, ExecPolicy::Parallel { threads: 8 }] {
+            let plain = run_trials_robust_policy(&sc, &plan, &kinds, 12, 17, &net, policy, &probe);
+            let mut recorder = Recorder::enabled();
+            let recorded = run_trials_recorded(
+                &sc,
+                &plan,
+                &kinds,
+                12,
+                17,
+                &net,
+                policy,
+                Some(&probe),
+                &mut recorder,
+            );
+            assert_eq!(plain, recorded, "recording must not change results");
+            assert_eq!(recorder.counter(metrics::TRIALS), 12);
+            let answered: u64 = kinds
+                .iter()
+                .map(|k| recorder.counter(&format!("{}.{}", metrics::ANSWERED_PREFIX, k.name())))
+                .sum();
+            let inconclusive = recorder.counter(metrics::VERDICT_INCONCLUSIVE);
+            assert_eq!(answered + inconclusive, 12 * kinds.len() as u64);
+            assert_eq!(
+                recorder.counter(metrics::ROBUST_PROBES),
+                recorded
+                    .fault_counters
+                    .iter()
+                    .map(|c| c.probes)
+                    .sum::<u64>()
+            );
+            let injected: u64 = recorded.sim_faults.iter().map(|f| f.packets_dropped).sum();
+            assert_eq!(recorder.counter(metrics::FAULT_PACKETS_DROPPED), injected);
+            let hits = recorder.histogram(metrics::PROBE_RTT_HIT);
+            let misses = recorder.histogram(metrics::PROBE_RTT_MISS);
+            assert!(
+                hits.map_or(0, obs::Histogram::count) + misses.map_or(0, obs::Histogram::count) > 0,
+                "some probe RTTs must be observed"
+            );
+        }
+    }
+
+    #[test]
+    fn sim_fault_totals_track_injection() {
+        let sc = scenario(11, (0.3, 0.7));
+        let plan = plan_attack(&sc, Evaluator::mean_field()).unwrap();
+        let kinds = [AttackerKind::Naive];
+        let clean = run_trials(&sc, &plan, &kinds, 5, 3);
+        assert_eq!(
+            clean.sim_faults(AttackerKind::Naive),
+            &FaultStats::default()
+        );
+        let mut net = scenario_net_config(&sc);
+        net.faults = netsim::FaultPlan::uniform(0.25);
+        let faulty = run_trials_robust_policy(
+            &sc,
+            &plan,
+            &kinds,
+            30,
+            13,
+            &net,
+            ExecPolicy::Serial,
+            &ProbePolicy::default(),
+        );
+        let f = faulty.sim_faults(AttackerKind::Naive);
+        assert!(
+            f.packets_dropped + f.packet_ins_lost + f.flow_mods_lost > 0,
+            "25% faults must show up in injected totals: {f:?}"
+        );
     }
 
     #[test]

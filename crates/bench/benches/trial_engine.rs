@@ -6,7 +6,10 @@
 //!
 //! Baseline numbers are recorded in `results/bench_trial_engine.txt`.
 
-use attack::{plan_attack, run_trials_policy, AttackerKind, ExecPolicy};
+use attack::{
+    plan_attack, run_trials_policy, run_trials_recorded, scenario_net_config, AttackerKind,
+    ExecPolicy,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use recon_bench::paper_scale_scenario;
 use recon_core::useq::Evaluator;
@@ -40,6 +43,31 @@ fn bench_trial_engine(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new(&label, trials), &trials, |b, &n| {
             b.iter(|| run_trials_policy(&sc, &plan, &kinds, n, 3, auto));
         });
+        // Observability overhead: a disabled recorder must be free
+        // (within noise of `serial`); enabled shows the metrics cost.
+        let net = scenario_net_config(&sc);
+        for (label, enabled) in [("serial_obs_off", false), ("serial_obs_on", true)] {
+            g.bench_with_input(BenchmarkId::new(label, trials), &trials, |b, &n| {
+                b.iter(|| {
+                    let mut rec = if enabled {
+                        obs::Recorder::enabled()
+                    } else {
+                        obs::Recorder::disabled()
+                    };
+                    run_trials_recorded(
+                        &sc,
+                        &plan,
+                        &kinds,
+                        n,
+                        3,
+                        &net,
+                        ExecPolicy::Serial,
+                        None,
+                        &mut rec,
+                    )
+                });
+            });
+        }
     }
     g.finish();
 }

@@ -149,13 +149,19 @@ where
                     break;
                 }
                 let value = f(i);
-                slots.lock().expect("worker panicked")[i] = Some(value);
+                // A poisoned lock only means another worker panicked
+                // mid-store; that panic propagates when the scope joins,
+                // so writing through the poison is sound — and keeps
+                // this hot path free of panic branches.
+                slots
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = Some(value);
             });
         }
     });
     slots
         .into_inner()
-        .expect("worker panicked")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .into_iter()
         .map(|slot| slot.expect("every index filled"))
         .collect()

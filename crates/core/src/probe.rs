@@ -216,12 +216,16 @@ impl<'a, M: SwitchModel> ProbePlanner<'a, M> {
     #[must_use]
     pub fn with_policy(model: &'a M, target: FlowId, horizon: usize, policy: ExecPolicy) -> Self {
         const TOL: f64 = 1e-11;
-        let i_t = model
-            .matrix()
-            .evolve_n_extrapolated(&model.initial(), horizon, TOL);
-        let j_t = model
-            .absent_matrix(target)
-            .evolve_n_extrapolated(&model.initial(), horizon, TOL);
+        let (i_t, j_t) = obs::local::time(obs::metrics::PLANNER_EVOLVE_SECS, || {
+            (
+                model
+                    .matrix()
+                    .evolve_n_extrapolated(&model.initial(), horizon, TOL),
+                model
+                    .absent_matrix(target)
+                    .evolve_n_extrapolated(&model.initial(), horizon, TOL),
+            )
+        });
         ProbePlanner {
             model,
             target,
@@ -341,8 +345,10 @@ impl<'a, M: SwitchModel> ProbePlanner<'a, M> {
         candidates: I,
     ) -> Result<ProbeAnalysis, ModelError> {
         let candidates: Vec<FlowId> = candidates.into_iter().collect();
-        map_indexed(self.policy, candidates.len(), |i| {
-            self.analyze(candidates[i])
+        obs::local::time(obs::metrics::PLANNER_SCORE_SECS, || {
+            map_indexed(self.policy, candidates.len(), |i| {
+                self.analyze(candidates[i])
+            })
         })
         .into_iter()
         .max_by(|a, b| a.info_gain.total_cmp(&b.info_gain))
@@ -453,12 +459,14 @@ impl<'a, M: SwitchModel> ProbePlanner<'a, M> {
             if avail.is_empty() {
                 break; // ran out of distinct candidates
             }
-            let scored = map_indexed(self.policy, avail.len(), |i| {
-                let cand_frontier = self.extend_frontier(&frontier, avail[i]);
-                let mut probes = chosen.clone();
-                probes.push(avail[i]);
-                let analysis = self.analysis_from_frontier(&probes, &cand_frontier);
-                (analysis, cand_frontier)
+            let scored = obs::local::time(obs::metrics::PLANNER_SCORE_SECS, || {
+                map_indexed(self.policy, avail.len(), |i| {
+                    let cand_frontier = self.extend_frontier(&frontier, avail[i]);
+                    let mut probes = chosen.clone();
+                    probes.push(avail[i]);
+                    let analysis = self.analysis_from_frontier(&probes, &cand_frontier);
+                    (analysis, cand_frontier)
+                })
             });
             let mut round_best: Option<(SequenceAnalysis, Frontier)> = None;
             for item in scored {
@@ -502,12 +510,14 @@ impl<'a, M: SwitchModel> ProbePlanner<'a, M> {
         if m == 0 {
             return Ok(self.analysis_from_frontier(&[], &root));
         }
-        let branch_best = map_indexed(self.policy, candidates.len(), |i| {
-            let mut best = None;
-            let mut seq = vec![candidates[i]];
-            let frontier = self.extend_frontier(&root, candidates[i]);
-            self.exhaustive(candidates, m, &mut seq, frontier, &mut best);
-            best
+        let branch_best = obs::local::time(obs::metrics::PLANNER_SCORE_SECS, || {
+            map_indexed(self.policy, candidates.len(), |i| {
+                let mut best = None;
+                let mut seq = vec![candidates[i]];
+                let frontier = self.extend_frontier(&root, candidates[i]);
+                self.exhaustive(candidates, m, &mut seq, frontier, &mut best);
+                best
+            })
         });
         let mut best: Option<SequenceAnalysis> = None;
         for b in branch_best.into_iter().flatten() {

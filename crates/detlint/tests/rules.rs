@@ -64,6 +64,22 @@ fn d2_silent_on_allowlisted_modules() {
 }
 
 #[test]
+fn d2_obs_walltime_is_the_only_obs_wallclock_island() {
+    let src = fixture("d2_time.rs");
+    // The dedicated wall-clock module is allowlisted…
+    let ctx = FileCtx::classify("crates/obs/src/walltime.rs").unwrap();
+    assert!(ctx.wallclock_ok);
+    assert!(lines_for(&check_file(&ctx, &src).findings, "D2").is_empty());
+    // …and an `Instant` anywhere else in `obs` stays a finding.
+    let ctx = FileCtx::classify("crates/obs/src/lib.rs").unwrap();
+    assert!(!ctx.wallclock_ok);
+    assert_eq!(
+        lines_for(&check_file(&ctx, &src).findings, "D2"),
+        vec![2, 7]
+    );
+}
+
+#[test]
 fn d3_flags_entropy_rng_everywhere() {
     let src = fixture("d3_entropy.rs");
     // Even non-deterministic crates may not draw OS entropy.

@@ -7,7 +7,7 @@
 //! error of the eviction distribution and timeout probabilities against
 //! exact, plus per-state runtime.
 
-use experiments::harness::write_csv;
+use experiments::harness::{write_csv, RunManifest};
 use experiments::ExpOpts;
 use flowspace::RuleId;
 use rand::rngs::StdRng;
@@ -18,6 +18,8 @@ use traffic::ScenarioSampler;
 
 fn main() {
     let opts = ExpOpts::from_env();
+    let manifest = RunManifest::begin("ablation_evaluators");
+    let recorder = opts.recorder();
     let sampler = ScenarioSampler {
         bits: 3,
         n_rules: 5,
@@ -100,4 +102,5 @@ fn main() {
         "evaluator,evict_l1_per_state,timeout_l1_per_state,seconds_per_state",
         &rows,
     );
+    manifest.finish(&opts, &recorder, &["ablation_evaluators.csv"]);
 }

@@ -6,7 +6,7 @@
 //! below) the prior-only random attacker's accuracy.
 
 use attack::{plan_attack, run_trials_with_policy, scenario_net_config, AttackerKind};
-use experiments::harness::{mean, sampler_for, write_csv};
+use experiments::harness::{mean, sampler_for, write_csv, RunManifest};
 use experiments::{ascii_bars, ExpOpts};
 use netsim::{Defense, NetConfig};
 use rand::rngs::StdRng;
@@ -21,6 +21,8 @@ fn with_defense(base: &NetConfig, defense: Defense) -> NetConfig {
 
 fn main() {
     let opts = ExpOpts::from_env();
+    let manifest = RunManifest::begin("countermeasures");
+    let recorder = opts.recorder();
     let sampler = sampler_for(&opts);
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let kinds = [
@@ -116,4 +118,5 @@ fn main() {
         "defense,naive_accuracy,model_accuracy,random_accuracy",
         &rows,
     );
+    manifest.finish(&opts, &recorder, &["countermeasures.csv"]);
 }

@@ -7,7 +7,7 @@
 //! attacker toward the random baseline, at the cost of coarser forwarding.
 
 use attack::{plan_attack, run_trials_policy, AttackerKind};
-use experiments::harness::{mean, sampler_for, write_csv};
+use experiments::harness::{mean, sampler_for, write_csv, RunManifest};
 use experiments::ExpOpts;
 use flowspace::transform::{covers_preserved, merge_candidates, merge_rules};
 use rand::rngs::StdRng;
@@ -33,6 +33,8 @@ fn coarsen_once(sc: &NetworkScenario) -> Option<NetworkScenario> {
 
 fn main() {
     let opts = ExpOpts::from_env();
+    let manifest = RunManifest::begin("defense_transform");
+    let recorder = opts.recorder();
     let sampler = sampler_for(&opts);
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let rounds = 3usize;
@@ -105,4 +107,5 @@ fn main() {
         "merge_round,leakage_mean,leakage_max,model_accuracy,random_accuracy",
         &rows,
     );
+    manifest.finish(&opts, &recorder, &["defense_transform.csv"]);
 }

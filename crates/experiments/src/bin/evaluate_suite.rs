@@ -5,7 +5,9 @@
 //! configuration class four times for the final report).
 
 use attack::AttackerKind;
-use experiments::harness::{collect_configs_timed, mean, write_csv, write_stats, ConfigClass};
+use experiments::harness::{
+    collect_configs_observed, mean, write_csv, write_stats, ConfigClass, RunManifest,
+};
 use experiments::{ascii_bars, ascii_cdf, ConfigOutcome, ExpOpts};
 use std::collections::BTreeMap;
 
@@ -24,18 +26,21 @@ fn in_bin<'a>(
 
 fn main() {
     let opts = ExpOpts::from_env();
+    let manifest = RunManifest::begin("evaluate_suite");
+    let mut recorder = opts.recorder();
     let kinds = [
         AttackerKind::Naive,
         AttackerKind::Model,
         AttackerKind::RestrictedModel,
         AttackerKind::Random,
     ];
-    let (all, stats) = collect_configs_timed(
+    let (all, stats) = collect_configs_observed(
         &opts,
         ConfigClass::DetectorFeasible,
         (0.05, 0.95),
         &kinds,
         opts.configs,
+        &mut recorder,
     );
     let fig7: Vec<&ConfigOutcome> = all.iter().collect();
     let fig6: Vec<&ConfigOutcome> = all
@@ -201,4 +206,15 @@ fn main() {
     let overall_random = mean(fig7.iter().map(|o| o.report.accuracy(AttackerKind::Random)));
     println!("overall accuracy: naive {overall_naive:.3}  model {overall_model:.3}  restricted {overall_restricted:.3}  random {overall_random:.3}");
     write_stats(&opts, "evaluate_suite", &stats);
+    manifest.finish(
+        &opts,
+        &recorder,
+        &[
+            "fig6a.csv",
+            "fig6b.csv",
+            "fig7a.csv",
+            "fig7b.csv",
+            "suite_robust.csv",
+        ],
+    );
 }

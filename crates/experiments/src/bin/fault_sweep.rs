@@ -5,12 +5,15 @@
 //! uniform fault rates and runs the robust probe loop (timeouts, retries,
 //! MAD outlier rejection, explicit *inconclusive* verdicts) to measure how
 //! gracefully each attacker degrades — accuracy over answered questions
-//! alongside the answer rate, plus the raw fault tallies.
+//! alongside the answer rate, plus the raw fault tallies. Each CSV row
+//! also carries the *simulator-injected* fault totals (`inj_*` columns),
+//! so the measurement layer's observations can be cross-checked against
+//! what was actually injected.
 
 use attack::{
-    plan_attack_policy, run_trials_robust_policy, scenario_net_config, AttackerKind, ProbePolicy,
+    plan_attack_policy, run_trials_recorded, scenario_net_config, AttackerKind, ProbePolicy,
 };
-use experiments::harness::{mean, sampler_for, write_csv};
+use experiments::harness::{mean, sampler_for, write_csv, RunManifest};
 use experiments::{svg, ExpOpts};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -18,6 +21,8 @@ use recon_core::useq::Evaluator;
 
 fn main() {
     let opts = ExpOpts::from_env();
+    let manifest = RunManifest::begin("fault_sweep");
+    let mut recorder = opts.recorder();
     let rates: &[f64] = if opts.fast {
         &[0.0, 0.05, 0.15]
     } else {
@@ -56,10 +61,11 @@ fn main() {
         let mut acc: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
         let mut answer: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
         let mut counters = vec![attack::FaultCounters::default(); kinds.len()];
+        let mut injected = vec![netsim::FaultStats::default(); kinds.len()];
         for (ci, (sc, plan)) in configs.iter().enumerate() {
             let mut net = scenario_net_config(sc);
             net.faults = faults;
-            let report = run_trials_robust_policy(
+            let report = run_trials_recorded(
                 sc,
                 plan,
                 &kinds,
@@ -67,18 +73,24 @@ fn main() {
                 opts.seed ^ (ci as u64).wrapping_mul(0xA5A5_5A5A_1234_5678),
                 &net,
                 opts.policy,
-                &probe_policy,
+                Some(&probe_policy),
+                &mut recorder,
             );
             for (ki, &k) in kinds.iter().enumerate() {
                 acc[ki].push(report.accuracy(k));
                 answer[ki].push(report.answer_rate(k));
                 counters[ki].merge(report.fault_counters(k));
+                injected[ki].merge(report.sim_faults(k));
             }
+        }
+        if recorder.is_enabled() {
+            eprintln!("obs: fault rate {rate:.2} done ({} configs)", configs.len());
         }
         for (ki, &k) in kinds.iter().enumerate() {
             let a = mean(acc[ki].iter().copied().filter(|v| !v.is_nan()));
             let ar = mean(answer[ki].iter().copied());
             let c = &counters[ki];
+            let inj = &injected[ki];
             println!(
                 "{rate:<5.2}  {:<9}  {a:>8.3}   {ar:>11.3}   {:>8}   {:>12}",
                 k.name(),
@@ -86,21 +98,27 @@ fn main() {
                 c.inconclusive
             );
             rows.push(format!(
-                "{rate},{},{},{a},{ar},{},{},{},{},{}",
+                "{rate},{},{},{a},{ar},{},{},{},{},{},{},{},{},{},{},{}",
                 k.name(),
                 configs.len(),
                 c.probes,
                 c.timeouts,
                 c.retries,
                 c.outliers,
-                c.inconclusive
+                c.inconclusive,
+                inj.packets_dropped,
+                inj.packet_ins_lost,
+                inj.flow_mods_lost,
+                inj.flow_mods_delayed,
+                inj.flow_mods_rejected,
+                inj.probe_timeouts
             ));
             acc_series[ki].1.push(a);
         }
     }
     write_csv(
         &opts.out_file("fault_sweep.csv"),
-        "fault_rate,attacker,configs,accuracy,answer_rate,probes,timeouts,retries,outliers,inconclusive",
+        "fault_rate,attacker,configs,accuracy,answer_rate,probes,timeouts,retries,outliers,inconclusive,inj_packets_dropped,inj_packet_ins_lost,inj_flow_mods_lost,inj_flow_mods_delayed,inj_flow_mods_rejected,inj_probe_timeouts",
         &rows,
     );
     let labels: Vec<String> = rates.iter().map(|r| format!("{r:.2}")).collect();
@@ -113,4 +131,5 @@ fn main() {
     let path = opts.out_file("fault_sweep.svg");
     std::fs::write(&path, chart).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
     println!("wrote {}", path.display());
+    manifest.finish(&opts, &recorder, &["fault_sweep.csv", "fault_sweep.svg"]);
 }

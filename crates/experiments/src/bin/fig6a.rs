@@ -13,19 +13,24 @@
 //! exists — see EXPERIMENTS.md).
 
 use attack::AttackerKind;
-use experiments::harness::{collect_configs_timed, mean, write_csv, write_stats, ConfigClass};
+use experiments::harness::{
+    collect_configs_observed, mean, write_csv, write_stats, ConfigClass, RunManifest,
+};
 use experiments::{ascii_bars, ConfigOutcome, ExpOpts};
 
 fn main() {
     let opts = ExpOpts::from_env();
+    let manifest = RunManifest::begin("fig6a");
+    let mut recorder = opts.recorder();
     let bins: &[(f64, f64)] = &[(0.05, 0.2), (0.2, 0.4), (0.4, 0.6), (0.6, 0.8), (0.8, 0.95)];
     let kinds = [AttackerKind::Naive, AttackerKind::Model];
-    let (outcomes, stats) = collect_configs_timed(
+    let (outcomes, stats) = collect_configs_observed(
         &opts,
         ConfigClass::OptimalDiffersFromTarget,
         (0.05, 0.95),
         &kinds,
         opts.configs,
+        &mut recorder,
     );
     println!(
         "{} configurations (detector-feasible, optimal ≠ target)\n",
@@ -82,4 +87,5 @@ fn main() {
         &rows,
     );
     write_stats(&opts, "fig6a", &stats);
+    manifest.finish(&opts, &recorder, &["fig6a.csv"]);
 }

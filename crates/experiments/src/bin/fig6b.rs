@@ -6,18 +6,23 @@
 //! ~5% of configurations.
 
 use attack::AttackerKind;
-use experiments::harness::{collect_configs_timed, write_csv, write_stats, ConfigClass};
+use experiments::harness::{
+    collect_configs_observed, write_csv, write_stats, ConfigClass, RunManifest,
+};
 use experiments::{ascii_cdf, ExpOpts};
 
 fn main() {
     let opts = ExpOpts::from_env();
+    let manifest = RunManifest::begin("fig6b");
+    let mut recorder = opts.recorder();
     let kinds = [AttackerKind::Naive, AttackerKind::Model];
-    let (outcomes, stats) = collect_configs_timed(
+    let (outcomes, stats) = collect_configs_observed(
         &opts,
         ConfigClass::OptimalDiffersFromTarget,
         (0.05, 0.95),
         &kinds,
         opts.configs,
+        &mut recorder,
     );
     let mut improvements: Vec<f64> = outcomes
         .iter()
@@ -49,4 +54,5 @@ fn main() {
         .collect();
     write_csv(&opts.out_file("fig6b.csv"), "improvement,cdf", &rows);
     write_stats(&opts, "fig6b", &stats);
+    manifest.finish(&opts, &recorder, &["fig6b.csv"]);
 }

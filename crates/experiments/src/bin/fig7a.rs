@@ -7,23 +7,28 @@
 //! every covering count; random is worst.
 
 use attack::AttackerKind;
-use experiments::harness::{collect_configs_timed, mean, write_csv, write_stats, ConfigClass};
+use experiments::harness::{
+    collect_configs_observed, mean, write_csv, write_stats, ConfigClass, RunManifest,
+};
 use experiments::{ascii_bars, ExpOpts};
 use std::collections::BTreeMap;
 
 fn main() {
     let opts = ExpOpts::from_env();
+    let manifest = RunManifest::begin("fig7a");
+    let mut recorder = opts.recorder();
     let kinds = [
         AttackerKind::Naive,
         AttackerKind::RestrictedModel,
         AttackerKind::Random,
     ];
-    let (outcomes, stats) = collect_configs_timed(
+    let (outcomes, stats) = collect_configs_observed(
         &opts,
         ConfigClass::DetectorFeasible,
         (0.05, 0.95),
         &kinds,
         opts.configs,
+        &mut recorder,
     );
     println!("{} detector-feasible configurations\n", outcomes.len());
 
@@ -65,4 +70,5 @@ fn main() {
         &rows,
     );
     write_stats(&opts, "fig7a", &stats);
+    manifest.finish(&opts, &recorder, &["fig7a.csv"]);
 }

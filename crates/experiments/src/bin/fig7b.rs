@@ -7,23 +7,28 @@
 //! querying f̂ would have"), both clearly above random.
 
 use attack::AttackerKind;
-use experiments::harness::{collect_configs_timed, mean, write_csv, write_stats, ConfigClass};
+use experiments::harness::{
+    collect_configs_observed, mean, write_csv, write_stats, ConfigClass, RunManifest,
+};
 use experiments::{ascii_bars, ConfigOutcome, ExpOpts};
 
 fn main() {
     let opts = ExpOpts::from_env();
+    let manifest = RunManifest::begin("fig7b");
+    let mut recorder = opts.recorder();
     let bins: &[(f64, f64)] = &[(0.05, 0.2), (0.2, 0.4), (0.4, 0.6), (0.6, 0.8), (0.8, 0.95)];
     let kinds = [
         AttackerKind::Naive,
         AttackerKind::RestrictedModel,
         AttackerKind::Random,
     ];
-    let (outcomes, stats) = collect_configs_timed(
+    let (outcomes, stats) = collect_configs_observed(
         &opts,
         ConfigClass::DetectorFeasible,
         (0.05, 0.95),
         &kinds,
         opts.configs,
+        &mut recorder,
     );
     println!("{} detector-feasible configurations\n", outcomes.len());
 
@@ -74,4 +79,5 @@ fn main() {
         &rows,
     );
     write_stats(&opts, "fig7b", &stats);
+    manifest.finish(&opts, &recorder, &["fig7b.csv"]);
 }

@@ -3,7 +3,7 @@
 //! single optimal probe?
 
 use attack::{plan_attack_with_policy, run_trials_policy, AttackerKind};
-use experiments::harness::{mean, sampler_for, write_csv};
+use experiments::harness::{mean, sampler_for, write_csv, RunManifest};
 use experiments::{ascii_bars, ExpOpts};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -11,6 +11,8 @@ use recon_core::useq::Evaluator;
 
 fn main() {
     let opts = ExpOpts::from_env();
+    let manifest = RunManifest::begin("multiprobe");
+    let recorder = opts.recorder();
     let sampler = sampler_for(&opts);
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let kinds = [
@@ -67,4 +69,5 @@ fn main() {
         .map(|(k, v)| format!("{},{v}", k.name()))
         .collect();
     write_csv(&opts.out_file("multiprobe.csv"), "attacker,accuracy", &rows);
+    manifest.finish(&opts, &recorder, &["multiprobe.csv"]);
 }

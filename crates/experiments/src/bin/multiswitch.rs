@@ -9,7 +9,7 @@
 //! matches the network it is probing.
 
 use attack::{plan_attack, run_trials_with_policy, scenario_net_config, AttackerKind};
-use experiments::harness::{mean, sampler_for, write_csv};
+use experiments::harness::{mean, sampler_for, write_csv, RunManifest};
 use experiments::{ascii_bars, ExpOpts};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -17,6 +17,8 @@ use recon_core::useq::Evaluator;
 
 fn main() {
     let opts = ExpOpts::from_env();
+    let manifest = RunManifest::begin("multiswitch");
+    let recorder = opts.recorder();
     let sampler = sampler_for(&opts);
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let kinds = [
@@ -78,4 +80,5 @@ fn main() {
         "fabric,naive_accuracy,model_accuracy,random_accuracy",
         &rows,
     );
+    manifest.finish(&opts, &recorder, &["multiswitch.csv"]);
 }

@@ -7,7 +7,7 @@
 //! λ_f = λ_j / |rule_j| that §IV-A1 suggests as the realistic fallback?
 
 use attack::{plan_attack, run_trials_policy, AttackerKind};
-use experiments::harness::{mean, sampler_for, write_csv};
+use experiments::harness::{mean, sampler_for, write_csv, RunManifest};
 use experiments::ExpOpts;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,6 +27,8 @@ type RateVariant = (&'static str, fn(&NetworkScenario) -> Vec<f64>);
 
 fn main() {
     let opts = ExpOpts::from_env();
+    let manifest = RunManifest::begin("robustness_rates");
+    let recorder = opts.recorder();
     let sampler = sampler_for(&opts);
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let variants: [RateVariant; 4] = [
@@ -91,4 +93,5 @@ fn main() {
         "estimate,model_accuracy,optimal_probe_agreement",
         &rows,
     );
+    manifest.finish(&opts, &recorder, &["robustness_rates.csv"]);
 }

@@ -6,7 +6,7 @@
 //! ≈5.9×10⁷ basic states for |Rules| = 10, t_j = 100, n = 8, but its own
 //! formula evaluates to ~10¹⁹.
 
-use experiments::harness::write_csv;
+use experiments::harness::{write_csv, RunManifest};
 use experiments::ExpOpts;
 use flowspace::relevant::FlowRates;
 use flowspace::{FlowId, FlowSet, Rule, RuleSet, Timeout};
@@ -39,6 +39,8 @@ fn instance(n_rules: usize, timeout: u32) -> (RuleSet, FlowRates) {
 
 fn main() {
     let opts = ExpOpts::from_env();
+    let manifest = RunManifest::begin("scalability");
+    let recorder = opts.recorder();
     let capacity = 6;
     let timeout = 10u32;
     println!("state counts and model build times (capacity {capacity}, t_j = {timeout} steps)\n");
@@ -80,4 +82,5 @@ fn main() {
         "n_rules,basic_formula_states,compact_states,basic_build_s,basic_reachable_states,compact_build_s,compact_model_states",
         &rows,
     );
+    manifest.finish(&opts, &recorder, &["scalability.csv"]);
 }

@@ -8,7 +8,7 @@
 
 use attack::sweep::{sweep_policy, SweepParameter};
 use attack::{plan_attack, AttackerKind, RunStats};
-use experiments::harness::{mean, sampler_for, write_csv, write_stats};
+use experiments::harness::{mean, sampler_for, write_csv, write_stats, RunManifest};
 use experiments::ExpOpts;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -16,6 +16,8 @@ use recon_core::useq::Evaluator;
 
 fn main() {
     let opts = ExpOpts::from_env();
+    let manifest = RunManifest::begin("sweep_parameters");
+    let recorder = opts.recorder();
     let sampler = sampler_for(&opts);
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let kinds = [AttackerKind::Model, AttackerKind::Random];
@@ -91,4 +93,5 @@ fn main() {
         &rows,
     );
     write_stats(&opts, "sweep_parameters", &total_stats);
+    manifest.finish(&opts, &recorder, &["sweep_parameters.csv"]);
 }

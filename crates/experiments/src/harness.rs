@@ -1,12 +1,16 @@
 //! Sampling, filtering and evaluating batches of network configurations.
 
 use attack::{
-    plan_attack_policy, run_trials_policy, AttackPlan, AttackerKind, RunStats, TrialReport,
+    plan_attack_policy, run_trials_recorded, scenario_net_config, AttackPlan, AttackerKind,
+    RunStats, TrialReport,
 };
+use obs::manifest::{detlint_budget, fnv1a, git_rev};
+use obs::{ManifestEntry, Recorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use recon_core::useq::Evaluator;
 use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 use traffic::{NetworkScenario, ScenarioSampler};
 
@@ -82,11 +86,40 @@ pub fn collect_configs_timed(
     kinds: &[AttackerKind],
     count: usize,
 ) -> (Vec<ConfigOutcome>, RunStats) {
+    collect_configs_observed(
+        opts,
+        class,
+        absence_range,
+        kinds,
+        count,
+        &mut Recorder::disabled(),
+    )
+}
+
+/// [`collect_configs_timed`] with metric collection: probe RTT
+/// histograms, verdict/fault counters and planner span timings flow
+/// into `recorder`, and per-config progress is printed to stderr when
+/// it is enabled. The outcomes are byte-identical to the unobserved
+/// path — recording never perturbs results.
+#[must_use]
+pub fn collect_configs_observed(
+    opts: &ExpOpts,
+    class: ConfigClass,
+    absence_range: (f64, f64),
+    kinds: &[AttackerKind],
+    count: usize,
+    recorder: &mut Recorder,
+) -> (Vec<ConfigOutcome>, RunStats) {
     let start = Instant::now();
     let sampler = sampler_for(opts);
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut out = Vec::with_capacity(count);
     let mut attempts = 0usize;
+    // Capture the planner's `core.planner.*` spans, which report through
+    // the thread-local recorder (planning runs on this thread).
+    if recorder.is_enabled() {
+        obs::local::install(Recorder::enabled());
+    }
     while out.len() < count && attempts < 60 * count {
         attempts += 1;
         let scenario = sampler.sample_forced(absence_range, &mut rng);
@@ -102,19 +135,32 @@ pub fn collect_configs_timed(
         if !keep {
             continue;
         }
-        let report = run_trials_policy(
+        let report = run_trials_recorded(
             &scenario,
             &plan,
             kinds,
             opts.trials,
             opts.seed ^ (out.len() as u64).wrapping_mul(0xA5A5_5A5A_1234_5678),
+            &scenario_net_config(&scenario),
             opts.policy,
+            None,
+            recorder,
         );
         out.push(ConfigOutcome {
             scenario,
             plan,
             report,
         });
+        if recorder.is_enabled() {
+            eprintln!(
+                "obs: config {}/{count} ({attempts} sampled, {:.1}s elapsed)",
+                out.len(),
+                start.elapsed().as_secs_f64()
+            );
+        }
+    }
+    if recorder.is_enabled() {
+        recorder.merge(obs::local::take());
     }
     let stats = RunStats {
         trials: (out.len() * opts.trials) as u64,
@@ -122,6 +168,107 @@ pub fn collect_configs_timed(
         wall_secs: start.elapsed().as_secs_f64(),
     };
     (out, stats)
+}
+
+/// Locates `crates/detlint/baseline.toml` by walking up from the
+/// current directory (the binaries run from the workspace root or any
+/// crate directory within it).
+fn find_baseline() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let candidate = dir.join("crates/detlint/baseline.toml");
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// A run manifest under construction: start it before the experiment's
+/// work, finish it after the CSVs are written. [`RunManifest::finish`]
+/// writes `<experiment>.manifest.jsonl` next to the CSVs — one JSON
+/// line carrying seed, config digest, git revision, detlint budget,
+/// elapsed wall time and every metric the recorder collected.
+///
+/// The manifest is written unconditionally (metrics are simply empty
+/// when the recorder is disabled), and failures to write it are
+/// reported to stderr, never panics: observability must not be able to
+/// kill a finished run.
+#[derive(Debug)]
+pub struct RunManifest {
+    experiment: String,
+    start: Instant,
+}
+
+impl RunManifest {
+    /// Starts the manifest clock for `experiment` (the bin name).
+    #[must_use]
+    pub fn begin(experiment: &str) -> Self {
+        RunManifest {
+            experiment: experiment.to_string(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Writes `<experiment>.manifest.jsonl` into `opts.out`, recording
+    /// the run parameters, provenance and `recorder`'s metrics. The file
+    /// is overwritten per run (one line per file), so re-running an
+    /// experiment replaces its manifest instead of growing it.
+    pub fn finish(self, opts: &ExpOpts, recorder: &Recorder, csv_files: &[&str]) {
+        let digest = fnv1a(
+            format!(
+                "configs={},trials={},seed={},fast={},threads={}",
+                opts.configs,
+                opts.trials,
+                opts.seed,
+                opts.fast,
+                opts.policy.threads()
+            )
+            .as_bytes(),
+        );
+        let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        let entry = ManifestEntry {
+            experiment: self.experiment.clone(),
+            seed: opts.seed,
+            configs: opts.configs,
+            trials: opts.trials,
+            threads: opts.policy.threads(),
+            config_digest: format!("{digest:016x}"),
+            git_rev: git_rev(&cwd),
+            detlint_budget: find_baseline().map_or(0, |p| detlint_budget(&p)),
+            elapsed_secs: self.start.elapsed().as_secs_f64(),
+            csv_files: csv_files.iter().map(|s| (*s).to_string()).collect(),
+        };
+        let mut line = entry.to_json_line(recorder);
+        line.push('\n');
+        let path = opts.out.join(format!("{}.manifest.jsonl", self.experiment));
+        if let Err(e) = std::fs::create_dir_all(&opts.out) {
+            eprintln!("obs: cannot create {}: {e}", opts.out.display());
+            return;
+        }
+        match std::fs::write(&path, line) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("obs: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Reads a manifest written by [`RunManifest::finish`]: the first
+/// non-empty line of the file.
+///
+/// # Errors
+///
+/// Returns an error string when the file cannot be read or is empty.
+pub fn read_manifest_line(path: &Path) -> Result<String, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    text.lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty())
+        .map(str::to_string)
+        .ok_or_else(|| format!("{} is empty", path.display()))
 }
 
 /// Writes run statistics next to an experiment's CSVs (as

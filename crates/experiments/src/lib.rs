@@ -22,5 +22,5 @@ pub mod opts;
 pub mod svg;
 
 pub use chart::{ascii_bars, ascii_cdf};
-pub use harness::{collect_configs, ConfigClass, ConfigOutcome};
+pub use harness::{collect_configs, ConfigClass, ConfigOutcome, RunManifest};
 pub use opts::ExpOpts;

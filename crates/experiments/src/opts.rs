@@ -1,6 +1,7 @@
 //! Minimal command-line option parsing shared by the experiment binaries.
 
 use attack::ExecPolicy;
+use obs::Recorder;
 use std::path::PathBuf;
 
 /// Options common to every experiment binary.
@@ -19,6 +20,11 @@ pub struct ExpOpts {
     /// Trial execution policy (`--threads`, falling back to the
     /// `FLOW_RECON_THREADS` environment variable, then to auto).
     pub policy: ExecPolicy,
+    /// Collect observability metrics (`--obs`, or the `FLOW_RECON_OBS`
+    /// environment variable). Results are byte-identical either way;
+    /// this only controls whether the run's manifest carries metrics
+    /// and per-config progress is printed.
+    pub obs: bool,
 }
 
 impl Default for ExpOpts {
@@ -30,14 +36,21 @@ impl Default for ExpOpts {
             out: PathBuf::from("results"),
             fast: false,
             policy: ExecPolicy::from_env(),
+            obs: obs_from_env(),
         }
     }
 }
 
+/// Whether `FLOW_RECON_OBS` asks for metric collection (any non-empty
+/// value except `0`).
+fn obs_from_env() -> bool {
+    std::env::var("FLOW_RECON_OBS").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 impl ExpOpts {
     /// Parses `--configs N --trials N --seed N --out DIR --fast
-    /// --threads N|auto` from an iterator of arguments (without the
-    /// program name).
+    /// --threads N|auto --obs` from an iterator of arguments (without
+    /// the program name).
     ///
     /// # Panics
     ///
@@ -59,6 +72,7 @@ impl ExpOpts {
                 "--seed" => opts.seed = grab().parse().expect("--seed expects an integer"),
                 "--out" => opts.out = PathBuf::from(grab()),
                 "--fast" => opts.fast = true,
+                "--obs" => opts.obs = true,
                 "--threads" => {
                     let v = grab();
                     opts.policy = ExecPolicy::parse(&v).unwrap_or_else(|| {
@@ -66,7 +80,7 @@ impl ExpOpts {
                     });
                 }
                 other => panic!(
-                    "unknown flag {other}; supported: --configs --trials --seed --out --fast --threads"
+                    "unknown flag {other}; supported: --configs --trials --seed --out --fast --threads --obs"
                 ),
             }
         }
@@ -81,6 +95,18 @@ impl ExpOpts {
     #[must_use]
     pub fn from_env() -> Self {
         Self::parse(std::env::args().skip(1))
+    }
+
+    /// A [`Recorder`] matching the run's `--obs` setting: enabled when
+    /// metric collection was requested, the zero-cost disabled recorder
+    /// otherwise.
+    #[must_use]
+    pub fn recorder(&self) -> Recorder {
+        if self.obs {
+            Recorder::enabled()
+        } else {
+            Recorder::disabled()
+        }
     }
 
     /// Ensures the output directory exists and returns the path of a file
@@ -136,6 +162,17 @@ mod tests {
         assert_eq!(o.policy, ExecPolicy::Serial);
         let o = ExpOpts::parse(args("--threads auto"));
         assert_eq!(o.policy, ExecPolicy::auto());
+    }
+
+    #[test]
+    fn obs_flag_enables_recorder() {
+        let o = ExpOpts::parse(args("--obs"));
+        assert!(o.obs);
+        assert!(o.recorder().is_enabled());
+        let defaults = ExpOpts::parse(args(""));
+        // Without the flag the setting follows FLOW_RECON_OBS (usually
+        // unset), and recorder() mirrors it either way.
+        assert_eq!(defaults.obs, defaults.recorder().is_enabled());
     }
 
     #[test]

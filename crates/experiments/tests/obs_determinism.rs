@@ -1,0 +1,147 @@
+//! Observability must be free: enabling the recorder (`--obs` /
+//! `FLOW_RECON_OBS=1`) may add a manifest full of metrics, but every
+//! CSV must stay byte-identical to the recorder-off run, at any thread
+//! count. This is the contract that lets the recorder ride along in
+//! production sweeps without invalidating published numbers.
+//!
+//! Also property-checks the histogram merge laws the parallel recorder
+//! fan-in relies on: merge is commutative and associative, and merging
+//! equals recording the concatenated sample stream.
+
+use obs::Histogram;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn run_fault_sweep(out_dir: &Path, threads: &str, obs_on: bool) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fault_sweep"));
+    cmd.args([
+        "--seed",
+        "7",
+        "--configs",
+        "2",
+        "--trials",
+        "5",
+        "--fast",
+        "--threads",
+        threads,
+        "--out",
+    ])
+    .arg(out_dir);
+    // Scrub the ambient variable so "off" really is off, then opt in
+    // explicitly for the "on" runs.
+    cmd.env_remove("FLOW_RECON_OBS");
+    if obs_on {
+        cmd.env("FLOW_RECON_OBS", "1");
+    }
+    let status = cmd.status().expect("fault_sweep runs");
+    assert!(
+        status.success(),
+        "fault_sweep failed at --threads {threads} obs={obs_on}"
+    );
+}
+
+fn csv_of(dir: &Path) -> Vec<u8> {
+    std::fs::read(dir.join("fault_sweep.csv")).expect("fault_sweep.csv")
+}
+
+#[test]
+fn csvs_byte_identical_with_recorder_on_and_off_across_threads() {
+    let tmp = Path::new(env!("CARGO_TARGET_TMPDIR")).join("obs_determinism");
+    let combos: [(&str, bool); 4] = [("1", false), ("1", true), ("8", false), ("8", true)];
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    for (threads, obs_on) in combos {
+        let dir = tmp.join(format!("t{threads}-obs{}", u8::from(obs_on)));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        run_fault_sweep(&dir, threads, obs_on);
+        dirs.push(dir);
+    }
+    let baseline = csv_of(&dirs[0]);
+    assert!(
+        String::from_utf8(baseline.clone())
+            .expect("utf8 csv")
+            .lines()
+            .count()
+            > 1,
+        "sweep produced no data"
+    );
+    for dir in &dirs[1..] {
+        assert_eq!(
+            csv_of(dir),
+            baseline,
+            "fault_sweep.csv differs from recorder-off serial run in {}",
+            dir.display()
+        );
+    }
+
+    // Every run writes a manifest; the recorder-on one carries metrics,
+    // the recorder-off one is explicitly empty of them.
+    for (dir, (_, obs_on)) in dirs.iter().zip(combos) {
+        let manifest = std::fs::read_to_string(dir.join("fault_sweep.manifest.jsonl"))
+            .expect("manifest exists");
+        assert!(
+            manifest.contains("\"experiment\":\"fault_sweep\""),
+            "{manifest}"
+        );
+        if obs_on {
+            assert!(manifest.contains("netsim.probe_rtt_hit_secs"), "{manifest}");
+            assert!(manifest.contains("attack.trials"), "{manifest}");
+        } else {
+            assert!(
+                manifest.contains("\"counters\":{}"),
+                "recorder-off manifest should carry no counters: {manifest}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging histograms is commutative: a+b == b+a.
+    #[test]
+    fn histogram_merge_commutes(
+        xs in proptest::collection::vec(1e-7..10.0f64, 0..40),
+        ys in proptest::collection::vec(1e-7..10.0f64, 0..40),
+    ) {
+        let (mut a, mut b) = (Histogram::new(), Histogram::new());
+        xs.iter().for_each(|&v| a.record(v));
+        ys.iter().for_each(|&v| b.record(v));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merging is associative and equals recording the concatenation —
+    /// so any parallel fan-in order yields the same histogram.
+    #[test]
+    fn histogram_merge_is_associative_and_matches_sequential(
+        xs in proptest::collection::vec(1e-7..10.0f64, 0..30),
+        ys in proptest::collection::vec(1e-7..10.0f64, 0..30),
+        zs in proptest::collection::vec(1e-7..10.0f64, 0..30),
+    ) {
+        let mk = |vs: &[f64]| {
+            let mut h = Histogram::new();
+            vs.iter().for_each(|&v| h.record(v));
+            h
+        };
+        let (a, b, c) = (mk(&xs), mk(&ys), mk(&zs));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        let mut all = xs.clone();
+        all.extend_from_slice(&ys);
+        all.extend_from_slice(&zs);
+        prop_assert_eq!(&left, &mk(&all));
+    }
+}

@@ -7,8 +7,10 @@ use crate::topology::NodeId;
 use crate::trace::{Trace, TraceEvent};
 use crate::LatencyModel;
 use flowspace::{FlowId, RuleId};
+use obs::{metrics, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -21,7 +23,7 @@ pub use crate::switch::SwitchStats;
 const FAULT_STREAM_SALT: u64 = 0xFA17_0BAD_5EED_0001;
 
 /// Counters of injected faults, exposed for experiments and tests.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultStats {
     /// Data-plane packets lost on a link (forward hops and replies).
     pub packets_dropped: u64,
@@ -35,6 +37,30 @@ pub struct FaultStats {
     pub flow_mods_rejected: u64,
     /// Probes that hit their response deadline without a reply.
     pub probe_timeouts: u64,
+}
+
+impl FaultStats {
+    /// Adds another simulation's counters into this one (unsigned adds:
+    /// commutative and associative, the trial-engine merge contract).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.packets_dropped += other.packets_dropped;
+        self.packet_ins_lost += other.packet_ins_lost;
+        self.flow_mods_lost += other.flow_mods_lost;
+        self.flow_mods_delayed += other.flow_mods_delayed;
+        self.flow_mods_rejected += other.flow_mods_rejected;
+        self.probe_timeouts += other.probe_timeouts;
+    }
+
+    /// Records the counters into `recorder` under the
+    /// `netsim.fault.*` metric names.
+    pub fn record_into(&self, recorder: &mut Recorder) {
+        recorder.add(metrics::FAULT_PACKETS_DROPPED, self.packets_dropped);
+        recorder.add(metrics::FAULT_PACKET_INS_LOST, self.packet_ins_lost);
+        recorder.add(metrics::FAULT_FLOW_MODS_LOST, self.flow_mods_lost);
+        recorder.add(metrics::FAULT_FLOW_MODS_DELAYED, self.flow_mods_delayed);
+        recorder.add(metrics::FAULT_FLOW_MODS_REJECTED, self.flow_mods_rejected);
+        recorder.add(metrics::FAULT_PROBE_TIMEOUTS, self.probe_timeouts);
+    }
 }
 
 /// Burst-jitter episode state: the link layer alternates between quiet
@@ -153,6 +179,10 @@ pub struct Simulation {
     jitter: Option<JitterState>,
     /// Injected-fault counters.
     fault_stats: FaultStats,
+    /// Optional metric sink (probe RTT histograms, robust-loop spans).
+    /// Disabled by default: recording never influences the simulation,
+    /// it only observes it.
+    recorder: Recorder,
 }
 
 impl Simulation {
@@ -207,6 +237,7 @@ impl Simulation {
             fault_rng,
             jitter,
             fault_stats: FaultStats::default(),
+            recorder: Recorder::disabled(),
             config,
         }
     }
@@ -263,6 +294,27 @@ impl Simulation {
     #[must_use]
     pub fn fault_stats(&self) -> FaultStats {
         self.fault_stats
+    }
+
+    /// Attaches a metric recorder; the simulation records probe-RTT
+    /// histograms (and callers may record through
+    /// [`Simulation::recorder_mut`]) until [`Simulation::take_recorder`]
+    /// harvests it. Recording is observation only — it never feeds back
+    /// into any simulated quantity.
+    pub fn attach_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// Removes and returns the attached recorder (a disabled one if none
+    /// was attached).
+    pub fn take_recorder(&mut self) -> Recorder {
+        std::mem::replace(&mut self.recorder, Recorder::disabled())
+    }
+
+    /// The attached recorder, for instrumentation layered on top of the
+    /// simulation (e.g. the robust probe loop's backoff histogram).
+    pub fn recorder_mut(&mut self) -> &mut Recorder {
+        &mut self.recorder
     }
 
     /// Counters of an arbitrary switch.
@@ -689,11 +741,20 @@ impl Simulation {
                     time: e.time,
                 });
                 if let Some(token) = packet.probe {
+                    let hit = rtt < LatencyModel::threshold();
+                    self.recorder.observe(
+                        if hit {
+                            metrics::PROBE_RTT_HIT
+                        } else {
+                            metrics::PROBE_RTT_MISS
+                        },
+                        rtt,
+                    );
                     self.probe_results[token as usize] = Some(ProbeObservation {
                         flow: packet.flow,
                         sent_at: packet.injected_at,
                         rtt,
-                        hit: rtt < LatencyModel::threshold(),
+                        hit,
                     });
                 }
             }
@@ -737,6 +798,48 @@ mod tests {
         let p2 = s.probe(FlowId(0));
         assert!(p2.hit, "second probe should hit: rtt {}", p2.rtt);
         assert!(p2.rtt < 1e-3);
+    }
+
+    #[test]
+    fn recorder_collects_rtt_histograms_without_perturbing() {
+        let mut observed = sim(1);
+        observed.attach_recorder(Recorder::enabled());
+        let mut plain = sim(1);
+        let (o1, p1) = (observed.probe(FlowId(0)), plain.probe(FlowId(0)));
+        let (o2, p2) = (observed.probe(FlowId(0)), plain.probe(FlowId(0)));
+        assert_eq!((o1, o2), (p1, p2), "recording must not change RTTs");
+        let r = observed.take_recorder();
+        let miss = r.histogram(metrics::PROBE_RTT_MISS).expect("miss hist");
+        let hit = r.histogram(metrics::PROBE_RTT_HIT).expect("hit hist");
+        assert_eq!(miss.count(), 1);
+        assert_eq!(hit.count(), 1);
+        assert_eq!(miss.min(), Some(o1.rtt));
+        assert_eq!(hit.min(), Some(o2.rtt));
+        assert!(observed.take_recorder().is_empty(), "harvest leaves none");
+    }
+
+    #[test]
+    fn fault_stats_merge_and_record() {
+        let a = FaultStats {
+            packets_dropped: 1,
+            probe_timeouts: 2,
+            ..FaultStats::default()
+        };
+        let b = FaultStats {
+            packets_dropped: 3,
+            flow_mods_lost: 4,
+            ..FaultStats::default()
+        };
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m.packets_dropped, 4);
+        assert_eq!(m.probe_timeouts, 2);
+        assert_eq!(m.flow_mods_lost, 4);
+        let mut r = Recorder::enabled();
+        m.record_into(&mut r);
+        assert_eq!(r.counter(metrics::FAULT_PACKETS_DROPPED), 4);
+        assert_eq!(r.counter(metrics::FAULT_FLOW_MODS_LOST), 4);
+        assert_eq!(r.counter(metrics::FAULT_FLOW_MODS_DELAYED), 0);
     }
 
     #[test]

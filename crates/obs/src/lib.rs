@@ -1,0 +1,42 @@
+//! Deterministic observability for the flow-recon workspace.
+//!
+//! The paper's entire signal is a timing distribution (hit ≈ 0.087 ms vs
+//! miss ≈ 4.07 ms, §VI-A), yet most of the stack discards the
+//! per-probe RTTs and fault events it produces. This crate provides the
+//! missing layer — without perturbing a single result:
+//!
+//! * [`Counter`] — a monotonic `u64` accumulator;
+//! * [`Histogram`] — a fixed-bucket log-scale latency histogram whose
+//!   state is integer bucket counts, so merging is **exactly**
+//!   associative and commutative (no floating-point sums);
+//! * [`Span`] — durations measured against **virtual simulation time**
+//!   on the deterministic path; wall-clock reads live only in the
+//!   detlint-D2-allowlisted [`walltime`] module;
+//! * [`Recorder`] — a per-thread sink for the above. Worker recorders
+//!   merge by unsigned addition, the same contract as the trial engine's
+//!   accuracy reduction, so enabling observability never changes any
+//!   experiment output. [`Recorder::disabled`] is all no-ops and
+//!   allocates nothing.
+//! * [`manifest`] — the JSONL run-manifest record written next to every
+//!   experiment CSV (seed, config digest, git rev, detlint budget,
+//!   elapsed, metrics), consumed by `flow-recon diagnose`.
+//!
+//! The crate is dependency-free (std only): the deterministic crates
+//! below it must not grow hidden entropy or allocation pressure from
+//! their instrumentation. See DESIGN.md §7 ("Observability").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+pub mod local;
+pub mod manifest;
+pub mod metrics;
+mod recorder;
+mod span;
+pub mod walltime;
+
+pub use hist::Histogram;
+pub use manifest::ManifestEntry;
+pub use recorder::{Counter, Recorder};
+pub use span::Span;

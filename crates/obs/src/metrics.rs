@@ -1,0 +1,63 @@
+//! Canonical metric names.
+//!
+//! Every instrumentation site across the workspace names its metric
+//! through these constants so the `diagnose` report, the determinism
+//! tests, and the manifests all agree on spelling. Names are
+//! dot-separated `crate.subsystem.metric[_unit]`; histograms carry a
+//! unit suffix (`_secs`).
+
+/// Histogram of probe RTTs classified as flow-table **hits** (seconds).
+pub const PROBE_RTT_HIT: &str = "netsim.probe_rtt_hit_secs";
+/// Histogram of probe RTTs classified as flow-table **misses** (seconds).
+pub const PROBE_RTT_MISS: &str = "netsim.probe_rtt_miss_secs";
+
+/// Injected fault: data-plane packet dropped on a link.
+pub const FAULT_PACKETS_DROPPED: &str = "netsim.fault.packets_dropped";
+/// Injected fault: packet-in to the controller lost.
+pub const FAULT_PACKET_INS_LOST: &str = "netsim.fault.packet_ins_lost";
+/// Injected fault: flow-mod from the controller lost.
+pub const FAULT_FLOW_MODS_LOST: &str = "netsim.fault.flow_mods_lost";
+/// Injected fault: flow-mod delivery delayed.
+pub const FAULT_FLOW_MODS_DELAYED: &str = "netsim.fault.flow_mods_delayed";
+/// Injected fault: flow-mod rejected by the switch.
+pub const FAULT_FLOW_MODS_REJECTED: &str = "netsim.fault.flow_mods_rejected";
+/// Injected fault: probe reply never arrived within the timeout.
+pub const FAULT_PROBE_TIMEOUTS: &str = "netsim.fault.probe_timeouts";
+
+/// Total Monte-Carlo trials executed by the engine.
+pub const TRIALS: &str = "attack.trials";
+/// Verdicts of `Present` across all attackers and trials.
+pub const VERDICT_PRESENT: &str = "attack.verdict.present";
+/// Verdicts of `Absent` across all attackers and trials.
+pub const VERDICT_ABSENT: &str = "attack.verdict.absent";
+/// Verdicts of `Inconclusive` across all attackers and trials.
+pub const VERDICT_INCONCLUSIVE: &str = "attack.verdict.inconclusive";
+/// Per-attacker answered-trial counter prefix; the attacker kind label
+/// is appended as `attack.answered.<kind>`.
+pub const ANSWERED_PREFIX: &str = "attack.answered";
+/// Per-attacker inconclusive-trial counter prefix
+/// (`attack.inconclusive.<kind>`).
+pub const INCONCLUSIVE_PREFIX: &str = "attack.inconclusive";
+
+/// Robust probe loop: probes sent.
+pub const ROBUST_PROBES: &str = "attack.robust.probes";
+/// Robust probe loop: probe timeouts observed.
+pub const ROBUST_TIMEOUTS: &str = "attack.robust.timeouts";
+/// Robust probe loop: retries issued.
+pub const ROBUST_RETRIES: &str = "attack.robust.retries";
+/// Robust probe loop: MAD outliers discarded.
+pub const ROBUST_OUTLIERS: &str = "attack.robust.outliers";
+/// Robust probe loop: recalibrations triggered.
+pub const ROBUST_RECALIBRATIONS: &str = "attack.robust.recalibrations";
+/// Histogram of robust-loop backoff waits (virtual seconds).
+pub const ROBUST_BACKOFF_SECS: &str = "attack.robust.backoff_secs";
+/// Histogram of time to answer one question (virtual seconds from the
+/// first probe of the robust loop to its verdict).
+pub const QUESTION_SECS: &str = "attack.robust.question_secs";
+
+/// Histogram of wall-clock time spent in transition-matrix evolution
+/// while planning (seconds).
+pub const PLANNER_EVOLVE_SECS: &str = "core.planner.evolve_secs";
+/// Histogram of wall-clock time spent scoring candidate probes
+/// (seconds).
+pub const PLANNER_SCORE_SECS: &str = "core.planner.score_secs";

@@ -1,0 +1,47 @@
+//! Durations measured against virtual simulation time.
+
+/// A duration measurement on the deterministic path.
+///
+/// The clock is whatever the caller supplies — in practice
+/// `Simulation::now()`, the virtual event-queue time — never the OS
+/// clock. That keeps span metrics bit-reproducible across machines and
+/// runs: the same seed yields the same virtual durations. For measuring
+/// real elapsed time (experiment harness only) see [`crate::walltime`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    start: f64,
+}
+
+impl Span {
+    /// Starts a span at virtual time `now` (seconds).
+    #[must_use]
+    pub fn begin(now: f64) -> Self {
+        Span { start: now }
+    }
+
+    /// Ends the span at virtual time `now`, returning the elapsed
+    /// virtual seconds (clamped at zero so a confused clock can never
+    /// produce a negative duration).
+    #[must_use]
+    pub fn end(self, now: f64) -> f64 {
+        (now - self.start).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Span;
+
+    #[test]
+    fn measures_virtual_elapsed() {
+        let s = Span::begin(1.25);
+        assert_eq!(s.end(1.75), 0.5);
+        assert_eq!(s.end(1.25), 0.0);
+    }
+
+    #[test]
+    fn negative_elapsed_clamps_to_zero() {
+        let s = Span::begin(2.0);
+        assert_eq!(s.end(1.0), 0.0);
+    }
+}

@@ -43,6 +43,12 @@ if [ "$SMOKE" -eq 1 ]; then
     $BIN sweep_parameters -- --configs 2 --trials 10 --seed 7 --fast --out "$OUT"
     $BIN fault_sweep -- --configs 4 --trials 10 --seed 7 --fast --out "$OUT"
     $BIN evaluate_suite -- --configs 4 --trials 10 --seed 7 --fast --out "$OUT"
+    # Observability must be free: rerun fault_sweep with the recorder on,
+    # require a byte-identical CSV, then render the manifest report.
+    $BIN fault_sweep -- --configs 4 --trials 10 --seed 7 --fast --obs --out "$OUT/obs"
+    cmp "$OUT/fault_sweep.csv" "$OUT/obs/fault_sweep.csv"
+    test -s "$OUT/obs/fault_sweep.manifest.jsonl"
+    cargo run --release -p flow-recon -- diagnose --results "$OUT/obs"
     exit 0
 fi
 
@@ -55,6 +61,8 @@ $BIN multiswitch -- --configs 25 --trials 80 --seed 7
 $BIN robustness_rates -- --configs 25 --trials 80 --seed 7
 $BIN defense_transform -- --configs 15 --trials 60 --seed 7
 $BIN sweep_parameters -- --configs 8 --trials 60 --seed 7
-$BIN fault_sweep -- --configs 25 --trials 80 --seed 7
-$BIN evaluate_suite -- --configs 40 --trials 100 --seed 7
+$BIN fault_sweep -- --configs 25 --trials 80 --seed 7 --obs
+$BIN evaluate_suite -- --configs 40 --trials 100 --seed 7 --obs
 $BIN render_figures
+# Render every run manifest into the diagnose report (+ SVG histograms).
+cargo run --release -p flow-recon -- diagnose --results results --svg results/diagnose.svg

@@ -5,7 +5,8 @@
 //! * `sample`   — generate a random §VI-A network scenario as JSON;
 //! * `plan`     — run the §V probe selection for a scenario file;
 //! * `leakage`  — measure a scenario's rule-structure leakage (§VII-B3);
-//! * `simulate` — run live attack trials against the simulated network.
+//! * `simulate` — run live attack trials against the simulated network;
+//! * `diagnose` — render run manifests (`*.manifest.jsonl`) as a report.
 //!
 //! All subcommands read/write JSON so they compose in shell pipelines.
 
@@ -17,7 +18,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use recon_core::leakage::measure_leakage;
 use recon_core::useq::Evaluator;
+use serde::{Number, Value};
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 use traffic::{NetworkScenario, ScenarioSampler};
 
 /// Error type for CLI runs: a user-facing message.
@@ -78,7 +81,8 @@ pub fn usage() -> String {
        sample    --seed N [--bits B] [--rules R] [--capacity C] [--absence-lo X] [--absence-hi Y]\n\
        plan      --scenario FILE [--multi M] [--adaptive D]\n\
        leakage   --scenario FILE\n\
-       simulate  --scenario FILE [--trials N] [--seed N] [--threads K|auto] [--fault-rate P]\n"
+       simulate  --scenario FILE [--trials N] [--seed N] [--threads K|auto] [--fault-rate P]\n\
+       diagnose  [--manifest FILE] [--results DIR] [--svg FILE]\n"
         .to_string()
 }
 
@@ -242,9 +246,277 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             }
             Ok(out)
         }
+        "diagnose" => {
+            let paths: Vec<PathBuf> = if let Some(m) = args.get("manifest") {
+                vec![PathBuf::from(m)]
+            } else {
+                let dir = args.get("results").unwrap_or("results");
+                let mut found: Vec<PathBuf> = std::fs::read_dir(dir)
+                    .map_err(|e| format!("reading {dir}: {e}"))?
+                    .filter_map(Result::ok)
+                    .map(|e| e.path())
+                    .filter(|p| {
+                        p.file_name()
+                            .and_then(|n| n.to_str())
+                            .is_some_and(|n| n.ends_with(".manifest.jsonl"))
+                    })
+                    .collect();
+                found.sort();
+                if found.is_empty() {
+                    return Err(format!(
+                        "no *.manifest.jsonl files in {dir} — run an experiment binary first"
+                    ));
+                }
+                found
+            };
+            let mut out = String::new();
+            let mut hists: Vec<(String, obs::Histogram)> = Vec::new();
+            for path in &paths {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("reading {}: {e}", path.display()))?;
+                for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                    let v: Value = serde_json::from_str(line)
+                        .map_err(|e| format!("parsing {}: {e}", path.display()))?;
+                    render_manifest(&mut out, path, &v, &mut hists)?;
+                }
+            }
+            if let Some(svg_path) = args.get("svg") {
+                std::fs::write(svg_path, diagnose_svg(&hists))
+                    .map_err(|e| format!("writing {svg_path}: {e}"))?;
+                let _ = writeln!(out, "wrote {svg_path}");
+            }
+            Ok(out)
+        }
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
+}
+
+// ---- diagnose helpers ------------------------------------------------------
+
+fn jget<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    v.as_object()?
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+}
+
+fn jstr(v: &Value, key: &str) -> String {
+    jget(v, key)
+        .and_then(Value::as_str)
+        .unwrap_or("?")
+        .to_string()
+}
+
+fn ju64(v: &Value, key: &str) -> u64 {
+    jget(v, key)
+        .and_then(Value::as_num)
+        .and_then(Number::as_u64)
+        .unwrap_or(0)
+}
+
+fn jf64(v: &Value, key: &str) -> f64 {
+    jget(v, key)
+        .and_then(Value::as_num)
+        .map_or(0.0, Number::as_f64)
+}
+
+fn counter_val(counters: &[(String, Value)], name: &str) -> u64 {
+    counters
+        .iter()
+        .find(|(k, _)| k == name)
+        .and_then(|(_, v)| v.as_num())
+        .and_then(Number::as_u64)
+        .unwrap_or(0)
+}
+
+/// Rebuilds an [`obs::Histogram`] from its manifest JSON object
+/// (`{count,underflow,overflow,rejected,min,max,buckets:[[lo,c],…]}`).
+fn hist_from_json(h: &Value) -> obs::Histogram {
+    let pairs: Vec<(f64, u64)> = jget(h, "buckets")
+        .and_then(Value::as_array)
+        .map(|items| {
+            items
+                .iter()
+                .filter_map(|pair| {
+                    let pair = pair.as_array()?;
+                    let lo = pair.first()?.as_num()?.as_f64();
+                    let c = pair.get(1)?.as_num()?.as_u64()?;
+                    Some((lo, c))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    obs::Histogram::from_parts(
+        &pairs,
+        ju64(h, "underflow"),
+        ju64(h, "overflow"),
+        ju64(h, "rejected"),
+        jf64(h, "min"),
+        jf64(h, "max"),
+    )
+}
+
+/// Renders one manifest line into the report and collects its
+/// histograms for the optional SVG.
+fn render_manifest(
+    out: &mut String,
+    path: &Path,
+    v: &Value,
+    hists_out: &mut Vec<(String, obs::Histogram)>,
+) -> Result<(), CliError> {
+    let _ = writeln!(out, "== {} ==", path.display());
+    let _ = writeln!(out, "  experiment      {}", jstr(v, "experiment"));
+    let _ = writeln!(out, "  seed            {}", ju64(v, "seed"));
+    let _ = writeln!(
+        out,
+        "  configs/trials  {} x {}",
+        ju64(v, "configs"),
+        ju64(v, "trials")
+    );
+    let _ = writeln!(out, "  threads         {}", ju64(v, "threads"));
+    let _ = writeln!(out, "  config digest   {}", jstr(v, "config_digest"));
+    let _ = writeln!(out, "  git rev         {}", jstr(v, "git_rev"));
+    let _ = writeln!(out, "  detlint budget  {}", ju64(v, "detlint_budget"));
+    let _ = writeln!(out, "  elapsed         {:.2} s", jf64(v, "elapsed_secs"));
+    let csvs: Vec<&str> = jget(v, "csv_files")
+        .and_then(Value::as_array)
+        .map(|a| a.iter().filter_map(Value::as_str).collect())
+        .unwrap_or_default();
+    let _ = writeln!(out, "  files           {}", csvs.join(", "));
+
+    let metrics = jget(v, "metrics")
+        .ok_or_else(|| format!("{}: manifest has no \"metrics\" field", path.display()))?;
+    let empty: &[(String, Value)] = &[];
+    let counters = jget(metrics, "counters")
+        .and_then(Value::as_object)
+        .unwrap_or(empty);
+    let histograms = jget(metrics, "histograms")
+        .and_then(Value::as_object)
+        .unwrap_or(empty);
+    if counters.is_empty() && histograms.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n  (no metrics recorded — rerun with --obs or FLOW_RECON_OBS=1)\n"
+        );
+        return Ok(());
+    }
+
+    if !counters.is_empty() {
+        let _ = writeln!(out, "\ncounters:");
+        for (name, val) in counters {
+            let _ = writeln!(
+                out,
+                "  {name:<44} {}",
+                val.as_num().and_then(Number::as_u64).unwrap_or(0)
+            );
+        }
+    }
+
+    // Answer-rate breakdown per attacker, from the paired
+    // `attack.answered.*` / `attack.inconclusive.*` counters.
+    let mut kinds: Vec<&str> = counters
+        .iter()
+        .filter_map(|(k, _)| {
+            k.strip_prefix("attack.answered.")
+                .or_else(|| k.strip_prefix("attack.inconclusive."))
+        })
+        .collect();
+    kinds.sort_unstable();
+    kinds.dedup();
+    if !kinds.is_empty() {
+        let _ = writeln!(out, "\nanswer rate by attacker:");
+        for kind in kinds {
+            let answered = counter_val(counters, &format!("attack.answered.{kind}"));
+            let inconclusive = counter_val(counters, &format!("attack.inconclusive.{kind}"));
+            let total = answered + inconclusive;
+            let rate = if total > 0 {
+                answered as f64 / total as f64
+            } else {
+                1.0
+            };
+            let _ = writeln!(
+                out,
+                "  {kind:<18} answered {answered:>8}  inconclusive {inconclusive:>8}  rate {rate:.3}"
+            );
+        }
+    }
+
+    let faults: Vec<_> = counters
+        .iter()
+        .filter_map(|(k, val)| Some((k.strip_prefix("netsim.fault.")?, val)))
+        .collect();
+    if !faults.is_empty() {
+        let _ = writeln!(out, "\nfault injection counters:");
+        for (name, val) in faults {
+            let _ = writeln!(
+                out,
+                "  {name:<28} {}",
+                val.as_num().and_then(Number::as_u64).unwrap_or(0)
+            );
+        }
+    }
+
+    for (name, hv) in histograms {
+        let h = hist_from_json(hv);
+        let fmt_opt = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |v| format!("{v:.3e}"));
+        let _ = writeln!(
+            out,
+            "\nhistogram {name}: n={} min={} max={} p50={} p99={}",
+            h.count(),
+            fmt_opt(h.min()),
+            fmt_opt(h.max()),
+            fmt_opt(h.quantile(0.5)),
+            fmt_opt(h.quantile(0.99)),
+        );
+        out.push_str(&h.render("  "));
+        hists_out.push((name.clone(), h));
+    }
+    out.push('\n');
+    Ok(())
+}
+
+/// A small self-contained SVG: one horizontal band of bars per
+/// histogram, log-bucket counts scaled to the band height.
+fn diagnose_svg(hists: &[(String, obs::Histogram)]) -> String {
+    const WIDTH: usize = 640;
+    const BAND: usize = 80;
+    const TITLE: usize = 18;
+    let height = (hists.len().max(1)) * (BAND + TITLE) + 10;
+    let mut s = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{height}\" \
+         font-family=\"monospace\" font-size=\"11\">\n"
+    );
+    if hists.is_empty() {
+        s.push_str("<text x=\"10\" y=\"20\">no histograms recorded</text>\n");
+    }
+    for (band, (name, h)) in hists.iter().enumerate() {
+        let y0 = band * (BAND + TITLE) + TITLE;
+        let _ = writeln!(
+            s,
+            "<text x=\"4\" y=\"{}\">{} (n={})</text>",
+            y0 - 5,
+            obs::manifest::json_escape(name).replace('<', "&lt;"),
+            h.count()
+        );
+        let buckets: Vec<(f64, f64, u64)> = h.nonzero_buckets().collect();
+        let peak = buckets.iter().map(|&(_, _, c)| c).max().unwrap_or(1).max(1);
+        let n = buckets.len().max(1);
+        let bw = (WIDTH - 8) / n.max(1);
+        for (i, (lo, _, c)) in buckets.iter().enumerate() {
+            let bh = ((c * BAND as u64).div_ceil(peak) as usize).min(BAND);
+            let _ = writeln!(
+                s,
+                "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{bh}\" fill=\"#4477aa\">\
+                 <title>[{lo:.3e}, …) count {c}</title></rect>",
+                4 + i * bw,
+                y0 + BAND - bh,
+                bw.saturating_sub(1).max(1),
+            );
+        }
+    }
+    s.push_str("</svg>\n");
+    s
 }
 
 #[cfg(test)]
@@ -380,5 +652,105 @@ mod tests {
     fn missing_scenario_file_reported() {
         let err = run(&args("plan --scenario /nonexistent/x.json")).unwrap_err();
         assert!(err.contains("reading"));
+    }
+
+    fn write_test_manifest(dir: &Path) -> PathBuf {
+        std::fs::create_dir_all(dir).unwrap();
+        let mut r = obs::Recorder::enabled();
+        r.add(obs::metrics::TRIALS, 240);
+        r.add("attack.answered.naive", 230);
+        r.add("attack.inconclusive.naive", 10);
+        r.add(obs::metrics::FAULT_PACKETS_DROPPED, 17);
+        for i in 0..50 {
+            r.observe(
+                obs::metrics::PROBE_RTT_HIT,
+                8.7e-5 * (1.0 + f64::from(i) / 50.0),
+            );
+            r.observe(
+                obs::metrics::PROBE_RTT_MISS,
+                4.1e-3 * (1.0 + f64::from(i) / 50.0),
+            );
+        }
+        let entry = obs::ManifestEntry {
+            experiment: "fault_sweep".into(),
+            seed: 7,
+            configs: 3,
+            trials: 80,
+            threads: 1,
+            config_digest: "00deadbeef00".into(),
+            git_rev: "abc123".into(),
+            detlint_budget: 45,
+            elapsed_secs: 2.25,
+            csv_files: vec!["fault_sweep.csv".into()],
+        };
+        let path = dir.join("fault_sweep.manifest.jsonl");
+        std::fs::write(&path, entry.to_json_line(&r) + "\n").unwrap();
+        path
+    }
+
+    #[test]
+    fn diagnose_renders_manifest_report_and_svg() {
+        let dir = std::env::temp_dir().join("flow-recon-cli-diagnose-test");
+        let manifest = write_test_manifest(&dir);
+        let out = run(&args(&format!(
+            "diagnose --manifest {}",
+            manifest.display()
+        )))
+        .unwrap();
+        assert!(out.contains("experiment      fault_sweep"), "{out}");
+        assert!(out.contains("detlint budget  45"), "{out}");
+        assert!(out.contains("histogram netsim.probe_rtt_hit_secs"), "{out}");
+        assert!(
+            out.contains("histogram netsim.probe_rtt_miss_secs"),
+            "{out}"
+        );
+        assert!(out.contains("n=50"), "{out}");
+        assert!(out.contains("fault injection counters:"), "{out}");
+        assert!(out.contains("packets_dropped"), "{out}");
+        assert!(out.contains("answer rate by attacker:"), "{out}");
+        assert!(out.contains("rate 0.958"), "{out}");
+
+        // Directory scan finds the same manifest, and --svg writes a chart.
+        let svg_path = dir.join("diagnose.svg");
+        let out2 = run(&args(&format!(
+            "diagnose --results {} --svg {}",
+            dir.display(),
+            svg_path.display()
+        )))
+        .unwrap();
+        assert!(out2.contains("experiment      fault_sweep"), "{out2}");
+        let svg = std::fs::read_to_string(&svg_path).unwrap();
+        assert!(svg.starts_with("<svg"), "{svg}");
+        assert!(svg.contains("netsim.probe_rtt_hit_secs"), "{svg}");
+        assert!(svg.contains("<rect"), "{svg}");
+    }
+
+    #[test]
+    fn diagnose_reports_disabled_recorder_and_bad_paths() {
+        let dir = std::env::temp_dir().join("flow-recon-cli-diagnose-empty-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let entry = obs::ManifestEntry {
+            experiment: "latency_table".into(),
+            seed: 7,
+            configs: 0,
+            trials: 0,
+            threads: 1,
+            config_digest: "0".into(),
+            git_rev: "unknown".into(),
+            detlint_budget: 0,
+            elapsed_secs: 0.5,
+            csv_files: vec!["latency_table.csv".into()],
+        };
+        let path = dir.join("latency_table.manifest.jsonl");
+        std::fs::write(&path, entry.to_json_line(&obs::Recorder::disabled()) + "\n").unwrap();
+        let out = run(&args(&format!("diagnose --manifest {}", path.display()))).unwrap();
+        assert!(out.contains("no metrics recorded"), "{out}");
+
+        let err = run(&args("diagnose --manifest /nonexistent/x.manifest.jsonl")).unwrap_err();
+        assert!(err.contains("reading"), "{err}");
+        let empty = dir.join("no-manifests-here");
+        std::fs::create_dir_all(&empty).unwrap();
+        let err = run(&args(&format!("diagnose --results {}", empty.display()))).unwrap_err();
+        assert!(err.contains("no *.manifest.jsonl"), "{err}");
     }
 }

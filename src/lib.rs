@@ -14,7 +14,9 @@
 //! * [`traffic`] — Poisson traffic and experiment configuration sampling;
 //! * [`core`](recon_core) — the paper's Markov switch models and the
 //!   information-gain probe selection (re-exported as [`model`]);
-//! * [`attack`] — the end-to-end attacker harness and trial evaluation.
+//! * [`attack`] — the end-to-end attacker harness and trial evaluation;
+//! * [`obs`] — the deterministic observability layer (counters,
+//!   histograms, spans, run manifests) behind `flow-recon diagnose`.
 //!
 //! ## Quickstart
 //!
@@ -30,5 +32,6 @@ pub use attack;
 pub use flowspace;
 pub use ftcache;
 pub use netsim;
+pub use obs;
 pub use recon_core as model;
 pub use traffic;
