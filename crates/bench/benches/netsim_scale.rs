@@ -1,0 +1,288 @@
+//! **netsim_scale** — schedule/cancel/expire throughput of the
+//! hierarchical timing wheel vs. the binary-heap scheduler it replaced,
+//! and of the slab [`FlowStore`] vs. the reference `ClockTable`, at
+//! datacenter flow counts.
+//!
+//! The timer workload models ≥100k concurrent Poisson flows with idle
+//! re-arms: every packet reschedules its flow's timer (the wheel does
+//! this in O(1); a heap can only lazy-delete, leaving a stale entry it
+//! must later pop at O(log n)), and expired flows re-arm to keep the
+//! population constant. Re-arm deadlines derive from a per-flow counter
+//! hash, so both schedulers follow bit-identical dynamics regardless of
+//! within-tie expiry order, and the event totals are asserted equal.
+//!
+//! Set `NETSIM_SCALE_N` to shrink the flow count for CI smoke runs.
+//! A paper-scale run is recorded in `results/bench_netsim_scale.txt`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowspace::{FlowId, FlowSet, Rule, RuleId, RuleSet, Timeout, TimeoutKind};
+use ftcache::ClockTable;
+use netsim::wheel::Expired;
+use netsim::{CoverIndex, FlowStore, TimerId, TimerWheel};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// Flows per workload; override with `NETSIM_SCALE_N` for smoke runs.
+fn flow_count() -> usize {
+    std::env::var("NETSIM_SCALE_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000)
+}
+
+/// SplitMix64: deterministic, order-independent hashing for re-arm
+/// deadline draws (keyed by flow and per-flow event counter, so both
+/// schedulers consume identical randomness).
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit_f64(z: u64) -> f64 {
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Exponential TTL draw for `flow`'s `count`-th timer event, mean 0.5 s.
+fn ttl_draw(flow: u32, count: u32) -> f64 {
+    let z = mix64((u64::from(flow) << 32) | u64::from(count));
+    (-(1.0 - unit_f64(z)).ln() * 0.5).max(1e-9)
+}
+
+/// Which flow the `i`-th re-arm of a round touches.
+fn pick(round: usize, i: usize, n: usize) -> u32 {
+    (mix64(0xABCD_0000 ^ ((round as u64) << 32) ^ i as u64) % n as u64) as u32
+}
+
+/// The simulated span (`ROUNDS * SWEEP_DT` = 4 s) covers eight mean
+/// TTLs, so almost every lazy-deleted heap entry surfaces and must be
+/// popped — the cost the wheel's O(1) in-place reschedule avoids.
+const ROUNDS: usize = 16;
+const SWEEP_DT: f64 = 0.25;
+/// Re-arms per flow per sweep: packets outnumber idle expiries.
+const REARM_FACTOR: usize = 16;
+
+/// Timer churn on the wheel: O(1) reschedule, amortized O(1) expiry.
+/// Returns (re-arm events, expiry events).
+fn run_wheel(n: usize) -> (u64, u64) {
+    let mut wheel: TimerWheel<u32> = TimerWheel::new();
+    let mut ids = vec![TimerId::NULL; n];
+    let mut counts = vec![0u32; n];
+    for f in 0..n {
+        ids[f] = wheel.schedule(ttl_draw(f as u32, 0), f as u32);
+        counts[f] = 1;
+    }
+    let mut out: Vec<Expired<u32>> = Vec::new();
+    let (mut rearms, mut expiries) = (0u64, 0u64);
+    let mut now = 0.0f64;
+    let batch = n * REARM_FACTOR;
+    for round in 0..ROUNDS {
+        for i in 0..batch {
+            let f = pick(round, i, n);
+            let fi = f as usize;
+            let dt = ttl_draw(f, counts[fi]);
+            counts[fi] += 1;
+            if !wheel.reschedule(ids[fi], now + dt) {
+                ids[fi] = wheel.schedule(now + dt, f);
+            }
+            rearms += 1;
+        }
+        now += SWEEP_DT;
+        out.clear();
+        wheel.expire_until(now, &mut out);
+        expiries += out.len() as u64;
+        for e in &out {
+            let fi = e.value as usize;
+            let dt = ttl_draw(e.value, counts[fi]);
+            counts[fi] += 1;
+            ids[fi] = wheel.schedule(now + dt, e.value);
+        }
+    }
+    (rearms, expiries)
+}
+
+/// The pre-refactor scheduler: a binary min-heap with lazy deletion —
+/// a re-arm bumps the flow's generation and pushes a fresh entry; stale
+/// generations are discarded as they surface at the top.
+struct HeapEv {
+    deadline: f64,
+    flow: u32,
+    gen: u32,
+}
+
+impl PartialEq for HeapEv {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEv {}
+impl Ord for HeapEv {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap.
+        other.deadline.total_cmp(&self.deadline)
+    }
+}
+impl PartialOrd for HeapEv {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn run_heap(n: usize) -> (u64, u64) {
+    let mut heap: BinaryHeap<HeapEv> = BinaryHeap::new();
+    let mut gens = vec![0u32; n];
+    let mut counts = vec![0u32; n];
+    for (f, count) in counts.iter_mut().enumerate() {
+        heap.push(HeapEv {
+            deadline: ttl_draw(f as u32, 0),
+            flow: f as u32,
+            gen: 0,
+        });
+        *count = 1;
+    }
+    let (mut rearms, mut expiries) = (0u64, 0u64);
+    let mut now = 0.0f64;
+    let batch = n * REARM_FACTOR;
+    for round in 0..ROUNDS {
+        for i in 0..batch {
+            let f = pick(round, i, n);
+            let fi = f as usize;
+            let dt = ttl_draw(f, counts[fi]);
+            counts[fi] += 1;
+            gens[fi] += 1;
+            heap.push(HeapEv {
+                deadline: now + dt,
+                flow: f,
+                gen: gens[fi],
+            });
+            rearms += 1;
+        }
+        now += SWEEP_DT;
+        while heap.peek().is_some_and(|e| e.deadline <= now) {
+            let e = heap.pop().expect("peeked");
+            let fi = e.flow as usize;
+            if e.gen != gens[fi] {
+                continue; // stale lazy-deleted entry
+            }
+            expiries += 1;
+            let dt = ttl_draw(e.flow, counts[fi]);
+            counts[fi] += 1;
+            gens[fi] += 1;
+            heap.push(HeapEv {
+                deadline: now + dt,
+                flow: e.flow,
+                gen: gens[fi],
+            });
+        }
+    }
+    (rearms, expiries)
+}
+
+/// Flow-table churn: every lookup re-arms an idle rule. The reference
+/// `ClockTable` scans the whole table per lookup/install; the slab
+/// `FlowStore` goes through the cover index and the wheel.
+fn table_rules(n: usize) -> RuleSet {
+    RuleSet::new(
+        (0..n)
+            .map(|i| {
+                Rule::from_flow_set(
+                    FlowSet::from_flows(n, [FlowId(i as u32)]),
+                    (n - i) as u32,
+                    Timeout::idle(10),
+                )
+            })
+            .collect(),
+        n,
+    )
+    .expect("valid bench rules")
+}
+
+fn run_flowstore(n: usize, lookups: usize) -> u64 {
+    let rules = table_rules(n);
+    let cover = CoverIndex::build(&rules);
+    let mut store = FlowStore::new(n, n);
+    let mut now = 0.0;
+    for r in 0..n {
+        store.install(RuleId(r), 1.0, TimeoutKind::Idle, now);
+    }
+    let mut hits = 0u64;
+    for i in 0..lookups {
+        now += 1e-4;
+        let f = FlowId((mix64(0x7AB1E ^ i as u64) % n as u64) as u32);
+        if store.lookup(f, now, &cover).is_some() {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+fn run_clocktable(n: usize, lookups: usize) -> u64 {
+    let rules = table_rules(n);
+    let mut table = ClockTable::new(n);
+    let mut now = 0.0;
+    for r in 0..n {
+        table.install(RuleId(r), 1.0, TimeoutKind::Idle, now);
+    }
+    let mut hits = 0u64;
+    for i in 0..lookups {
+        now += 1e-4;
+        let f = FlowId((mix64(0x7AB1E ^ i as u64) % n as u64) as u32);
+        if table.lookup(f, now, &rules).is_some() {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+fn bench_netsim_scale(c: &mut Criterion) {
+    let n = flow_count();
+    // NETSIM_SCALE_QUICK=1 skips the sampled groups and prints only the
+    // single-pass throughput summary (used while tuning parameters).
+    let quick = std::env::var("NETSIM_SCALE_QUICK").is_ok();
+    if !quick {
+        run_groups(c, n);
+    }
+
+    // Throughput summary for the recorded baseline: one timed pass each,
+    // identical event totals asserted.
+    let t0 = Instant::now();
+    let (wr, we) = run_wheel(n);
+    let wheel_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let (hr, he) = run_heap(n);
+    let heap_s = t1.elapsed().as_secs_f64();
+    assert_eq!((wr, we), (hr, he), "schedulers must agree on the dynamics");
+    let events = wr + we;
+    let wheel_tput = events as f64 / wheel_s;
+    let heap_tput = events as f64 / heap_s;
+    println!(
+        "summary: {n} flows, {events} events  wheel {wheel_tput:.0} ev/s  \
+         heap {heap_tput:.0} ev/s  speedup {:.1}x",
+        wheel_tput / heap_tput
+    );
+}
+
+fn run_groups(c: &mut Criterion, n: usize) {
+    let mut g = c.benchmark_group("netsim_scale");
+    g.sample_size(10);
+    g.bench_function(format!("wheel_churn/{n}_flows"), |b| {
+        b.iter(|| run_wheel(n));
+    });
+    g.bench_function(format!("heap_churn/{n}_flows"), |b| {
+        b.iter(|| run_heap(n));
+    });
+    let tn = (n / 16).clamp(256, 4096);
+    let lookups = tn * 4;
+    g.bench_function(format!("flowstore_lookup_rearm/{tn}_rules"), |b| {
+        b.iter(|| run_flowstore(tn, lookups));
+    });
+    g.bench_function(format!("clocktable_lookup_rearm/{tn}_rules"), |b| {
+        b.iter(|| run_clocktable(tn, lookups));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_netsim_scale);
+criterion_main!(benches);

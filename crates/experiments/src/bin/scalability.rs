@@ -5,11 +5,21 @@
 //! Also records the discrepancy noted in DESIGN.md: the paper quotes
 //! ≈5.9×10⁷ basic states for |Rules| = 10, t_j = 100, n = 8, but its own
 //! formula evaluates to ~10¹⁹.
+//!
+//! A second table (`scalability_fattree.csv`) takes the *network* to
+//! datacenter scale instead of the model: the same attack run against
+//! k-ary fat trees (20 → 1280 switches), ingress and server in
+//! different pods. Only deterministic columns are recorded, so the CSV
+//! is byte-reproducible across runs and thread counts.
 
-use experiments::harness::{write_csv, RunManifest};
+use attack::{plan_attack, run_trials_with_policy, AttackerKind};
+use experiments::harness::{sampler_for, write_csv, RunManifest};
 use experiments::ExpOpts;
 use flowspace::relevant::FlowRates;
 use flowspace::{FlowId, FlowSet, Rule, RuleSet, Timeout};
+use netsim::NetConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use recon_core::basic::BasicModel;
 use recon_core::compact::CompactModel;
 use recon_core::counts::{basic_state_count, compact_state_count};
@@ -82,5 +92,62 @@ fn main() {
         "n_rules,basic_formula_states,compact_states,basic_build_s,basic_reachable_states,compact_build_s,compact_model_states",
         &rows,
     );
-    manifest.finish(&opts, &recorder, &["scalability.csv"]);
+
+    // Fat-tree sweep: the attack on a datacenter fabric. The wheel-based
+    // scheduler makes the 1280-switch (k=32) run tractable.
+    let ks: &[usize] = if opts.fast { &[4] } else { &[4, 8, 16, 32] };
+    let kinds = [
+        AttackerKind::Naive,
+        AttackerKind::Model,
+        AttackerKind::Random,
+    ];
+    let sampler = sampler_for(&opts);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let (sc, plan) = loop {
+        let sc = sampler.sample_forced((0.05, 0.95), &mut rng);
+        if let Ok(plan) = plan_attack(&sc, Evaluator::mean_field()) {
+            if plan.is_detector() {
+                break (sc, plan);
+            }
+        }
+    };
+    println!("\nfat-tree fabrics (attack plan fixed, topology scaled):");
+    println!("      k  switches  links  hops  naive   model  random");
+    let mut ft_rows = Vec::new();
+    for &k in ks {
+        let net = NetConfig::fat_tree(sc.rules.clone(), k, sc.capacity, sc.delta);
+        let hops = net
+            .topology
+            .distance(net.ingress, net.server)
+            .expect("pods are connected through the core");
+        let report = run_trials_with_policy(
+            &sc,
+            &plan,
+            &kinds,
+            opts.trials,
+            opts.seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            &net,
+            opts.policy,
+        );
+        let accs: Vec<f64> = kinds.iter().map(|kind| report.accuracy(*kind)).collect();
+        let (switches, links) = (net.topology.len(), net.topology.link_count());
+        println!(
+            "{k:>7}  {switches:>8}  {links:>5}  {hops:>4}  {:.3}   {:.3}  {:.3}",
+            accs[0], accs[1], accs[2]
+        );
+        ft_rows.push(format!(
+            "{k},{switches},{links},{hops},{},{},{}",
+            accs[0], accs[1], accs[2]
+        ));
+    }
+    write_csv(
+        &opts.out_file("scalability_fattree.csv"),
+        "k,switches,links,path_hops,naive_accuracy,model_accuracy,random_accuracy",
+        &ft_rows,
+    );
+    manifest.finish(
+        &opts,
+        &recorder,
+        &["scalability.csv", "scalability_fattree.csv"],
+    );
 }

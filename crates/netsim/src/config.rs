@@ -194,6 +194,32 @@ impl NetConfig {
         }
     }
 
+    /// A datacenter-scale variant on a `k`-ary fat tree
+    /// ([`Topology::fat_tree`]): the attacker and clients share the
+    /// first edge switch of pod 0, the server sits behind the first
+    /// edge switch of the last pod (a maximal four-hop path through
+    /// the core), paper-calibrated latencies and no defense.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is odd or less than 2.
+    #[must_use]
+    pub fn fat_tree(rules: RuleSet, k: usize, capacity: usize, delta: f64) -> Self {
+        NetConfig {
+            topology: Topology::fat_tree(k),
+            rules,
+            delta,
+            capacity,
+            latency: LatencyModel::paper_calibrated(),
+            ingress: Topology::fat_tree_edge(k, 0, 0),
+            server: Topology::fat_tree_edge(k, k - 1, 0),
+            transit_reactive: false,
+            transit_capacity: capacity,
+            defense: Defense::default(),
+            faults: FaultPlan::default(),
+        }
+    }
+
     /// A minimal single-switch variant, handy for tests and examples.
     #[must_use]
     pub fn single_switch(rules: RuleSet, capacity: usize, delta: f64) -> Self {
@@ -309,6 +335,15 @@ mod tests {
         assert_ne!(c.ingress, c.server);
         // Ingress and server are connected.
         assert!(c.topology.path(c.ingress, c.server).is_ok());
+    }
+
+    #[test]
+    fn fat_tree_config_validates_and_crosses_the_core() {
+        let c = NetConfig::fat_tree(rules(), 4, 6, 0.02);
+        assert_eq!(c.validate(), Ok(()));
+        assert_eq!(c.topology.len(), 20);
+        // Ingress and server are in different pods: a four-hop path.
+        assert_eq!(c.topology.distance(c.ingress, c.server).unwrap(), 4);
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //!   and releases the buffer;
 //! * **timeouts and eviction** — per-rule idle/hard timeouts and
 //!   shortest-remaining-lifetime eviction in a bounded table
-//!   ([`ftcache::ClockTable`]);
+//!   ([`FlowStore`], a slab/timing-wheel store whose semantics are
+//!   pinned byte-for-byte against the reference
+//!   [`ftcache::ClockTable`]);
 //! * **the timing side channel** — hit and miss path latencies are sampled
 //!   from the distributions the paper measured (hit ≈ N(0.087 ms,
 //!   0.021 ms), miss adds ≈ N(3.98 ms, 1.8 ms) of rule-setup delay), so a
@@ -49,14 +51,18 @@ mod config;
 mod fault;
 mod latency;
 mod sim;
+pub mod slab;
 mod switch;
 mod topology;
 pub mod trace;
+pub mod wheel;
 
 pub use config::{ConfigError, Defense, DelayPadding, NetConfig, WindowPadding};
 pub use fault::{FaultPlan, JitterBursts};
 pub use latency::{Gaussian, LatencyModel, ShiftedLogNormal};
 pub use sim::{FaultStats, ProbeObservation, Simulation, SwitchStats};
+pub use slab::{CoverIndex, FlowEntry, FlowStore, Slab};
 pub use switch::SwitchMode;
 pub use topology::{NodeId, Topology, TopologyError};
 pub use trace::{Trace, TraceEvent};
+pub use wheel::{EventQueue, TimerId, TimerWheel};

@@ -2,17 +2,19 @@
 
 use crate::config::{ConfigError, NetConfig};
 use crate::fault::JitterBursts;
+use crate::slab::CoverIndex;
 use crate::switch::{Lookup, Switch, SwitchMode};
 use crate::topology::NodeId;
 use crate::trace::{Trace, TraceEvent};
+use crate::wheel::EventQueue;
 use crate::LatencyModel;
 use flowspace::{FlowId, RuleId};
 use obs::{metrics, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 pub use crate::switch::SwitchStats;
 
@@ -108,31 +110,6 @@ enum EventKind {
     ReplyArrives { packet: Packet },
 }
 
-#[derive(Debug, Clone, PartialEq)]
-struct Event {
-    time: f64,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl Eq for Event {}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for a min-heap; ties broken by insertion order.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 /// One exponential draw with the given mean, floored at a picosecond so
 /// episode boundaries always advance. A non-positive mean yields
 /// infinity: the episode never ends, which keeps degenerate jitter
@@ -159,13 +136,14 @@ pub struct Simulation {
     config: NetConfig,
     rng: StdRng,
     now: f64,
-    seq: u64,
-    queue: BinaryHeap<Event>,
+    queue: EventQueue<EventKind>,
     switches: Vec<Switch>,
     /// Forward path from ingress to server (inclusive).
     path: Vec<NodeId>,
-    /// Packets parked at a switch waiting for a rule installation.
-    pending: Vec<(NodeId, RuleId, Packet)>,
+    /// Packets parked at a switch waiting for a rule installation,
+    /// keyed by the awaited `(switch, rule)` query; each buffer keeps
+    /// arrival order.
+    pending: BTreeMap<(NodeId, RuleId), Vec<Packet>>,
     /// Genuine (non-probe) flow arrivals at the ingress switch: ground
     /// truth for `X̂`.
     history: Vec<(FlowId, f64)>,
@@ -197,22 +175,30 @@ impl Simulation {
             .topology
             .path(config.ingress, config.server)
             .expect("ingress and server must be connected");
+        let cover = Arc::new(CoverIndex::build(&config.rules));
         let switches = (0..config.topology.len())
             .map(|i| {
                 let node = NodeId(i);
                 if node == config.ingress {
-                    Switch::new(SwitchMode::Reactive, config.capacity, config.defense)
+                    Switch::new(
+                        SwitchMode::Reactive,
+                        config.capacity,
+                        config.defense,
+                        Arc::clone(&cover),
+                    )
                 } else if config.transit_reactive {
                     Switch::new(
                         SwitchMode::Reactive,
                         config.transit_capacity,
                         config.defense,
+                        Arc::clone(&cover),
                     )
                 } else {
                     Switch::new(
                         SwitchMode::Proactive,
                         config.transit_capacity.max(1),
                         config.defense,
+                        Arc::clone(&cover),
                     )
                 }
             })
@@ -228,9 +214,8 @@ impl Simulation {
             path,
             rng: StdRng::seed_from_u64(seed),
             now: 0.0,
-            seq: 0,
-            queue: BinaryHeap::new(),
-            pending: Vec::new(),
+            queue: EventQueue::new(),
+            pending: BTreeMap::new(),
             history: Vec::new(),
             probe_results: Vec::new(),
             trace: None,
@@ -390,13 +375,14 @@ impl Simulation {
 
     /// Runs all events with time ≤ `until` and advances the clock to it.
     pub fn run_until(&mut self, until: f64) {
-        while let Some(e) = self.queue.peek() {
-            if e.time > until {
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
                 break;
             }
-            let e = self.queue.pop().expect("peeked");
-            self.now = e.time;
-            self.dispatch(e);
+            if let Some((time, kind)) = self.queue.pop() {
+                self.now = time;
+                self.dispatch(time, kind);
+            }
         }
         self.now = self.now.max(until);
     }
@@ -453,9 +439,9 @@ impl Simulation {
             if let Some(obs) = self.probe_results[token as usize] {
                 return Some(obs);
             }
-            let timed_out = match self.queue.peek() {
+            let timed_out = match self.queue.peek_time() {
                 None => true,
-                Some(e) => e.time > deadline,
+                Some(t) => t > deadline,
             };
             if timed_out {
                 if deadline.is_finite() {
@@ -468,9 +454,10 @@ impl Simulation {
                 }
                 return None;
             }
-            let e = self.queue.pop().expect("peeked");
-            self.now = e.time;
-            self.dispatch(e);
+            if let Some((time, kind)) = self.queue.pop() {
+                self.now = time;
+                self.dispatch(time, kind);
+            }
         }
     }
 
@@ -481,12 +468,7 @@ impl Simulation {
     }
 
     fn push(&mut self, time: f64, kind: EventKind) {
-        self.seq += 1;
-        self.queue.push(Event {
-            time,
-            seq: self.seq,
-            kind,
-        });
+        self.queue.push(time, kind);
     }
 
     /// Whether an injected fault with probability `p` fires. Takes no
@@ -569,8 +551,8 @@ impl Simulation {
         self.push(at + extra_delay + hop, kind);
     }
 
-    fn dispatch(&mut self, e: Event) {
-        match e.kind {
+    fn dispatch(&mut self, time: f64, kind: EventKind) {
+        match kind {
             EventKind::AtSwitch { node, packet } => {
                 if node == self.config.ingress && packet.probe.is_none() {
                     self.history.push((packet.flow, packet.injected_at));
@@ -579,16 +561,16 @@ impl Simulation {
                     node,
                     flow: packet.flow,
                     probe: packet.probe.is_some(),
-                    time: e.time,
+                    time,
                 });
-                let lookup = self.switches[node.0].lookup(packet.flow, e.time, &self.config.rules);
+                let lookup = self.switches[node.0].lookup(packet.flow, time);
                 match lookup {
                     Lookup::Hit { pad } => {
                         if let Some(rule) = self.config.rules.highest_covering(packet.flow) {
                             // The matched rule is the highest-priority
                             // *cached* cover; re-derive it for the trace.
                             let matched = self.switches[node.0]
-                                .cached_rules(e.time)
+                                .cached_rules(time)
                                 .into_iter()
                                 .filter(|&r| self.config.rules.rule(r).covers_flow(packet.flow))
                                 .min_by_key(|r| r.0)
@@ -597,17 +579,17 @@ impl Simulation {
                                 node,
                                 flow: packet.flow,
                                 rule: matched,
-                                time: e.time,
+                                time,
                             });
                         }
-                        self.forward(node, packet, e.time, pad);
+                        self.forward(node, packet, time, pad);
                     }
                     Lookup::Miss { rule, fresh } => {
                         self.record(TraceEvent::Miss {
                             node,
                             flow: packet.flow,
                             rule,
-                            time: e.time,
+                            time,
                         });
                         if fresh {
                             if self.fault_fires(self.config.faults.packet_in_loss) {
@@ -617,11 +599,7 @@ impl Simulation {
                                 // next miss must query afresh.
                                 self.fault_stats.packet_ins_lost += 1;
                                 self.switches[node.0].abort_query(rule);
-                                self.record(TraceEvent::PacketInLost {
-                                    node,
-                                    rule,
-                                    time: e.time,
-                                });
+                                self.record(TraceEvent::PacketInLost { node, rule, time });
                                 return;
                             }
                             let mut setup = self.config.latency.rule_setup.sample(&mut self.rng);
@@ -634,13 +612,13 @@ impl Simulation {
                                     node,
                                     rule,
                                     extra,
-                                    time: e.time,
+                                    time,
                                 });
                                 setup += extra;
                             }
-                            self.push(e.time + setup, EventKind::ControllerReply { node, rule });
+                            self.push(time + setup, EventKind::ControllerReply { node, rule });
                         }
-                        self.pending.push((node, rule, packet));
+                        self.pending.entry((node, rule)).or_default().push(packet);
                     }
                     Lookup::Uncovered => {
                         // Every such packet detours via the controller
@@ -649,10 +627,10 @@ impl Simulation {
                         self.record(TraceEvent::Uncovered {
                             node,
                             flow: packet.flow,
-                            time: e.time,
+                            time,
                         });
                         let setup = self.config.latency.rule_setup.sample(&mut self.rng);
-                        self.forward(node, packet, e.time, setup);
+                        self.forward(node, packet, time, setup);
                     }
                 }
             }
@@ -663,15 +641,11 @@ impl Simulation {
                     // query are dropped with it.
                     self.fault_stats.flow_mods_lost += 1;
                     self.switches[node.0].abort_query(rule);
-                    self.record(TraceEvent::FlowModLost {
-                        node,
-                        rule,
-                        time: e.time,
-                    });
-                    self.pending.retain(|&(n, r, _)| !(n == node && r == rule));
+                    self.record(TraceEvent::FlowModLost { node, rule, time });
+                    self.pending.remove(&(node, rule));
                     return;
                 }
-                let rejected = self.switches[node.0].is_full_at(e.time)
+                let rejected = self.switches[node.0].is_full_at(time)
                     && self.fault_fires(self.config.faults.table_full_reject);
                 if rejected {
                     // OFPFMFC_TABLE_FULL: the switch refuses the install
@@ -681,15 +655,11 @@ impl Simulation {
                     // observes a slow miss, but nothing is cached.
                     self.fault_stats.flow_mods_rejected += 1;
                     self.switches[node.0].abort_query(rule);
-                    self.record(TraceEvent::FlowModRejected {
-                        node,
-                        rule,
-                        time: e.time,
-                    });
+                    self.record(TraceEvent::FlowModRejected { node, rule, time });
                 } else {
                     let evicted = self.switches[node.0].install(
                         rule,
-                        e.time,
+                        time,
                         &self.config.rules,
                         self.config.delta,
                     );
@@ -697,18 +667,12 @@ impl Simulation {
                         node,
                         rule,
                         evicted,
-                        time: e.time,
+                        time,
                     });
                 }
-                let released: Vec<Packet> = self
-                    .pending
-                    .iter()
-                    .filter(|&&(n, r, _)| n == node && r == rule)
-                    .map(|&(_, _, p)| p)
-                    .collect();
-                self.pending.retain(|&(n, r, _)| !(n == node && r == rule));
+                let released = self.pending.remove(&(node, rule)).unwrap_or_default();
                 for packet in released {
-                    self.forward(node, packet, e.time, 0.0);
+                    self.forward(node, packet, time, 0.0);
                 }
             }
             EventKind::AtServer { packet } => {
@@ -721,24 +685,24 @@ impl Simulation {
                         node: None,
                         flow: packet.flow,
                         probe: packet.probe.is_some(),
-                        time: e.time,
+                        time,
                     });
                     return;
                 }
                 let segments = self.path.len() + 1; // server link + hops + host link
                 let mut delay = 0.0;
                 for _ in 0..segments {
-                    delay += self.segment_sample(e.time);
+                    delay += self.segment_sample(time);
                 }
-                self.push(e.time + delay, EventKind::ReplyArrives { packet });
+                self.push(time + delay, EventKind::ReplyArrives { packet });
             }
             EventKind::ReplyArrives { packet } => {
-                let rtt = e.time - packet.injected_at;
+                let rtt = time - packet.injected_at;
                 self.record(TraceEvent::Delivered {
                     flow: packet.flow,
                     probe: packet.probe.is_some(),
                     rtt,
-                    time: e.time,
+                    time,
                 });
                 if let Some(token) = packet.probe {
                     let hit = rtt < LatencyModel::threshold();

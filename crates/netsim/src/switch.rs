@@ -1,9 +1,10 @@
 //! The simulated SDN switch.
 
 use crate::config::Defense;
+use crate::slab::{CoverIndex, FlowStore};
 use flowspace::{FlowId, RuleId, RuleSet};
-use ftcache::ClockTable;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// How a switch handles table misses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,20 +53,23 @@ pub struct SwitchStats {
 #[derive(Debug)]
 pub(crate) struct Switch {
     mode: SwitchMode,
-    table: ClockTable,
+    table: FlowStore,
+    /// Flow → covering-rules index, shared across the simulation's
+    /// switches (built once per policy).
+    cover: Arc<CoverIndex>,
     /// Rules with a controller query in flight.
     in_flight: BTreeSet<RuleId>,
-    /// Per-rule count of packets forwarded since the rule's installation
-    /// (for the delay-padding defense).
-    since_install: BTreeMap<RuleId, u32>,
-    /// Per-rule installation times (for the window-padding defense).
-    installed_at: BTreeMap<RuleId, f64>,
     defense: Defense,
     pub(crate) stats: SwitchStats,
 }
 
 impl Switch {
-    pub(crate) fn new(mode: SwitchMode, capacity: usize, defense: Defense) -> Self {
+    pub(crate) fn new(
+        mode: SwitchMode,
+        capacity: usize,
+        defense: Defense,
+        cover: Arc<CoverIndex>,
+    ) -> Self {
         let mode = if defense.proactive {
             SwitchMode::Proactive
         } else {
@@ -73,27 +77,27 @@ impl Switch {
         };
         Switch {
             mode,
-            table: ClockTable::new(capacity.max(1)),
+            table: FlowStore::new(capacity.max(1), cover.n_rules()),
+            cover,
             in_flight: BTreeSet::new(),
-            since_install: BTreeMap::new(),
-            installed_at: BTreeMap::new(),
             defense,
             stats: SwitchStats::default(),
         }
     }
 
     /// Presents one packet of `flow` to the switch at time `now`.
-    pub(crate) fn lookup(&mut self, flow: FlowId, now: f64, rules: &RuleSet) -> Lookup {
+    pub(crate) fn lookup(&mut self, flow: FlowId, now: f64) -> Lookup {
         if self.mode == SwitchMode::Proactive {
             self.stats.hits += 1;
             return Lookup::Hit { pad: 0.0 };
         }
-        if let Some(rule) = self.table.lookup(flow, now, rules) {
+        let cover = Arc::clone(&self.cover);
+        if let Some(rule) = self.table.lookup(flow, now, &cover) {
             self.stats.hits += 1;
             let pad = self.padding_for(rule, now);
             return Lookup::Hit { pad };
         }
-        match rules.highest_covering(flow) {
+        match cover.highest(flow) {
             Some(rule) => {
                 self.stats.misses += 1;
                 let fresh = self.in_flight.insert(rule);
@@ -118,14 +122,13 @@ impl Switch {
         self.in_flight.remove(&rule);
         let spec = rules.rule(rule).timeout();
         let ttl = f64::from(spec.steps) * delta;
+        // FlowStore::install resets the padding state (packet count and
+        // installation time) on both the fresh and refresh paths, which
+        // is exactly what the per-rule maps of the seed did here.
         let evicted = self.table.install(rule, ttl, spec.kind, now);
         self.stats.installs += 1;
-        self.since_install.insert(rule, 0);
-        self.installed_at.insert(rule, now);
-        if let Some(e) = evicted {
+        if evicted.is_some() {
             self.stats.evictions += 1;
-            self.since_install.remove(&e);
-            self.installed_at.remove(&e);
         }
         evicted
     }
@@ -140,7 +143,7 @@ impl Switch {
     /// Whether the reactive table has no free slot at `now` (a flow-mod
     /// arriving now would have to evict — or be rejected by the
     /// table-full fault).
-    pub(crate) fn is_full_at(&self, now: f64) -> bool {
+    pub(crate) fn is_full_at(&mut self, now: f64) -> bool {
         self.table.len_at(now) >= self.table.capacity()
     }
 
@@ -151,16 +154,16 @@ impl Switch {
 
     fn padding_for(&mut self, rule: RuleId, now: f64) -> f64 {
         let mut pad = 0.0f64;
-        if let Some(cfg) = self.defense.delay_first {
-            let count = self.since_install.entry(rule).or_insert(0);
-            if *count < cfg.packets {
-                *count += 1;
-                pad = pad.max(cfg.pad_secs);
+        let (delay_first, pad_recent) = (self.defense.delay_first, self.defense.pad_recent);
+        if let Some(entry) = self.table.entry_mut(rule) {
+            if let Some(cfg) = delay_first {
+                if entry.pkts_since_install < cfg.packets {
+                    entry.pkts_since_install += 1;
+                    pad = pad.max(cfg.pad_secs);
+                }
             }
-        }
-        if let Some(cfg) = self.defense.pad_recent {
-            if let Some(&at) = self.installed_at.get(&rule) {
-                if now - at < cfg.window_secs {
+            if let Some(cfg) = pad_recent {
+                if now - entry.installed_at < cfg.window_secs {
                     pad = pad.max(cfg.pad_secs);
                 }
             }
@@ -189,12 +192,21 @@ mod tests {
         .unwrap()
     }
 
+    fn switch(mode: SwitchMode, capacity: usize, defense: Defense) -> Switch {
+        Switch::new(
+            mode,
+            capacity,
+            defense,
+            Arc::new(CoverIndex::build(&rules())),
+        )
+    }
+
     #[test]
     fn miss_then_install_then_hit() {
         let rules = rules();
-        let mut sw = Switch::new(SwitchMode::Reactive, 2, Defense::default());
+        let mut sw = switch(SwitchMode::Reactive, 2, Defense::default());
         assert_eq!(
-            sw.lookup(FlowId(0), 0.0, &rules),
+            sw.lookup(FlowId(0), 0.0),
             Lookup::Miss {
                 rule: RuleId(0),
                 fresh: true
@@ -202,17 +214,14 @@ mod tests {
         );
         // A second packet while the query is in flight is not fresh.
         assert_eq!(
-            sw.lookup(FlowId(0), 0.001, &rules),
+            sw.lookup(FlowId(0), 0.001),
             Lookup::Miss {
                 rule: RuleId(0),
                 fresh: false
             }
         );
         sw.install(RuleId(0), 0.004, &rules, 0.02);
-        assert_eq!(
-            sw.lookup(FlowId(0), 0.005, &rules),
-            Lookup::Hit { pad: 0.0 }
-        );
+        assert_eq!(sw.lookup(FlowId(0), 0.005), Lookup::Hit { pad: 0.0 });
         assert_eq!(sw.stats.hits, 1);
         assert_eq!(sw.stats.misses, 2);
         assert_eq!(sw.stats.installs, 1);
@@ -221,46 +230,40 @@ mod tests {
 
     #[test]
     fn uncovered_flow_never_installs() {
-        let rules = rules();
-        let mut sw = Switch::new(SwitchMode::Reactive, 2, Defense::default());
-        assert_eq!(sw.lookup(FlowId(3), 0.0, &rules), Lookup::Uncovered);
-        assert_eq!(sw.lookup(FlowId(3), 1.0, &rules), Lookup::Uncovered);
+        let mut sw = switch(SwitchMode::Reactive, 2, Defense::default());
+        assert_eq!(sw.lookup(FlowId(3), 0.0), Lookup::Uncovered);
+        assert_eq!(sw.lookup(FlowId(3), 1.0), Lookup::Uncovered);
         assert_eq!(sw.stats.uncovered, 2);
         assert!(sw.cached_rules(1.0).is_empty());
     }
 
     #[test]
     fn proactive_always_hits() {
-        let rules = rules();
-        let mut sw = Switch::new(SwitchMode::Proactive, 2, Defense::default());
-        assert_eq!(sw.lookup(FlowId(3), 0.0, &rules), Lookup::Hit { pad: 0.0 });
+        let mut sw = switch(SwitchMode::Proactive, 2, Defense::default());
+        assert_eq!(sw.lookup(FlowId(3), 0.0), Lookup::Hit { pad: 0.0 });
         assert_eq!(sw.stats.hits, 1);
     }
 
     #[test]
     fn proactive_defense_overrides_mode() {
-        let rules = rules();
         let defense = Defense {
             proactive: true,
             ..Defense::default()
         };
-        let mut sw = Switch::new(SwitchMode::Reactive, 2, defense);
-        assert_eq!(sw.lookup(FlowId(0), 0.0, &rules), Lookup::Hit { pad: 0.0 });
+        let mut sw = switch(SwitchMode::Reactive, 2, defense);
+        assert_eq!(sw.lookup(FlowId(0), 0.0), Lookup::Hit { pad: 0.0 });
     }
 
     #[test]
     fn rule_expires_and_misses_again() {
         let rules = rules();
-        let mut sw = Switch::new(SwitchMode::Reactive, 2, Defense::default());
-        sw.lookup(FlowId(0), 0.0, &rules);
+        let mut sw = switch(SwitchMode::Reactive, 2, Defense::default());
+        sw.lookup(FlowId(0), 0.0);
         sw.install(RuleId(0), 0.004, &rules, 0.02); // ttl = 0.2 s
-        assert!(matches!(
-            sw.lookup(FlowId(0), 0.1, &rules),
-            Lookup::Hit { .. }
-        ));
+        assert!(matches!(sw.lookup(FlowId(0), 0.1), Lookup::Hit { .. }));
         // Idle timer re-armed at 0.1 → expires at 0.3.
         assert!(matches!(
-            sw.lookup(FlowId(0), 0.35, &rules),
+            sw.lookup(FlowId(0), 0.35),
             Lookup::Miss {
                 rule: RuleId(0),
                 fresh: true
@@ -278,18 +281,12 @@ mod tests {
             }),
             ..Defense::default()
         };
-        let mut sw = Switch::new(SwitchMode::Reactive, 2, defense);
-        sw.lookup(FlowId(0), 0.0, &rules);
+        let mut sw = switch(SwitchMode::Reactive, 2, defense);
+        sw.lookup(FlowId(0), 0.0);
         sw.install(RuleId(0), 0.004, &rules, 0.02);
-        assert_eq!(
-            sw.lookup(FlowId(0), 0.01, &rules),
-            Lookup::Hit { pad: 0.004 }
-        );
-        assert_eq!(
-            sw.lookup(FlowId(0), 0.02, &rules),
-            Lookup::Hit { pad: 0.004 }
-        );
-        assert_eq!(sw.lookup(FlowId(0), 0.03, &rules), Lookup::Hit { pad: 0.0 });
+        assert_eq!(sw.lookup(FlowId(0), 0.01), Lookup::Hit { pad: 0.004 });
+        assert_eq!(sw.lookup(FlowId(0), 0.02), Lookup::Hit { pad: 0.004 });
+        assert_eq!(sw.lookup(FlowId(0), 0.03), Lookup::Hit { pad: 0.0 });
         assert_eq!(sw.stats.padded, 2);
     }
 
@@ -303,36 +300,26 @@ mod tests {
             }),
             ..Defense::default()
         };
-        let mut sw = Switch::new(SwitchMode::Reactive, 2, defense);
-        sw.lookup(FlowId(0), 0.0, &rules);
+        let mut sw = switch(SwitchMode::Reactive, 2, defense);
+        sw.lookup(FlowId(0), 0.0);
         sw.install(RuleId(0), 0.004, &rules, 0.02);
         // Every hit within 0.5 s of installation is padded...
-        assert_eq!(
-            sw.lookup(FlowId(0), 0.1, &rules),
-            Lookup::Hit { pad: 0.004 }
-        );
-        assert_eq!(
-            sw.lookup(FlowId(0), 0.3, &rules),
-            Lookup::Hit { pad: 0.004 }
-        );
-        assert_eq!(
-            sw.lookup(FlowId(0), 0.49, &rules),
-            Lookup::Hit { pad: 0.004 }
-        );
+        assert_eq!(sw.lookup(FlowId(0), 0.1), Lookup::Hit { pad: 0.004 });
+        assert_eq!(sw.lookup(FlowId(0), 0.3), Lookup::Hit { pad: 0.004 });
+        assert_eq!(sw.lookup(FlowId(0), 0.49), Lookup::Hit { pad: 0.004 });
         // ...and unpadded afterwards (the idle rule is kept alive by the
         // hits themselves).
-        assert_eq!(sw.lookup(FlowId(0), 0.6, &rules), Lookup::Hit { pad: 0.0 });
+        assert_eq!(sw.lookup(FlowId(0), 0.6), Lookup::Hit { pad: 0.0 });
         assert_eq!(sw.stats.padded, 3);
     }
 
     #[test]
     fn aborted_query_makes_next_miss_fresh() {
-        let rules = rules();
-        let mut sw = Switch::new(SwitchMode::Reactive, 2, Defense::default());
-        sw.lookup(FlowId(0), 0.0, &rules);
+        let mut sw = switch(SwitchMode::Reactive, 2, Defense::default());
+        sw.lookup(FlowId(0), 0.0);
         sw.abort_query(RuleId(0));
         assert_eq!(
-            sw.lookup(FlowId(0), 0.01, &rules),
+            sw.lookup(FlowId(0), 0.01),
             Lookup::Miss {
                 rule: RuleId(0),
                 fresh: true
@@ -343,9 +330,9 @@ mod tests {
     #[test]
     fn fullness_tracks_live_rules() {
         let rules = rules();
-        let mut sw = Switch::new(SwitchMode::Reactive, 1, Defense::default());
+        let mut sw = switch(SwitchMode::Reactive, 1, Defense::default());
         assert!(!sw.is_full_at(0.0));
-        sw.lookup(FlowId(0), 0.0, &rules);
+        sw.lookup(FlowId(0), 0.0);
         sw.install(RuleId(0), 0.004, &rules, 0.02); // ttl = 0.2 s
         assert!(sw.is_full_at(0.01));
         // After the idle timeout expires the slot frees up again.
@@ -355,10 +342,10 @@ mod tests {
     #[test]
     fn eviction_counted() {
         let rules = rules();
-        let mut sw = Switch::new(SwitchMode::Reactive, 1, Defense::default());
-        sw.lookup(FlowId(0), 0.0, &rules);
+        let mut sw = switch(SwitchMode::Reactive, 1, Defense::default());
+        sw.lookup(FlowId(0), 0.0);
         sw.install(RuleId(0), 0.004, &rules, 0.02);
-        sw.lookup(FlowId(1), 0.01, &rules);
+        sw.lookup(FlowId(1), 0.01);
         sw.install(RuleId(1), 0.014, &rules, 0.02);
         assert_eq!(sw.stats.evictions, 1);
         assert_eq!(sw.cached_rules(0.014), vec![RuleId(1)]);

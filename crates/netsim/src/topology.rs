@@ -34,6 +34,19 @@ impl fmt::Display for TopologyError {
 
 impl std::error::Error for TopologyError {}
 
+/// FNV-1a over the little-endian bytes of the given words; the
+/// deterministic per-pair hash behind the fat tree's ECMP choice.
+fn fnv1a(words: [u64; 3]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    h
+}
+
 /// An undirected switch graph with precomputed shortest-path next hops.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Topology {
@@ -51,11 +64,21 @@ impl Topology {
     ///
     /// [`TopologyError::BadLink`] if any link endpoint is out of range.
     pub fn new(n: usize, links: &[(usize, usize)]) -> Result<Self, TopologyError> {
-        let mut adj = vec![Vec::new(); n];
         for &(a, b) in links {
             if a >= n || b >= n || a == b {
                 return Err(TopologyError::BadLink(a, b));
             }
+        }
+        Ok(Self::from_valid_links(n, links))
+    }
+
+    /// Builds from links already known to be in range and loop-free —
+    /// the named constructors wire their graphs by construction, so
+    /// they skip [`Topology::new`]'s validation (and its error path).
+    fn from_valid_links(n: usize, links: &[(usize, usize)]) -> Self {
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in links {
+            debug_assert!(a < n && b < n && a != b, "link ({a}, {b}) invalid");
             if !adj[a].contains(&b) {
                 adj[a].push(b);
                 adj[b].push(a);
@@ -79,13 +102,13 @@ impl Topology {
                 }
             }
         }
-        Ok(Topology { n, adj, next_hop })
+        Topology { n, adj, next_hop }
     }
 
     /// A single-switch topology.
     #[must_use]
     pub fn single_switch() -> Self {
-        Topology::new(1, &[]).expect("trivially valid")
+        Topology::from_valid_links(1, &[])
     }
 
     /// A linear chain of `n` switches.
@@ -97,7 +120,7 @@ impl Topology {
     pub fn linear(n: usize) -> Self {
         assert!(n > 0, "need at least one switch");
         let links: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
-        Topology::new(n, &links).expect("chain is valid")
+        Topology::from_valid_links(n, &links)
     }
 
     /// A 16-switch topology modeled on Stanford University's backbone
@@ -118,7 +141,110 @@ impl Topology {
             links.push((0, z));
             links.push((1, z));
         }
-        Topology::new(16, &links).expect("backbone is valid")
+        Topology::from_valid_links(16, &links)
+    }
+
+    /// A k-ary fat-tree (Al-Fares et al.): `(k/2)²` core switches plus
+    /// `k` pods of `k/2` aggregation and `k/2` edge switches each —
+    /// `5k²/4` switches total (k=16 → 320, k=32 → 1280). Cores are
+    /// numbered first, then pods contiguously (aggregation before edge;
+    /// see [`Topology::fat_tree_edge`]). Aggregation switch `i` of every
+    /// pod uplinks to cores `i·k/2 .. (i+1)·k/2`.
+    ///
+    /// Path selection is ECMP-style but deterministic: among the
+    /// equal-cost next hops toward a destination, each `(src, dst)` pair
+    /// commits to the neighbor minimizing an FNV-1a hash of the triple —
+    /// the per-flow hashing real fabrics do, reproduced bit-for-bit on
+    /// every build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is odd or less than 2.
+    #[must_use]
+    pub fn fat_tree(k: usize) -> Self {
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "fat-tree arity k must be even and ≥ 2"
+        );
+        let half = k / 2;
+        let cores = half * half;
+        let n = cores + k * k;
+        let mut links = Vec::new();
+        for p in 0..k {
+            let pod = cores + p * k;
+            for i in 0..half {
+                let agg = pod + i;
+                for j in 0..half {
+                    links.push((agg, pod + half + j)); // agg ↔ edge, full bipartite
+                    links.push((agg, i * half + j)); // agg ↔ its core block
+                }
+            }
+        }
+        let mut t = Topology::from_valid_links(n, &links);
+        // Replace the BFS-parent next hops with the deterministic ECMP
+        // choice. dist[dst][v] = hops from v to dst.
+        let mut dist = vec![vec![usize::MAX; n]; n];
+        for (dst, d) in dist.iter_mut().enumerate() {
+            d[dst] = 0;
+            let mut q = VecDeque::from([dst]);
+            while let Some(v) = q.pop_front() {
+                for &w in &t.adj[v] {
+                    if d[w] == usize::MAX {
+                        d[w] = d[v] + 1;
+                        q.push_back(w);
+                    }
+                }
+            }
+        }
+        for src in 0..n {
+            for (dst, to_dst) in dist.iter().enumerate() {
+                if src == dst {
+                    continue;
+                }
+                let d = to_dst[src];
+                if d == usize::MAX {
+                    continue;
+                }
+                let mut best: Option<(u64, usize)> = None;
+                for &w in &t.adj[src] {
+                    if to_dst[w] + 1 == d {
+                        let key = (fnv1a([src as u64, dst as u64, w as u64]), w);
+                        if best.is_none_or(|b| key < b) {
+                            best = Some(key);
+                        }
+                    }
+                }
+                if let Some((_, w)) = best {
+                    t.next_hop[src][dst] = w;
+                }
+            }
+        }
+        t
+    }
+
+    /// The node id of edge switch `index` in `pod` of a `k`-ary fat
+    /// tree built by [`Topology::fat_tree`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is odd or less than 2, `pod >= k`, or
+    /// `index >= k/2`.
+    #[must_use]
+    pub fn fat_tree_edge(k: usize, pod: usize, index: usize) -> NodeId {
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "fat-tree arity k must be even and ≥ 2"
+        );
+        let half = k / 2;
+        assert!(pod < k, "pod {pod} out of range for k={k}");
+        assert!(index < half, "edge index {index} out of range for k={k}");
+        NodeId(half * half + pod * k + half + index)
+    }
+
+    /// Number of undirected links.
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
     }
 
     /// Number of switches.
@@ -243,6 +369,59 @@ mod tests {
         ));
         let err = t.path(NodeId(2), NodeId(1)).unwrap_err();
         assert!(err.to_string().contains("no path"));
+    }
+
+    #[test]
+    fn fat_tree_shape_and_distances() {
+        let t = Topology::fat_tree(4);
+        assert_eq!(t.len(), 20, "5k²/4 switches for k=4");
+        // k³/4 hosts-worth of edge ports; links: k·(k/2)·k = k²·k/2… here
+        // each pod has 2·2 agg–edge links and 2·2 agg–core links → 8·4/2?
+        // Count directly: 4 pods × (4 + 4) = 32 links.
+        assert_eq!(t.link_count(), 32);
+        let e00 = Topology::fat_tree_edge(4, 0, 0);
+        let e01 = Topology::fat_tree_edge(4, 0, 1);
+        let e30 = Topology::fat_tree_edge(4, 3, 0);
+        // Same pod: edge–agg–edge, two hops.
+        assert_eq!(t.distance(e00, e01).unwrap(), 2);
+        // Cross pod: edge–agg–core–agg–edge, four hops.
+        assert_eq!(t.distance(e00, e30).unwrap(), 4);
+        // Edge switches have k/2 uplinks (no host links modeled).
+        assert_eq!(t.neighbors(e00).len(), 2);
+    }
+
+    #[test]
+    fn fat_tree_is_deterministic() {
+        let a = Topology::fat_tree(8);
+        let b = Topology::fat_tree(8);
+        assert_eq!(a, b, "construction and ECMP choices must be stable");
+        // Spot-check: the committed path between two fixed edges never
+        // changes across builds (guards the ECMP hash).
+        let src = Topology::fat_tree_edge(8, 0, 0);
+        let dst = Topology::fat_tree_edge(8, 7, 3);
+        assert_eq!(a.path(src, dst).unwrap(), b.path(src, dst).unwrap());
+        assert_eq!(a.distance(src, dst).unwrap(), 4);
+    }
+
+    #[test]
+    fn fat_tree_paths_are_valid_shortest_paths() {
+        let t = Topology::fat_tree(4);
+        for s in 0..t.len() {
+            for d in 0..t.len() {
+                let p = t.path(NodeId(s), NodeId(d)).unwrap();
+                assert!(p.len() <= 5, "fat-tree diameter is 4");
+                // Consecutive path nodes are adjacent.
+                for w in p.windows(2) {
+                    assert!(t.neighbors(w[0]).contains(&w[1].0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn fat_tree_rejects_odd_arity() {
+        let _ = Topology::fat_tree(3);
     }
 
     #[test]

@@ -21,6 +21,19 @@ done
 set -x
 BIN="cargo run --release -p experiments --bin"
 
+# Runs one named step, failing the whole script immediately with an
+# unambiguous marker when it breaks — `set -e` alone leaves CI logs
+# ending mid-cargo-output with no hint of which experiment died.
+run() {
+    _name="$1"
+    shift
+    "$@" || {
+        _code=$?
+        echo "FAILED: experiment '${_name}' (exit ${_code})" >&2
+        exit "${_code}"
+    }
+}
+
 # Preflight: the determinism lint must pass before any experiment runs —
 # a hash-iteration or wall-clock dependency would silently invalidate
 # every CSV produced below.
@@ -32,37 +45,37 @@ if [ "$SMOKE" -eq 1 ]; then
     # committed paper-scale CSVs are untouched. Shapes are noisy at this
     # scale; only the full run reproduces the paper's numbers.
     OUT="results/smoke"
-    $BIN latency_table -- --seed 7 --fast --out "$OUT"
-    $BIN scalability -- --seed 7 --fast --out "$OUT"
-    $BIN ablation_evaluators -- --seed 7 --fast --out "$OUT"
-    $BIN countermeasures -- --configs 4 --trials 10 --seed 7 --fast --out "$OUT"
-    $BIN multiprobe -- --configs 4 --trials 10 --seed 7 --fast --out "$OUT"
-    $BIN multiswitch -- --configs 4 --trials 10 --seed 7 --fast --out "$OUT"
-    $BIN robustness_rates -- --configs 4 --trials 10 --seed 7 --fast --out "$OUT"
-    $BIN defense_transform -- --configs 3 --trials 10 --seed 7 --fast --out "$OUT"
-    $BIN sweep_parameters -- --configs 2 --trials 10 --seed 7 --fast --out "$OUT"
-    $BIN fault_sweep -- --configs 4 --trials 10 --seed 7 --fast --out "$OUT"
-    $BIN evaluate_suite -- --configs 4 --trials 10 --seed 7 --fast --out "$OUT"
+    run latency_table $BIN latency_table -- --seed 7 --fast --out "$OUT"
+    run scalability $BIN scalability -- --seed 7 --fast --out "$OUT"
+    run ablation_evaluators $BIN ablation_evaluators -- --seed 7 --fast --out "$OUT"
+    run countermeasures $BIN countermeasures -- --configs 4 --trials 10 --seed 7 --fast --out "$OUT"
+    run multiprobe $BIN multiprobe -- --configs 4 --trials 10 --seed 7 --fast --out "$OUT"
+    run multiswitch $BIN multiswitch -- --configs 4 --trials 10 --seed 7 --fast --out "$OUT"
+    run robustness_rates $BIN robustness_rates -- --configs 4 --trials 10 --seed 7 --fast --out "$OUT"
+    run defense_transform $BIN defense_transform -- --configs 3 --trials 10 --seed 7 --fast --out "$OUT"
+    run sweep_parameters $BIN sweep_parameters -- --configs 2 --trials 10 --seed 7 --fast --out "$OUT"
+    run fault_sweep $BIN fault_sweep -- --configs 4 --trials 10 --seed 7 --fast --out "$OUT"
+    run evaluate_suite $BIN evaluate_suite -- --configs 4 --trials 10 --seed 7 --fast --out "$OUT"
     # Observability must be free: rerun fault_sweep with the recorder on,
     # require a byte-identical CSV, then render the manifest report.
-    $BIN fault_sweep -- --configs 4 --trials 10 --seed 7 --fast --obs --out "$OUT/obs"
-    cmp "$OUT/fault_sweep.csv" "$OUT/obs/fault_sweep.csv"
-    test -s "$OUT/obs/fault_sweep.manifest.jsonl"
-    cargo run --release -p flow-recon -- diagnose --results "$OUT/obs"
+    run fault_sweep_obs $BIN fault_sweep -- --configs 4 --trials 10 --seed 7 --fast --obs --out "$OUT/obs"
+    run obs_csv_byte_equality cmp "$OUT/fault_sweep.csv" "$OUT/obs/fault_sweep.csv"
+    run obs_manifest_nonempty test -s "$OUT/obs/fault_sweep.manifest.jsonl"
+    run diagnose cargo run --release -p flow-recon -- diagnose --results "$OUT/obs"
     exit 0
 fi
 
-$BIN latency_table -- --seed 7
-$BIN scalability -- --seed 7
-$BIN ablation_evaluators -- --seed 7
-$BIN countermeasures -- --configs 25 --trials 80 --seed 7
-$BIN multiprobe -- --configs 25 --trials 80 --seed 7
-$BIN multiswitch -- --configs 25 --trials 80 --seed 7
-$BIN robustness_rates -- --configs 25 --trials 80 --seed 7
-$BIN defense_transform -- --configs 15 --trials 60 --seed 7
-$BIN sweep_parameters -- --configs 8 --trials 60 --seed 7
-$BIN fault_sweep -- --configs 25 --trials 80 --seed 7 --obs
-$BIN evaluate_suite -- --configs 40 --trials 100 --seed 7 --obs
-$BIN render_figures
+run latency_table $BIN latency_table -- --seed 7
+run scalability $BIN scalability -- --seed 7
+run ablation_evaluators $BIN ablation_evaluators -- --seed 7
+run countermeasures $BIN countermeasures -- --configs 25 --trials 80 --seed 7
+run multiprobe $BIN multiprobe -- --configs 25 --trials 80 --seed 7
+run multiswitch $BIN multiswitch -- --configs 25 --trials 80 --seed 7
+run robustness_rates $BIN robustness_rates -- --configs 25 --trials 80 --seed 7
+run defense_transform $BIN defense_transform -- --configs 15 --trials 60 --seed 7
+run sweep_parameters $BIN sweep_parameters -- --configs 8 --trials 60 --seed 7
+run fault_sweep $BIN fault_sweep -- --configs 25 --trials 80 --seed 7 --obs
+run evaluate_suite $BIN evaluate_suite -- --configs 40 --trials 100 --seed 7 --obs
+run render_figures $BIN render_figures
 # Render every run manifest into the diagnose report (+ SVG histograms).
-cargo run --release -p flow-recon -- diagnose --results results --svg results/diagnose.svg
+run diagnose cargo run --release -p flow-recon -- diagnose --results results --svg results/diagnose.svg
