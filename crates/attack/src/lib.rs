@@ -32,8 +32,8 @@ mod trial;
 pub use attacker::{Attacker, AttackerKind};
 pub use calibrate::{calibrate_threshold, CalibratedThreshold, DRIFT_LIMIT};
 pub use plan::{
-    plan_attack, plan_attack_policy, plan_attack_with, plan_attack_with_policy, AttackPlan,
-    PlanError,
+    plan_attack, plan_attack_assuming, plan_attack_full, plan_attack_policy, plan_attack_with,
+    plan_attack_with_policy, AttackPlan, PlanError,
 };
 pub use recon_core::exec::{ExecPolicy, RunStats, THREADS_ENV_VAR};
 pub use robust::{

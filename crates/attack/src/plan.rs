@@ -2,6 +2,7 @@
 
 use crate::ExecPolicy;
 use flowspace::FlowId;
+use ftcache::PolicyKind;
 use recon_core::adaptive::AdaptiveTree;
 use recon_core::compact::CompactModel;
 use recon_core::probe::{DecisionTree, ProbeAnalysis, ProbePlanner};
@@ -121,8 +122,9 @@ pub fn plan_attack_with(
     )
 }
 
-/// The full planning entry point: multi-probe options *and* execution
-/// policy. All other `plan_attack*` entry points delegate here.
+/// The planning entry point with multi-probe options *and* execution
+/// policy, assuming the switch evicts per [`PolicyKind::Srt`] (the
+/// paper's assumption).
 ///
 /// # Errors
 ///
@@ -134,8 +136,56 @@ pub fn plan_attack_with_policy(
     adaptive_depth: usize,
     policy: ExecPolicy,
 ) -> Result<AttackPlan, PlanError> {
+    plan_attack_full(
+        scenario,
+        evaluator,
+        multi_probes,
+        adaptive_depth,
+        policy,
+        PolicyKind::Srt,
+    )
+}
+
+/// [`plan_attack`] with an explicit assumption about the switch's cache
+/// eviction policy: the attacker's model — and therefore its probe
+/// selection and belief updates — is built against `cache_policy`. When
+/// the simulated switch actually runs a different policy, the attacker
+/// plans against a mismatched model (the `defense_tournament` axis).
+///
+/// # Errors
+///
+/// [`PlanError::Model`] if the model cannot be built.
+pub fn plan_attack_assuming(
+    scenario: &NetworkScenario,
+    evaluator: Evaluator,
+    cache_policy: PolicyKind,
+) -> Result<AttackPlan, PlanError> {
+    plan_attack_full(scenario, evaluator, 0, 0, ExecPolicy::Serial, cache_policy)
+}
+
+/// The full planning entry point: multi-probe options, execution policy,
+/// *and* assumed cache eviction policy. All other `plan_attack*` entry
+/// points delegate here.
+///
+/// # Errors
+///
+/// [`PlanError::Model`] if the model cannot be built.
+pub fn plan_attack_full(
+    scenario: &NetworkScenario,
+    evaluator: Evaluator,
+    multi_probes: usize,
+    adaptive_depth: usize,
+    policy: ExecPolicy,
+    cache_policy: PolicyKind,
+) -> Result<AttackPlan, PlanError> {
     let rates = scenario.rates();
-    let model = CompactModel::build(&scenario.rules, &rates, scenario.capacity, evaluator)?;
+    let model = CompactModel::build_with_policy(
+        &scenario.rules,
+        &rates,
+        scenario.capacity,
+        evaluator,
+        cache_policy,
+    )?;
     let planner =
         ProbePlanner::with_policy(&model, scenario.target, scenario.horizon_steps(), policy);
     let optimal = planner.best_probe(scenario.all_flows())?;
@@ -204,6 +254,20 @@ mod tests {
         let a = plan_attack(&sc, Evaluator::mean_field()).unwrap();
         let b = plan_attack(&sc, Evaluator::mean_field()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn assuming_srt_matches_default_plan() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let sc = small_sampler().sample_forced((0.3, 0.7), &mut rng);
+        let default = plan_attack(&sc, Evaluator::mean_field()).unwrap();
+        let srt = plan_attack_assuming(&sc, Evaluator::mean_field(), PolicyKind::Srt).unwrap();
+        assert_eq!(default, srt);
+        for policy in [PolicyKind::Lru, PolicyKind::Fdrc] {
+            let p = plan_attack_assuming(&sc, Evaluator::mean_field(), policy).unwrap();
+            let q = plan_attack_assuming(&sc, Evaluator::mean_field(), policy).unwrap();
+            assert_eq!(p, q, "{policy}: planning must stay deterministic");
+        }
     }
 
     #[test]

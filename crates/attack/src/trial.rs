@@ -11,7 +11,8 @@ use crate::attacker::{Attacker, AttackerKind};
 use crate::plan::AttackPlan;
 use crate::robust::{FaultCounters, ProbePolicy, RobustState, Verdict};
 use crate::ExecPolicy;
-use netsim::{FaultStats, NetConfig, Simulation};
+use ftcache::CachePolicy;
+use netsim::{FaultStats, NetConfig, Simulation, SwitchStats};
 use obs::{metrics, Recorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -117,6 +118,10 @@ pub struct TrialReport {
     /// measurement-layer `fault_counters` can be cross-checked against
     /// (injected vs observed).
     pub sim_faults: Vec<FaultStats>,
+    /// Per-attacker ingress-switch cache counters summed across all
+    /// trials, parallel to `by_attacker` — hit rate and controller load
+    /// under whatever eviction policy the network configuration ran.
+    pub cache_stats: Vec<SwitchStats>,
 }
 
 impl TrialReport {
@@ -182,6 +187,24 @@ impl TrialReport {
             // asking for a kind outside the batch is a programming error
             .expect("attacker kind not in report");
         &self.sim_faults[i]
+    }
+
+    /// Ingress-switch cache counters of one attacker kind, summed over
+    /// the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` was not part of the batch.
+    #[must_use]
+    pub fn cache_stats(&self, kind: AttackerKind) -> &SwitchStats {
+        let i = self
+            .by_attacker
+            .iter()
+            .position(|(k, _)| *k == kind)
+            // detlint::allow(D4): same caller contract as fault_counters —
+            // asking for a kind outside the batch is a programming error
+            .expect("attacker kind not in report");
+        &self.cache_stats[i]
     }
 
     fn entry(&self, kind: AttackerKind) -> &Accuracy {
@@ -362,7 +385,7 @@ fn run_trials_engine(
     recorder: &mut Recorder,
 ) -> TrialReport {
     let threads = policy.effective_threads(trials);
-    let (accs, counters, sim_faults, present) = if threads <= 1 {
+    let (accs, counters, sim_faults, cache_stats, present) = if threads <= 1 {
         run_trial_range(
             scenario,
             plan,
@@ -399,14 +422,47 @@ fn run_trials_engine(
             total.merge(f);
         }
         total.record_into(recorder);
+        let mut cache_total = SwitchStats::default();
+        for s in &cache_stats {
+            cache_total.merge(s);
+        }
+        let policy_name = net.policy.name();
+        recorder.add_with_suffix(metrics::CACHE_HITS_PREFIX, policy_name, cache_total.hits);
+        recorder.add_with_suffix(
+            metrics::CACHE_MISSES_PREFIX,
+            policy_name,
+            cache_total.misses,
+        );
+        recorder.add_with_suffix(
+            metrics::CACHE_EVICTIONS_PREFIX,
+            policy_name,
+            cache_total.evictions,
+        );
+        recorder.add_with_suffix(
+            metrics::CACHE_INSTALLS_PREFIX,
+            policy_name,
+            cache_total.installs,
+        );
     }
     TrialReport {
         by_attacker: kinds.iter().copied().zip(accs).collect(),
         base_rate_present: present as f64 / trials.max(1) as f64,
         fault_counters: counters,
         sim_faults,
+        cache_stats,
     }
 }
+
+/// Per-attacker accumulators of one worker (or the serial path):
+/// confusion matrices, measurement-fault tallies, injected-fault totals,
+/// ingress cache counters, and the count of target-present trials.
+type TrialAccumulators = (
+    Vec<Accuracy>,
+    Vec<FaultCounters>,
+    Vec<FaultStats>,
+    Vec<SwitchStats>,
+    u64,
+);
 
 /// One independent trial: regenerates the traffic realization for
 /// `trial`, replays it once per attacker, and collects each attacker's
@@ -425,6 +481,7 @@ fn run_one_trial(
     answers: &mut Vec<Verdict>,
     counters: &mut [FaultCounters],
     sim_faults: &mut [FaultStats],
+    cache_stats: &mut [SwitchStats],
     recorder: &mut Recorder,
 ) -> bool {
     let mut traffic_rng =
@@ -461,6 +518,7 @@ fn run_one_trial(
             }
         };
         sim_faults[i].merge(&sim.fault_stats());
+        cache_stats[i].merge(&sim.ingress_stats());
         recorder.merge(sim.take_recorder());
         answers.push(verdict);
     }
@@ -480,10 +538,11 @@ fn run_trial_range(
     robust: Option<&ProbePolicy>,
     range: std::ops::Range<usize>,
     recorder: &mut Recorder,
-) -> (Vec<Accuracy>, Vec<FaultCounters>, Vec<FaultStats>, u64) {
+) -> TrialAccumulators {
     let mut accs = vec![Accuracy::default(); kinds.len()];
     let mut counters = vec![FaultCounters::default(); kinds.len()];
     let mut sim_faults = vec![FaultStats::default(); kinds.len()];
+    let mut cache_stats = vec![SwitchStats::default(); kinds.len()];
     let mut present = 0u64;
     let mut answers = Vec::with_capacity(kinds.len());
     for trial in range {
@@ -498,6 +557,7 @@ fn run_trial_range(
             &mut answers,
             &mut counters,
             &mut sim_faults,
+            &mut cache_stats,
             recorder,
         );
         if truth {
@@ -507,7 +567,7 @@ fn run_trial_range(
             acc.add_verdict(truth, verdict);
         }
     }
-    (accs, counters, sim_faults, present)
+    (accs, counters, sim_faults, cache_stats, present)
 }
 
 /// Distributes trials over `threads` scoped workers. Workers claim fixed
@@ -526,7 +586,7 @@ fn run_trials_parallel(
     robust: Option<&ProbePolicy>,
     threads: usize,
     recorder: &mut Recorder,
-) -> (Vec<Accuracy>, Vec<FaultCounters>, Vec<FaultStats>, u64) {
+) -> TrialAccumulators {
     // Chunks several times smaller than a fair share keep workers busy
     // when trial costs vary, without contending on the cursor per trial.
     let chunk = (trials / (threads * 4)).max(1);
@@ -535,6 +595,7 @@ fn run_trials_parallel(
     let mut accs = vec![Accuracy::default(); kinds.len()];
     let mut counters = vec![FaultCounters::default(); kinds.len()];
     let mut sim_faults = vec![FaultStats::default(); kinds.len()];
+    let mut cache_stats = vec![SwitchStats::default(); kinds.len()];
     let mut present = 0u64;
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
@@ -543,6 +604,7 @@ fn run_trials_parallel(
                     let mut local = vec![Accuracy::default(); kinds.len()];
                     let mut local_counters = vec![FaultCounters::default(); kinds.len()];
                     let mut local_faults = vec![FaultStats::default(); kinds.len()];
+                    let mut local_cache = vec![SwitchStats::default(); kinds.len()];
                     // Each worker records into its own recorder; the
                     // merges below are commutative, so the metrics are
                     // independent of chunk assignment — like the results.
@@ -571,6 +633,7 @@ fn run_trials_parallel(
                                 &mut answers,
                                 &mut local_counters,
                                 &mut local_faults,
+                                &mut local_cache,
                                 &mut local_recorder,
                             );
                             if truth {
@@ -585,6 +648,7 @@ fn run_trials_parallel(
                         local,
                         local_counters,
                         local_faults,
+                        local_cache,
                         local_recorder,
                         local_present,
                     )
@@ -592,7 +656,7 @@ fn run_trials_parallel(
             })
             .collect();
         for worker in workers {
-            let (local, local_counters, local_faults, local_recorder, local_present) =
+            let (local, local_counters, local_faults, local_cache, local_recorder, local_present) =
                 worker.join().expect("trial worker panicked");
             for (acc, l) in accs.iter_mut().zip(&local) {
                 acc.merge(l);
@@ -603,11 +667,14 @@ fn run_trials_parallel(
             for (f, l) in sim_faults.iter_mut().zip(&local_faults) {
                 f.merge(l);
             }
+            for (s, l) in cache_stats.iter_mut().zip(&local_cache) {
+                s.merge(l);
+            }
             recorder.merge(local_recorder);
             present += local_present;
         }
     });
-    (accs, counters, sim_faults, present)
+    (accs, counters, sim_faults, cache_stats, present)
 }
 
 #[cfg(test)]
@@ -867,6 +934,26 @@ mod tests {
                 "some probe RTTs must be observed"
             );
         }
+    }
+
+    #[test]
+    fn cache_stats_tally_every_ingress_lookup_under_any_policy() {
+        let sc = scenario(12, (0.3, 0.7));
+        let plan = plan_attack(&sc, Evaluator::mean_field()).unwrap();
+        let kinds = [AttackerKind::Naive];
+        let total_of = |name: &str| {
+            let mut net = scenario_net_config(&sc);
+            net.set_policy_by_name(name).unwrap();
+            let r = run_trials_with(&sc, &plan, &kinds, 10, 3, &net);
+            let s = *r.cache_stats(AttackerKind::Naive);
+            assert!(s.hits + s.misses > 0, "{name}: lookups must be counted");
+            s.hits + s.misses + s.uncovered
+        };
+        // The same traffic and probe schedule reaches the ingress switch
+        // under every policy; only the hit/miss split may move.
+        let srt = total_of("srt");
+        assert_eq!(srt, total_of("lru"));
+        assert_eq!(srt, total_of("fdrc"));
     }
 
     #[test]

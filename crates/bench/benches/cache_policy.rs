@@ -1,0 +1,98 @@
+//! Benchmarks for the pluggable cache-eviction policies at a realistic
+//! hardware table size (4096 rules): bulk install, steady-state lookup,
+//! and the policy's victim scan on a full table.
+//!
+//! The `evict_full` group measures `clone + install-into-full-table`;
+//! the `clone_baseline` entry isolates the clone so the victim scan's
+//! cost is the difference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flowspace::{FlowId, FlowSet, Rule, RuleId, RuleSet, Timeout, TimeoutKind};
+use ftcache::{CachePolicy, ClockTable, PolicyKind};
+
+const TABLE: usize = 4096;
+
+/// One single-flow rule per flow, plus one extra rule used to force an
+/// eviction into an already-full table.
+fn rules() -> RuleSet {
+    let n = TABLE + 1;
+    RuleSet::new(
+        (0..n)
+            .map(|i| {
+                Rule::from_flow_set(
+                    FlowSet::from_flows(n, [FlowId(i as u32)]),
+                    (n - i) as u32,
+                    Timeout::idle(10),
+                )
+            })
+            .collect(),
+        n,
+    )
+    .expect("distinct priorities by construction")
+}
+
+/// A full table holding rules `0..TABLE`, installed with staggered
+/// deadlines so SRT and FDRC have real score spreads to scan.
+fn full_table(policy: PolicyKind) -> ClockTable {
+    let mut t = ClockTable::with_policy(TABLE, policy);
+    for i in 0..TABLE {
+        let ttl = 1.0 + (i % 97) as f64 * 0.25;
+        t.install(RuleId(i), ttl, TimeoutKind::Idle, 0.0);
+    }
+    t
+}
+
+fn bench_cache_policy(c: &mut Criterion) {
+    let rules = rules();
+
+    let mut g = c.benchmark_group("cache_policy_install_4096");
+    for policy in PolicyKind::all() {
+        g.bench_function(policy.name(), |b| {
+            b.iter(|| {
+                let mut t = ClockTable::with_policy(TABLE, policy);
+                for i in 0..TABLE {
+                    let ttl = 1.0 + (i % 97) as f64 * 0.25;
+                    t.install(RuleId(i), ttl, TimeoutKind::Idle, 0.0);
+                }
+                t.len_at(0.0)
+            });
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("cache_policy_lookup_full");
+    for policy in PolicyKind::all() {
+        let mut t = full_table(policy);
+        let mut i = 0u32;
+        g.bench_function(policy.name(), |b| {
+            b.iter(|| {
+                i = (i + 1) % TABLE as u32;
+                t.lookup(FlowId(i), 0.5, &rules)
+            });
+        });
+    }
+    g.finish();
+
+    // One install into a full table: the policy walks all 4096
+    // candidates to pick its victim — the refactor's hot path.
+    let mut g = c.benchmark_group("cache_policy_evict_full");
+    {
+        let full = full_table(PolicyKind::Srt);
+        g.bench_function("clone_baseline", |b| {
+            b.iter(|| std::hint::black_box(full.clone()).capacity());
+        });
+    }
+    for policy in PolicyKind::all() {
+        let full = full_table(policy);
+        g.bench_function(policy.name(), |b| {
+            b.iter(|| {
+                let mut t = full.clone();
+                t.install(RuleId(TABLE), 2.0, TimeoutKind::Idle, 0.5)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache_policy);
+criterion_main!(benches);

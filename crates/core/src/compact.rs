@@ -26,6 +26,7 @@ use crate::useq::{CacheAnalysis, Evaluator};
 use crate::{CsrMatrix, Distribution, MatrixBuilder, ModelError, SwitchModel};
 use flowspace::relevant::{relevant_flow_ids, FlowRates};
 use flowspace::{FlowId, RuleId, RuleSet};
+use ftcache::PolicyKind;
 use std::collections::BTreeMap;
 
 /// Maximum number of rules the bitmask state encoding supports.
@@ -51,6 +52,8 @@ pub struct CompactModel {
     rules: RuleSet,
     rates: FlowRates,
     capacity: usize,
+    /// The eviction policy the model assumes the switch runs.
+    policy: PolicyKind,
     /// State bitmasks (bit `i` set ⇔ `RuleId(i)` cached), sorted ascending;
     /// state 0 is always the empty cache.
     states: Vec<u32>,
@@ -73,7 +76,8 @@ fn mask_rules(mask: u32) -> Vec<RuleId> {
 
 impl CompactModel {
     /// Builds the model for the given rule set, per-step rates, cache
-    /// capacity `n`, and `u`-sequence evaluator.
+    /// capacity `n`, and `u`-sequence evaluator, assuming the switch runs
+    /// the paper's shortest-remaining-time eviction ([`PolicyKind::Srt`]).
     ///
     /// # Errors
     ///
@@ -85,6 +89,29 @@ impl CompactModel {
         rates: &FlowRates,
         capacity: usize,
         evaluator: Evaluator,
+    ) -> Result<Self, ModelError> {
+        Self::build_with_policy(rules, rates, capacity, evaluator, PolicyKind::Srt)
+    }
+
+    /// [`CompactModel::build`] with an explicit assumption about the
+    /// switch's eviction policy.
+    ///
+    /// The policy shapes the per-state eviction distributions (§IV-B1) and
+    /// through them every at-capacity arrival edge and
+    /// [`SwitchModel::apply_probe`] miss update. An attacker whose assumed
+    /// policy differs from the switch's actual one plans against a
+    /// mismatched belief update — the axis the `defense_tournament`
+    /// experiment measures.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompactModel::build`].
+    pub fn build_with_policy(
+        rules: &RuleSet,
+        rates: &FlowRates,
+        capacity: usize,
+        evaluator: Evaluator,
+        policy: PolicyKind,
     ) -> Result<Self, ModelError> {
         if rules.len() > MAX_RULES {
             return Err(ModelError::TooManyRules {
@@ -112,7 +139,7 @@ impl CompactModel {
         for &mask in &states {
             let cached = mask_rules(mask);
             let at_capacity = cached.len() == capacity;
-            let analysis = evaluator.analyze(rules, rates, &cached, at_capacity);
+            let analysis = evaluator.analyze_policy(rules, rates, &cached, at_capacity, policy);
             let mut row: Vec<(u32, f64, Cause)> = Vec::new();
 
             // Arrival events with the wall-clock-faithful normalization
@@ -214,6 +241,7 @@ impl CompactModel {
             rules: rules.clone(),
             rates: rates.clone(),
             capacity,
+            policy,
             states,
             index,
             analyses,
@@ -233,6 +261,12 @@ impl CompactModel {
     #[must_use]
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The eviction policy the model assumes the switch runs.
+    #[must_use]
+    pub fn policy(&self) -> PolicyKind {
+        self.policy
     }
 
     /// The bitmask of a state (bit `i` ⇔ `RuleId(i)` cached).
@@ -552,6 +586,35 @@ mod tests {
         let rates = FlowRates::from_per_step(vec![0.1; 3]);
         let err = CompactModel::build(&rules, &rates, 2, Evaluator::mean_field()).unwrap_err();
         assert!(matches!(err, ModelError::UniverseMismatch { .. }));
+    }
+
+    #[test]
+    fn build_assumes_srt_and_policies_change_the_chain() {
+        let (rules, rates) = small();
+        let srt = CompactModel::build(&rules, &rates, 2, Evaluator::exact()).unwrap();
+        assert_eq!(srt.policy(), PolicyKind::Srt);
+        let srt2 =
+            CompactModel::build_with_policy(&rules, &rates, 2, Evaluator::exact(), PolicyKind::Srt)
+                .unwrap();
+        let d_srt = srt.evolve(200);
+        let d_srt2 = srt2.evolve(200);
+        for j in rules.ids() {
+            assert_eq!(
+                srt.prob_rule_cached(&d_srt, j),
+                srt2.prob_rule_cached(&d_srt2, j)
+            );
+        }
+        for policy in [PolicyKind::Lru, PolicyKind::Fdrc] {
+            let m = CompactModel::build_with_policy(&rules, &rates, 2, Evaluator::exact(), policy)
+                .unwrap();
+            assert_eq!(m.policy(), policy);
+            assert!(m.matrix().is_stochastic(1e-9), "{policy}");
+            let d = m.evolve(200);
+            let moved = rules.ids().any(|j| {
+                (m.prob_rule_cached(&d, j) - srt.prob_rule_cached(&d_srt, j)).abs() > 1e-6
+            });
+            assert!(moved, "{policy} should reshape the stationary occupancy");
+        }
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 use flowspace::relevant::FlowRates;
 use flowspace::{RuleId, RuleSet};
+use ftcache::PolicyKind;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -116,7 +117,8 @@ impl Evaluator {
 
     /// Computes eviction and timeout estimates for the cache state holding
     /// exactly `cached` (ids into `rules`), which `at_capacity` marks as
-    /// full.
+    /// full, assuming the switch evicts per the paper's shortest-remaining-
+    /// time policy ([`PolicyKind::Srt`]).
     ///
     /// # Panics
     ///
@@ -131,6 +133,39 @@ impl Evaluator {
         cached: &[RuleId],
         at_capacity: bool,
     ) -> CacheAnalysis {
+        self.analyze_policy(rules, rates, cached, at_capacity, PolicyKind::Srt)
+    }
+
+    /// [`Evaluator::analyze`] with an explicit cache policy assumption.
+    ///
+    /// The most-recent-match sequence distribution `P(u)` is a property of
+    /// the traffic and the cache *contents*, not of the eviction policy, so
+    /// the same evaluator machinery serves every policy; only the victim
+    /// predicate applied to each weighted assignment `u` changes:
+    ///
+    /// * [`PolicyKind::Srt`] — victim has the smallest remaining lifetime
+    ///   `t_j - u(j)` (the paper's Eqn 4/5);
+    /// * [`PolicyKind::Lru`] — victim has the largest age `u(j)`;
+    /// * [`PolicyKind::Fdrc`] — victim has the smallest *normalized*
+    ///   remaining lifetime `(t_j - u(j)) / t_j`.
+    ///
+    /// The at-capacity bound on uncached-rule quiet factors (`u_max`)
+    /// retains its SRT derivation for every policy — it is a secondary
+    /// effect and keeping it fixed isolates the victim predicate as the
+    /// only modeling difference between policies.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Evaluator::analyze`].
+    #[must_use]
+    pub fn analyze_policy(
+        &self,
+        rules: &RuleSet,
+        rates: &FlowRates,
+        cached: &[RuleId],
+        at_capacity: bool,
+        policy: PolicyKind,
+    ) -> CacheAnalysis {
         let mut sorted = cached.to_vec();
         sorted.sort();
         sorted.dedup();
@@ -144,15 +179,15 @@ impl Evaluator {
         }
         let ctx = Ctx::new(rules, rates, &sorted);
         match *self {
-            Evaluator::Exact { max_sequences } => exact(&ctx, at_capacity, max_sequences),
+            Evaluator::Exact { max_sequences } => exact(&ctx, at_capacity, max_sequences, policy),
             Evaluator::MonteCarlo { samples, seed } => {
-                monte_carlo(&ctx, at_capacity, samples, seed)
+                monte_carlo(&ctx, at_capacity, samples, seed, policy)
             }
             Evaluator::MeanField { iterations } => {
-                mean_field(&ctx, iterations, MeanFieldOpts::full())
+                mean_field(&ctx, iterations, MeanFieldOpts::full(), policy)
             }
             Evaluator::MeanFieldRaw { iterations } => {
-                mean_field(&ctx, iterations, MeanFieldOpts::raw())
+                mean_field(&ctx, iterations, MeanFieldOpts::raw(), policy)
             }
         }
     }
@@ -294,19 +329,49 @@ impl Sums {
         }
     }
 
-    fn add(&mut self, ctx: &Ctx<'_>, u: &[u32], w: f64) {
+    fn add(&mut self, ctx: &Ctx<'_>, u: &[u32], w: f64, policy: PolicyKind) {
         if w <= 0.0 {
             return;
         }
         self.d += w;
         let rem: Vec<u32> = (0..u.len()).map(|p| ctx.t[p] - u[p]).collect();
-        let min_rem = *rem.iter().min().expect("nonempty cache");
-        for pos in 0..u.len() {
-            if u[pos] == ctx.t[pos] {
-                self.timeout[pos] += w;
+        for (slot, (&uv, &tv)) in self.timeout.iter_mut().zip(u.iter().zip(ctx.t.iter())) {
+            if uv == tv {
+                *slot += w;
             }
-            if rem[pos] == min_rem {
-                self.evict[pos] += w;
+        }
+        // Victim predicate per policy; ties count every tied rule (the
+        // normalization in `finish` splits the mass), matching Eqn (4)'s
+        // inclusive accounting.
+        match policy {
+            PolicyKind::Srt => {
+                let min_rem = *rem.iter().min().expect("nonempty cache");
+                for (slot, &r) in self.evict.iter_mut().zip(rem.iter()) {
+                    if r == min_rem {
+                        *slot += w;
+                    }
+                }
+            }
+            PolicyKind::Lru => {
+                // detlint::allow(D4): same nonempty-cache invariant as the
+                // Srt branch above — `u` has one entry per cached rule.
+                let max_u = *u.iter().max().expect("nonempty cache");
+                for (slot, &uv) in self.evict.iter_mut().zip(u.iter()) {
+                    if uv == max_u {
+                        *slot += w;
+                    }
+                }
+            }
+            PolicyKind::Fdrc => {
+                let ratio: Vec<f64> = (0..u.len())
+                    .map(|p| f64::from(rem[p]) / f64::from(ctx.t[p]))
+                    .collect();
+                let min_ratio = ratio.iter().copied().fold(f64::INFINITY, f64::min);
+                for (slot, &r) in self.evict.iter_mut().zip(ratio.iter()) {
+                    if r == min_ratio {
+                        *slot += w;
+                    }
+                }
             }
         }
     }
@@ -335,7 +400,12 @@ impl Sums {
     }
 }
 
-fn exact(ctx: &Ctx<'_>, at_capacity: bool, max_sequences: u64) -> CacheAnalysis {
+fn exact(
+    ctx: &Ctx<'_>,
+    at_capacity: bool,
+    max_sequences: u64,
+    policy: PolicyKind,
+) -> CacheAnalysis {
     let n = ctx.n();
     let total: u64 = ctx
         .t
@@ -349,14 +419,21 @@ fn exact(ctx: &Ctx<'_>, at_capacity: bool, max_sequences: u64) -> CacheAnalysis 
     );
     let mut sums = Sums::new(n);
     let mut u = vec![0u32; n];
-    enumerate(ctx, at_capacity, &mut u, 0, &mut sums);
+    enumerate(ctx, at_capacity, &mut u, 0, &mut sums, policy);
     sums.finish(ctx.cached.clone())
 }
 
-fn enumerate(ctx: &Ctx<'_>, at_capacity: bool, u: &mut Vec<u32>, pos: usize, sums: &mut Sums) {
+fn enumerate(
+    ctx: &Ctx<'_>,
+    at_capacity: bool,
+    u: &mut Vec<u32>,
+    pos: usize,
+    sums: &mut Sums,
+    policy: PolicyKind,
+) {
     if pos == ctx.n() {
         let w = ctx.log_p(u, at_capacity).exp();
-        sums.add(ctx, u, w);
+        sums.add(ctx, u, w, policy);
         return;
     }
     for v in 1..=ctx.t[pos] {
@@ -364,7 +441,7 @@ fn enumerate(ctx: &Ctx<'_>, at_capacity: bool, u: &mut Vec<u32>, pos: usize, sum
             continue; // injectivity
         }
         u[pos] = v;
-        enumerate(ctx, at_capacity, u, pos + 1, sums);
+        enumerate(ctx, at_capacity, u, pos + 1, sums, policy);
     }
     u[pos] = 0;
 }
@@ -568,7 +645,12 @@ fn mean_field_marginals(ctx: &Ctx<'_>, iterations: usize, opts: MeanFieldOpts) -
     marg
 }
 
-fn mean_field(ctx: &Ctx<'_>, iterations: usize, opts: MeanFieldOpts) -> CacheAnalysis {
+fn mean_field(
+    ctx: &Ctx<'_>,
+    iterations: usize,
+    opts: MeanFieldOpts,
+    policy: PolicyKind,
+) -> CacheAnalysis {
     let n = ctx.n();
     let marg = mean_field_marginals(ctx, iterations, opts);
     // Timeout: P(u = t | alive) directly from the marginal.
@@ -583,6 +665,28 @@ fn mean_field(ctx: &Ctx<'_>, iterations: usize, opts: MeanFieldOpts) -> CacheAna
             (0..t).map(|r| marg[pos][t - r - 1]).collect()
         })
         .collect();
+    let evict = match policy {
+        PolicyKind::Srt => mean_field_evict_srt(ctx, &rem_dist),
+        PolicyKind::Lru => mean_field_evict_lru(&marg),
+        PolicyKind::Fdrc => mean_field_evict_fdrc(ctx, &rem_dist),
+    };
+    let esum: f64 = evict.iter().sum();
+    let evict = if esum > 0.0 {
+        evict.iter().map(|&x| x / esum).collect()
+    } else {
+        vec![1.0 / n as f64; n]
+    };
+    CacheAnalysis {
+        cached: ctx.cached.clone(),
+        timeout,
+        evict,
+    }
+}
+
+/// Unnormalized `P(rule at pos has the smallest remaining lifetime)` from
+/// the per-rule remaining-time marginals.
+fn mean_field_evict_srt(ctx: &Ctx<'_>, rem_dist: &[Vec<f64>]) -> Vec<f64> {
+    let n = rem_dist.len();
     // Survival over remaining time: S_pos(r) = P(rem ≥ r). The eviction
     // condition (Eqn 4) is *inclusive* — on a tie every tied rule counts —
     // so the per-rule weight uses P(rem_{j'} ≥ r) for the others, matching
@@ -633,20 +737,93 @@ fn mean_field(ctx: &Ctx<'_>, iterations: usize, opts: MeanFieldOpts) -> CacheAna
             *ev += w;
         }
     }
-    let esum: f64 = evict.iter().sum();
-    let evict = if esum > 0.0 {
-        evict.iter().map(|&x| x / esum).collect()
-    } else {
-        vec![1.0 / n as f64; n]
-    };
-    CacheAnalysis {
-        cached: ctx.cached.clone(),
-        timeout,
-        evict,
-    }
+    evict
 }
 
-fn monte_carlo(ctx: &Ctx<'_>, at_capacity: bool, samples: usize, seed: u64) -> CacheAnalysis {
+/// Unnormalized `P(rule at pos has the largest age)` from the age
+/// marginals. Injectivity makes age ties impossible, so the inclusive
+/// weight minus the shared-age point reduces to the strict `P(u_{j'} < u)`.
+fn mean_field_evict_lru(marg: &[Vec<f64>]) -> Vec<f64> {
+    let n = marg.len();
+    // cdf[pos][k] = P(u_pos ≤ k), k in 0..=t_pos.
+    let cdf: Vec<Vec<f64>> = marg
+        .iter()
+        .map(|m| {
+            let mut c = vec![0.0; m.len() + 1];
+            for k in 1..=m.len() {
+                c[k] = c[k - 1] + m[k - 1];
+            }
+            c
+        })
+        .collect();
+    let p_lt = |pos: usize, u: usize| -> f64 {
+        let c = &cdf[pos];
+        c[(u - 1).min(c.len() - 1)]
+    };
+    let mut evict = vec![0.0; n];
+    for (pos, ev) in evict.iter_mut().enumerate() {
+        for (u_idx, &m_u) in marg[pos].iter().enumerate() {
+            let u = u_idx + 1;
+            let mut w = m_u;
+            for other in 0..n {
+                if other != pos {
+                    w *= p_lt(other, u);
+                }
+            }
+            *ev += w;
+        }
+    }
+    evict
+}
+
+/// Unnormalized `P(rule at pos has the smallest normalized remaining
+/// lifetime (t - u)/t)` — the FDRC-style victim predicate — from the
+/// remaining-time marginals, with the same inclusive-tie accounting and
+/// pairwise shared-age exclusion as the SRT weight.
+fn mean_field_evict_fdrc(ctx: &Ctx<'_>, rem_dist: &[Vec<f64>]) -> Vec<f64> {
+    let n = rem_dist.len();
+    let mut evict = vec![0.0; n];
+    for (pos, ev) in evict.iter_mut().enumerate() {
+        let q = &rem_dist[pos];
+        let t_pos = ctx.t[pos] as usize;
+        for (r, &q_r) in q.iter().enumerate() {
+            let ratio = f64::from(r as u32) / f64::from(t_pos as u32);
+            let u_pos = t_pos - r;
+            let mut w = q_r;
+            for (other, rem_other) in rem_dist.iter().enumerate() {
+                if other == pos {
+                    continue;
+                }
+                let t_o = ctx.t[other] as usize;
+                // P(ratio_other ≥ ratio), inclusive on ties.
+                let mut term = 0.0;
+                for (r_o, &q_o) in rem_other.iter().enumerate() {
+                    if f64::from(r_o as u32) / f64::from(t_o as u32) >= ratio {
+                        term += q_o;
+                    }
+                }
+                // Injectivity: the other rule cannot share age u_pos.
+                if u_pos <= t_o {
+                    let r_same = t_o - u_pos;
+                    if f64::from(r_same as u32) / f64::from(t_o as u32) >= ratio {
+                        term -= rem_other[r_same];
+                    }
+                }
+                w *= term.max(0.0);
+            }
+            *ev += w;
+        }
+    }
+    evict
+}
+
+fn monte_carlo(
+    ctx: &Ctx<'_>,
+    at_capacity: bool,
+    samples: usize,
+    seed: u64,
+    policy: PolicyKind,
+) -> CacheAnalysis {
     let n = ctx.n();
     let marg = mean_field_marginals(ctx, 2, MeanFieldOpts::full());
     let mut rng = StdRng::seed_from_u64(seed);
@@ -682,7 +859,7 @@ fn monte_carlo(ctx: &Ctx<'_>, at_capacity: bool, samples: usize, seed: u64) -> C
             continue;
         }
         let w = (ctx.log_p(&u, at_capacity) - log_q).exp();
-        sums.add(ctx, &u, w);
+        sums.add(ctx, &u, w, policy);
     }
     sums.finish(ctx.cached.clone())
 }
@@ -929,6 +1106,89 @@ mod tests {
             full.evict,
             raw.evict,
             ex.evict
+        );
+    }
+
+    #[test]
+    fn analyze_is_the_srt_policy() {
+        let (rules, rates) = rules_overlapping();
+        let cached = [RuleId(0), RuleId(1)];
+        for ev in [
+            Evaluator::exact(),
+            Evaluator::mean_field(),
+            Evaluator::monte_carlo(5_000, 9),
+        ] {
+            let a = ev.analyze(&rules, &rates, &cached, true);
+            let b = ev.analyze_policy(&rules, &rates, &cached, true, PolicyKind::Srt);
+            assert_eq!(a, b, "{ev:?}");
+        }
+    }
+
+    #[test]
+    fn lru_prefers_to_evict_the_stale_rule() {
+        // rule0's flow arrives at 0.3/step, rule1's at 0.1: rule1 was
+        // matched less recently (larger age), so LRU evicts it more often.
+        let (rules, rates) = rules_two_disjoint(5, 5);
+        for ev in [
+            Evaluator::exact(),
+            Evaluator::mean_field(),
+            Evaluator::monte_carlo(20_000, 3),
+        ] {
+            let a = ev.analyze_policy(
+                &rules,
+                &rates,
+                &[RuleId(0), RuleId(1)],
+                true,
+                PolicyKind::Lru,
+            );
+            assert!(a.evict[1] > a.evict[0], "{ev:?}: {:?}", a.evict);
+            assert!((a.evict.iter().sum::<f64>() - 1.0).abs() < 1e-9, "{ev:?}");
+        }
+    }
+
+    #[test]
+    fn mean_field_tracks_exact_for_all_policies() {
+        let (rules, rates) = rules_overlapping();
+        let cached = [RuleId(0), RuleId(1)];
+        for policy in PolicyKind::all() {
+            let ex = Evaluator::exact().analyze_policy(&rules, &rates, &cached, true, policy);
+            let mf = Evaluator::mean_field().analyze_policy(&rules, &rates, &cached, true, policy);
+            for i in 0..2 {
+                assert!(
+                    (ex.evict[i] - mf.evict[i]).abs() < 0.12,
+                    "{policy}: evict {:?} vs {:?}",
+                    ex.evict,
+                    mf.evict
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fdrc_normalization_shifts_eviction_toward_long_timeouts() {
+        // Same flow rate, very different timeouts: SRT pins eviction on the
+        // short-timeout rule (its remaining time is capped at t0), while
+        // FDRC compares *normalized* remaining time, so the long-timeout
+        // rule — stale relative to its own timeout — is evicted more often.
+        let u = 4;
+        let rules = RuleSet::new(
+            vec![
+                Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(0)]), 20, Timeout::idle(3)),
+                Rule::from_flow_set(FlowSet::from_flows(u, [FlowId(1)]), 10, Timeout::idle(9)),
+            ],
+            u,
+        )
+        .unwrap();
+        let rates = FlowRates::from_per_step(vec![0.2, 0.2, 0.0, 0.0]);
+        let cached = [RuleId(0), RuleId(1)];
+        let srt = Evaluator::exact().analyze_policy(&rules, &rates, &cached, true, PolicyKind::Srt);
+        let fdrc =
+            Evaluator::exact().analyze_policy(&rules, &rates, &cached, true, PolicyKind::Fdrc);
+        assert!(
+            fdrc.evict[1] > srt.evict[1],
+            "fdrc {:?} vs srt {:?}",
+            fdrc.evict,
+            srt.evict
         );
     }
 

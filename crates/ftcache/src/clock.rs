@@ -1,5 +1,6 @@
 //! Continuous-time flow table used by the discrete-event simulator.
 
+use crate::policy::{CachePolicy, Candidate, CapacityError, PolicyKind};
 use flowspace::{FlowId, RuleId, RuleSet, TimeoutKind};
 
 /// One cached rule with its real-valued expiry deadline.
@@ -44,21 +45,67 @@ pub struct ClockEntry {
 pub struct ClockTable {
     capacity: usize,
     entries: Vec<ClockEntry>,
+    policy: PolicyKind,
 }
 
 impl ClockTable {
-    /// Creates an empty table holding up to `capacity` reactive rules.
+    /// Creates an empty table holding up to `capacity` reactive rules,
+    /// evicting with the default [`PolicyKind::Srt`] policy.
     ///
     /// # Panics
     ///
     /// Panics if `capacity == 0`.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "flow table capacity must be at least 1");
-        ClockTable {
+        match Self::try_new(capacity) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects `capacity == 0` with a typed error
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`CapacityError`] if `capacity == 0`.
+    pub fn try_new(capacity: usize) -> Result<Self, CapacityError> {
+        Self::try_with_policy(capacity, PolicyKind::default())
+    }
+
+    /// Creates an empty table evicting under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn with_policy(capacity: usize, policy: PolicyKind) -> Self {
+        match Self::try_with_policy(capacity, policy) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`ClockTable::with_policy`].
+    ///
+    /// # Errors
+    ///
+    /// [`CapacityError`] if `capacity == 0`.
+    pub fn try_with_policy(capacity: usize, policy: PolicyKind) -> Result<Self, CapacityError> {
+        if capacity == 0 {
+            return Err(CapacityError);
+        }
+        Ok(ClockTable {
             capacity,
             entries: Vec::with_capacity(capacity),
-        }
+            policy,
+        })
+    }
+
+    /// The eviction policy this table runs.
+    #[must_use]
+    pub fn policy(&self) -> PolicyKind {
+        self.policy
     }
 
     /// The table's capacity.
@@ -109,6 +156,7 @@ impl ClockTable {
         }
         let rule = entry.rule;
         self.entries.insert(0, entry);
+        self.policy.on_refresh(0);
         Some(rule)
     }
 
@@ -133,19 +181,29 @@ impl ClockTable {
             entry.ttl = ttl;
             entry.kind = kind;
             self.entries.insert(0, entry);
+            self.policy.on_refresh(0);
             return None;
         }
         let evicted = if self.entries.len() == self.capacity {
-            let idx = self
+            // Candidates least-recent-first (deepest entry first), with
+            // `slot` = entry index; the policy's tie-break contract then
+            // matches the historical "ties drop the least recent".
+            let candidates: Vec<Candidate> = self
                 .entries
                 .iter()
                 .enumerate()
-                .min_by(|(ai, a), (bi, b)| {
-                    a.expiry.total_cmp(&b.expiry).then(bi.cmp(ai)) // ties: drop least recent
+                .rev()
+                .map(|(i, e)| Candidate {
+                    slot: i as u32,
+                    remaining: e.expiry - now,
+                    ttl: e.ttl,
                 })
-                .expect("table is full")
-                .0;
-            Some(self.entries.remove(idx).rule)
+                .collect();
+            let victim = self.policy.victim(&candidates);
+            let slot = candidates[victim].slot;
+            let rule = self.entries.remove(slot as usize).rule;
+            self.policy.on_evict(slot);
+            Some(rule)
         } else {
             None
         };
@@ -158,6 +216,7 @@ impl ClockTable {
                 kind,
             },
         );
+        self.policy.on_install(0);
         evicted
     }
 

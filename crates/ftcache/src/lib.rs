@@ -17,6 +17,12 @@
 //! store only *reactive* rules; permanently installed rules (the paper
 //! reserves three table slots for them) are handled by the switch layer.
 //!
+//! Eviction is pluggable: both tables (and `netsim`'s slab-backed
+//! `FlowStore`) delegate the victim choice to a [`CachePolicy`] from the
+//! [`policy`] module — [`PolicyKind::Srt`] (the default, the paper's
+//! assumption), [`PolicyKind::Lru`], or the FDRC-style
+//! [`PolicyKind::Fdrc`].
+//!
 //! # Example
 //!
 //! ```
@@ -42,7 +48,9 @@
 #![warn(missing_docs)]
 
 mod clock;
+pub mod policy;
 mod table;
 
 pub use clock::{ClockEntry, ClockTable};
+pub use policy::{CachePolicy, Candidate, CapacityError, PolicyKind};
 pub use table::{Access, Entry, FlowTable, StepOutcome};

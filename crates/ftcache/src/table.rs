@@ -1,5 +1,6 @@
 //! Discrete-step flow table matching the paper's basic-model semantics.
 
+use crate::policy::{CachePolicy, Candidate, CapacityError, PolicyKind};
 use flowspace::{FlowId, RuleId, RuleSet, TimeoutKind};
 use serde::{Deserialize, Serialize};
 
@@ -60,28 +61,75 @@ pub enum StepOutcome {
 ///   the rule's timeout, hard timers keep counting down; all other timers
 ///   decrement;
 /// * **miss** — the highest-priority covering rule is installed at the
-///   front with a full timer; if the table is full, the entry with the
-///   smallest remaining time is evicted (ties broken toward the least
+///   front with a full timer; if the table is full, the configured
+///   [`CachePolicy`] picks the victim (the default [`PolicyKind::Srt`]
+///   evicts the smallest remaining time, ties broken toward the least
 ///   recently used entry); all surviving timers decrement.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct FlowTable {
     capacity: usize,
     entries: Vec<Entry>,
+    policy: PolicyKind,
 }
 
 impl FlowTable {
-    /// Creates an empty table that can hold `capacity` reactive rules.
+    /// Creates an empty table that can hold `capacity` reactive rules,
+    /// evicting with the default [`PolicyKind::Srt`] policy.
     ///
     /// # Panics
     ///
     /// Panics if `capacity == 0`.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "flow table capacity must be at least 1");
-        FlowTable {
+        match Self::try_new(capacity) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects `capacity == 0` with a typed error
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`CapacityError`] if `capacity == 0`.
+    pub fn try_new(capacity: usize) -> Result<Self, CapacityError> {
+        Self::try_with_policy(capacity, PolicyKind::default())
+    }
+
+    /// Creates an empty table evicting under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn with_policy(capacity: usize, policy: PolicyKind) -> Self {
+        match Self::try_with_policy(capacity, policy) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`FlowTable::with_policy`].
+    ///
+    /// # Errors
+    ///
+    /// [`CapacityError`] if `capacity == 0`.
+    pub fn try_with_policy(capacity: usize, policy: PolicyKind) -> Result<Self, CapacityError> {
+        if capacity == 0 {
+            return Err(CapacityError);
+        }
+        Ok(FlowTable {
             capacity,
             entries: Vec::with_capacity(capacity),
-        }
+            policy,
+        })
+    }
+
+    /// The eviction policy this table runs.
+    #[must_use]
+    pub fn policy(&self) -> PolicyKind {
+        self.policy
     }
 
     /// The table's capacity (`n` in the paper).
@@ -147,7 +195,33 @@ impl FlowTable {
     /// Returns `None` (and leaves the table unchanged) if no timer is 0.
     pub fn expire_one(&mut self) -> Option<RuleId> {
         let idx = self.entries.iter().rposition(|e| e.remaining == 0)?;
-        Some(self.entries.remove(idx).rule)
+        let rule = self.entries.remove(idx).rule;
+        self.policy.on_evict(idx as u32);
+        Some(rule)
+    }
+
+    /// Asks the policy for a victim and removes it. The table must be
+    /// nonempty. Candidates are presented least-recently-used-first
+    /// (deepest entry first), with `slot` = entry index, so the
+    /// policy-module tie-break contract reproduces the historical
+    /// "ties toward least recent" behavior exactly.
+    fn evict_one(&mut self, rules: &RuleSet) -> RuleId {
+        let candidates: Vec<Candidate> = self
+            .entries
+            .iter()
+            .enumerate()
+            .rev()
+            .map(|(i, e)| Candidate {
+                slot: i as u32,
+                remaining: f64::from(e.remaining),
+                ttl: f64::from(rules.rule(e.rule).timeout().steps),
+            })
+            .collect();
+        let victim = self.policy.victim(&candidates);
+        let slot = candidates[victim].slot;
+        let rule = self.entries.remove(slot as usize).rule;
+        self.policy.on_evict(slot);
+        rule
     }
 
     /// Processes a flow arrival, performing the hit or miss transition.
@@ -178,6 +252,7 @@ impl FlowTable {
                 e.remaining = e.remaining.saturating_sub(1);
             }
             self.entries.insert(0, entry);
+            self.policy.on_refresh(0);
             return Access::Hit { rule: hit };
         }
         let Some(install) = rules.highest_covering(f) else {
@@ -185,21 +260,7 @@ impl FlowTable {
             return Access::Uncovered;
         };
         let evicted = if self.is_full() {
-            // Smallest remaining time; ties broken toward the least
-            // recently used (largest index), which a real LRU-ish switch
-            // would drop first. The paper does not specify tie-breaking.
-            let min = self
-                .entries
-                .iter()
-                .map(|e| e.remaining)
-                .min()
-                .expect("table is full");
-            let idx = self
-                .entries
-                .iter()
-                .rposition(|e| e.remaining == min)
-                .expect("minimum exists");
-            Some(self.entries.remove(idx).rule)
+            Some(self.evict_one(rules))
         } else {
             None
         };
@@ -213,6 +274,7 @@ impl FlowTable {
                 remaining: rules.rule(install).timeout().steps,
             },
         );
+        self.policy.on_install(0);
         Access::Install {
             rule: install,
             evicted,
@@ -225,6 +287,7 @@ impl FlowTable {
         for e in &mut self.entries {
             e.remaining = e.remaining.saturating_sub(1);
         }
+        self.policy.on_tick();
     }
 
     /// Applies an attacker *probe* of flow `f` **without advancing time**:
@@ -246,24 +309,14 @@ impl FlowTable {
                 entry.remaining = rules.rule(hit).timeout().steps;
             }
             self.entries.insert(0, entry);
+            self.policy.on_refresh(0);
             return Access::Hit { rule: hit };
         }
         let Some(install) = rules.highest_covering(f) else {
             return Access::Uncovered;
         };
         let evicted = if self.is_full() {
-            let min = self
-                .entries
-                .iter()
-                .map(|e| e.remaining)
-                .min()
-                .expect("table is full");
-            let idx = self
-                .entries
-                .iter()
-                .rposition(|e| e.remaining == min)
-                .expect("minimum exists");
-            Some(self.entries.remove(idx).rule)
+            Some(self.evict_one(rules))
         } else {
             None
         };
@@ -274,6 +327,7 @@ impl FlowTable {
                 remaining: rules.rule(install).timeout().steps,
             },
         );
+        self.policy.on_install(0);
         Access::Install {
             rule: install,
             evicted,

@@ -3,6 +3,7 @@
 use crate::fault::FaultPlan;
 use crate::{LatencyModel, NodeId, Topology};
 use flowspace::RuleSet;
+use ftcache::PolicyKind;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -58,6 +59,11 @@ pub enum ConfigError {
         /// The offending value.
         value: f64,
     },
+    /// A cache-policy name is not one of the built-in policies.
+    UnknownPolicy {
+        /// The unrecognized name as given (e.g. on the CLI).
+        name: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -90,6 +96,12 @@ impl fmt::Display for ConfigError {
                 write!(
                     f,
                     "fault parameter {field} must be finite and ≥ 0, got {value}"
+                )
+            }
+            ConfigError::UnknownPolicy { ref name } => {
+                write!(
+                    f,
+                    "unknown cache policy {name:?} (expected srt, lru or fdrc)"
                 )
             }
         }
@@ -170,6 +182,9 @@ pub struct NetConfig {
     pub defense: Defense,
     /// Deterministic fault injection (defaults to the no-op plan).
     pub faults: FaultPlan,
+    /// Rule-cache eviction policy run by every reactive switch table
+    /// (defaults to [`PolicyKind::Srt`], the paper's OVS assumption).
+    pub policy: PolicyKind,
 }
 
 impl NetConfig {
@@ -191,6 +206,7 @@ impl NetConfig {
             transit_capacity: capacity,
             defense: Defense::default(),
             faults: FaultPlan::default(),
+            policy: PolicyKind::default(),
         }
     }
 
@@ -217,6 +233,7 @@ impl NetConfig {
             transit_capacity: capacity,
             defense: Defense::default(),
             faults: FaultPlan::default(),
+            policy: PolicyKind::default(),
         }
     }
 
@@ -235,6 +252,26 @@ impl NetConfig {
             transit_capacity: capacity,
             defense: Defense::default(),
             faults: FaultPlan::default(),
+            policy: PolicyKind::default(),
+        }
+    }
+
+    /// Sets the cache policy from its CLI/config name — the boundary
+    /// validation behind `flow-recon simulate --policy`.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::UnknownPolicy`] if `name` is not `srt`, `lru` or
+    /// `fdrc`.
+    pub fn set_policy_by_name(&mut self, name: &str) -> Result<(), ConfigError> {
+        match PolicyKind::parse(name) {
+            Some(p) => {
+                self.policy = p;
+                Ok(())
+            }
+            None => Err(ConfigError::UnknownPolicy {
+                name: name.to_string(),
+            }),
         }
     }
 

@@ -185,6 +185,7 @@ impl Simulation {
                         config.capacity,
                         config.defense,
                         Arc::clone(&cover),
+                        config.policy,
                     )
                 } else if config.transit_reactive {
                     Switch::new(
@@ -192,6 +193,7 @@ impl Simulation {
                         config.transit_capacity,
                         config.defense,
                         Arc::clone(&cover),
+                        config.policy,
                     )
                 } else {
                     Switch::new(
@@ -199,6 +201,7 @@ impl Simulation {
                         config.transit_capacity.max(1),
                         config.defense,
                         Arc::clone(&cover),
+                        config.policy,
                     )
                 }
             })

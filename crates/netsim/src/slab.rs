@@ -22,6 +22,7 @@
 
 use crate::wheel::{Expired, TimerId, TimerWheel};
 use flowspace::{FlowId, RuleId, RuleSet, TimeoutKind};
+use ftcache::policy::{CachePolicy, Candidate, PolicyKind};
 
 /// Sentinel index for "no slot" in intrusive link fields.
 pub const NIL: u32 = u32::MAX;
@@ -257,8 +258,10 @@ pub struct FlowEntry {
 /// * a lookup returns the minimum-id live cached rule covering the flow,
 ///   re-arms idle timers to `now + ttl`, and moves the entry to the
 ///   recency front;
-/// * installing over a full table evicts the entry with the shortest
-///   remaining lifetime, breaking ties toward the least recently used;
+/// * installing over a full table delegates the victim choice to the
+///   configured [`CachePolicy`] (the default [`PolicyKind::Srt`] evicts
+///   the shortest remaining lifetime, breaking ties toward the least
+///   recently used);
 /// * re-installing a cached rule refreshes it in place.
 #[derive(Debug)]
 pub struct FlowStore {
@@ -273,17 +276,29 @@ pub struct FlowStore {
     tail: u32,
     /// Scratch buffer for wheel expirations (reused across purges).
     expired: Vec<Expired<FlowEntry>>,
+    policy: PolicyKind,
 }
 
 impl FlowStore {
     /// Creates an empty table holding up to `capacity` reactive rules,
-    /// over a policy of `n_rules` rules.
+    /// over a rule set of `n_rules` rules, evicting with the default
+    /// [`PolicyKind::Srt`] policy.
     ///
     /// # Panics
     ///
     /// Panics if `capacity == 0`.
     #[must_use]
     pub fn new(capacity: usize, n_rules: usize) -> Self {
+        Self::with_policy(capacity, n_rules, PolicyKind::default())
+    }
+
+    /// Creates an empty table evicting under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn with_policy(capacity: usize, n_rules: usize, policy: PolicyKind) -> Self {
         assert!(capacity > 0, "flow table capacity must be at least 1");
         FlowStore {
             capacity,
@@ -294,7 +309,14 @@ impl FlowStore {
             head: NIL,
             tail: NIL,
             expired: Vec::new(),
+            policy,
         }
+    }
+
+    /// The eviction policy this table runs.
+    #[must_use]
+    pub fn policy(&self) -> PolicyKind {
+        self.policy
     }
 
     /// The table's capacity.
@@ -357,6 +379,7 @@ impl FlowStore {
             let id = self.rule_slot(rule);
             self.unlink(id.index());
             self.by_rule[rule.0] = TimerId::NULL;
+            self.policy.on_evict(id.index());
         }
         self.expired.clear();
     }
@@ -397,6 +420,7 @@ impl FlowStore {
         let idx = found.index();
         self.unlink(idx);
         self.link_front(idx);
+        self.policy.on_refresh(idx);
         Some(rule)
     }
 
@@ -422,10 +446,11 @@ impl FlowStore {
             let idx = existing.index();
             self.unlink(idx);
             self.link_front(idx);
+            self.policy.on_refresh(idx);
             return None;
         }
         let evicted = if self.wheel.len() == self.capacity {
-            self.evict()
+            self.evict(now)
         } else {
             None
         };
@@ -440,6 +465,7 @@ impl FlowStore {
             },
         );
         self.link_front(id.index());
+        self.policy.on_install(id.index());
         if rule.0 >= self.by_rule.len() {
             self.by_rule.resize(rule.0 + 1, TimerId::NULL);
         }
@@ -447,27 +473,34 @@ impl FlowStore {
         evicted
     }
 
-    /// Removes and returns the entry with the shortest remaining
-    /// lifetime, ties broken toward the least recently used. Scanning
-    /// the recency list from the tail (least recent first) and keeping
-    /// the first strict minimum reproduces the reference tie-break
-    /// (`expiry.total_cmp`, then larger vector index = older).
-    fn evict(&mut self) -> Option<RuleId> {
-        let mut victim = NIL;
-        let mut victim_deadline = f64::INFINITY;
+    /// Asks the configured [`CachePolicy`] for a victim and removes it.
+    /// Candidates are gathered by walking the recency list from the tail
+    /// (least recent first) with `slot` = wheel-node index, so the
+    /// policy-module contract ("ties toward the earlier candidate")
+    /// reproduces the reference tie-break (`expiry.total_cmp`, then the
+    /// least recently used entry). Only *eviction* pays this O(len)
+    /// walk; wheel-driven expiry stays O(1) amortized.
+    fn evict(&mut self, now: f64) -> Option<RuleId> {
+        let mut candidates = Vec::with_capacity(self.wheel.len());
         let mut cur = self.tail;
         while cur != NIL {
-            if let Some(d) = self.wheel.deadline_at(cur) {
-                if d < victim_deadline {
-                    victim_deadline = d;
-                    victim = cur;
-                }
+            if let Some((deadline, entry)) = self.wheel.entry_at(cur) {
+                candidates.push(Candidate {
+                    slot: cur,
+                    remaining: deadline - now,
+                    ttl: entry.ttl,
+                });
             }
             cur = self.r_prev[cur as usize];
         }
+        if candidates.is_empty() {
+            return None;
+        }
+        let victim = candidates[self.policy.victim(&candidates)].slot;
         let entry = self.wheel.cancel_at(victim)?;
         self.unlink(victim);
         self.by_rule[entry.rule.0] = TimerId::NULL;
+        self.policy.on_evict(victim);
         Some(entry.rule)
     }
 

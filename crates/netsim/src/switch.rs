@@ -3,6 +3,8 @@
 use crate::config::Defense;
 use crate::slab::{CoverIndex, FlowStore};
 use flowspace::{FlowId, RuleId, RuleSet};
+use ftcache::PolicyKind;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -34,7 +36,7 @@ pub(crate) enum Lookup {
 }
 
 /// Counters exposed for tests and experiments.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SwitchStats {
     /// Fast-path matches against reactive rules.
     pub hits: u64,
@@ -48,6 +50,40 @@ pub struct SwitchStats {
     pub evictions: u64,
     /// Hit packets delayed by the padding defense.
     pub padded: u64,
+}
+
+impl SwitchStats {
+    /// Adds `other` into `self`. Plain unsigned addition, so merging is
+    /// commutative and associative — parallel trial workers can fold
+    /// their per-trial stats in any grouping and stay bit-identical.
+    pub fn merge(&mut self, other: &SwitchStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.uncovered += other.uncovered;
+        self.installs += other.installs;
+        self.evictions += other.evictions;
+        self.padded += other.padded;
+    }
+
+    /// Fast-path fraction over all matched packets (hits + misses);
+    /// `None` for an idle switch.
+    #[must_use]
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        #[allow(clippy::cast_precision_loss)]
+        if total == 0 {
+            None
+        } else {
+            Some(self.hits as f64 / total as f64)
+        }
+    }
+
+    /// Packets escalated to the controller: table misses plus packets no
+    /// rule covers (the pre-installed send-to-controller rule).
+    #[must_use]
+    pub fn controller_load(&self) -> u64 {
+        self.misses + self.uncovered
+    }
 }
 
 #[derive(Debug)]
@@ -69,6 +105,7 @@ impl Switch {
         capacity: usize,
         defense: Defense,
         cover: Arc<CoverIndex>,
+        policy: PolicyKind,
     ) -> Self {
         let mode = if defense.proactive {
             SwitchMode::Proactive
@@ -77,7 +114,7 @@ impl Switch {
         };
         Switch {
             mode,
-            table: FlowStore::new(capacity.max(1), cover.n_rules()),
+            table: FlowStore::with_policy(capacity.max(1), cover.n_rules(), policy),
             cover,
             in_flight: BTreeSet::new(),
             defense,
@@ -198,6 +235,7 @@ mod tests {
             capacity,
             defense,
             Arc::new(CoverIndex::build(&rules())),
+            PolicyKind::default(),
         )
     }
 

@@ -24,6 +24,19 @@ pub const FAULT_FLOW_MODS_REJECTED: &str = "netsim.fault.flow_mods_rejected";
 /// Injected fault: probe reply never arrived within the timeout.
 pub const FAULT_PROBE_TIMEOUTS: &str = "netsim.fault.probe_timeouts";
 
+/// Ingress flow-table lookups that hit a cached rule, keyed by the
+/// switch's eviction policy (`netsim.cache.hits.<policy>`).
+pub const CACHE_HITS_PREFIX: &str = "netsim.cache.hits";
+/// Ingress flow-table lookups that missed and went to the controller
+/// (`netsim.cache.misses.<policy>`).
+pub const CACHE_MISSES_PREFIX: &str = "netsim.cache.misses";
+/// Rules evicted from the ingress flow table by the policy's victim
+/// choice (`netsim.cache.evictions.<policy>`).
+pub const CACHE_EVICTIONS_PREFIX: &str = "netsim.cache.evictions";
+/// Rules installed into the ingress flow table
+/// (`netsim.cache.installs.<policy>`).
+pub const CACHE_INSTALLS_PREFIX: &str = "netsim.cache.installs";
+
 /// Total Monte-Carlo trials executed by the engine.
 pub const TRIALS: &str = "attack.trials";
 /// Verdicts of `Present` across all attackers and trials.

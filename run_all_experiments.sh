@@ -56,6 +56,11 @@ if [ "$SMOKE" -eq 1 ]; then
     run sweep_parameters $BIN sweep_parameters -- --configs 2 --trials 10 --seed 7 --fast --out "$OUT"
     run fault_sweep $BIN fault_sweep -- --configs 4 --trials 10 --seed 7 --fast --out "$OUT"
     run evaluate_suite $BIN evaluate_suite -- --configs 4 --trials 10 --seed 7 --fast --out "$OUT"
+    run defense_tournament $BIN defense_tournament -- --configs 4 --trials 10 --seed 7 --fast --out "$OUT"
+    # The tournament CSV must not depend on the trial engine's thread
+    # count: rerun with 8 threads and require byte equality.
+    run defense_tournament_t8 $BIN defense_tournament -- --configs 4 --trials 10 --seed 7 --fast --threads 8 --out "$OUT/t8"
+    run tournament_csv_thread_equality cmp "$OUT/defense_tournament.csv" "$OUT/t8/defense_tournament.csv"
     # Observability must be free: rerun fault_sweep with the recorder on,
     # require a byte-identical CSV, then render the manifest report.
     run fault_sweep_obs $BIN fault_sweep -- --configs 4 --trials 10 --seed 7 --fast --obs --out "$OUT/obs"
@@ -76,6 +81,7 @@ run defense_transform $BIN defense_transform -- --configs 15 --trials 60 --seed 
 run sweep_parameters $BIN sweep_parameters -- --configs 8 --trials 60 --seed 7
 run fault_sweep $BIN fault_sweep -- --configs 25 --trials 80 --seed 7 --obs
 run evaluate_suite $BIN evaluate_suite -- --configs 40 --trials 100 --seed 7 --obs
+run defense_tournament $BIN defense_tournament -- --configs 25 --trials 80 --seed 7 --obs
 run render_figures $BIN render_figures
 # Render every run manifest into the diagnose report (+ SVG histograms).
 run diagnose cargo run --release -p flow-recon -- diagnose --results results --svg results/diagnose.svg

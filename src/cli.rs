@@ -11,7 +11,7 @@
 //! All subcommands read/write JSON so they compose in shell pipelines.
 
 use attack::{
-    plan_attack_with, run_trials_policy, run_trials_robust_policy, scenario_net_config,
+    plan_attack_with, run_trials_robust_policy, run_trials_with_policy, scenario_net_config,
     AttackerKind, ExecPolicy, ProbePolicy,
 };
 use rand::rngs::StdRng;
@@ -82,6 +82,7 @@ pub fn usage() -> String {
        plan      --scenario FILE [--multi M] [--adaptive D]\n\
        leakage   --scenario FILE\n\
        simulate  --scenario FILE [--trials N] [--seed N] [--threads K|auto] [--fault-rate P]\n\
+                 [--policy srt|lru|fdrc]\n\
        diagnose  [--manifest FILE] [--results DIR] [--svg FILE]\n"
         .to_string()
 }
@@ -207,8 +208,12 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             let mut net = scenario_net_config(&sc);
             net.faults = netsim::FaultPlan::uniform(fault_rate);
             net.validate().map_err(|e| format!("--fault-rate: {e}"))?;
+            if let Some(name) = args.get("policy") {
+                net.set_policy_by_name(name)
+                    .map_err(|e| format!("--policy: {e}"))?;
+            }
             let report = if net.faults.is_noop() {
-                run_trials_policy(&sc, &plan, &kinds, trials, seed, policy)
+                run_trials_with_policy(&sc, &plan, &kinds, trials, seed, &net, policy)
             } else {
                 run_trials_robust_policy(
                     &sc,
@@ -244,6 +249,17 @@ pub fn run(args: &Args) -> Result<String, CliError> {
                     );
                 }
             }
+            let mut cache = netsim::SwitchStats::default();
+            for s in &report.cache_stats {
+                cache.merge(s);
+            }
+            let _ = writeln!(
+                out,
+                "  ingress cache ({}): hit rate {:.3}, controller load {}",
+                net.policy,
+                cache.hit_rate().unwrap_or(f64::NAN),
+                cache.controller_load()
+            );
             Ok(out)
         }
         "diagnose" => {
@@ -457,6 +473,35 @@ fn render_manifest(
         }
     }
 
+    // Per-policy ingress cache counters, from the suffixed
+    // `netsim.cache.<metric>.<policy>` counters the trial engine records.
+    let mut cache_policies: Vec<&str> = counters
+        .iter()
+        .filter_map(|(k, _)| k.strip_prefix("netsim.cache.")?.split('.').nth(1))
+        .collect();
+    cache_policies.sort_unstable();
+    cache_policies.dedup();
+    if !cache_policies.is_empty() {
+        let _ = writeln!(out, "\ningress cache counters by policy:");
+        for p in cache_policies {
+            let hits = counter_val(counters, &format!("netsim.cache.hits.{p}"));
+            let misses = counter_val(counters, &format!("netsim.cache.misses.{p}"));
+            let evictions = counter_val(counters, &format!("netsim.cache.evictions.{p}"));
+            let installs = counter_val(counters, &format!("netsim.cache.installs.{p}"));
+            let lookups = hits + misses;
+            let rate = if lookups > 0 {
+                hits as f64 / lookups as f64
+            } else {
+                f64::NAN
+            };
+            let _ = writeln!(
+                out,
+                "  {p:<6} hits {hits:>10}  misses {misses:>10}  evictions {evictions:>9}  \
+                 installs {installs:>9}  hit rate {rate:.3}"
+            );
+        }
+    }
+
     for (name, hv) in histograms {
         let h = hist_from_json(hv);
         let fmt_opt = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |v| format!("{v:.3e}"));
@@ -640,6 +685,42 @@ mod tests {
     }
 
     #[test]
+    fn simulate_policy_flag_selects_eviction_and_validates() {
+        let dir = std::env::temp_dir().join("flow-recon-cli-policy-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scenario.json");
+        let json = run(&args("sample --seed 6 --bits 3 --rules 6 --capacity 3")).unwrap();
+        std::fs::write(&path, &json).unwrap();
+
+        // Default runs report the SRT cache; an explicit policy is echoed.
+        let default = run(&args(&format!(
+            "simulate --scenario {} --trials 8",
+            path.display()
+        )))
+        .unwrap();
+        assert!(default.contains("ingress cache (srt)"), "{default}");
+        for name in ["srt", "lru", "fdrc"] {
+            let out = run(&args(&format!(
+                "simulate --scenario {} --trials 8 --policy {name}",
+                path.display()
+            )))
+            .unwrap();
+            assert!(out.contains(&format!("ingress cache ({name})")), "{out}");
+        }
+
+        // Unknown names fail at the boundary with the typed ConfigError
+        // rendering, not a panic inside the simulator.
+        let err = run(&args(&format!(
+            "simulate --scenario {} --policy fifo",
+            path.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("--policy"), "{err}");
+        assert!(err.contains("unknown cache policy"), "{err}");
+        assert!(err.contains("srt, lru or fdrc"), "{err}");
+    }
+
+    #[test]
     fn sample_is_deterministic_per_seed() {
         let a = run(&args("sample --seed 9 --bits 3 --rules 5 --capacity 2")).unwrap();
         let b = run(&args("sample --seed 9 --bits 3 --rules 5 --capacity 2")).unwrap();
@@ -661,6 +742,10 @@ mod tests {
         r.add("attack.answered.naive", 230);
         r.add("attack.inconclusive.naive", 10);
         r.add(obs::metrics::FAULT_PACKETS_DROPPED, 17);
+        r.add_with_suffix(obs::metrics::CACHE_HITS_PREFIX, "lru", 1800);
+        r.add_with_suffix(obs::metrics::CACHE_MISSES_PREFIX, "lru", 200);
+        r.add_with_suffix(obs::metrics::CACHE_EVICTIONS_PREFIX, "lru", 150);
+        r.add_with_suffix(obs::metrics::CACHE_INSTALLS_PREFIX, "lru", 190);
         for i in 0..50 {
             r.observe(
                 obs::metrics::PROBE_RTT_HIT,
@@ -709,6 +794,9 @@ mod tests {
         assert!(out.contains("packets_dropped"), "{out}");
         assert!(out.contains("answer rate by attacker:"), "{out}");
         assert!(out.contains("rate 0.958"), "{out}");
+        assert!(out.contains("ingress cache counters by policy:"), "{out}");
+        assert!(out.contains("lru"), "{out}");
+        assert!(out.contains("hit rate 0.900"), "{out}");
 
         // Directory scan finds the same manifest, and --svg writes a chart.
         let svg_path = dir.join("diagnose.svg");
