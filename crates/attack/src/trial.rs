@@ -656,8 +656,15 @@ fn run_trials_parallel(
             })
             .collect();
         for worker in workers {
+            // Re-raise a worker panic with its original payload instead of
+            // replacing it: the job supervisor's `catch_unwind` one layer
+            // up reports that payload in `WorkerFailure::Panic`, so the
+            // root cause must survive the thread boundary.
             let (local, local_counters, local_faults, local_cache, local_recorder, local_present) =
-                worker.join().expect("trial worker panicked");
+                match worker.join() {
+                    Ok(v) => v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                };
             for (acc, l) in accs.iter_mut().zip(&local) {
                 acc.merge(l);
             }

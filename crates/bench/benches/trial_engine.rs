@@ -43,6 +43,26 @@ fn bench_trial_engine(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new(&label, trials), &trials, |b, &n| {
             b.iter(|| run_trials_policy(&sc, &plan, &kinds, n, 3, auto));
         });
+        // Supervision overhead: the crash-safe job layer with
+        // checkpointing off (one worker thread + channel per unit) must
+        // be within noise of the bare serial engine.
+        let sc_arc = std::sync::Arc::new(sc.clone());
+        let plan_arc = std::sync::Arc::new(plan.clone());
+        g.bench_with_input(
+            BenchmarkId::new("supervised_ckpt_off", trials),
+            &trials,
+            |b, &n| {
+                b.iter(|| {
+                    let sc = std::sync::Arc::clone(&sc_arc);
+                    let plan = std::sync::Arc::clone(&plan_arc);
+                    let spec = jobs::JobSpec::new("bench_supervised", 1, 0);
+                    jobs::run_units(&spec, move |_unit, _rec| {
+                        run_trials_policy(&sc, &plan, &kinds, n, 3, ExecPolicy::Serial)
+                    })
+                    .expect("supervised bench job")
+                });
+            },
+        );
         // Observability overhead: a disabled recorder must be free
         // (within noise of `serial`); enabled shows the metrics cost.
         let net = scenario_net_config(&sc);

@@ -38,6 +38,10 @@ pub const WALLCLOCK_ALLOWLIST: &[&str] = &[
     // stamp elapsed wall time there, every other obs module runs on
     // virtual sim time.
     "crates/obs/src/walltime.rs",
+    // The job supervisor's watchdog island: attempt deadlines are the
+    // one wall-clock read supervision needs, and they gate only
+    // *retries*, never results (a retried unit recomputes identically).
+    "crates/jobs/src/watchdog.rs",
 ];
 
 /// Rule identifiers understood by `detlint::allow(...)`.

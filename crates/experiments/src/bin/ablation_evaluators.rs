@@ -18,6 +18,7 @@ use traffic::ScenarioSampler;
 
 fn main() {
     let opts = ExpOpts::from_env();
+    opts.forbid_checkpointing("ablation_evaluators");
     let manifest = RunManifest::begin("ablation_evaluators");
     let recorder = opts.recorder();
     let sampler = ScenarioSampler {

@@ -13,6 +13,7 @@ use std::time::Instant;
 
 fn main() {
     let opts = ExpOpts::from_env();
+    opts.forbid_checkpointing("calibrate");
     let sampler = sampler_for(&opts);
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let scenario = sampler.sample_forced((0.3, 0.7), &mut rng);

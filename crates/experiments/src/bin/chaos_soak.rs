@@ -1,0 +1,297 @@
+//! **Chaos soak** — adversarial exercise of the crash-safe job layer.
+//!
+//! Runs a deterministic synthetic workload under the [`jobs`] supervisor
+//! while injecting the failure modes the supervisor exists to survive,
+//! and checks the recovery invariants the rest of the repo relies on:
+//!
+//! 1. **Fault recovery** — seed-derived worker panics and stalls
+//!    (watchdog-abandoned) are retried and the job still completes with
+//!    results identical to an undisturbed reference run.
+//! 2. **Kill/resume equivalence** — the run is cut at a deterministic
+//!    checkpoint boundary, resumed, and must reproduce the reference
+//!    results *and* byte-identical recorder metrics.
+//! 3. **Failure flushes** — a unit that fails every attempt aborts the
+//!    job but flushes completed units, so a later `--resume` finishes
+//!    without recomputing them.
+//! 4. **Checkpoint damage detection** — a truncated or corrupted
+//!    checkpoint is rejected with a typed [`jobs::ResumeError`] instead
+//!    of being silently (mis)loaded.
+//!
+//! Every round derives its chaos schedule, checkpoint cadence and
+//! kill-point from the seed, so failures reproduce exactly. Exit code 0
+//! when every round holds, 1 with a report on the first violation.
+//!
+//! ```text
+//! chaos_soak [--smoke] [--seed N] [--rounds N] [--units N] [--out DIR]
+//! ```
+
+use core::time::Duration;
+use jobs::{splitmix64, ChaosEvent, ChaosPlan, InterruptSource, JobError, JobSpec, JobStatus};
+use obs::Recorder;
+use std::path::PathBuf;
+
+/// Synthetic work unit: a short, fully deterministic splitmix64 chain
+/// with metrics, so resume equivalence covers both results and
+/// recorders. Heavy enough to be a real computation, light enough that
+/// a soak of hundreds of units stays sub-second.
+fn work(seed: u64) -> impl Fn(usize, &mut Recorder) -> u64 + Send + Sync + 'static {
+    move |unit, rec| {
+        let mut x = seed ^ (unit as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for _ in 0..64 {
+            x = splitmix64(x);
+        }
+        rec.add("chaos.units_computed", 1);
+        rec.observe("chaos.unit_value", (x % 1000) as f64);
+        x
+    }
+}
+
+struct SoakOpts {
+    seed: u64,
+    rounds: usize,
+    units: usize,
+    out: PathBuf,
+}
+
+impl SoakOpts {
+    fn parse() -> Self {
+        let mut o = SoakOpts {
+            seed: 7,
+            rounds: 8,
+            units: 48,
+            out: PathBuf::from("results/chaos_soak"),
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            let mut grab = || {
+                it.next()
+                    .unwrap_or_else(|| panic!("flag {a} expects a value"))
+            };
+            match a.as_str() {
+                "--smoke" => {
+                    o.rounds = 2;
+                    o.units = 16;
+                }
+                "--seed" => o.seed = grab().parse().expect("--seed expects an integer"),
+                "--rounds" => o.rounds = grab().parse().expect("--rounds expects an integer"),
+                "--units" => o.units = grab().parse().expect("--units expects an integer"),
+                "--out" => o.out = PathBuf::from(grab()),
+                other => {
+                    panic!("unknown flag {other}; supported: --smoke --seed --rounds --units --out")
+                }
+            }
+        }
+        o
+    }
+}
+
+/// One violated invariant aborts the soak with a reproducible report.
+fn fail(round: usize, seed: u64, what: &str) -> ! {
+    eprintln!("chaos_soak: FAIL (round {round}, seed {seed}): {what}");
+    std::process::exit(1);
+}
+
+fn base_spec(opts: &SoakOpts, name: &str, round: usize, round_seed: u64) -> JobSpec {
+    let mut spec = JobSpec::new(name, opts.units, round_seed);
+    spec.checkpoint_path = Some(opts.out.join(format!("{name}_r{round}.ckpt.jsonl")));
+    spec.checkpoint_every = 1 + (splitmix64(round_seed ^ 1) % 3) as usize;
+    spec.watchdog = Some(Duration::from_millis(50));
+    spec.seed = round_seed;
+    spec.obs = true;
+    spec.interrupt = InterruptSource::Never;
+    spec
+}
+
+/// Rounds 1–2 of the module docs: chaos + kill/resume equivalence.
+fn soak_round(opts: &SoakOpts, round: usize, reference: &jobs::JobOutcome<u64>) {
+    let round_seed = opts.seed ^ splitmix64(round as u64);
+    // ~15% of units panic and ~10% stall past the watchdog, first
+    // attempt only — every retry then succeeds.
+    let chaos = ChaosPlan::from_seed(round_seed, opts.units, 150, 100, 120);
+    let mut spec = base_spec(opts, "soak", round, round_seed);
+    spec.chaos = chaos.clone();
+    spec.kill_after_checkpoints = Some(1 + (splitmix64(round_seed ^ 2) % 4) as usize);
+
+    let cut = match jobs::run_units(&spec, work(opts.seed)) {
+        Ok(o) => o,
+        Err(e) => fail(round, opts.seed, &format!("chaos run errored: {e}")),
+    };
+    if cut.status == JobStatus::Interrupted && cut.completed_units() == opts.units {
+        fail(round, opts.seed, "interrupted run claims all units");
+    }
+
+    let mut resume_spec = spec.clone();
+    resume_spec.resume = true;
+    resume_spec.kill_after_checkpoints = None;
+    let resumed = match jobs::run_units(&resume_spec, work(opts.seed)) {
+        Ok(o) => o,
+        Err(e) => fail(round, opts.seed, &format!("resume errored: {e}")),
+    };
+    if resumed.status != JobStatus::Completed {
+        fail(round, opts.seed, "resumed run did not complete");
+    }
+    if resumed.results != reference.results {
+        fail(round, opts.seed, "resumed results differ from reference");
+    }
+    if !chaos.is_empty() && resumed.counters.units_resumed + resumed.counters.units_run == 0 {
+        fail(round, opts.seed, "resume did no work at all");
+    }
+    // Recorder equivalence: strip the supervisor's own jobs.* counters
+    // (they legitimately differ — the chaos path retries and resumes),
+    // then the workload metrics must round-trip the checkpoint exactly.
+    let strip = |r: &Recorder| -> String {
+        let mut clean = Recorder::enabled();
+        clean.add("chaos.units_computed", r.counter("chaos.units_computed"));
+        if let Some(h) = r.histogram("chaos.unit_value") {
+            clean.merge_histogram("chaos.unit_value", h.clone());
+        }
+        clean.metrics_json()
+    };
+    if strip(&resumed.recorder) != strip(&reference.recorder) {
+        fail(round, opts.seed, "resumed metrics differ from reference");
+    }
+    if cut.status == JobStatus::Interrupted {
+        let path = resume_spec.checkpoint_path.as_ref().unwrap();
+        if path.exists() {
+            fail(round, opts.seed, "completed resume left its checkpoint");
+        }
+    }
+    println!(
+        "round {round}: ok ({} chaos events, cut at {} units, resumed {}, retried {}, watchdog {})",
+        chaos.len(),
+        cut.completed_units(),
+        resumed.counters.units_resumed,
+        resumed.counters.retries + cut.counters.retries,
+        resumed.counters.watchdog_fires + cut.counters.watchdog_fires,
+    );
+}
+
+/// Invariant 3: a permanently failing unit aborts the job but leaves
+/// everything already computed resumable.
+fn failure_flush_check(opts: &SoakOpts, reference: &jobs::JobOutcome<u64>) {
+    let round_seed = opts.seed ^ 0xF1A5;
+    let victim = opts.units / 2;
+    let mut spec = base_spec(opts, "unitfail", 0, round_seed);
+    spec.max_attempts = 2;
+    spec.chaos.inject(victim, 0, ChaosEvent::Panic);
+    spec.chaos.inject(victim, 1, ChaosEvent::Panic);
+    match jobs::run_units(&spec, work(opts.seed)) {
+        Err(JobError::UnitFailed { unit, attempts, .. }) => {
+            if unit != victim || attempts != 2 {
+                fail(0, opts.seed, "UnitFailed blamed the wrong unit/attempts");
+            }
+        }
+        other => fail(0, opts.seed, &format!("expected UnitFailed, got {other:?}")),
+    }
+    let path = spec.checkpoint_path.clone().unwrap();
+    if !path.exists() {
+        fail(0, opts.seed, "failed job did not flush a checkpoint");
+    }
+    let mut resume_spec = spec.clone();
+    resume_spec.resume = true;
+    resume_spec.chaos = ChaosPlan::default();
+    let resumed = match jobs::run_units(&resume_spec, work(opts.seed)) {
+        Ok(o) => o,
+        Err(e) => fail(
+            0,
+            opts.seed,
+            &format!("resume after UnitFailed errored: {e}"),
+        ),
+    };
+    if resumed.results != reference.results {
+        fail(0, opts.seed, "post-failure resume differs from reference");
+    }
+    if resumed.counters.units_resumed != victim as u64 {
+        fail(0, opts.seed, "post-failure resume recomputed flushed units");
+    }
+    println!(
+        "unit-failure flush: ok (resumed {} units past the failure)",
+        resumed.counters.units_resumed
+    );
+}
+
+/// Invariant 4: damaged checkpoints are rejected with typed errors.
+fn corruption_checks(opts: &SoakOpts) {
+    let round_seed = opts.seed ^ 0xC0DE;
+    let mut spec = base_spec(opts, "corrupt", 0, round_seed);
+    spec.kill_after_checkpoints = Some(2);
+    let cut = jobs::run_units(&spec, work(opts.seed)).expect("seed run");
+    if cut.status != JobStatus::Interrupted {
+        fail(0, opts.seed, "corruption seed run was not interrupted");
+    }
+    let path = spec.checkpoint_path.clone().unwrap();
+    let pristine = std::fs::read(&path).expect("read checkpoint");
+    let mut resume_spec = spec.clone();
+    resume_spec.resume = true;
+    resume_spec.kill_after_checkpoints = None;
+
+    // Chop the footer (and likely a unit line) off: external truncation.
+    let half = &pristine[..pristine.len() / 2];
+    std::fs::write(&path, half).expect("write truncated checkpoint");
+    match jobs::run_units(&resume_spec, work(opts.seed)) {
+        Err(JobError::Resume(
+            jobs::ResumeError::Truncated { .. } | jobs::ResumeError::Corrupt { .. },
+        )) => {}
+        other => fail(
+            0,
+            opts.seed,
+            &format!("truncated checkpoint accepted: {other:?}"),
+        ),
+    }
+
+    // Corrupt the header in place: unreadable JSON.
+    let mut garbled = pristine.clone();
+    garbled[1] = b'!';
+    std::fs::write(&path, &garbled).expect("write garbled checkpoint");
+    match jobs::run_units(&resume_spec, work(opts.seed)) {
+        Err(JobError::Resume(jobs::ResumeError::Corrupt { line, .. })) => {
+            if line != 1 {
+                fail(0, opts.seed, "header corruption blamed the wrong line");
+            }
+        }
+        other => fail(
+            0,
+            opts.seed,
+            &format!("garbled checkpoint accepted: {other:?}"),
+        ),
+    }
+
+    // A digest from a different configuration must be rejected.
+    let mut alien_spec = resume_spec.clone();
+    alien_spec.config_digest ^= 1;
+    std::fs::write(&path, &pristine).expect("restore checkpoint");
+    match jobs::run_units(&alien_spec, work(opts.seed)) {
+        Err(JobError::Resume(jobs::ResumeError::DigestMismatch { .. })) => {}
+        other => fail(
+            0,
+            opts.seed,
+            &format!("alien-config checkpoint accepted: {other:?}"),
+        ),
+    }
+    let _ = std::fs::remove_file(&path);
+    println!("corruption detection: ok (truncated, garbled, alien digest all rejected)");
+}
+
+fn main() {
+    let opts = SoakOpts::parse();
+    std::fs::create_dir_all(&opts.out).expect("create soak output directory");
+    println!(
+        "chaos soak: seed {} · {} rounds × {} units · {}",
+        opts.seed,
+        opts.rounds,
+        opts.units,
+        opts.out.display()
+    );
+
+    // The undisturbed reference every chaos variant must reproduce.
+    let mut ref_spec = JobSpec::new("reference", opts.units, opts.seed);
+    ref_spec.obs = true;
+    let reference = jobs::run_units(&ref_spec, work(opts.seed)).expect("reference run");
+
+    for round in 0..opts.rounds {
+        soak_round(&opts, round, &reference);
+    }
+    failure_flush_check(&opts, &reference);
+    corruption_checks(&opts);
+    println!("chaos soak: all invariants held");
+}

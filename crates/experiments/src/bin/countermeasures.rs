@@ -21,6 +21,7 @@ fn with_defense(base: &NetConfig, defense: Defense) -> NetConfig {
 
 fn main() {
     let opts = ExpOpts::from_env();
+    opts.forbid_checkpointing("countermeasures");
     let manifest = RunManifest::begin("countermeasures");
     let recorder = opts.recorder();
     let sampler = sampler_for(&opts);

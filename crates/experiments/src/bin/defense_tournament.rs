@@ -3,10 +3,11 @@
 //! the one the attacker models?
 //!
 //! The grid crosses the switch's *actual* eviction policy
-//! ([`PolicyKind::all`]: SRT, LRU, FDRC) with the attacker's *assumed*
-//! policy — either the paper's SRT assumption or a matched model built
-//! with [`plan_attack_full`] against the true policy — under increasing
-//! uniform fault rates. Every cell reports both sides of the trade:
+//! ([`ftcache::PolicyKind::all`]: SRT, LRU, FDRC) with the attacker's
+//! *assumed* policy — either the paper's SRT assumption or a matched
+//! model built with [`attack::plan_attack_full`] against the true policy
+//! — under increasing uniform fault rates. Every cell reports both sides
+//! of the trade:
 //!
 //! * **cache metrics** — ingress hit rate and controller load (misses +
 //!   uncovered packets), the operational cost of the policy itself;
@@ -17,202 +18,16 @@
 //! attacker's accuracy without surrendering hit rate; the `assumed`
 //! column shows how much of that protection survives an attacker who
 //! re-models the true policy.
+//!
+//! The grid runs under the crash-safe job supervisor
+//! ([`experiments::sweeps::run_defense_tournament`]): `--checkpoint-every
+//! N` periodically persists completed cells to
+//! `<out>/defense_tournament.ckpt.jsonl`, `--resume` continues a killed
+//! run to byte-identical CSVs, and SIGINT/SIGTERM flush partial results
+//! plus an `interrupted` manifest (exit code 130).
 
-use attack::{plan_attack_full, run_trials_recorded, scenario_net_config, ProbePolicy};
-use attack::{AttackPlan, AttackerKind};
-use experiments::harness::{mean, sampler_for, write_csv, RunManifest};
-use experiments::{svg, ExpOpts};
-use ftcache::PolicyKind;
-use netsim::SwitchStats;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use recon_core::useq::Evaluator;
-use traffic::NetworkScenario;
-
-/// The attacker's model assumption for one tournament cell.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Assumed {
-    /// The paper's default: the attacker models SRT regardless of the
-    /// switch's actual policy.
-    Srt,
-    /// The attacker knows the actual policy and models it.
-    Matched,
-}
-
-impl Assumed {
-    fn name(self) -> &'static str {
-        match self {
-            Assumed::Srt => "srt",
-            Assumed::Matched => "matched",
-        }
-    }
-
-    fn policy(self, actual: PolicyKind) -> PolicyKind {
-        match self {
-            Assumed::Srt => PolicyKind::Srt,
-            Assumed::Matched => actual,
-        }
-    }
-}
-
-/// One sampled configuration with a plan per assumed policy, parallel to
-/// [`PolicyKind::all`].
-struct Config {
-    scenario: NetworkScenario,
-    plans: Vec<AttackPlan>,
-}
-
-impl Config {
-    fn plan_for(&self, policy: PolicyKind) -> &AttackPlan {
-        let i = PolicyKind::all()
-            .iter()
-            .position(|&p| p == policy)
-            .expect("every policy has a prebuilt plan");
-        &self.plans[i]
-    }
-}
+use experiments::{sweeps, ExpOpts};
 
 fn main() {
-    let opts = ExpOpts::from_env();
-    let manifest = RunManifest::begin("defense_tournament");
-    let mut recorder = opts.recorder();
-    let rates: &[f64] = if opts.fast {
-        &[0.0, 0.1]
-    } else {
-        &[0.0, 0.05, 0.15]
-    };
-    let kinds = [
-        AttackerKind::Naive,
-        AttackerKind::Model,
-        AttackerKind::Random,
-    ];
-    let probe_policy = ProbePolicy::default();
-
-    // Sample the configuration set once; every (policy, assumption, rate)
-    // cell then re-runs the *same* scenarios, so columns are comparable.
-    // Feasibility is gated on the SRT plan — the paper's baseline — and a
-    // plan is prebuilt against every policy the attacker might assume.
-    // The paper's operating point (capacity 6 of 12 rules, λ ≤ 1/s,
-    // sub-second TTLs) almost never fills the table, which would make
-    // every eviction policy trivially equivalent. Halving capacity and
-    // doubling traffic creates genuine eviction pressure — the regime
-    // where the policy choice is a live defense decision.
-    let mut sampler = sampler_for(&opts);
-    sampler.capacity = (sampler.capacity / 2).max(2);
-    sampler.lambda_max *= 2.0;
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-    let mut configs = Vec::new();
-    let mut attempts = 0usize;
-    while configs.len() < opts.configs && attempts < 60 * opts.configs {
-        attempts += 1;
-        let sc = sampler.sample_forced((0.2, 0.8), &mut rng);
-        let plans: Option<Vec<AttackPlan>> = PolicyKind::all()
-            .iter()
-            .map(|&assumed| {
-                plan_attack_full(&sc, Evaluator::mean_field(), 0, 0, opts.policy, assumed).ok()
-            })
-            .collect();
-        let Some(plans) = plans else { continue };
-        if plans[0].is_detector() {
-            configs.push(Config {
-                scenario: sc,
-                plans,
-            });
-        }
-    }
-    println!("{} detector-feasible configurations\n", configs.len());
-    println!(
-        "policy  assumed  rate   attacker   accuracy   answer-rate   hit-rate   ctrl-load/trial"
-    );
-
-    let mut rows = Vec::new();
-    let mut labels = Vec::new();
-    let mut acc_series: Vec<(&str, Vec<f64>)> = kinds.iter().map(|k| (k.name(), vec![])).collect();
-    for actual in PolicyKind::all() {
-        for assumed in [Assumed::Srt, Assumed::Matched] {
-            // For an SRT switch the matched attacker *is* the SRT
-            // attacker; skip the duplicate cell.
-            if assumed == Assumed::Matched && actual == PolicyKind::Srt {
-                continue;
-            }
-            let model_policy = assumed.policy(actual);
-            for &rate in rates {
-                let mut acc: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
-                let mut answer: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
-                let mut cache = vec![SwitchStats::default(); kinds.len()];
-                for (ci, config) in configs.iter().enumerate() {
-                    let mut net = scenario_net_config(&config.scenario);
-                    net.policy = actual;
-                    net.faults = netsim::FaultPlan::uniform(rate);
-                    let report = run_trials_recorded(
-                        &config.scenario,
-                        config.plan_for(model_policy),
-                        &kinds,
-                        opts.trials,
-                        opts.seed ^ (ci as u64).wrapping_mul(0xA5A5_5A5A_1234_5678),
-                        &net,
-                        opts.policy,
-                        Some(&probe_policy),
-                        &mut recorder,
-                    );
-                    for (ki, &k) in kinds.iter().enumerate() {
-                        acc[ki].push(report.accuracy(k));
-                        answer[ki].push(report.answer_rate(k));
-                        cache[ki].merge(report.cache_stats(k));
-                    }
-                }
-                if recorder.is_enabled() {
-                    eprintln!(
-                        "obs: {actual}/{} rate {rate:.2} done ({} configs)",
-                        assumed.name(),
-                        configs.len()
-                    );
-                }
-                labels.push(format!("{actual}/{}@{rate:.2}", assumed.name()));
-                let batch_trials = (configs.len() * opts.trials).max(1) as f64;
-                for (ki, &k) in kinds.iter().enumerate() {
-                    let a = mean(acc[ki].iter().copied().filter(|v| !v.is_nan()));
-                    let ar = mean(answer[ki].iter().copied());
-                    let s = &cache[ki];
-                    let hit_rate = s.hit_rate().unwrap_or(f64::NAN);
-                    let load_per_trial = s.controller_load() as f64 / batch_trials;
-                    println!(
-                        "{actual:<7} {:<8} {rate:<5.2}  {:<9}  {a:>8.3}   {ar:>11.3}   {hit_rate:>8.3}   {load_per_trial:>15.2}",
-                        assumed.name(),
-                        k.name(),
-                    );
-                    rows.push(format!(
-                        "{actual},{},{rate},{},{},{a},{ar},{hit_rate},{load_per_trial},{},{},{},{}",
-                        assumed.name(),
-                        k.name(),
-                        configs.len(),
-                        s.hits,
-                        s.misses,
-                        s.uncovered,
-                        s.evictions
-                    ));
-                    acc_series[ki].1.push(a);
-                }
-            }
-        }
-    }
-    write_csv(
-        &opts.out_file("defense_tournament.csv"),
-        "policy,assumed,fault_rate,attacker,configs,accuracy,answer_rate,hit_rate,controller_load_per_trial,hits,misses,uncovered,evictions",
-        &rows,
-    );
-    let chart = svg::grouped_bars(
-        "Attack accuracy vs. eviction policy (actual/assumed @ fault rate)",
-        &labels,
-        &acc_series,
-        "accuracy",
-    );
-    let path = opts.out_file("defense_tournament.svg");
-    std::fs::write(&path, chart).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
-    println!("wrote {}", path.display());
-    manifest.finish(
-        &opts,
-        &recorder,
-        &["defense_tournament.csv", "defense_tournament.svg"],
-    );
+    std::process::exit(sweeps::run_defense_tournament(&ExpOpts::from_env()));
 }

@@ -33,6 +33,7 @@ fn coarsen_once(sc: &NetworkScenario) -> Option<NetworkScenario> {
 
 fn main() {
     let opts = ExpOpts::from_env();
+    opts.forbid_checkpointing("defense_transform");
     let manifest = RunManifest::begin("defense_transform");
     let recorder = opts.recorder();
     let sampler = sampler_for(&opts);

@@ -26,6 +26,7 @@ fn in_bin<'a>(
 
 fn main() {
     let opts = ExpOpts::from_env();
+    opts.forbid_checkpointing("evaluate_suite");
     let manifest = RunManifest::begin("evaluate_suite");
     let mut recorder = opts.recorder();
     let kinds = [

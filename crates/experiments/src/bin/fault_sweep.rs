@@ -9,127 +9,16 @@
 //! also carries the *simulator-injected* fault totals (`inj_*` columns),
 //! so the measurement layer's observations can be cross-checked against
 //! what was actually injected.
+//!
+//! The grid runs under the crash-safe job supervisor
+//! ([`experiments::sweeps::run_fault_sweep`]): `--checkpoint-every N`
+//! periodically persists completed cells to
+//! `<out>/fault_sweep.ckpt.jsonl`, `--resume` continues a killed run to
+//! byte-identical CSVs, and SIGINT/SIGTERM flush partial results plus an
+//! `interrupted` manifest (exit code 130).
 
-use attack::{
-    plan_attack_policy, run_trials_recorded, scenario_net_config, AttackerKind, ProbePolicy,
-};
-use experiments::harness::{mean, sampler_for, write_csv, RunManifest};
-use experiments::{svg, ExpOpts};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use recon_core::useq::Evaluator;
+use experiments::{sweeps, ExpOpts};
 
 fn main() {
-    let opts = ExpOpts::from_env();
-    let manifest = RunManifest::begin("fault_sweep");
-    let mut recorder = opts.recorder();
-    let rates: &[f64] = if opts.fast {
-        &[0.0, 0.05, 0.15]
-    } else {
-        &[0.0, 0.01, 0.02, 0.05, 0.1, 0.15, 0.2]
-    };
-    let kinds = [
-        AttackerKind::Naive,
-        AttackerKind::Model,
-        AttackerKind::Random,
-    ];
-    let probe_policy = ProbePolicy::default();
-
-    // Sample the configuration set once (fault-free planning); every fault
-    // rate then re-runs the *same* scenarios, so columns are comparable.
-    let sampler = sampler_for(&opts);
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-    let mut configs = Vec::new();
-    let mut attempts = 0usize;
-    while configs.len() < opts.configs && attempts < 60 * opts.configs {
-        attempts += 1;
-        let sc = sampler.sample_forced((0.2, 0.8), &mut rng);
-        let Ok(plan) = plan_attack_policy(&sc, Evaluator::mean_field(), opts.policy) else {
-            continue;
-        };
-        if plan.is_detector() {
-            configs.push((sc, plan));
-        }
-    }
-    println!("{} detector-feasible configurations\n", configs.len());
-    println!("rate   attacker   accuracy   answer-rate   timeouts   inconclusive");
-
-    let mut rows = Vec::new();
-    let mut acc_series: Vec<(&str, Vec<f64>)> = kinds.iter().map(|k| (k.name(), vec![])).collect();
-    for &rate in rates {
-        let faults = netsim::FaultPlan::uniform(rate);
-        let mut acc: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
-        let mut answer: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
-        let mut counters = vec![attack::FaultCounters::default(); kinds.len()];
-        let mut injected = vec![netsim::FaultStats::default(); kinds.len()];
-        for (ci, (sc, plan)) in configs.iter().enumerate() {
-            let mut net = scenario_net_config(sc);
-            net.faults = faults;
-            let report = run_trials_recorded(
-                sc,
-                plan,
-                &kinds,
-                opts.trials,
-                opts.seed ^ (ci as u64).wrapping_mul(0xA5A5_5A5A_1234_5678),
-                &net,
-                opts.policy,
-                Some(&probe_policy),
-                &mut recorder,
-            );
-            for (ki, &k) in kinds.iter().enumerate() {
-                acc[ki].push(report.accuracy(k));
-                answer[ki].push(report.answer_rate(k));
-                counters[ki].merge(report.fault_counters(k));
-                injected[ki].merge(report.sim_faults(k));
-            }
-        }
-        if recorder.is_enabled() {
-            eprintln!("obs: fault rate {rate:.2} done ({} configs)", configs.len());
-        }
-        for (ki, &k) in kinds.iter().enumerate() {
-            let a = mean(acc[ki].iter().copied().filter(|v| !v.is_nan()));
-            let ar = mean(answer[ki].iter().copied());
-            let c = &counters[ki];
-            let inj = &injected[ki];
-            println!(
-                "{rate:<5.2}  {:<9}  {a:>8.3}   {ar:>11.3}   {:>8}   {:>12}",
-                k.name(),
-                c.timeouts,
-                c.inconclusive
-            );
-            rows.push(format!(
-                "{rate},{},{},{a},{ar},{},{},{},{},{},{},{},{},{},{},{}",
-                k.name(),
-                configs.len(),
-                c.probes,
-                c.timeouts,
-                c.retries,
-                c.outliers,
-                c.inconclusive,
-                inj.packets_dropped,
-                inj.packet_ins_lost,
-                inj.flow_mods_lost,
-                inj.flow_mods_delayed,
-                inj.flow_mods_rejected,
-                inj.probe_timeouts
-            ));
-            acc_series[ki].1.push(a);
-        }
-    }
-    write_csv(
-        &opts.out_file("fault_sweep.csv"),
-        "fault_rate,attacker,configs,accuracy,answer_rate,probes,timeouts,retries,outliers,inconclusive,inj_packets_dropped,inj_packet_ins_lost,inj_flow_mods_lost,inj_flow_mods_delayed,inj_flow_mods_rejected,inj_probe_timeouts",
-        &rows,
-    );
-    let labels: Vec<String> = rates.iter().map(|r| format!("{r:.2}")).collect();
-    let chart = svg::grouped_bars(
-        "Accuracy (answered questions) vs. uniform fault rate",
-        &labels,
-        &acc_series,
-        "accuracy",
-    );
-    let path = opts.out_file("fault_sweep.svg");
-    std::fs::write(&path, chart).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
-    println!("wrote {}", path.display());
-    manifest.finish(&opts, &recorder, &["fault_sweep.csv", "fault_sweep.svg"]);
+    std::process::exit(sweeps::run_fault_sweep(&ExpOpts::from_env()));
 }

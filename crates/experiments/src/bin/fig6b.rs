@@ -13,6 +13,7 @@ use experiments::{ascii_cdf, ExpOpts};
 
 fn main() {
     let opts = ExpOpts::from_env();
+    opts.forbid_checkpointing("fig6b");
     let manifest = RunManifest::begin("fig6b");
     let mut recorder = opts.recorder();
     let kinds = [AttackerKind::Naive, AttackerKind::Model];

@@ -15,6 +15,7 @@ use std::collections::BTreeMap;
 
 fn main() {
     let opts = ExpOpts::from_env();
+    opts.forbid_checkpointing("fig7a");
     let manifest = RunManifest::begin("fig7a");
     let mut recorder = opts.recorder();
     let kinds = [

@@ -14,6 +14,7 @@ use experiments::{ascii_bars, ConfigOutcome, ExpOpts};
 
 fn main() {
     let opts = ExpOpts::from_env();
+    opts.forbid_checkpointing("fig7b");
     let manifest = RunManifest::begin("fig7b");
     let mut recorder = opts.recorder();
     let bins: &[(f64, f64)] = &[(0.05, 0.2), (0.2, 0.4), (0.4, 0.6), (0.6, 0.8), (0.8, 0.95)];

@@ -9,6 +9,7 @@ use experiments::ExpOpts;
 
 fn main() {
     let opts = ExpOpts::from_env();
+    opts.forbid_checkpointing("latency_table");
     let manifest = RunManifest::begin("latency_table");
     let recorder = opts.recorder();
     let samples = if opts.fast { 500 } else { 5000 };

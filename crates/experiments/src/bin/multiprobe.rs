@@ -11,6 +11,7 @@ use recon_core::useq::Evaluator;
 
 fn main() {
     let opts = ExpOpts::from_env();
+    opts.forbid_checkpointing("multiprobe");
     let manifest = RunManifest::begin("multiprobe");
     let recorder = opts.recorder();
     let sampler = sampler_for(&opts);

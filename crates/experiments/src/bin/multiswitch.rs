@@ -17,6 +17,7 @@ use recon_core::useq::Evaluator;
 
 fn main() {
     let opts = ExpOpts::from_env();
+    opts.forbid_checkpointing("multiswitch");
     let manifest = RunManifest::begin("multiswitch");
     let recorder = opts.recorder();
     let sampler = sampler_for(&opts);

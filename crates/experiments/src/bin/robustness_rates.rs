@@ -27,6 +27,7 @@ type RateVariant = (&'static str, fn(&NetworkScenario) -> Vec<f64>);
 
 fn main() {
     let opts = ExpOpts::from_env();
+    opts.forbid_checkpointing("robustness_rates");
     let manifest = RunManifest::begin("robustness_rates");
     let recorder = opts.recorder();
     let sampler = sampler_for(&opts);

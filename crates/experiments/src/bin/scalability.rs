@@ -49,6 +49,7 @@ fn instance(n_rules: usize, timeout: u32) -> (RuleSet, FlowRates) {
 
 fn main() {
     let opts = ExpOpts::from_env();
+    opts.forbid_checkpointing("scalability");
     let manifest = RunManifest::begin("scalability");
     let recorder = opts.recorder();
     let capacity = 6;

@@ -16,6 +16,7 @@ use recon_core::useq::Evaluator;
 
 fn main() {
     let opts = ExpOpts::from_env();
+    opts.forbid_checkpointing("sweep_parameters");
     let manifest = RunManifest::begin("sweep_parameters");
     let recorder = opts.recorder();
     let sampler = sampler_for(&opts);

@@ -217,6 +217,20 @@ impl RunManifest {
     /// is overwritten per run (one line per file), so re-running an
     /// experiment replaces its manifest instead of growing it.
     pub fn finish(self, opts: &ExpOpts, recorder: &Recorder, csv_files: &[&str]) {
+        self.finish_with_status(opts, recorder, csv_files, "ok");
+    }
+
+    /// [`RunManifest::finish`] with an explicit run status — `"ok"` for
+    /// a complete run, `"interrupted"` when SIGINT/SIGTERM or a chaos
+    /// kill-point stopped it early (partial CSVs flushed, checkpoint
+    /// left for `--resume`).
+    pub fn finish_with_status(
+        self,
+        opts: &ExpOpts,
+        recorder: &Recorder,
+        csv_files: &[&str],
+        status: &str,
+    ) {
         let digest = fnv1a(
             format!(
                 "configs={},trials={},seed={},fast={},threads={}",
@@ -239,6 +253,7 @@ impl RunManifest {
             git_rev: git_rev(&cwd),
             detlint_budget: find_baseline().map_or(0, |p| detlint_budget(&p)),
             elapsed_secs: self.start.elapsed().as_secs_f64(),
+            status: status.to_string(),
             csv_files: csv_files.iter().map(|s| (*s).to_string()).collect(),
         };
         let mut line = entry.to_json_line(recorder);

@@ -20,6 +20,7 @@ pub mod chart;
 pub mod harness;
 pub mod opts;
 pub mod svg;
+pub mod sweeps;
 
 pub use chart::{ascii_bars, ascii_cdf};
 pub use harness::{collect_configs, ConfigClass, ConfigOutcome, RunManifest};

@@ -25,6 +25,20 @@ pub struct ExpOpts {
     /// this only controls whether the run's manifest carries metrics
     /// and per-config progress is printed.
     pub obs: bool,
+    /// Resume from `<experiment>.ckpt.jsonl` when present (`--resume`).
+    /// Bins without a checkpoint-aware job loop accept the flag too: a
+    /// fresh run is trivially equivalent to resuming nothing.
+    pub resume: bool,
+    /// Flush a checkpoint every N completed work units
+    /// (`--checkpoint-every N`; 0 disables periodic flushes). With
+    /// checkpointing off, outputs are bit-identical to the
+    /// pre-supervision engine.
+    pub checkpoint_every: usize,
+    /// Deterministic kill-point for the chaos gates
+    /// (`--kill-after-checkpoints N`, or the `FLOW_RECON_KILL_AFTER_CKPT`
+    /// environment variable): after writing checkpoint N the run stops
+    /// exactly as if interrupted.
+    pub kill_after_checkpoints: Option<usize>,
 }
 
 impl Default for ExpOpts {
@@ -37,6 +51,9 @@ impl Default for ExpOpts {
             fast: false,
             policy: ExecPolicy::from_env(),
             obs: obs_from_env(),
+            resume: false,
+            checkpoint_every: 0,
+            kill_after_checkpoints: kill_from_env(),
         }
     }
 }
@@ -47,10 +64,21 @@ fn obs_from_env() -> bool {
     std::env::var("FLOW_RECON_OBS").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
+/// The `FLOW_RECON_KILL_AFTER_CKPT` kill-point, if set to a positive
+/// integer — the env form lets the chaos CI gate cut a run without
+/// changing the command line under test.
+fn kill_from_env() -> Option<usize> {
+    std::env::var("FLOW_RECON_KILL_AFTER_CKPT")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
 impl ExpOpts {
     /// Parses `--configs N --trials N --seed N --out DIR --fast
-    /// --threads N|auto --obs` from an iterator of arguments (without
-    /// the program name).
+    /// --threads N|auto --obs --resume --checkpoint-every N
+    /// --kill-after-checkpoints N` from an iterator of arguments
+    /// (without the program name).
     ///
     /// # Panics
     ///
@@ -73,6 +101,22 @@ impl ExpOpts {
                 "--out" => opts.out = PathBuf::from(grab()),
                 "--fast" => opts.fast = true,
                 "--obs" => opts.obs = true,
+                "--resume" => opts.resume = true,
+                "--checkpoint-every" => {
+                    opts.checkpoint_every = grab()
+                        .parse()
+                        // detlint::allow(D4): CLI flag parse, same loud-exit
+                        // style as every other ExpOpts flag.
+                        .expect("--checkpoint-every expects an integer")
+                }
+                "--kill-after-checkpoints" => {
+                    opts.kill_after_checkpoints = Some(
+                        grab()
+                            .parse()
+                            // detlint::allow(D4): CLI flag parse, loud exit.
+                            .expect("--kill-after-checkpoints expects an integer"),
+                    )
+                }
                 "--threads" => {
                     let v = grab();
                     opts.policy = ExecPolicy::parse(&v).unwrap_or_else(|| {
@@ -80,7 +124,7 @@ impl ExpOpts {
                     });
                 }
                 other => panic!(
-                    "unknown flag {other}; supported: --configs --trials --seed --out --fast --threads --obs"
+                    "unknown flag {other}; supported: --configs --trials --seed --out --fast --threads --obs --resume --checkpoint-every --kill-after-checkpoints"
                 ),
             }
         }
@@ -107,6 +151,23 @@ impl ExpOpts {
         } else {
             Recorder::disabled()
         }
+    }
+
+    /// Guard for bins without a checkpoint-aware job loop: `--resume`
+    /// is harmless there (a fresh run is equivalent to resuming
+    /// nothing), but a checkpoint interval or kill-point would silently
+    /// do nothing — fail loudly instead of pretending.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--checkpoint-every` or `--kill-after-checkpoints`
+    /// was requested.
+    pub fn forbid_checkpointing(&self, bin: &str) {
+        assert!(
+            self.checkpoint_every == 0 && self.kill_after_checkpoints.is_none(),
+            "{bin} has no checkpoint-aware job loop; --checkpoint-every and \
+             --kill-after-checkpoints are only supported by fault_sweep and defense_tournament"
+        );
     }
 
     /// Ensures the output directory exists and returns the path of a file
@@ -173,6 +234,32 @@ mod tests {
         // Without the flag the setting follows FLOW_RECON_OBS (usually
         // unset), and recorder() mirrors it either way.
         assert_eq!(defaults.obs, defaults.recorder().is_enabled());
+    }
+
+    #[test]
+    fn checkpoint_flags_parse() {
+        let o = ExpOpts::parse(args(
+            "--resume --checkpoint-every 3 --kill-after-checkpoints 2",
+        ));
+        assert!(o.resume);
+        assert_eq!(o.checkpoint_every, 3);
+        assert_eq!(o.kill_after_checkpoints, Some(2));
+        let d = ExpOpts::parse(args(""));
+        assert!(!d.resume);
+        assert_eq!(d.checkpoint_every, 0);
+    }
+
+    #[test]
+    fn forbid_checkpointing_accepts_resume_only() {
+        let o = ExpOpts::parse(args("--resume"));
+        o.forbid_checkpointing("fig6a"); // must not panic
+    }
+
+    #[test]
+    #[should_panic(expected = "no checkpoint-aware job loop")]
+    fn forbid_checkpointing_rejects_interval() {
+        let o = ExpOpts::parse(args("--checkpoint-every 1"));
+        o.forbid_checkpointing("fig6a");
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Supervised, crash-safe execution of deterministic work units.
+//!
+//! The trial engine (`attack::run_trials_*`) is a pure function of its
+//! inputs, which makes every experiment a list of independent **work
+//! units** — "evaluate cell (rate, config)" — whose results merge
+//! commutatively. This crate adds the supervision layer a long-running
+//! measurement campaign needs without touching that purity:
+//!
+//! * **Panic isolation** — every unit attempt runs in its own thread
+//!   under `catch_unwind`; a panicking unit becomes a typed
+//!   [`WorkerFailure`], never a process abort.
+//! * **Watchdog** — a wall-clock deadline per attempt (the only
+//!   wall-clock reads live in [`watchdog`], a detlint-D2-allowlisted
+//!   island like `obs::walltime`). Hung units are abandoned and retried.
+//! * **Deterministic retry backoff** — retry delays are drawn from a
+//!   dedicated [`JOBS_STREAM_SALT`] stream keyed by `(seed, unit,
+//!   attempt)`. Backoff consumes *no* randomness from any trial stream,
+//!   so a retried unit recomputes byte-identical results: supervision
+//!   can never perturb science.
+//! * **Checkpoint/resume** — completed unit results (and their metric
+//!   deltas) are periodically flushed to `<name>.ckpt.jsonl` via an
+//!   atomic tmp-file rename, guarded by the run's config digest and git
+//!   revision. A killed job resumes to byte-identical outputs; see
+//!   [`checkpoint`] and [`ResumeError`].
+//! * **Graceful interrupts** — SIGINT/SIGTERM (or a test-injected flag,
+//!   see [`InterruptSource`]) stop the job at the next unit boundary
+//!   with a final checkpoint flush, reporting
+//!   [`JobStatus::Interrupted`] so callers can write partial results
+//!   and a manifest marked `interrupted`.
+//!
+//! The supervisor walks units sequentially — parallelism lives *inside*
+//! a unit (the trial engine's `ExecPolicy`), so results are trivially
+//! order-independent and a checkpoint is always a prefix-closed set of
+//! completed units. See DESIGN.md §10 for the full contract.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod interrupt;
+mod supervisor;
+pub mod watchdog;
+
+pub use checkpoint::{CkptMeta, ResumeError, CKPT_VERSION};
+pub use interrupt::{install_signal_handlers, InterruptSource};
+pub use supervisor::{
+    backoff_delay, run_units, ChaosEvent, ChaosPlan, JobCounters, JobOutcome, JobSpec, JobStatus,
+};
+
+use core::fmt;
+
+/// Salt for the supervisor's private RNG stream (retry backoff jitter).
+/// Every `*_SALT` constant in the workspace must be unique (detlint D3):
+/// auxiliary draws must never collide with — or perturb — the trial
+/// streams derived from the run seed.
+pub const JOBS_STREAM_SALT: u64 = 0x0B5E_55ED_5EED_0002;
+
+/// SplitMix64 — the workspace's standard cheap seed-mixing step. Used
+/// here to derive backoff jitter and chaos plans; never touches trial
+/// RNG state.
+#[must_use]
+pub fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Why one attempt of a work unit did not produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerFailure {
+    /// The unit's closure panicked; the payload was caught and rendered.
+    Panic {
+        /// The panic payload as text (`&str`/`String` payloads verbatim,
+        /// anything else a placeholder).
+        message: String,
+    },
+    /// The attempt exceeded the watchdog deadline and was abandoned.
+    WatchdogExpired {
+        /// The deadline that was exceeded, in milliseconds.
+        limit_ms: u64,
+    },
+}
+
+impl fmt::Display for WorkerFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkerFailure::Panic { message } => write!(f, "worker panicked: {message}"),
+            WorkerFailure::WatchdogExpired { limit_ms } => {
+                write!(f, "watchdog expired after {limit_ms} ms")
+            }
+        }
+    }
+}
+
+/// A job-level error: the run could not produce a complete (or cleanly
+/// interrupted) outcome.
+#[derive(Debug)]
+pub enum JobError {
+    /// `--resume` was requested but the checkpoint could not be used.
+    Resume(ResumeError),
+    /// One unit failed on every allowed attempt.
+    UnitFailed {
+        /// The failing unit index.
+        unit: usize,
+        /// How many attempts were made.
+        attempts: usize,
+        /// The last failure observed.
+        last: WorkerFailure,
+    },
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Resume(e) => write!(f, "cannot resume: {e}"),
+            JobError::UnitFailed {
+                unit,
+                attempts,
+                last,
+            } => write!(f, "unit {unit} failed after {attempts} attempts: {last}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+impl From<ResumeError> for JobError {
+    fn from(e: ResumeError) -> Self {
+        JobError::Resume(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spreads() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        assert_ne!(splitmix64(0), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+
+    #[test]
+    fn failure_and_error_render() {
+        let p = WorkerFailure::Panic {
+            message: "boom".into(),
+        };
+        assert_eq!(p.to_string(), "worker panicked: boom");
+        let w = WorkerFailure::WatchdogExpired { limit_ms: 50 };
+        assert!(w.to_string().contains("50 ms"));
+        let e = JobError::UnitFailed {
+            unit: 3,
+            attempts: 2,
+            last: p,
+        };
+        assert!(e.to_string().contains("unit 3"));
+        assert!(e.to_string().contains("2 attempts"));
+    }
+}

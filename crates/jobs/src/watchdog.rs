@@ -1,0 +1,61 @@
+//! Wall-clock deadlines — the only `jobs` module allowed to read the OS
+//! clock.
+//!
+//! This file is on detlint's D2 `WALLCLOCK_ALLOWLIST` (like
+//! `obs::walltime`); naming `std::time::Instant` anywhere else in the
+//! crate is a lint failure. The supervisor handles a [`Deadline`] as an
+//! opaque value and only ever asks "has it expired?" — keeping every
+//! wall-clock read behind this module so the boundary stays auditable.
+//! Deadlines gate *supervision* (abandoning hung attempts), never
+//! results: a unit that finishes just past its deadline is still
+//! accepted, and a retried unit recomputes identical output.
+
+use std::time::{Duration, Instant};
+
+/// A wall-clock deadline for one unit attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    start: Instant,
+    limit: Duration,
+}
+
+impl Deadline {
+    /// A deadline `limit` from now.
+    #[must_use]
+    pub fn after(limit: Duration) -> Self {
+        Deadline {
+            start: Instant::now(),
+            limit,
+        }
+    }
+
+    /// Whether the deadline has passed.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        self.start.elapsed() >= self.limit
+    }
+
+    /// The configured limit, in milliseconds (for failure reports).
+    #[must_use]
+    pub fn limit_ms(&self) -> u64 {
+        u64::try_from(self.limit.as_millis()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_deadline_is_not_expired() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        assert!(!d.expired());
+        assert_eq!(d.limit_ms(), 3_600_000);
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately() {
+        let d = Deadline::after(Duration::from_secs(0));
+        assert!(d.expired());
+    }
+}

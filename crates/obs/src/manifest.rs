@@ -132,6 +132,10 @@ pub struct ManifestEntry {
     pub detlint_budget: u64,
     /// Wall-clock duration of the run in seconds.
     pub elapsed_secs: f64,
+    /// How the run ended: `"ok"` for a complete run, `"interrupted"`
+    /// when SIGINT/SIGTERM (or a chaos kill-point) stopped it early and
+    /// only partial results were flushed.
+    pub status: String,
     /// CSV files this run wrote, relative to the manifest.
     pub csv_files: Vec<String>,
 }
@@ -144,7 +148,7 @@ impl ManifestEntry {
         let mut out = String::new();
         let _ = write!(
             out,
-            "{{\"experiment\":\"{}\",\"seed\":{},\"configs\":{},\"trials\":{},\"threads\":{},\"config_digest\":\"{}\",\"git_rev\":\"{}\",\"detlint_budget\":{},\"elapsed_secs\":{},\"csv_files\":[",
+            "{{\"experiment\":\"{}\",\"seed\":{},\"configs\":{},\"trials\":{},\"threads\":{},\"config_digest\":\"{}\",\"git_rev\":\"{}\",\"detlint_budget\":{},\"elapsed_secs\":{},\"status\":\"{}\",\"csv_files\":[",
             json_escape(&self.experiment),
             self.seed,
             self.configs,
@@ -154,6 +158,7 @@ impl ManifestEntry {
             json_escape(&self.git_rev),
             self.detlint_budget,
             fmt_f64(self.elapsed_secs),
+            json_escape(&self.status),
         );
         for (i, f) in self.csv_files.iter().enumerate() {
             if i > 0 {
@@ -216,12 +221,14 @@ mod tests {
             git_rev: "deadbeef".into(),
             detlint_budget: 45,
             elapsed_secs: 12.5,
+            status: "ok".into(),
             csv_files: vec!["fault_sweep.csv".into()],
         };
         let line = entry.to_json_line(&r);
         assert!(!line.contains('\n'));
         assert!(line.starts_with("{\"experiment\":\"fault_sweep\""));
         assert!(line.contains("\"seed\":42"));
+        assert!(line.contains("\"status\":\"ok\""));
         assert!(line.contains("\"csv_files\":[\"fault_sweep.csv\"]"));
         assert!(line.contains("\"attack.trials\":80"));
         assert!(line.ends_with("}}"));

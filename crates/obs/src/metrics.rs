@@ -74,3 +74,19 @@ pub const PLANNER_EVOLVE_SECS: &str = "core.planner.evolve_secs";
 /// Histogram of wall-clock time spent scoring candidate probes
 /// (seconds).
 pub const PLANNER_SCORE_SECS: &str = "core.planner.score_secs";
+
+/// Supervisor: work units computed in this process (excludes resumed).
+pub const JOBS_UNITS_RUN: &str = "jobs.units_run";
+/// Supervisor: work units recovered from a checkpoint instead of
+/// recomputed.
+pub const JOBS_UNITS_RESUMED: &str = "jobs.units_resumed";
+/// Supervisor: retry attempts after a worker failure.
+pub const JOBS_RETRIES: &str = "jobs.retries";
+/// Supervisor: worker panics caught by `catch_unwind` and retried.
+pub const JOBS_PANICS_CAUGHT: &str = "jobs.panics_caught";
+/// Supervisor: attempts abandoned by the wall-clock watchdog.
+pub const JOBS_WATCHDOG_FIRES: &str = "jobs.watchdog_fires";
+/// Supervisor: checkpoint snapshots flushed to disk.
+pub const JOBS_CHECKPOINTS_WRITTEN: &str = "jobs.checkpoints_written";
+/// Supervisor: checkpoint files loaded on `--resume`.
+pub const JOBS_CHECKPOINTS_LOADED: &str = "jobs.checkpoints_loaded";

@@ -126,6 +126,22 @@ impl Recorder {
         }
     }
 
+    /// Folds a whole histogram into the named slot (bucket-count adds,
+    /// exact min/max — same contract as [`Recorder::merge`]). This is
+    /// how the jobs layer restores checkpointed metric deltas, whose
+    /// histograms arrive reconstructed via [`Histogram::from_parts`]
+    /// rather than observation by observation.
+    pub fn merge_histogram(&mut self, name: &str, h: Histogram) {
+        let Some(inner) = self.inner.as_deref_mut() else {
+            return;
+        };
+        if let Some(mine) = inner.hists.get_mut(name) {
+            mine.merge(&h);
+        } else {
+            inner.hists.insert(name.to_string(), h);
+        }
+    }
+
     /// Folds another recorder's metrics into this one (unsigned adds and
     /// exact min/max: order-independent). Merging into a disabled
     /// recorder adopts the other's storage wholesale; merging a disabled
@@ -337,6 +353,25 @@ mod tests {
         let mut a2 = a.clone();
         a2.merge(Recorder::disabled());
         assert_eq!(a2, a);
+    }
+
+    #[test]
+    fn merge_histogram_matches_observation_merge() {
+        let mut observed = Recorder::enabled();
+        observed.observe("h", 1e-4);
+        observed.observe("h", 2e-3);
+        let mut rebuilt = Recorder::enabled();
+        let h = observed.histogram("h").unwrap().clone();
+        rebuilt.merge_histogram("h", h);
+        assert_eq!(rebuilt.histogram("h"), observed.histogram("h"));
+        // Merging into an existing slot adds buckets.
+        let h2 = observed.histogram("h").unwrap().clone();
+        rebuilt.merge_histogram("h", h2);
+        assert_eq!(rebuilt.histogram("h").unwrap().count(), 4);
+        // Disabled recorders stay inert.
+        let mut d = Recorder::disabled();
+        d.merge_histogram("h", Histogram::new());
+        assert!(d.is_empty());
     }
 
     #[test]

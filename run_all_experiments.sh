@@ -23,13 +23,36 @@ BIN="cargo run --release -p experiments --bin"
 
 # Runs one named step, failing the whole script immediately with an
 # unambiguous marker when it breaks — `set -e` alone leaves CI logs
-# ending mid-cargo-output with no hint of which experiment died.
+# ending mid-cargo-output with no hint of which experiment died. Exit
+# code 130 is the supervised sweeps' graceful-interrupt path (SIGINT/
+# SIGTERM): partial CSVs and an `interrupted` manifest were flushed,
+# and the run can continue from its checkpoint.
 run() {
     _name="$1"
     shift
     "$@" || {
         _code=$?
-        echo "FAILED: experiment '${_name}' (exit ${_code})" >&2
+        if [ "${_code}" -eq 130 ]; then
+            echo "INTERRUPTED: experiment '${_name}' stopped early; partial results flushed — rerun with --resume to continue" >&2
+        else
+            echo "FAILED: experiment '${_name}' (exit ${_code})" >&2
+        fi
+        exit "${_code}"
+    }
+}
+
+# Runs a step that MUST stop at a deterministic kill-point: anything but
+# the graceful-interrupt exit code (130) fails the script.
+run_interrupted() {
+    _name="$1"
+    shift
+    "$@" && {
+        echo "FAILED: '${_name}' expected an interrupted exit, but it completed" >&2
+        exit 1
+    }
+    _code=$?
+    [ "${_code}" -eq 130 ] || {
+        echo "FAILED: '${_name}' exit ${_code}, expected 130 (interrupted)" >&2
         exit "${_code}"
     }
 }
@@ -67,6 +90,18 @@ if [ "$SMOKE" -eq 1 ]; then
     run obs_csv_byte_equality cmp "$OUT/fault_sweep.csv" "$OUT/obs/fault_sweep.csv"
     run obs_manifest_nonempty test -s "$OUT/obs/fault_sweep.manifest.jsonl"
     run diagnose cargo run --release -p flow-recon -- diagnose --results "$OUT/obs"
+    # Crash-safety gates: cut each supervised grid at a checkpoint
+    # boundary (exit 130, checkpoint + partial CSV flushed), resume it,
+    # and require the CSV byte-identical to the uninterrupted run above.
+    run_interrupted fault_sweep_kill $BIN fault_sweep -- --configs 4 --trials 10 --seed 7 --fast --checkpoint-every 1 --kill-after-checkpoints 2 --out "$OUT/chaos"
+    run fault_sweep_resume $BIN fault_sweep -- --configs 4 --trials 10 --seed 7 --fast --resume --checkpoint-every 1 --out "$OUT/chaos"
+    run fault_sweep_resume_equality cmp "$OUT/fault_sweep.csv" "$OUT/chaos/fault_sweep.csv"
+    run_interrupted defense_tournament_kill $BIN defense_tournament -- --configs 4 --trials 10 --seed 7 --fast --checkpoint-every 2 --kill-after-checkpoints 2 --out "$OUT/chaos"
+    run defense_tournament_resume $BIN defense_tournament -- --configs 4 --trials 10 --seed 7 --fast --resume --checkpoint-every 2 --out "$OUT/chaos"
+    run defense_tournament_resume_equality cmp "$OUT/defense_tournament.csv" "$OUT/chaos/defense_tournament.csv"
+    # Supervisor soak: injected panics, watchdog stalls, kill/resume
+    # cycles and checkpoint-corruption detection on a synthetic job.
+    run chaos_soak cargo run --release -p experiments --bin chaos_soak -- --smoke --out "$OUT/chaos/soak"
     exit 0
 fi
 
@@ -79,9 +114,12 @@ run multiswitch $BIN multiswitch -- --configs 25 --trials 80 --seed 7
 run robustness_rates $BIN robustness_rates -- --configs 25 --trials 80 --seed 7
 run defense_transform $BIN defense_transform -- --configs 15 --trials 60 --seed 7
 run sweep_parameters $BIN sweep_parameters -- --configs 8 --trials 60 --seed 7
-run fault_sweep $BIN fault_sweep -- --configs 25 --trials 80 --seed 7 --obs
+# The two grid sweeps are the long-running steps; run them supervised
+# with periodic checkpoints so a killed run resumes instead of starting
+# over (--resume is a no-op when no checkpoint exists).
+run fault_sweep $BIN fault_sweep -- --configs 25 --trials 80 --seed 7 --obs --checkpoint-every 5 --resume
 run evaluate_suite $BIN evaluate_suite -- --configs 40 --trials 100 --seed 7 --obs
-run defense_tournament $BIN defense_tournament -- --configs 25 --trials 80 --seed 7 --obs
+run defense_tournament $BIN defense_tournament -- --configs 25 --trials 80 --seed 7 --obs --checkpoint-every 5 --resume
 run render_figures $BIN render_figures
 # Render every run manifest into the diagnose report (+ SVG histograms).
 run diagnose cargo run --release -p flow-recon -- diagnose --results results --svg results/diagnose.svg

@@ -395,6 +395,13 @@ fn render_manifest(
     let _ = writeln!(out, "  git rev         {}", jstr(v, "git_rev"));
     let _ = writeln!(out, "  detlint budget  {}", ju64(v, "detlint_budget"));
     let _ = writeln!(out, "  elapsed         {:.2} s", jf64(v, "elapsed_secs"));
+    // Manifests written before runs carried a status are complete "ok"
+    // runs by definition — only the supervised path can interrupt.
+    let status = jget(v, "status")
+        .and_then(Value::as_str)
+        .unwrap_or("ok")
+        .to_string();
+    let _ = writeln!(out, "  status          {status}");
     let csvs: Vec<&str> = jget(v, "csv_files")
         .and_then(Value::as_array)
         .map(|a| a.iter().filter_map(Value::as_str).collect())
@@ -498,6 +505,23 @@ fn render_manifest(
                 out,
                 "  {p:<6} hits {hits:>10}  misses {misses:>10}  evictions {evictions:>9}  \
                  installs {installs:>9}  hit rate {rate:.3}"
+            );
+        }
+    }
+
+    // Supervision counters from the crash-safe job layer (`jobs.*`),
+    // present whenever a sweep ran under `jobs::run_units` with --obs.
+    let supervisor: Vec<_> = counters
+        .iter()
+        .filter_map(|(k, val)| Some((k.strip_prefix("jobs.")?, val)))
+        .collect();
+    if !supervisor.is_empty() {
+        let _ = writeln!(out, "\nsupervisor:");
+        for (name, val) in supervisor {
+            let _ = writeln!(
+                out,
+                "  {name:<28} {}",
+                val.as_num().and_then(Number::as_u64).unwrap_or(0)
             );
         }
     }
@@ -746,6 +770,10 @@ mod tests {
         r.add_with_suffix(obs::metrics::CACHE_MISSES_PREFIX, "lru", 200);
         r.add_with_suffix(obs::metrics::CACHE_EVICTIONS_PREFIX, "lru", 150);
         r.add_with_suffix(obs::metrics::CACHE_INSTALLS_PREFIX, "lru", 190);
+        r.add(obs::metrics::JOBS_UNITS_RUN, 21);
+        r.add(obs::metrics::JOBS_RETRIES, 2);
+        r.add(obs::metrics::JOBS_PANICS_CAUGHT, 1);
+        r.add(obs::metrics::JOBS_CHECKPOINTS_WRITTEN, 7);
         for i in 0..50 {
             r.observe(
                 obs::metrics::PROBE_RTT_HIT,
@@ -766,6 +794,7 @@ mod tests {
             git_rev: "abc123".into(),
             detlint_budget: 45,
             elapsed_secs: 2.25,
+            status: "interrupted".into(),
             csv_files: vec!["fault_sweep.csv".into()],
         };
         let path = dir.join("fault_sweep.manifest.jsonl");
@@ -797,6 +826,11 @@ mod tests {
         assert!(out.contains("ingress cache counters by policy:"), "{out}");
         assert!(out.contains("lru"), "{out}");
         assert!(out.contains("hit rate 0.900"), "{out}");
+        assert!(out.contains("status          interrupted"), "{out}");
+        assert!(out.contains("supervisor:"), "{out}");
+        assert!(out.contains("units_run"), "{out}");
+        assert!(out.contains("panics_caught"), "{out}");
+        assert!(out.contains("checkpoints_written"), "{out}");
 
         // Directory scan finds the same manifest, and --svg writes a chart.
         let svg_path = dir.join("diagnose.svg");
@@ -827,6 +861,7 @@ mod tests {
             git_rev: "unknown".into(),
             detlint_budget: 0,
             elapsed_secs: 0.5,
+            status: "ok".into(),
             csv_files: vec!["latency_table.csv".into()],
         };
         let path = dir.join("latency_table.manifest.jsonl");
