@@ -20,6 +20,12 @@ use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use traffic::{poisson, NetworkScenario};
 
+/// Salt for the per-attacker decision stream inside one trial. The value
+/// predates the salt-naming convention and is pinned: changing it would
+/// shift every decision draw and break CSV byte-identity with published
+/// results.
+const DECIDE_STREAM_SALT: u64 = 0xDEAD_BEEF;
+
 /// A confusion-matrix accumulator, plus the trials the attacker could
 /// not answer. Accuracy is computed over **answered** trials only;
 /// [`Accuracy::answer_rate`] reports how many got an answer at all.
@@ -507,7 +513,7 @@ fn run_one_trial(
         sim.run_until(scenario.window_secs);
         let attacker = Attacker::from_plan(kind, plan, scenario.target);
         let mut decide_rng =
-            StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF ^ ((trial as u64) << 8) ^ i as u64);
+            StdRng::seed_from_u64(seed ^ DECIDE_STREAM_SALT ^ ((trial as u64) << 8) ^ i as u64);
         let verdict = match robust {
             None => Verdict::from_present(attacker.decide(&mut sim, &mut decide_rng)),
             Some(probe_policy) => {

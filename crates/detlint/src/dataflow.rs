@@ -1,0 +1,784 @@
+//! The dataflow rules D5–D8, built on the symbol [`graph`].
+//!
+//! Unlike D1–D4, these rules reason about *flows*: how a seed reaches a
+//! `seed_from_u64` call (D5), whether float comparisons are total (D6),
+//! in which order locks are taken (D7), and what a `CachePolicy` impl
+//! can reach (D8). The analysis is intra-crate, name-based and
+//! deliberately approximate — anything it cannot resolve degrades
+//! toward silence, and the fixture tests pin exactly where each rule
+//! fires. Every rule honors `detlint::allow(<rule>): <reason>` on the
+//! offending line.
+//!
+//! [`graph`]: crate::graph
+
+use crate::graph::{CrateGraph, FileUnit, FnRef};
+use crate::lexer::{Tok, Token};
+use crate::parser::matching_close;
+use crate::rules::{Allows, Finding, DETERMINISTIC_CRATES};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One file prepared for dataflow analysis.
+pub struct AnalysisUnit {
+    /// Lexed + parsed file with test spans.
+    pub file: FileUnit,
+    /// Resolved allow annotations.
+    pub allows: Allows,
+    /// Whether the file is in a deterministic crate's `src/` tree
+    /// (mirrors `FileCtx::deterministic`).
+    pub deterministic: bool,
+}
+
+/// Crates whose RNG seeding is governed by D5 (the deterministic crates
+/// plus the job supervisor, whose retry streams feed chaos schedules).
+fn d5_scope(crate_key: &str) -> bool {
+    DETERMINISTIC_CRATES.contains(&crate_key) || crate_key == "jobs"
+}
+
+/// Runs D5–D8 over the whole workspace. `units` must be sorted by path.
+#[must_use]
+pub fn check_dataflow(units: &[AnalysisUnit]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut by_crate: BTreeMap<&str, Vec<&AnalysisUnit>> = BTreeMap::new();
+    for u in units {
+        by_crate.entry(&u.file.crate_key).or_default().push(u);
+    }
+    // Salted seeding sites across the whole workspace, for the
+    // salt-reuse check: salt name → sites (file, line).
+    let mut salt_sites: BTreeMap<String, Vec<(String, u32)>> = BTreeMap::new();
+
+    for (crate_key, crate_units) in &by_crate {
+        let graph = CrateGraph::build(crate_units.iter().map(|u| &u.file).collect());
+        if d5_scope(crate_key) {
+            check_d5(crate_units, &graph, &mut findings, &mut salt_sites);
+        }
+        check_d6(crate_units, &mut findings);
+        check_d7(crate_units, &mut findings);
+        check_d8(crate_units, &graph, &mut findings);
+    }
+
+    // D5 salt reuse: one salt, one stream. The first seeding site owns
+    // the salt; every later site must mint its own.
+    for (salt, sites) in &salt_sites {
+        if sites.len() < 2 {
+            continue;
+        }
+        let (first_file, first_line) = &sites[0];
+        for (file, line) in &sites[1..] {
+            findings.push(Finding {
+                file: file.clone(),
+                line: *line,
+                rule: "D5".into(),
+                msg: format!(
+                    "salt `{salt}` already seeds a stream at {first_file}:{first_line} — \
+                     distinct streams need distinct salts"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// D5 — RNG-stream lineage
+// ---------------------------------------------------------------------------
+
+/// What a seed expression was traced to.
+#[derive(Debug, Default)]
+struct Lineage {
+    /// Number of seed roots reached (run-seed parameters/locals).
+    roots: usize,
+    /// `*_SALT` constants reached at the top level.
+    salts: BTreeSet<String>,
+    /// A root was combined with non-`^`/`splitmix64` arithmetic.
+    raw_arith: bool,
+    /// A bare numeric literal stood as a whole XOR term.
+    literal_salt: bool,
+}
+
+impl Lineage {
+    fn merge(&mut self, other: Lineage) {
+        self.roots = self.roots.max(other.roots);
+        self.salts.extend(other.salts);
+        self.raw_arith |= other.raw_arith;
+        self.literal_salt |= other.literal_salt;
+    }
+}
+
+fn is_seed_like(name: &str) -> bool {
+    name.to_ascii_lowercase().contains("seed")
+}
+
+/// The index of the innermost fn whose body contains token `idx`.
+fn enclosing_fn_idx(unit: &FileUnit, idx: usize) -> Option<usize> {
+    unit.parsed
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.body.is_some_and(|(a, b)| idx >= a && idx < b))
+        .min_by_key(|(_, f)| {
+            let (a, b) = f.body.unwrap_or((0, usize::MAX));
+            b - a
+        })
+        .map(|(i, _)| i)
+}
+
+/// Splits `range` into top-level `^` terms (paren depth 0).
+fn split_xor(tokens: &[Token], range: (usize, usize)) -> Vec<(usize, usize)> {
+    let (start, end) = range;
+    let mut terms = Vec::new();
+    let mut seg = start;
+    let mut depth = 0i32;
+    let mut i = start;
+    while i < end.min(tokens.len()) {
+        match tokens[i].tok {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+            Tok::Punct('^') if depth == 0 => {
+                terms.push((seg, i));
+                seg = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if seg < end {
+        terms.push((seg, end));
+    }
+    terms
+}
+
+/// Strips redundant outer parens: `( expr )` → `expr`.
+fn strip_parens(tokens: &[Token], mut range: (usize, usize)) -> (usize, usize) {
+    loop {
+        let (a, b) = range;
+        if b > a + 1
+            && matches!(tokens.get(a), Some(t) if t.tok == Tok::Punct('('))
+            && matching_close(tokens, a) == b
+        {
+            range = (a + 1, b - 1);
+        } else {
+            return range;
+        }
+    }
+}
+
+/// Resolves the lineage of the expression `tokens[range]` in file `fi`
+/// of `graph`. `visited` breaks param-tracing cycles; `depth` caps
+/// recursion through locals, consts and callers.
+fn resolve_expr(
+    graph: &CrateGraph,
+    fi: usize,
+    range: (usize, usize),
+    depth: usize,
+    visited: &mut BTreeSet<(usize, usize, String)>,
+) -> Lineage {
+    let mut out = Lineage::default();
+    if depth > 8 {
+        return out;
+    }
+    let tokens = &graph.files[fi].lexed.tokens;
+    let range = strip_parens(tokens, range);
+    for term in split_xor(tokens, range) {
+        let term = strip_parens(tokens, term);
+        out.merge(resolve_term(graph, fi, term, depth, visited));
+    }
+    out
+}
+
+/// Classifies one XOR term.
+fn resolve_term(
+    graph: &CrateGraph,
+    fi: usize,
+    term: (usize, usize),
+    depth: usize,
+    visited: &mut BTreeSet<(usize, usize, String)>,
+) -> Lineage {
+    let mut out = Lineage::default();
+    let tokens = &graph.files[fi].lexed.tokens;
+    let (a, b) = term;
+    if a >= b || b > tokens.len() {
+        return out;
+    }
+    let slice = &tokens[a..b];
+
+    // Bare numeric literal: an inline, unnamed salt.
+    if slice.len() == 1 {
+        if let Tok::Num(_) = slice[0].tok {
+            out.literal_salt = true;
+            return out;
+        }
+    }
+
+    // `splitmix64(inner)` (optionally path-qualified): sanctioned
+    // chaining — the term's lineage is the argument's lineage.
+    if let Some(arg) = as_call_of(tokens, term, "splitmix64") {
+        out.merge(resolve_expr(graph, fi, arg, depth + 1, visited));
+        return out;
+    }
+
+    // Pure ident term — `name`, `path::name`, `self.field` chains, or
+    // `name as u64` casts: resolve the significant ident.
+    if let Some(name) = as_simple_ident(slice) {
+        return resolve_ident(graph, fi, a, &name, depth, visited);
+    }
+
+    // Some other call `f(args…)`: fold the lineage of its arguments
+    // (covers helper fns like `stream_key(seed, unit, attempt)`).
+    if let Some(args) = as_any_call(tokens, term) {
+        for arg in args {
+            out.merge(resolve_expr(graph, fi, arg, depth + 1, visited));
+        }
+        return out;
+    }
+
+    // Compound term (shifts, multiplies, method chains). If it touches
+    // a seed-like ident, that is raw arithmetic on a seed; otherwise it
+    // is key material (indices, counters) and neutral.
+    let touches_seed = slice
+        .iter()
+        .any(|t| matches!(&t.tok, Tok::Ident(s) if is_seed_like(s)));
+    if touches_seed {
+        out.raw_arith = true;
+    }
+    out
+}
+
+/// If `term` is exactly `callee(args…)` with `callee == name`
+/// (optionally `path::callee`), returns the argument range.
+fn as_call_of(tokens: &[Token], term: (usize, usize), name: &str) -> Option<(usize, usize)> {
+    let (a, b) = term;
+    // Find the final ident directly before the `(` that closes at `b`.
+    let mut i = a;
+    while i < b {
+        if let Tok::Ident(id) = &tokens[i].tok {
+            if matches!(tokens.get(i + 1), Some(t) if t.tok == Tok::Punct('(')) {
+                let close = matching_close(tokens, i + 1);
+                if close == b && id == name {
+                    return Some((i + 2, b - 1));
+                }
+                return None;
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// If `term` is exactly one call `f(args…)` (any callee, path allowed),
+/// returns the per-argument ranges.
+fn as_any_call(tokens: &[Token], term: (usize, usize)) -> Option<Vec<(usize, usize)>> {
+    let (a, b) = term;
+    let mut i = a;
+    while i < b {
+        match &tokens[i].tok {
+            Tok::Ident(_) => {
+                if matches!(tokens.get(i + 1), Some(t) if t.tok == Tok::Punct('(')) {
+                    let close = matching_close(tokens, i + 1);
+                    if close != b {
+                        return None;
+                    }
+                    // Split args at depth-0 commas.
+                    let mut args = Vec::new();
+                    let mut seg = i + 2;
+                    let mut depth = 0i32;
+                    for (k, t) in tokens.iter().enumerate().take(b - 1).skip(i + 2) {
+                        match t.tok {
+                            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+                            Tok::Punct(',') if depth == 0 => {
+                                args.push((seg, k));
+                                seg = k + 1;
+                            }
+                            _ => {}
+                        }
+                    }
+                    if seg < b - 1 {
+                        args.push((seg, b - 1));
+                    }
+                    return Some(args);
+                }
+                i += 1;
+            }
+            Tok::Punct(':') => i += 1,
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// If the term is a plain name — `x`, `a::b::X`, `self.x.y`, or any of
+/// those with a trailing `as <ty>` cast — returns the significant ident
+/// (last path/field segment before the cast).
+fn as_simple_ident(slice: &[Token]) -> Option<String> {
+    let mut last: Option<String> = None;
+    let mut i = 0usize;
+    while i < slice.len() {
+        match &slice[i].tok {
+            Tok::Ident(s) if s == "as" => {
+                // The rest is a type; accept whatever we have.
+                return last;
+            }
+            Tok::Ident(s) => {
+                last = Some(s.clone());
+                i += 1;
+            }
+            Tok::Punct('.') | Tok::Punct(':') | Tok::Punct('&') | Tok::Punct('*') => i += 1,
+            _ => return None,
+        }
+    }
+    last
+}
+
+/// Resolves an ident used at token position `at` in file `fi`: local
+/// `let` bindings shadow fn params, which shadow crate consts; an
+/// unresolvable seed-like name counts as a root, anything else is
+/// neutral key material.
+fn resolve_ident(
+    graph: &CrateGraph,
+    fi: usize,
+    at: usize,
+    name: &str,
+    depth: usize,
+    visited: &mut BTreeSet<(usize, usize, String)>,
+) -> Lineage {
+    let mut out = Lineage::default();
+    if depth > 8 {
+        return out;
+    }
+    // Salt constant by naming convention — terminal.
+    if name.ends_with("_SALT") {
+        out.salts.insert(name.to_string());
+        return out;
+    }
+    let unit = graph.files[fi];
+    let fn_idx = enclosing_fn_idx(unit, at);
+
+    // Local `let` binding.
+    if let Some(gi) = fn_idx {
+        if let Some(body) = unit.parsed.fns[gi].body {
+            if let Some(init) = crate::graph::resolve_local(&unit.lexed.tokens, body, at, name) {
+                return resolve_expr(graph, fi, init, depth + 1, visited);
+            }
+        }
+    }
+
+    // Function parameter: trace through intra-crate callers.
+    if let Some(gi) = fn_idx {
+        let f = &unit.parsed.fns[gi];
+        if let Some(pidx) = f.params.iter().position(|p| p == name) {
+            if !visited.insert((fi, gi, name.to_string())) {
+                return out; // recursion cycle
+            }
+            // `calls_in` (and therefore `callers_of`) already excludes
+            // call sites inside test spans.
+            let callers = graph.callers_of((fi, gi));
+            let live: Vec<_> = callers.iter().take(8).collect();
+            if live.is_empty() {
+                if is_seed_like(name) {
+                    out.roots = 1;
+                }
+                return out;
+            }
+            for (caller, site) in live {
+                let arg_idx = if site.method && f.params.first().is_some_and(|p| p == "self") {
+                    pidx.checked_sub(1)
+                } else {
+                    Some(pidx)
+                };
+                let Some(arg_idx) = arg_idx else { continue };
+                let Some(&arg) = site.args.get(arg_idx) else {
+                    continue;
+                };
+                out.merge(resolve_expr(graph, caller.0, arg, depth + 1, visited));
+            }
+            // If no caller lineage surfaced but the name is seed-like,
+            // treat the param itself as the root (e.g. callers pass
+            // opaque expressions).
+            if out.roots == 0 && out.salts.is_empty() && is_seed_like(name) {
+                out.roots = 1;
+            }
+            return out;
+        }
+    }
+
+    // Crate const.
+    if let Some((cfi, init)) = graph.const_init(name) {
+        return resolve_expr(graph, cfi, init, depth + 1, visited);
+    }
+
+    // Unresolvable: match-arm bindings, loop vars, fields. Seed-like
+    // names count as roots; everything else is key material.
+    if is_seed_like(name) {
+        out.roots = 1;
+    }
+    out
+}
+
+fn check_d5(
+    units: &[&AnalysisUnit],
+    graph: &CrateGraph,
+    findings: &mut Vec<Finding>,
+    salt_sites: &mut BTreeMap<String, Vec<(String, u32)>>,
+) {
+    // Seeding sites in source order; bare-root sites are tallied so the
+    // crate's single root stream stays legal.
+    let mut bare_roots: Vec<(String, u32)> = Vec::new();
+    for (fi, au) in units.iter().enumerate() {
+        if !au.file.is_src {
+            continue;
+        }
+        let tokens = &au.file.lexed.tokens;
+        for idx in 0..tokens.len() {
+            let Tok::Ident(id) = &tokens[idx].tok else {
+                continue;
+            };
+            if id != "seed_from_u64"
+                || !matches!(tokens.get(idx + 1), Some(t) if t.tok == Tok::Punct('('))
+                || au.file.in_test(idx)
+            {
+                continue;
+            }
+            // `fn seed_from_u64` (the vendored definition) is not a call.
+            if idx > 0 && tokens[idx - 1].tok == Tok::Ident("fn".into()) {
+                continue;
+            }
+            let line = tokens[idx].line;
+            let close = matching_close(tokens, idx + 1);
+            let arg = (idx + 2, close.saturating_sub(1));
+            let mut visited = BTreeSet::new();
+            let lin = resolve_expr(graph, fi, arg, 0, &mut visited);
+            let allowed = au.allows.permits(line, "D5");
+            let file = au.file.rel_path.clone();
+            let mut push = |msg: String| {
+                if !allowed {
+                    findings.push(Finding {
+                        file: file.clone(),
+                        line,
+                        rule: "D5".into(),
+                        msg,
+                    });
+                }
+            };
+            // A malformed derivation is reported once; classifying its
+            // roots/salts on top would double-report the same site.
+            if lin.raw_arith {
+                push(
+                    "seed combined with non-XOR arithmetic — derive streams only \
+                     via `seed ^ <salt>` or `splitmix64` chaining"
+                        .into(),
+                );
+                continue;
+            }
+            if lin.literal_salt {
+                push(
+                    "inline numeric salt — name it as a `*_STREAM_SALT` const so \
+                     rule D3 can check salt uniqueness"
+                        .into(),
+                );
+                continue;
+            }
+            match (lin.salts.len(), lin.roots) {
+                (0, 0) => {
+                    push(
+                        "seed expression does not trace to the run seed — expected \
+                         `seed ^ <*_STREAM_SALT>`"
+                            .into(),
+                    );
+                }
+                (0, _roots @ 1..) => {
+                    if !allowed {
+                        bare_roots.push((file.clone(), line));
+                    }
+                }
+                (1, 0) => {
+                    push(
+                        "salted expression has no seed root — the salt alone is a constant".into(),
+                    );
+                }
+                (1, _) => {
+                    let salt = lin.salts.iter().next().cloned().unwrap_or_default();
+                    if !allowed {
+                        salt_sites
+                            .entry(salt)
+                            .or_default()
+                            .push((file.clone(), line));
+                    }
+                }
+                (2.., _) => {
+                    push(format!(
+                        "seed mixes {} salts ({}) — exactly one salt names one stream",
+                        lin.salts.len(),
+                        lin.salts.iter().cloned().collect::<Vec<_>>().join(", ")
+                    ));
+                }
+            }
+        }
+    }
+    // One unsalted root stream per crate is the sanctioned "primary"
+    // stream; every further one must take a salt.
+    for (file, line) in bare_roots.iter().skip(1) {
+        findings.push(Finding {
+            file: file.clone(),
+            line: *line,
+            rule: "D5".into(),
+            msg: format!(
+                "second unsalted seeding of the run seed in this crate (first at \
+                 {}:{}) — XOR in a dedicated `*_STREAM_SALT`",
+                bare_roots[0].0, bare_roots[0].1
+            ),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// D6 — float comparison totality and ordered reductions
+// ---------------------------------------------------------------------------
+
+fn check_d6(units: &[&AnalysisUnit], findings: &mut Vec<Finding>) {
+    for au in units.iter() {
+        if !au.deterministic {
+            continue;
+        }
+        let tokens = &au.file.lexed.tokens;
+        for idx in 0..tokens.len() {
+            if au.file.in_test(idx) {
+                continue;
+            }
+            let Tok::Ident(id) = &tokens[idx].tok else {
+                continue;
+            };
+            let line = tokens[idx].line;
+            // `.partial_cmp(` usage (definitions `fn partial_cmp` exempt).
+            if id == "partial_cmp"
+                && matches!(tokens.get(idx + 1), Some(t) if t.tok == Tok::Punct('('))
+                && !(idx > 0 && tokens[idx - 1].tok == Tok::Ident("fn".into()))
+                && !au.allows.permits(line, "D6")
+            {
+                findings.push(Finding {
+                    file: au.file.rel_path.clone(),
+                    line,
+                    rule: "D6".into(),
+                    msg: "`partial_cmp` in a deterministic crate — NaN makes the \
+                          order partial and comparator-dependent; use \
+                          `f64::total_cmp` (or derive `Ord` on integer keys)"
+                        .into(),
+                });
+            }
+            // Shared-state mutation inside a closure passed to
+            // `map_indexed` — reductions must stay index-ordered.
+            if id == "map_indexed"
+                && matches!(tokens.get(idx + 1), Some(t) if t.tok == Tok::Punct('('))
+                && !(idx > 0 && tokens[idx - 1].tok == Tok::Ident("fn".into()))
+            {
+                let close = matching_close(tokens, idx + 1);
+                for k in idx + 2..close.saturating_sub(1) {
+                    let Tok::Ident(inner) = &tokens[k].tok else {
+                        continue;
+                    };
+                    let is_shared =
+                        (inner == "lock" || inner == "fetch_add" || inner == "fetch_sub")
+                            && k > 0
+                            && tokens[k - 1].tok == Tok::Punct('.');
+                    let iline = tokens[k].line;
+                    if is_shared && !au.allows.permits(iline, "D6") {
+                        findings.push(Finding {
+                            file: au.file.rel_path.clone(),
+                            line: iline,
+                            rule: "D6".into(),
+                            msg: format!(
+                                "`.{inner}(` inside a `map_indexed` closure — \
+                                 accumulation order would depend on scheduling; \
+                                 return per-index values and reduce serially"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// D7 — static lock-acquisition order
+// ---------------------------------------------------------------------------
+
+/// One acquisition: `(receiver, file, line, fn name)`.
+type Acq = (String, String, u32, String);
+/// An ordered receiver pair `(first, second)`.
+type PairKey = (String, String);
+/// Where a pair direction was observed: `(file, line, fn name)`.
+type PairLoc = (String, u32, String);
+
+fn check_d7(units: &[&AnalysisUnit], findings: &mut Vec<Finding>) {
+    // Per ordered pair (a, b): the first place a→b was observed.
+    let mut pair_first: BTreeMap<PairKey, PairLoc> = BTreeMap::new();
+    let mut ordered_pairs: Vec<(PairKey, PairLoc, bool)> = Vec::new();
+    for au in units.iter() {
+        if !au.file.is_src {
+            continue;
+        }
+        let tokens = &au.file.lexed.tokens;
+        let has_rwlock = tokens.iter().any(|t| t.tok == Tok::Ident("RwLock".into()));
+        for (gi, f) in au.file.parsed.fns.iter().enumerate() {
+            let Some((start, end)) = f.body else { continue };
+            // Only the innermost fn owns its acquisitions.
+            let seq: Vec<Acq> = (start..end.min(tokens.len()))
+                .filter_map(|idx| {
+                    if au.file.in_test(idx) {
+                        return None;
+                    }
+                    if enclosing_fn_idx(&au.file, idx) != Some(gi) {
+                        return None;
+                    }
+                    let Tok::Ident(id) = &tokens[idx].tok else {
+                        return None;
+                    };
+                    let is_lock = id == "lock";
+                    let is_rw = (id == "read" || id == "write") && has_rwlock;
+                    if !is_lock && !is_rw {
+                        return None;
+                    }
+                    // Must be `.name()` with empty parens (guard-style
+                    // acquisition; `read(&mut buf)` is I/O, not a lock).
+                    if idx == 0 || tokens[idx - 1].tok != Tok::Punct('.') {
+                        return None;
+                    }
+                    if !matches!(tokens.get(idx + 1), Some(t) if t.tok == Tok::Punct('('))
+                        || !matches!(tokens.get(idx + 2), Some(t) if t.tok == Tok::Punct(')'))
+                    {
+                        return None;
+                    }
+                    // Receiver: the ident before the dot.
+                    let Some(Tok::Ident(recv)) = idx
+                        .checked_sub(2)
+                        .and_then(|k| tokens.get(k))
+                        .map(|t| &t.tok)
+                    else {
+                        return None;
+                    };
+                    Some((
+                        recv.clone(),
+                        au.file.rel_path.clone(),
+                        tokens[idx].line,
+                        f.name.clone(),
+                    ))
+                })
+                .collect();
+            for i in 0..seq.len() {
+                for j in i + 1..seq.len() {
+                    if seq[i].0 == seq[j].0 {
+                        continue;
+                    }
+                    let key = (seq[i].0.clone(), seq[j].0.clone());
+                    let loc = (seq[j].1.clone(), seq[j].2, seq[j].3.clone());
+                    let allowed = au.allows.permits(seq[j].2, "D7");
+                    if !pair_first.contains_key(&key) {
+                        pair_first.insert(key.clone(), loc.clone());
+                    }
+                    ordered_pairs.push((key, loc, allowed));
+                }
+            }
+        }
+    }
+    // Inconsistency: both (a, b) and (b, a) observed somewhere in the
+    // crate. Report at every occurrence of the direction observed later.
+    let mut reported: BTreeSet<(String, u32)> = BTreeSet::new();
+    for (key, loc, allowed) in &ordered_pairs {
+        let rev = (key.1.clone(), key.0.clone());
+        let Some(first_rev) = pair_first.get(&rev) else {
+            continue;
+        };
+        if *allowed || !reported.insert((loc.0.clone(), loc.1)) {
+            continue;
+        }
+        // Deterministic tie-break: only report the direction whose first
+        // observation is later in (file, line) order.
+        let first_fwd = &pair_first[key];
+        if (first_fwd.0.as_str(), first_fwd.1) < (first_rev.0.as_str(), first_rev.1) {
+            continue;
+        }
+        findings.push(Finding {
+            file: loc.0.clone(),
+            line: loc.1,
+            rule: "D7".into(),
+            msg: format!(
+                "lock order `{}` → `{}` in `{}` inverts the order taken in \
+                 `{}` ({}:{}) — pick one global order to rule out deadlock",
+                key.0, key.1, loc.2, first_rev.2, first_rev.0, first_rev.1
+            ),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// D8 — CachePolicy purity
+// ---------------------------------------------------------------------------
+
+/// Idents a policy implementation may never reach.
+const IMPURE: &[&str] = &[
+    "StdRng",
+    "SmallRng",
+    "thread_rng",
+    "from_entropy",
+    "seed_from_u64",
+    "RefCell",
+    "Cell",
+    "UnsafeCell",
+    "Mutex",
+    "RwLock",
+    "Instant",
+    "SystemTime",
+];
+
+fn check_d8(units: &[&AnalysisUnit], graph: &CrateGraph, findings: &mut Vec<Finding>) {
+    // Roots: every fn inside an `impl CachePolicy for …` block.
+    let mut roots: Vec<FnRef> = Vec::new();
+    for (fi, au) in units.iter().enumerate() {
+        for (gi, f) in au.file.parsed.fns.iter().enumerate() {
+            let Some(k) = f.impl_idx else { continue };
+            if au.file.parsed.impls[k].trait_name.as_deref() == Some("CachePolicy") {
+                roots.push((fi, gi));
+            }
+        }
+    }
+    if roots.is_empty() {
+        return;
+    }
+    let mut seen: BTreeSet<(String, u32)> = BTreeSet::new();
+    for r in graph.reachable(&roots) {
+        let au = units[r.0];
+        let f = &au.file.parsed.fns[r.1];
+        let Some((start, end)) = f.body else { continue };
+        let tokens = &au.file.lexed.tokens;
+        for idx in start..end.min(tokens.len()) {
+            if au.file.in_test(idx) {
+                continue;
+            }
+            let Tok::Ident(id) = &tokens[idx].tok else {
+                continue;
+            };
+            let impure = IMPURE.contains(&id.as_str())
+                || id.starts_with("Atomic")
+                || ((id == "gen" || id == "gen_range" || id == "gen_bool" || id == "sample")
+                    && idx > 0
+                    && tokens[idx - 1].tok == Tok::Punct('.'));
+            let line = tokens[idx].line;
+            if impure
+                && !au.allows.permits(line, "D8")
+                && seen.insert((au.file.rel_path.clone(), line))
+            {
+                findings.push(Finding {
+                    file: au.file.rel_path.clone(),
+                    line,
+                    rule: "D8".into(),
+                    msg: format!(
+                        "`{id}` reachable from a `CachePolicy` impl (via `{}`) — \
+                         victim selection must be a pure function of the \
+                         candidate list",
+                        f.name
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,508 @@
+//! Per-crate symbol table and approximate call/def-use graph.
+//!
+//! Built from the [`parser`] items of every file in one crate, this is
+//! the substrate for the dataflow rules (D5–D8): it answers "who calls
+//! this function, and with what argument expressions", "which functions
+//! are reachable from this one", and "what initializes this local or
+//! const" — all intra-crate and name-based, which is deliberately
+//! approximate. Cross-crate edges are not modeled; rules that need them
+//! must degrade gracefully.
+//!
+//! [`parser`]: crate::parser
+
+use crate::lexer::{Lexed, Tok, Token};
+use crate::parser::{matching_close, FnItem, ParsedFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One file of a crate, fully lexed and parsed, plus the token index
+/// ranges covered by `#[test]`/`#[cfg(test)]` items (excluded from all
+/// graph queries).
+pub struct FileUnit {
+    /// Workspace-relative path (forward slashes).
+    pub rel_path: String,
+    /// Crate key (directory under `crates/`, or `flow-recon`).
+    pub crate_key: String,
+    /// Whether the file is under the crate's `src/` tree.
+    pub is_src: bool,
+    /// Token stream.
+    pub lexed: Lexed,
+    /// Item structure.
+    pub parsed: ParsedFile,
+    /// `#[test]`/`#[cfg(test)]` token ranges.
+    pub test_spans: Vec<(usize, usize)>,
+}
+
+impl FileUnit {
+    /// Whether token index `idx` lies inside a test span.
+    #[must_use]
+    pub fn in_test(&self, idx: usize) -> bool {
+        self.test_spans.iter().any(|&(a, b)| idx >= a && idx < b)
+    }
+}
+
+/// A call site: `callee(args…)`, `Qualifier::callee(args…)`, or
+/// `recv.callee(args…)`.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Last path segment of the callee.
+    pub callee: String,
+    /// The path segment before `::callee`, if any (`Simulation` in
+    /// `Simulation::new(…)`); `Self` is kept verbatim.
+    pub qualifier: Option<String>,
+    /// Whether this is a `recv.callee(…)` method call.
+    pub method: bool,
+    /// Index of the callee ident token.
+    pub tok_idx: usize,
+    /// 1-based line of the callee token.
+    pub line: u32,
+    /// Token ranges `[start, end)` of each argument expression.
+    pub args: Vec<(usize, usize)>,
+}
+
+/// A function's location in the graph: (file index, fn index).
+pub type FnRef = (usize, usize);
+
+/// The per-crate graph.
+pub struct CrateGraph<'a> {
+    /// The crate's files, in deterministic (path-sorted) order.
+    pub files: Vec<&'a FileUnit>,
+    /// fn name → every definition with that name.
+    pub fns: BTreeMap<String, Vec<FnRef>>,
+    /// const/static name → (file index, const index).
+    pub consts: BTreeMap<String, Vec<(usize, usize)>>,
+}
+
+impl<'a> CrateGraph<'a> {
+    /// Builds the graph over `files` (all from one crate; the caller
+    /// sorts them by path so indices are deterministic).
+    #[must_use]
+    pub fn build(files: Vec<&'a FileUnit>) -> Self {
+        let mut fns: BTreeMap<String, Vec<FnRef>> = BTreeMap::new();
+        let mut consts: BTreeMap<String, Vec<(usize, usize)>> = BTreeMap::new();
+        for (fi, unit) in files.iter().enumerate() {
+            for (gi, f) in unit.parsed.fns.iter().enumerate() {
+                fns.entry(f.name.clone()).or_default().push((fi, gi));
+            }
+            for (ci, c) in unit.parsed.consts.iter().enumerate() {
+                consts.entry(c.name.clone()).or_default().push((fi, ci));
+            }
+        }
+        CrateGraph { files, fns, consts }
+    }
+
+    /// The function item for a [`FnRef`].
+    #[must_use]
+    pub fn fn_item(&self, r: FnRef) -> &FnItem {
+        &self.files[r.0].parsed.fns[r.1]
+    }
+
+    /// All call sites inside the body of `r`, test spans excluded.
+    #[must_use]
+    pub fn calls_in(&self, r: FnRef) -> Vec<CallSite> {
+        let unit = self.files[r.0];
+        match self.fn_item(r).body {
+            Some(span) => collect_calls(&unit.lexed.tokens, span)
+                .into_iter()
+                .filter(|c| !unit.in_test(c.tok_idx))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Call sites across the crate whose callee plausibly resolves to
+    /// the definition `target` — matched by name, filtered by qualifier:
+    /// a method (fn inside an `impl`) accepts `SelfTy::name`, `Self::name`
+    /// and `recv.name(...)` forms; a free function accepts only
+    /// unqualified non-method calls. Call sites inside test spans are
+    /// skipped. Returns `(caller, site)` pairs.
+    #[must_use]
+    pub fn callers_of(&self, target: FnRef) -> Vec<(FnRef, CallSite)> {
+        let t = self.fn_item(target);
+        let self_ty = t
+            .impl_idx
+            .map(|k| self.files[target.0].parsed.impls[k].self_ty.as_str());
+        let mut out = Vec::new();
+        for (fi, unit) in self.files.iter().enumerate() {
+            for (gi, f) in unit.parsed.fns.iter().enumerate() {
+                if (fi, gi) == target || f.body.is_none() {
+                    continue;
+                }
+                for site in self.calls_in((fi, gi)) {
+                    if site.callee != t.name {
+                        continue;
+                    }
+                    let ok = match (self_ty, &site.qualifier, site.method) {
+                        // Free fn: plain `name(...)` only.
+                        (None, None, false) => true,
+                        // Method: qualified with the impl type or Self,
+                        // or receiver.method(...) form.
+                        (Some(ty), Some(q), _) => q == ty || q == "Self",
+                        (Some(_), None, true) => true,
+                        _ => false,
+                    };
+                    if ok {
+                        out.push(((fi, gi), site));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Transitive closure of functions reachable from `roots` via
+    /// intra-crate calls (name-based; methods resolve to every same-name
+    /// definition whose qualifier filter accepts the site).
+    #[must_use]
+    pub fn reachable(&self, roots: &[FnRef]) -> BTreeSet<FnRef> {
+        let mut seen: BTreeSet<FnRef> = roots.iter().copied().collect();
+        let mut work: Vec<FnRef> = roots.to_vec();
+        while let Some(r) = work.pop() {
+            for site in self.calls_in(r) {
+                let Some(defs) = self.fns.get(&site.callee) else {
+                    continue;
+                };
+                for &def in defs {
+                    let d = self.fn_item(def);
+                    let self_ty = d
+                        .impl_idx
+                        .map(|k| self.files[def.0].parsed.impls[k].self_ty.as_str());
+                    let ok = match (self_ty, &site.qualifier, site.method) {
+                        (None, None, false) => true,
+                        (Some(ty), Some(q), _) => q == ty || q == "Self",
+                        (Some(_), None, true) => true,
+                        _ => false,
+                    };
+                    if ok && seen.insert(def) {
+                        work.push(def);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// The initializer token range of a crate const named `name`, along
+    /// with its file index. When several consts share the name (module
+    /// shadowing), the first in file order wins.
+    #[must_use]
+    pub fn const_init(&self, name: &str) -> Option<(usize, (usize, usize))> {
+        let (fi, ci) = *self.consts.get(name)?.first()?;
+        Some((fi, self.files[fi].parsed.consts[ci].init))
+    }
+}
+
+/// Scans `tokens[span]` for call sites. A call is an ident directly
+/// followed by `(` (or by turbofish `::<…>(`), where the ident is not a
+/// definition (`fn name(`), a macro (`name!(`), or a keyword heading a
+/// control-flow construct.
+#[must_use]
+pub fn collect_calls(tokens: &[Token], span: (usize, usize)) -> Vec<CallSite> {
+    const NOT_CALLS: &[&str] = &[
+        "if", "while", "for", "match", "return", "in", "as", "loop", "else", "move", "let", "mut",
+        "ref", "box", "await", "Some", "Ok", "Err",
+    ];
+    let mut out = Vec::new();
+    let (start, end) = span;
+    let mut i = start;
+    while i < end.min(tokens.len()) {
+        let Tok::Ident(name) = &tokens[i].tok else {
+            i += 1;
+            continue;
+        };
+        if NOT_CALLS.contains(&name.as_str()) {
+            i += 1;
+            continue;
+        }
+        // Definition, not a call.
+        if i > 0 && tokens[i - 1].tok == Tok::Ident("fn".into()) {
+            i += 1;
+            continue;
+        }
+        // Find the opening paren: directly after, or after `::<…>`.
+        let mut open = None;
+        match tokens.get(i + 1).map(|t| &t.tok) {
+            Some(Tok::Punct('(')) => open = Some(i + 1),
+            Some(Tok::Punct('!')) => {} // macro
+            Some(Tok::Punct(':'))
+                if matches!(tokens.get(i + 2), Some(t) if t.tok == Tok::Punct(':'))
+                    && matches!(tokens.get(i + 3), Some(t) if t.tok == Tok::Punct('<')) =>
+            {
+                // Turbofish `name::<T>(…)`.
+                let mut depth = 0i32;
+                let mut j = i + 3;
+                while j < tokens.len() {
+                    match tokens[j].tok {
+                        Tok::Punct('<') => depth += 1,
+                        Tok::Punct('>') if tokens[j - 1].tok != Tok::Punct('-') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        Tok::Punct(';') => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if matches!(tokens.get(j + 1), Some(t) if t.tok == Tok::Punct('(')) {
+                    open = Some(j + 1);
+                }
+            }
+            _ => {}
+        }
+        let Some(open) = open else {
+            i += 1;
+            continue;
+        };
+        // Qualifier / method-call detection from the tokens before.
+        let mut qualifier = None;
+        let mut method = false;
+        if i >= 1 {
+            match &tokens[i - 1].tok {
+                Tok::Punct('.') => method = true,
+                Tok::Punct(':') if i >= 3 && tokens[i - 2].tok == Tok::Punct(':') => {
+                    if let Tok::Ident(q) = &tokens[i - 3].tok {
+                        qualifier = Some(q.clone());
+                    } else if matches!(tokens[i - 3].tok, Tok::Punct('>')) {
+                        // `<T as Trait>::name(…)` — unknown qualifier.
+                        qualifier = Some(String::new());
+                    }
+                }
+                _ => {}
+            }
+        }
+        let close = matching_close(tokens, open);
+        let args = split_args(tokens, open, close);
+        out.push(CallSite {
+            callee: name.clone(),
+            qualifier,
+            method,
+            tok_idx: i,
+            line: tokens[i].line,
+            args,
+        });
+        // Continue *inside* the argument list: nested calls are sites too.
+        i = open + 1;
+    }
+    out
+}
+
+/// Splits the tokens between `open` (a `(`) and its matching close into
+/// per-argument token ranges at depth-0 commas.
+fn split_args(tokens: &[Token], open: usize, close: usize) -> Vec<(usize, usize)> {
+    let inner_end = close.saturating_sub(1); // index of `)`
+    let mut args = Vec::new();
+    let mut seg_start = open + 1;
+    let mut depth = 0i32;
+    let mut angle = 0i32;
+    let mut i = open + 1;
+    while i < inner_end {
+        match tokens[i].tok {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') if tokens[i - 1].tok != Tok::Punct('-') => {
+                angle -= 1;
+            }
+            Tok::Punct('|') if depth == 0 => {
+                // Closure literal: skip the parameter list so its commas
+                // don't split the argument.
+                let mut j = i + 1;
+                while j < inner_end && tokens[j].tok != Tok::Punct('|') {
+                    j += 1;
+                }
+                i = j;
+            }
+            Tok::Punct(',') if depth == 0 && angle <= 0 => {
+                args.push((seg_start, i));
+                seg_start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if seg_start < inner_end {
+        args.push((seg_start, inner_end));
+    }
+    args
+}
+
+/// The latest `let <name> = <expr>;` binding of `name` before token
+/// index `before` inside `body`; returns the initializer token range.
+/// Handles `let mut name`, type ascriptions, and `let … else`.
+#[must_use]
+pub fn resolve_local(
+    tokens: &[Token],
+    body: (usize, usize),
+    before: usize,
+    name: &str,
+) -> Option<(usize, usize)> {
+    let (start, end) = body;
+    let mut best = None;
+    let mut i = start;
+    while i < end.min(tokens.len()).min(before) {
+        if tokens[i].tok != Tok::Ident("let".into()) {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if matches!(tokens.get(j), Some(t) if t.tok == Tok::Ident("mut".into())) {
+            j += 1;
+        }
+        let bound = matches!(tokens.get(j), Some(t) if t.tok == Tok::Ident(name.into()));
+        // Skip to `=` at angle-depth 0 (past any `: Type` ascription).
+        let mut k = j;
+        let mut angle = 0i32;
+        while k < end.min(tokens.len()) {
+            match tokens[k].tok {
+                Tok::Punct('<') => angle += 1,
+                Tok::Punct('>') if tokens[k - 1].tok != Tok::Punct('-') => {
+                    angle -= 1;
+                }
+                Tok::Punct('=') if angle <= 0 => break,
+                Tok::Punct(';') => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        if k >= end || tokens[k].tok != Tok::Punct('=') {
+            i = k + 1;
+            continue;
+        }
+        // `==` is a comparison, not a binding.
+        if matches!(tokens.get(k + 1), Some(t) if t.tok == Tok::Punct('=')) {
+            i = k + 2;
+            continue;
+        }
+        let init_start = k + 1;
+        let mut m = init_start;
+        let mut depth = 0i32;
+        while m < end.min(tokens.len()) {
+            match tokens[m].tok {
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+                Tok::Punct(';') if depth <= 0 => break,
+                _ => {}
+            }
+            m += 1;
+        }
+        if bound {
+            best = Some((init_start, m));
+        }
+        i = m + 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn unit(src: &str) -> FileUnit {
+        let lexed = lex(src);
+        let parsed = parse(&lexed);
+        FileUnit {
+            rel_path: "crates/x/src/lib.rs".into(),
+            crate_key: "x".into(),
+            is_src: true,
+            lexed,
+            parsed,
+            test_spans: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn call_sites_with_qualifiers_and_args() {
+        let u = unit(
+            "fn f(seed: u64) { let r = StdRng::seed_from_u64(seed ^ A_SALT); g(1, seed); r.run(); }",
+        );
+        let g = CrateGraph::build(vec![&u]);
+        let calls = g.calls_in((0, 0));
+        let names: Vec<&str> = calls.iter().map(|c| c.callee.as_str()).collect();
+        assert_eq!(names, vec!["seed_from_u64", "g", "run"]);
+        assert_eq!(calls[0].qualifier.as_deref(), Some("StdRng"));
+        assert_eq!(calls[0].args.len(), 1);
+        assert_eq!(calls[1].args.len(), 2);
+        assert!(calls[2].method);
+    }
+
+    #[test]
+    fn callers_filter_free_vs_method() {
+        let u = unit(
+            "
+            struct S;
+            impl S { fn new(seed: u64) -> S { S } }
+            fn new(x: u64) -> u64 { x }
+            fn a(seed: u64) { let s = S::new(seed); }
+            fn b(seed: u64) { let y = new(seed); }
+            ",
+        );
+        let g = CrateGraph::build(vec![&u]);
+        let method_ref = g.fns["new"]
+            .iter()
+            .copied()
+            .find(|&r| g.fn_item(r).impl_idx.is_some())
+            .unwrap();
+        let free_ref = g.fns["new"]
+            .iter()
+            .copied()
+            .find(|&r| g.fn_item(r).impl_idx.is_none())
+            .unwrap();
+        let method_callers = g.callers_of(method_ref);
+        assert_eq!(method_callers.len(), 1);
+        assert_eq!(g.fn_item(method_callers[0].0).name, "a");
+        let free_callers = g.callers_of(free_ref);
+        assert_eq!(free_callers.len(), 1);
+        assert_eq!(g.fn_item(free_callers[0].0).name, "b");
+    }
+
+    #[test]
+    fn reachability_follows_plain_calls() {
+        let u = unit(
+            "
+            fn top() { mid(); }
+            fn mid() { leaf(); }
+            fn leaf() {}
+            fn island() {}
+            ",
+        );
+        let g = CrateGraph::build(vec![&u]);
+        let top = g.fns["top"][0];
+        let names: Vec<&str> = g
+            .reachable(&[top])
+            .into_iter()
+            .map(|r| g.fn_item(r).name.as_str())
+            .collect();
+        assert_eq!(names, vec!["top", "mid", "leaf"]);
+    }
+
+    #[test]
+    fn locals_resolve_to_latest_binding() {
+        let src = "fn f() { let k = 1; let k = seed ^ SALT_A; use_it(k); }";
+        let u = unit(src);
+        let body = u.parsed.fns[0].body.unwrap();
+        let use_idx = u
+            .lexed
+            .tokens
+            .iter()
+            .position(|t| t.tok == Tok::Ident("use_it".into()))
+            .unwrap();
+        let (a, b) = resolve_local(&u.lexed.tokens, body, use_idx, "k").unwrap();
+        let text: Vec<String> = u.lexed.tokens[a..b]
+            .iter()
+            .map(|t| format!("{:?}", t.tok))
+            .collect();
+        assert!(text.iter().any(|s| s.contains("SALT_A")), "{text:?}");
+    }
+
+    #[test]
+    fn closure_args_do_not_split() {
+        let u = unit("fn f() { run(|a, b| a + b, 7); }");
+        let g = CrateGraph::build(vec![&u]);
+        let calls = g.calls_in((0, 0));
+        assert_eq!(calls[0].callee, "run");
+        assert_eq!(calls[0].args.len(), 2, "closure commas must not split");
+    }
+}

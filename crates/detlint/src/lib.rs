@@ -19,14 +19,42 @@
 //!   code are pinned by `crates/detlint/baseline.toml`; the baseline may
 //!   only shrink.
 //!
+//! On top of the token pass, a second **dataflow pass** parses every
+//! file into items ([`parser`]), builds a per-crate symbol table and
+//! approximate call graph ([`graph`]), and checks:
+//!
+//! * **D5** — every `seed_from_u64` argument must trace (through
+//!   locals, consts and function parameters) to
+//!   `seed ^ <exactly one *_STREAM_SALT>`; inline literal salts, raw
+//!   non-XOR arithmetic on seeds, salt reuse across streams, and second
+//!   unsalted root streams per crate are findings.
+//! * **D6** — float comparisons in deterministic crates must be total
+//!   (`total_cmp`, not `partial_cmp`), and closures passed to
+//!   `map_indexed` may not mutate shared state.
+//! * **D7** — `Mutex`/`RwLock` pairs must be acquired in one global
+//!   order per crate.
+//! * **D8** — `CachePolicy` impls (and everything reachable from them)
+//!   may not touch RNGs, interior mutability, or wall-clock.
+//! * **D9** — every `Cargo.toml` dependency must resolve to the
+//!   workspace or `crates/vendor/` (the offline seed build has no
+//!   network).
+//!
+//! Findings can be emitted as SARIF 2.1.0 (`--format sarif`) for GitHub
+//! code scanning.
+//!
 //! The escape hatch is `// detlint::allow(<rule>): <reason>` on (or
 //! directly above) the offending line; an allow without a reason is
 //! itself an error. detlint is deliberately dependency-free and
 //! token-level: it lexes the workspace `.rs` files itself instead of
 //! pulling in `syn`, consistent with the vendored-deps constraint.
 
+pub mod dataflow;
+pub mod graph;
 pub mod lexer;
+pub mod manifest;
+pub mod parser;
 pub mod rules;
+pub mod sarif;
 
 pub use rules::{FileCtx, FileReport, Finding, SaltDef};
 
@@ -88,6 +116,7 @@ pub fn run_workspace(root: &Path) -> Result<Report, String> {
 
     let mut report = Report::default();
     let mut salts = Vec::new();
+    let mut units: Vec<dataflow::AnalysisUnit> = Vec::new();
     for path in &files {
         let rel = path
             .strip_prefix(root)
@@ -99,7 +128,8 @@ pub fn run_workspace(root: &Path) -> Result<Report, String> {
         };
         let src =
             std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
-        let file_report = rules::check_file(&ctx, &src);
+        let lexed = lexer::lex(&src);
+        let file_report = rules::check_file_lexed(&ctx, &lexed);
         report.files_scanned += 1;
         report.findings.extend(file_report.findings);
         salts.extend(file_report.salts);
@@ -109,9 +139,31 @@ pub fn run_workspace(root: &Path) -> Result<Report, String> {
                 .entry(ctx.crate_key.to_string())
                 .or_insert(0) += file_report.panic_sites;
         }
+        // Second pass input: the same lex, parsed into items. Allow
+        // findings were already collected above, so the scratch vec is
+        // discarded.
+        let mut scratch = Vec::new();
+        let allows = rules::collect_allows(&ctx, &lexed, &mut scratch);
+        let test_spans = rules::test_spans(&lexed.tokens);
+        let parsed = parser::parse(&lexed);
+        let crate_key = ctx.crate_key.to_string();
+        units.push(dataflow::AnalysisUnit {
+            file: graph::FileUnit {
+                rel_path: rel.clone(),
+                crate_key,
+                is_src: ctx.in_src,
+                lexed,
+                parsed,
+                test_spans,
+            },
+            allows,
+            deterministic: ctx.deterministic,
+        });
     }
 
     report.findings.extend(rules::check_salt_uniqueness(&salts));
+    report.findings.extend(dataflow::check_dataflow(&units));
+    report.findings.extend(manifest::check_manifests(root)?);
 
     let baseline_file = root.join(BASELINE_PATH);
     let baseline_text = std::fs::read_to_string(&baseline_file).map_err(|e| {
@@ -146,6 +198,27 @@ pub fn budget_toml(panic_counts: &BTreeMap<String, usize>) -> String {
         out.push_str(&format!("{krate} = {count}\n"));
     }
     out
+}
+
+/// Renders the report's findings as a SARIF 2.1.0 document.
+#[must_use]
+pub fn sarif_json(report: &Report) -> String {
+    sarif::to_sarif(&report.findings, env!("CARGO_PKG_VERSION"))
+}
+
+/// Whether the checked-in `baseline.toml` is byte-identical to the
+/// budget regenerated from the actual panic counts (`--check-budget`).
+/// `budget_toml` output is canonical — stable ordering, trailing
+/// newline — so staleness is a plain string comparison.
+///
+/// # Errors
+///
+/// Returns a message if the baseline file cannot be read.
+pub fn budget_is_current(root: &Path, report: &Report) -> Result<bool, String> {
+    let path = root.join(BASELINE_PATH);
+    let on_disk =
+        std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    Ok(on_disk == budget_toml(&report.panic_counts))
 }
 
 /// Locates the workspace root: walks up from `start` until a `Cargo.toml`

@@ -1,0 +1,267 @@
+//! Rule D9 — the offline-build guard.
+//!
+//! The seed image has no network: every dependency must resolve inside
+//! the repository, either as a workspace member or a vendored stand-in
+//! under `crates/vendor/`. A stray crates.io or git dependency builds
+//! fine on a developer box and then breaks the offline seed build; D9
+//! catches it at lint time by walking every `Cargo.toml` and requiring
+//! each entry in a `*dependencies*` section to be `workspace = true` or
+//! a `path` that stays inside the repository.
+//!
+//! The escape hatch is a TOML comment on (or directly above) the line:
+//! `# detlint::allow(D9): <reason>`.
+
+use crate::rules::Finding;
+use std::path::Path;
+
+/// Normalizes `dir`/`rel` (both `/`-separated), resolving `.` and `..`.
+/// Returns `None` if the path escapes the workspace root.
+fn normalize(dir: &str, rel: &str) -> Option<String> {
+    let mut parts: Vec<&str> = Vec::new();
+    for seg in dir.split('/').chain(rel.split('/')) {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                parts.pop()?;
+            }
+            s => parts.push(s),
+        }
+    }
+    Some(parts.join("/"))
+}
+
+/// Strips a trailing TOML comment (a `#` outside quotes); returns
+/// `(code, comment)`.
+fn split_comment(line: &str) -> (&str, &str) {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return (&line[..i], &line[i + 1..]),
+            _ => {}
+        }
+    }
+    (line, "")
+}
+
+/// Whether a comment carries a well-formed `detlint::allow(D9): reason`.
+fn allows_d9(comment: &str) -> bool {
+    let Some(at) = comment.find("detlint::allow(") else {
+        return false;
+    };
+    let rest = &comment[at + "detlint::allow(".len()..];
+    let Some(close) = rest.find(')') else {
+        return false;
+    };
+    let names_d9 = rest[..close].split(',').any(|r| r.trim() == "D9");
+    let reason = rest[close + 1..]
+        .trim_start()
+        .strip_prefix(':')
+        .map(str::trim)
+        .unwrap_or("");
+    names_d9 && !reason.is_empty()
+}
+
+/// Checks one manifest's text. `manifest_rel` is the workspace-relative
+/// path of the `Cargo.toml` (forward slashes); `root` is used to verify
+/// that `path` dependencies actually exist.
+#[must_use]
+pub fn check_manifest(root: &Path, manifest_rel: &str, text: &str) -> Vec<Finding> {
+    let dir = manifest_rel.rsplit_once('/').map(|(d, _)| d).unwrap_or("");
+    let mut findings = Vec::new();
+    let mut in_deps = false;
+    let mut prev_comment_allows = false;
+    for (n, raw) in text.lines().enumerate() {
+        let lineno = (n + 1) as u32;
+        let (code, comment) = split_comment(raw);
+        let code = code.trim();
+        if code.is_empty() {
+            prev_comment_allows = allows_d9(comment);
+            continue;
+        }
+        if code.starts_with('[') {
+            // Section header: any `[...dependencies...]` table is in
+            // scope ([dependencies], [dev-dependencies],
+            // [workspace.dependencies], [target.'cfg'.dependencies]).
+            let name = code.trim_matches(['[', ']']);
+            in_deps = name == "dependencies"
+                || name.ends_with(".dependencies")
+                || name.ends_with("-dependencies");
+            prev_comment_allows = false;
+            continue;
+        }
+        if !in_deps {
+            prev_comment_allows = false;
+            continue;
+        }
+        let Some((key, value)) = code.split_once('=') else {
+            prev_comment_allows = false;
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let allowed = allows_d9(comment) || prev_comment_allows;
+        prev_comment_allows = false;
+
+        // `name.workspace = true` or `name = { workspace = true }`
+        // resolve through the workspace table — fine either way.
+        let is_workspace = key.ends_with(".workspace") && value == "true"
+            || value.contains("workspace") && value.contains("true");
+        if is_workspace {
+            continue;
+        }
+        if value.contains("git") {
+            if !allowed {
+                findings.push(Finding {
+                    file: manifest_rel.to_string(),
+                    line: lineno,
+                    rule: "D9".into(),
+                    msg: format!(
+                        "dependency `{key}` is a git dependency — the offline \
+                         seed build cannot fetch it; vendor it under \
+                         crates/vendor/"
+                    ),
+                });
+            }
+            continue;
+        }
+        if let Some(path) = extract_path(value) {
+            let ok = normalize(dir, &path)
+                .filter(|norm| root.join(norm).is_dir())
+                .is_some();
+            if !ok && !allowed {
+                findings.push(Finding {
+                    file: manifest_rel.to_string(),
+                    line: lineno,
+                    rule: "D9".into(),
+                    msg: format!(
+                        "dependency `{key}` path `{path}` does not resolve \
+                         inside the workspace"
+                    ),
+                });
+            }
+            continue;
+        }
+        // Bare version (`name = "1.0"`) or a table with neither
+        // `workspace` nor `path`: a registry dependency.
+        if !allowed {
+            findings.push(Finding {
+                file: manifest_rel.to_string(),
+                line: lineno,
+                rule: "D9".into(),
+                msg: format!(
+                    "dependency `{key}` resolves to a registry — the offline \
+                     seed build has no network; use a workspace/path \
+                     dependency into crates/vendor/"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Extracts the `path = "…"` value from an inline table.
+fn extract_path(value: &str) -> Option<String> {
+    let at = value.find("path")?;
+    let rest = &value[at + 4..];
+    let rest = rest.trim_start().strip_prefix('=')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// Walks the workspace for `Cargo.toml` files (skipping `target/`) and
+/// checks each.
+///
+/// # Errors
+///
+/// Returns a message if the tree cannot be read.
+pub fn check_manifests(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut manifests = Vec::new();
+    collect_manifests(root, root, &mut manifests)?;
+    manifests.sort();
+    let mut findings = Vec::new();
+    for rel in &manifests {
+        let text =
+            std::fs::read_to_string(root.join(rel)).map_err(|e| format!("read {rel}: {e}"))?;
+        findings.extend(check_manifest(root, rel, &text));
+    }
+    Ok(findings)
+}
+
+fn collect_manifests(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect_manifests(root, &path, out)?;
+        } else if name == "Cargo.toml" {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| format!("{}: {e}", path.display()))?
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn root() -> std::path::PathBuf {
+        crate::find_workspace_root(&std::env::current_dir().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn workspace_and_vendored_path_deps_pass() {
+        let text = "[dependencies]\nrand.workspace = true\nnetsim = { path = \"../netsim\" }\n";
+        assert!(check_manifest(&root(), "crates/attack/Cargo.toml", text).is_empty());
+    }
+
+    #[test]
+    fn registry_dep_fails() {
+        let text = "[dependencies]\nserde = \"1.0\"\n";
+        let f = check_manifest(&root(), "crates/attack/Cargo.toml", text);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "D9");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn git_dep_fails_and_allow_suppresses() {
+        let text = "[dependencies]\n\
+                    a = { git = \"https://example.com/a\" }\n\
+                    # detlint::allow(D9): mirrored internally\n\
+                    b = { git = \"https://example.com/b\" }\n";
+        let f = check_manifest(&root(), "Cargo.toml", text);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn escaping_path_fails() {
+        let text = "[dependencies]\nx = { path = \"../../../elsewhere\" }\n";
+        let f = check_manifest(&root(), "crates/attack/Cargo.toml", text);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn non_dep_sections_ignored() {
+        let text = "[package]\nname = \"x\"\nversion = \"0.1.0\"\n";
+        assert!(check_manifest(&root(), "crates/x/Cargo.toml", text).is_empty());
+    }
+
+    #[test]
+    fn real_workspace_is_clean() {
+        let findings = check_manifests(&root()).unwrap();
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -1,0 +1,563 @@
+//! A lightweight item-level parser on top of the token [`lexer`].
+//!
+//! The dataflow rules (D5–D8) need to know *which function* a token
+//! lives in, what that function's parameters are, which `impl` block it
+//! belongs to, and where `const` initializers and `use` declarations
+//! are — enough structure to build a per-crate symbol table and an
+//! approximate call graph, without pulling in `syn` (detlint stays
+//! dependency-free, like the lexer).
+//!
+//! The parser is deliberately forgiving: it never fails, and anything
+//! it cannot classify it simply skips. Rules built on it must therefore
+//! treat "not found" as "no finding" and rely on fixtures to prove they
+//! fire where intended.
+//!
+//! [`lexer`]: crate::lexer
+
+use crate::lexer::{Lexed, Tok, Token};
+
+/// The `impl` block context a function was found in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImplBlock {
+    /// Trait name (last path segment) for `impl Trait for Type`; `None`
+    /// for inherent impls.
+    pub trait_name: Option<String>,
+    /// Self type name (last path segment).
+    pub self_ty: String,
+    /// Token index range `[start, end)` covered by the block.
+    pub span: (usize, usize),
+    /// 1-based line of the `impl` keyword.
+    pub line: u32,
+}
+
+/// One `fn` item (free function, method, or trait default method).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Parameter names in declaration order (`self` receivers are
+    /// recorded as `"self"`; unnameable patterns are skipped).
+    pub params: Vec<String>,
+    /// Token index range `[start, end)` of the body including braces;
+    /// `None` for bodyless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Index into [`ParsedFile::impls`] when defined inside an `impl`.
+    pub impl_idx: Option<usize>,
+}
+
+/// One `use` declaration, flattened: `use a::b::{c, d as e};` yields
+/// entries `(["a","b","c"], "c")` and `(["a","b","d"], "e")`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseDecl {
+    /// Full path segments.
+    pub path: Vec<String>,
+    /// The name the import binds locally (alias, or last segment).
+    pub binds: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// One `const` (or `static`) item with its initializer token range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstItem {
+    /// Constant name.
+    pub name: String,
+    /// Token index range `[start, end)` of the initializer expression
+    /// (between `=` and the terminating `;`).
+    pub init: (usize, usize),
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// Item-level structure of one source file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// All functions, in source order (nested fns included).
+    pub fns: Vec<FnItem>,
+    /// All impl blocks, in source order.
+    pub impls: Vec<ImplBlock>,
+    /// Flattened use declarations.
+    pub uses: Vec<UseDecl>,
+    /// Consts and statics at any nesting level.
+    pub consts: Vec<ConstItem>,
+}
+
+impl ParsedFile {
+    /// The innermost function whose body contains token index `idx`.
+    #[must_use]
+    pub fn enclosing_fn(&self, idx: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(a, b)| idx >= a && idx < b))
+            .min_by_key(|f| {
+                let (a, b) = f.body.unwrap_or((0, usize::MAX));
+                b - a
+            })
+    }
+}
+
+/// Index one past the matching closer for the opener at `open`
+/// (`tokens[open]` must be `(`, `[` or `{`). Returns `tokens.len()` if
+/// unterminated.
+#[must_use]
+pub fn matching_close(tokens: &[Token], open: usize) -> usize {
+    let (o, c) = match tokens.get(open).map(|t| &t.tok) {
+        Some(Tok::Punct('(')) => ('(', ')'),
+        Some(Tok::Punct('[')) => ('[', ']'),
+        Some(Tok::Punct('{')) => ('{', '}'),
+        _ => return open + 1,
+    };
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        match t.tok {
+            Tok::Punct(p) if p == o => depth += 1,
+            Tok::Punct(p) if p == c => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len()
+}
+
+/// Skips a generic-argument list starting at `<` (index `i`), tolerating
+/// `->` and shift-like `>>` inside; returns the index one past the
+/// closing `>`. If `tokens[i]` is not `<`, returns `i` unchanged.
+fn skip_generics(tokens: &[Token], i: usize) -> usize {
+    if !matches!(tokens.get(i), Some(t) if t.tok == Tok::Punct('<')) {
+        return i;
+    }
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < tokens.len() {
+        match tokens[j].tok {
+            Tok::Punct('<') => depth += 1,
+            Tok::Punct('>') => {
+                // `->` inside `Fn() -> T` bounds is not a closer.
+                let arrow = j > 0 && tokens[j - 1].tok == Tok::Punct('-');
+                if !arrow {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+            }
+            // A `;` or `{` at depth ≥ 1 means we misparsed (e.g. a
+            // comparison, not generics); bail out conservatively.
+            Tok::Punct(';') | Tok::Punct('{') => return i,
+            _ => {}
+        }
+        j += 1;
+    }
+    i
+}
+
+/// Parses a type path starting at `i`: `a::b::C<...>`. Returns
+/// (last-segment name, index one past the path). Returns `None` if no
+/// ident starts at `i`.
+fn parse_type_path(tokens: &[Token], mut i: usize) -> Option<(String, usize)> {
+    // Leading `&`, `mut`, `dyn` are tolerated.
+    loop {
+        match tokens.get(i).map(|t| &t.tok) {
+            Some(Tok::Punct('&')) => i += 1,
+            Some(Tok::Ident(s)) if s == "mut" || s == "dyn" => i += 1,
+            Some(Tok::Lifetime) => i += 1,
+            _ => break,
+        }
+    }
+    let mut last = match tokens.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => s.clone(),
+        _ => return None,
+    };
+    i += 1;
+    loop {
+        // Generic args attached to this segment.
+        let after = skip_generics(tokens, i);
+        if after != i {
+            i = after;
+        }
+        // `::` then another segment?
+        if matches!(tokens.get(i), Some(t) if t.tok == Tok::Punct(':'))
+            && matches!(tokens.get(i + 1), Some(t) if t.tok == Tok::Punct(':'))
+        {
+            if let Some(Tok::Ident(s)) = tokens.get(i + 2).map(|t| &t.tok) {
+                last = s.clone();
+                i += 3;
+                continue;
+            }
+        }
+        break;
+    }
+    Some((last, i))
+}
+
+/// Extracts parameter names from the paren-delimited list starting at
+/// `open` (which must index a `(`).
+fn parse_params(tokens: &[Token], open: usize, close: usize) -> Vec<String> {
+    let mut params = Vec::new();
+    let mut i = open + 1;
+    let end = close.saturating_sub(1); // index of `)`
+    while i < end {
+        // One parameter: tokens up to the next comma at depth 0.
+        let seg_start = i;
+        let mut depth = 0i32;
+        let mut angle = 0i32;
+        while i < end {
+            match tokens[i].tok {
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+                Tok::Punct('<') => angle += 1,
+                Tok::Punct('>') if i > 0 && tokens[i - 1].tok != Tok::Punct('-') => {
+                    angle -= 1;
+                }
+                Tok::Punct(',') if depth == 0 && angle <= 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        let seg = &tokens[seg_start..i];
+        i += 1; // past comma
+                // `self`, `&self`, `&mut self`, `mut self`.
+        let name = seg.iter().find_map(|t| match &t.tok {
+            Tok::Ident(s) if s != "mut" => Some(s.clone()),
+            _ => None,
+        });
+        let Some(first) = name else { continue };
+        if first == "self" {
+            params.push("self".to_string());
+            continue;
+        }
+        // `name: Type` — require the colon so pattern params like
+        // `(a, b): (u32, u32)` don't bind a misleading name.
+        let colon_ok = seg.iter().enumerate().any(|(k, t)| {
+            t.tok == Tok::Punct(':')
+                && seg[..k]
+                    .iter()
+                    .any(|p| matches!(&p.tok, Tok::Ident(s) if *s == first))
+        });
+        if colon_ok && seg.first().map(|t| &t.tok) != Some(&Tok::Punct('(')) {
+            params.push(first);
+        }
+    }
+    params
+}
+
+/// Parses the file into items. Never fails.
+#[must_use]
+pub fn parse(lexed: &Lexed) -> ParsedFile {
+    let tokens = &lexed.tokens;
+    let mut out = ParsedFile::default();
+
+    // Pass 1: impl blocks (so fns can be assigned to the innermost one).
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let Tok::Ident(id) = &tokens[i].tok else {
+            i += 1;
+            continue;
+        };
+        if id != "impl" {
+            i += 1;
+            continue;
+        }
+        let line = tokens[i].line;
+        let mut j = skip_generics(tokens, i + 1);
+        let Some((first, after_first)) = parse_type_path(tokens, j) else {
+            i += 1;
+            continue;
+        };
+        j = after_first;
+        let (trait_name, self_ty, mut j) = if matches!(tokens.get(j).map(|t| &t.tok), Some(Tok::Ident(s)) if s == "for")
+        {
+            match parse_type_path(tokens, j + 1) {
+                Some((ty, after)) => (Some(first), ty, after),
+                None => (None, first, j),
+            }
+        } else {
+            (None, first, j)
+        };
+        // Skip a `where` clause up to the block opener.
+        while j < tokens.len() && tokens[j].tok != Tok::Punct('{') {
+            if tokens[j].tok == Tok::Punct(';') {
+                break; // e.g. `impl Trait for Type;` — not real Rust, bail
+            }
+            j += 1;
+        }
+        if j >= tokens.len() || tokens[j].tok != Tok::Punct('{') {
+            i = j;
+            continue;
+        }
+        let end = matching_close(tokens, j);
+        out.impls.push(ImplBlock {
+            trait_name,
+            self_ty,
+            span: (i, end),
+            line,
+        });
+        // Do not jump past the block: nested impls are rare but legal.
+        i = j + 1;
+    }
+
+    // Pass 2: fns, uses, consts.
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let Tok::Ident(id) = &tokens[i].tok else {
+            i += 1;
+            continue;
+        };
+        match id.as_str() {
+            "fn" => {
+                let line = tokens[i].line;
+                let Some(Tok::Ident(name)) = tokens.get(i + 1).map(|t| &t.tok) else {
+                    i += 1;
+                    continue;
+                };
+                let name = name.clone();
+                let mut j = skip_generics(tokens, i + 2);
+                if !matches!(tokens.get(j), Some(t) if t.tok == Tok::Punct('(')) {
+                    i += 1;
+                    continue;
+                }
+                let params_end = matching_close(tokens, j);
+                let params = parse_params(tokens, j, params_end);
+                j = params_end;
+                // Scan the signature tail (return type, where clause) for
+                // the body `{` or a terminating `;`.
+                let mut body = None;
+                while j < tokens.len() {
+                    match tokens[j].tok {
+                        Tok::Punct('{') => {
+                            body = Some((j, matching_close(tokens, j)));
+                            break;
+                        }
+                        Tok::Punct(';') => break,
+                        // `(` in the tail (e.g. `-> impl Fn(usize)`) is
+                        // skipped wholesale so its braces don't confuse us.
+                        Tok::Punct('(') => j = matching_close(tokens, j),
+                        _ => j += 1,
+                    }
+                }
+                let impl_idx = out
+                    .impls
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| i >= b.span.0 && i < b.span.1)
+                    .min_by_key(|(_, b)| b.span.1 - b.span.0)
+                    .map(|(k, _)| k);
+                out.fns.push(FnItem {
+                    name,
+                    params,
+                    body,
+                    line,
+                    impl_idx,
+                });
+                // Continue *inside* the body: nested fns and closures are
+                // parsed too (enclosing_fn picks the innermost).
+                i = j.min(tokens.len().saturating_sub(1)) + 1;
+            }
+            "use" => {
+                let line = tokens[i].line;
+                let mut j = i + 1;
+                let mut prefix: Vec<String> = Vec::new();
+                let mut leaves: Vec<(Vec<String>, String)> = Vec::new();
+                let mut cur: Vec<String> = Vec::new();
+                let mut alias: Option<String> = None;
+                let mut in_alias = false;
+                while j < tokens.len() {
+                    match &tokens[j].tok {
+                        Tok::Punct(';') => break,
+                        Tok::Punct('{') => {
+                            prefix = cur.clone();
+                            cur.clear();
+                        }
+                        Tok::Punct(',') | Tok::Punct('}') => {
+                            if !cur.is_empty() || alias.is_some() {
+                                let mut full = prefix.clone();
+                                full.extend(cur.iter().cloned());
+                                let binds = alias
+                                    .take()
+                                    .or_else(|| full.last().cloned())
+                                    .unwrap_or_default();
+                                leaves.push((full, binds));
+                            }
+                            cur.clear();
+                            in_alias = false;
+                        }
+                        Tok::Ident(s) if s == "as" => in_alias = true,
+                        Tok::Ident(s) => {
+                            if in_alias {
+                                alias = Some(s.clone());
+                            } else {
+                                cur.push(s.clone());
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if !cur.is_empty() || alias.is_some() {
+                    let mut full = prefix.clone();
+                    full.extend(cur.iter().cloned());
+                    let binds = alias
+                        .take()
+                        .or_else(|| full.last().cloned())
+                        .unwrap_or_default();
+                    leaves.push((full, binds));
+                }
+                for (path, binds) in leaves {
+                    if !path.is_empty() {
+                        out.uses.push(UseDecl { path, binds, line });
+                    }
+                }
+                i = j + 1;
+            }
+            "const" | "static" => {
+                let line = tokens[i].line;
+                // `const fn` is a function, not a constant.
+                if matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Ident(s)) if s == "fn") {
+                    i += 1;
+                    continue;
+                }
+                let Some(Tok::Ident(name)) = tokens.get(i + 1).map(|t| &t.tok) else {
+                    i += 1;
+                    continue;
+                };
+                let name = name.clone();
+                let mut j = i + 2;
+                let mut depth = 0i32;
+                while j < tokens.len() {
+                    match tokens[j].tok {
+                        Tok::Punct('=') if depth == 0 => break,
+                        Tok::Punct(';') if depth == 0 => break,
+                        Tok::Punct('<') => depth += 1,
+                        Tok::Punct('>') => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if j >= tokens.len() || tokens[j].tok != Tok::Punct('=') {
+                    i = j;
+                    continue;
+                }
+                let init_start = j + 1;
+                let mut k = init_start;
+                let mut depth = 0i32;
+                while k < tokens.len() {
+                    match tokens[k].tok {
+                        Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                        Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+                        Tok::Punct(';') if depth == 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                out.consts.push(ConstItem {
+                    name,
+                    init: (init_start, k),
+                    line,
+                });
+                i = k + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn parses_free_and_method_fns() {
+        let src = "
+            fn alpha(seed: u64, n: usize) -> u64 { seed + n as u64 }
+            struct S;
+            impl S {
+                fn beta(&self, x: u64) -> u64 { x }
+            }
+            impl Clone for S {
+                fn clone(&self) -> S { S }
+            }
+        ";
+        let p = parse(&lex(src));
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "beta", "clone"]);
+        assert_eq!(p.fns[0].params, vec!["seed", "n"]);
+        assert_eq!(p.fns[1].params, vec!["self", "x"]);
+        assert_eq!(p.impls.len(), 2);
+        assert_eq!(p.impls[0].trait_name, None);
+        assert_eq!(p.impls[1].trait_name.as_deref(), Some("Clone"));
+        assert_eq!(p.impls[1].self_ty, "S");
+        assert_eq!(p.fns[1].impl_idx, Some(0));
+        assert_eq!(p.fns[2].impl_idx, Some(1));
+    }
+
+    #[test]
+    fn impl_with_path_and_generics() {
+        let src = "
+            impl<T: Fn(usize) -> u64> ftcache::policy::CachePolicy for Wrapper<T> {
+                fn victim(&self, c: &[Candidate]) -> usize { 0 }
+            }
+        ";
+        let p = parse(&lex(src));
+        assert_eq!(p.impls.len(), 1);
+        assert_eq!(p.impls[0].trait_name.as_deref(), Some("CachePolicy"));
+        assert_eq!(p.impls[0].self_ty, "Wrapper");
+        assert_eq!(p.fns[0].name, "victim");
+        assert_eq!(p.fns[0].impl_idx, Some(0));
+    }
+
+    #[test]
+    fn uses_flatten_groups_and_aliases() {
+        let src = "use std::collections::{BTreeMap, BTreeSet as Set};\nuse rand::rngs::StdRng;";
+        let p = parse(&lex(src));
+        assert_eq!(p.uses.len(), 3);
+        assert_eq!(p.uses[0].binds, "BTreeMap");
+        assert_eq!(p.uses[1].binds, "Set");
+        assert_eq!(p.uses[1].path, vec!["std", "collections", "BTreeSet"]);
+        assert_eq!(p.uses[2].binds, "StdRng");
+    }
+
+    #[test]
+    fn consts_capture_initializer_range() {
+        let src = "pub const FOO_SALT: u64 = 0xAB ^ 0xCD;\nfn f() {}";
+        let lexed = lex(src);
+        let p = parse(&lexed);
+        assert_eq!(p.consts.len(), 1);
+        let (a, b) = p.consts[0].init;
+        assert_eq!(b - a, 3, "three initializer tokens");
+    }
+
+    #[test]
+    fn enclosing_fn_picks_innermost() {
+        let src = "
+            fn outer() {
+                fn inner(seed: u64) { let x = seed; }
+            }
+        ";
+        let lexed = lex(src);
+        let p = parse(&lexed);
+        // Find the token index of `x`.
+        let idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.tok == Tok::Ident("x".into()))
+            .unwrap();
+        assert_eq!(p.enclosing_fn(idx).unwrap().name, "inner");
+    }
+
+    #[test]
+    fn bodyless_trait_methods_have_no_body() {
+        let src = "trait T { fn required(&self) -> usize; fn provided(&self) -> usize { 1 } }";
+        let p = parse(&lex(src));
+        assert_eq!(p.fns[0].name, "required");
+        assert!(p.fns[0].body.is_none());
+        assert!(p.fns[1].body.is_some());
+    }
+}

@@ -45,7 +45,7 @@ pub const WALLCLOCK_ALLOWLIST: &[&str] = &[
 ];
 
 /// Rule identifiers understood by `detlint::allow(...)`.
-pub const KNOWN_RULES: &[&str] = &["D1", "D2", "D3", "D4"];
+pub const KNOWN_RULES: &[&str] = &["D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8", "D9"];
 
 /// One diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -98,6 +98,9 @@ pub struct FileCtx<'a> {
     /// Whether panic sites count toward the D4 budget (non-test, non-bin
     /// library code).
     pub is_lib: bool,
+    /// Whether the file lives under the crate's `src/` tree (dataflow
+    /// rules scope to source, not tests/examples).
+    pub in_src: bool,
 }
 
 impl<'a> FileCtx<'a> {
@@ -130,6 +133,7 @@ impl<'a> FileCtx<'a> {
             deterministic,
             wallclock_ok,
             is_lib,
+            in_src,
         })
     }
 }
@@ -146,13 +150,15 @@ pub struct FileReport {
 }
 
 /// In-scope allow annotations, resolved to the code lines they cover.
-struct Allows {
+pub struct Allows {
     /// line → rule ids allowed on that line.
     by_line: BTreeMap<u32, BTreeSet<String>>,
 }
 
 impl Allows {
-    fn permits(&self, line: u32, rule: &str) -> bool {
+    /// Whether `rule` is allowed on `line`.
+    #[must_use]
+    pub fn permits(&self, line: u32, rule: &str) -> bool {
         self.by_line
             .get(&line)
             .is_some_and(|rules| rules.contains(rule))
@@ -162,7 +168,7 @@ impl Allows {
 /// Parses `detlint::allow(...)` comments. A standalone allow (on a line
 /// with no code) covers the next line that has code; a trailing allow
 /// covers its own line. Malformed allows become findings.
-fn collect_allows(
+pub fn collect_allows(
     ctx: &FileCtx,
     lexed: &crate::lexer::Lexed,
     findings: &mut Vec<Finding>,
@@ -256,7 +262,7 @@ fn collect_allows(
 
 /// Marks the token index ranges covered by `#[test]` / `#[cfg(test)]`
 /// items (including whole `mod tests { … }` blocks).
-fn test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+pub fn test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
     let mut spans = Vec::new();
     let mut i = 0usize;
     while i < tokens.len() {
@@ -350,9 +356,14 @@ fn scan_attribute(tokens: &[Token], start: usize) -> Option<(usize, bool)> {
 
 /// Runs rules D1–D4 over one file.
 pub fn check_file(ctx: &FileCtx, src: &str) -> FileReport {
-    let lexed = lex(src);
+    check_file_lexed(ctx, &lex(src))
+}
+
+/// Like [`check_file`], but takes an already-lexed token stream so the
+/// workspace driver can share one lex with the dataflow pass.
+pub fn check_file_lexed(ctx: &FileCtx, lexed: &crate::lexer::Lexed) -> FileReport {
     let mut findings = Vec::new();
-    let allows = collect_allows(ctx, &lexed, &mut findings);
+    let allows = collect_allows(ctx, lexed, &mut findings);
     let spans = test_spans(&lexed.tokens);
     let in_test = |idx: usize| spans.iter().any(|&(a, b)| idx >= a && idx < b);
     let toks = &lexed.tokens;

@@ -1,0 +1,146 @@
+//! Fixture-driven tests for the dataflow rules D5–D8. Mirrors the
+//! `tests/rules.rs` layout: each fixture under `tests/fixtures/` holds
+//! deliberate violations, and the assertions pin the exact lines on
+//! which each rule fires (and stays silent).
+
+use detlint::dataflow::{check_dataflow, AnalysisUnit};
+use detlint::graph::FileUnit;
+use detlint::rules::{self, FileCtx, Finding};
+use detlint::{lexer, parser};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Builds the dataflow input for `src` as if it lived at `rel` — the
+/// same preparation `run_workspace` does per file.
+fn unit_for(rel: &str, src: &str) -> AnalysisUnit {
+    let ctx = FileCtx::classify(rel).unwrap_or_else(|| panic!("classify {rel}"));
+    let lexed = lexer::lex(src);
+    let mut scratch = Vec::new();
+    let allows = rules::collect_allows(&ctx, &lexed, &mut scratch);
+    let test_spans = rules::test_spans(&lexed.tokens);
+    let parsed = parser::parse(&lexed);
+    AnalysisUnit {
+        file: FileUnit {
+            rel_path: rel.to_string(),
+            crate_key: ctx.crate_key.to_string(),
+            is_src: ctx.in_src,
+            lexed,
+            parsed,
+            test_spans,
+        },
+        allows,
+        deterministic: ctx.deterministic,
+    }
+}
+
+/// Sorted lines on which findings for `rule` were reported.
+fn lines_for(findings: &[Finding], rule: &str) -> Vec<u32> {
+    let mut lines: Vec<u32> = findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect();
+    lines.sort_unstable();
+    lines
+}
+
+#[test]
+fn d5_flags_every_malformed_seed_derivation() {
+    let unit = unit_for("crates/netsim/src/fixture.rs", &fixture("d5_seed.rs"));
+    let findings = check_dataflow(&[unit]);
+    // 37 second bare root, 41 inline literal, 45 + 71 raw arithmetic,
+    // 49 two salts, 53 salt reuse, 57 untraceable, 61 salt without root.
+    // The salted (16), chained (21), caller-traced (25), first-bare-root
+    // (33) and allowed (66) sites stay silent.
+    assert_eq!(
+        lines_for(&findings, "D5"),
+        vec![37, 41, 45, 49, 53, 57, 61, 71]
+    );
+    let reuse = findings
+        .iter()
+        .find(|f| f.rule == "D5" && f.line == 53)
+        .unwrap();
+    assert!(reuse.msg.contains("FAULT_STREAM_SALT"));
+    assert!(reuse.msg.contains(":16"));
+}
+
+#[test]
+fn d5_silent_outside_its_crate_scope() {
+    // `experiments` is neither deterministic nor the jobs supervisor, so
+    // the same source draws no D5 findings there.
+    let unit = unit_for("crates/experiments/src/fixture.rs", &fixture("d5_seed.rs"));
+    let findings = check_dataflow(&[unit]);
+    assert!(lines_for(&findings, "D5").is_empty());
+}
+
+#[test]
+fn d5_salt_reuse_is_workspace_wide() {
+    let src_a = "pub const FLOW_STREAM_SALT: u64 = 9;\n\
+                 pub fn f(seed: u64) { StdRng::seed_from_u64(seed ^ FLOW_STREAM_SALT); }\n";
+    let src_b = "pub fn g(seed: u64) { StdRng::seed_from_u64(seed ^ FLOW_STREAM_SALT); }\n";
+    let units = vec![
+        unit_for("crates/core/src/b.rs", src_b),
+        unit_for("crates/netsim/src/a.rs", src_a),
+    ];
+    let findings = check_dataflow(&units);
+    // Crates are visited in key order (core before netsim), so the core
+    // site owns the salt and the netsim site is the reuse.
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, "D5");
+    assert_eq!(findings[0].file, "crates/netsim/src/a.rs");
+    assert_eq!(findings[0].line, 2);
+    assert!(findings[0].msg.contains("crates/core/src/b.rs:1"));
+}
+
+#[test]
+fn d6_flags_partial_float_order_and_shared_reductions() {
+    let unit = unit_for("crates/core/src/fixture.rs", &fixture("d6_float.rs"));
+    let findings = check_dataflow(&[unit]);
+    // 6 partial_cmp sort, 34 wrong-rule allow, 48 .lock() inside a
+    // map_indexed closure. The definition (16), allowed call (25),
+    // total_cmp (10) and outside-the-closure lock (51) stay silent.
+    assert_eq!(lines_for(&findings, "D6"), vec![6, 34, 48]);
+}
+
+#[test]
+fn d6_silent_outside_deterministic_crates() {
+    let unit = unit_for("crates/experiments/src/fixture.rs", &fixture("d6_float.rs"));
+    let findings = check_dataflow(&[unit]);
+    assert!(lines_for(&findings, "D6").is_empty());
+}
+
+#[test]
+fn d7_flags_inverted_lock_orders_at_the_later_direction() {
+    let unit = unit_for("crates/jobs/src/fixture.rs", &fixture("d7_locks.rs"));
+    let findings = check_dataflow(&[unit]);
+    // 21: audit takes b → a against transfer's a → b; 59: yx under a
+    // wrong-rule allow. The allowed drain inversion (34) and the io
+    // `read(&mut buf)` call (41) stay silent.
+    assert_eq!(lines_for(&findings, "D7"), vec![21, 59]);
+    let inv = findings
+        .iter()
+        .find(|f| f.rule == "D7" && f.line == 21)
+        .unwrap();
+    assert!(inv.msg.contains("transfer"));
+}
+
+#[test]
+fn d8_flags_impurity_reachable_from_policy_impls() {
+    let unit = unit_for(
+        "crates/experiments/src/fixture.rs",
+        &fixture("d8_policy.rs"),
+    );
+    let findings = check_dataflow(&[unit]);
+    // 19 RNG construction and 20 gen_range in the helper Sneaky::victim
+    // calls; 46 wall clock under a wrong-rule allow. Pure (14), the
+    // allowed timestamp (36) and the unreachable helper (52) are silent.
+    assert_eq!(lines_for(&findings, "D8"), vec![19, 20, 46]);
+    let via = findings
+        .iter()
+        .find(|f| f.rule == "D8" && f.line == 19)
+        .unwrap();
+    assert!(via.msg.contains("pick_random"));
+}

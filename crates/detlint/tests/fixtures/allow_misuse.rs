@@ -3,5 +3,5 @@
 // detlint::allow(D1)
 use std::collections::HashMap; // line 4: D1 (the bare allow does not cover it)
 
-// detlint::allow(D9): no such rule
+// detlint::allow(D42): no such rule
 pub type Cache = HashMap<u32, u32>; // line 7: D1

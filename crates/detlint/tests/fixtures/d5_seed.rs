@@ -1,0 +1,72 @@
+//! Fixture: D5 RNG-stream lineage — salted, chained, bare-root,
+//! literal, raw-arithmetic, reused-salt, and allowed derivations.
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub const FAULT_STREAM_SALT: u64 = 0x0F0F;
+pub const PROBE_STREAM_SALT: u64 = 0x00FF;
+pub const TRACE_STREAM_SALT: u64 = 0xF000;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x
+}
+
+pub fn salted(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ FAULT_STREAM_SALT) // ok: root ^ salt
+}
+
+pub fn chained(seed: u64, unit: usize) -> StdRng {
+    let key = splitmix64(seed ^ PROBE_STREAM_SALT) ^ unit as u64;
+    StdRng::seed_from_u64(splitmix64(key)) // ok: sanctioned splitmix chaining
+}
+
+fn make_rng(key: u64) -> StdRng {
+    StdRng::seed_from_u64(key) // ok: lineage traced through the caller below
+}
+
+pub fn traced(seed: u64) -> StdRng {
+    make_rng(seed ^ TRACE_STREAM_SALT)
+}
+
+pub fn primary(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed) // ok: the crate's one sanctioned bare root
+}
+
+pub fn second_root(run_seed: u64) -> StdRng {
+    StdRng::seed_from_u64(run_seed) // line 37: D5 (second unsalted root)
+}
+
+pub fn inline_literal() -> StdRng {
+    StdRng::seed_from_u64(0xABCD) // line 41: D5 (inline numeric salt)
+}
+
+pub fn raw_arith(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed.wrapping_mul(3)) // line 45: D5 (non-XOR arithmetic)
+}
+
+pub fn two_salts(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ FAULT_STREAM_SALT ^ PROBE_STREAM_SALT) // line 49: D5
+}
+
+pub fn reused(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ FAULT_STREAM_SALT) // line 53: D5 (salt owned by line 16)
+}
+
+pub fn untraceable(node_id: u64) -> StdRng {
+    StdRng::seed_from_u64(node_id) // line 57: D5 (no root, no salt)
+}
+
+pub fn salt_only() -> StdRng {
+    StdRng::seed_from_u64(PROBE_STREAM_SALT) // line 61: D5 (salt without a root)
+}
+
+pub fn allowed_literal() -> StdRng {
+    // detlint::allow(D5): legacy constant pinned by published CSVs
+    StdRng::seed_from_u64(7)
+}
+
+pub fn misuse(seed: u64) -> StdRng {
+    // detlint::allow(D99): no such rule — suppresses nothing
+    StdRng::seed_from_u64(seed + 1) // line 71: D5 (non-XOR arithmetic)
+}

@@ -1,0 +1,58 @@
+//! Fixture: D6 float-order totality and ordered reductions.
+use std::cmp::Ordering;
+use std::sync::Mutex;
+
+pub fn sort_scores(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); // line 6: D6
+}
+
+pub fn sort_total(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b)); // ok: total order
+}
+
+pub struct Score(f64);
+
+impl Score {
+    fn partial_cmp(&self, _other: &Score) -> Option<Ordering> { // ok: a definition, not a call
+        None
+    }
+}
+
+pub fn max_allowed(xs: &[f64]) -> f64 {
+    let mut best = f64::MIN;
+    for &x in xs {
+        // detlint::allow(D6): inputs are NaN-free by construction
+        if x.partial_cmp(&best) == Some(Ordering::Greater) {
+            best = x;
+        }
+    }
+    best
+}
+
+pub fn misuse(xs: &mut [f64]) {
+    // detlint::allow(D2): wrong rule id — suppresses nothing
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); // line 34: D6
+}
+
+pub struct Pool;
+
+impl Pool {
+    pub fn map_indexed(&self, n: usize, f: impl Fn(usize) -> f64) -> Vec<f64> {
+        (0..n).map(f).collect()
+    }
+}
+
+pub fn racy_reduce(pool: &Pool, xs: &[f64]) -> f64 {
+    let total = Mutex::new(0.0f64);
+    pool.map_indexed(xs.len(), |i| {
+        *total.lock().unwrap() += xs[i]; // line 48: D6 (scheduling-ordered accumulation)
+        0.0
+    });
+    let v = *total.lock().unwrap(); // ok: outside the closure
+    v
+}
+
+pub fn ordered_reduce(pool: &Pool, xs: &[f64]) -> f64 {
+    let per = pool.map_indexed(xs.len(), |i| xs[i] * 2.0); // ok: per-index values
+    per.iter().sum()
+}

@@ -1,0 +1,62 @@
+//! Fixture: D7 static lock-acquisition order.
+use std::io::Read;
+use std::sync::{Mutex, RwLock};
+
+pub struct Shared {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+    pub c: RwLock<u32>,
+    pub d: Mutex<u32>,
+}
+
+impl Shared {
+    pub fn transfer(&self) -> u32 {
+        let a = self.a.lock().unwrap();
+        let b = self.b.lock().unwrap();
+        *a + *b
+    }
+
+    pub fn audit(&self) -> u32 {
+        let b = self.b.lock().unwrap();
+        let a = self.a.lock().unwrap(); // line 21: D7 (inverts transfer's a → b)
+        *a * *b
+    }
+
+    pub fn snapshot(&self) -> u32 {
+        let c = self.c.read().unwrap();
+        let d = self.d.lock().unwrap();
+        *c + *d
+    }
+
+    pub fn drain(&self) -> u32 {
+        let d = self.d.lock().unwrap();
+        // detlint::allow(D7): drain intentionally holds d across the read
+        let c = self.c.read().unwrap();
+        *c - *d
+    }
+}
+
+pub fn not_a_lock(mut f: std::fs::File) -> usize {
+    let mut buf = [0u8; 8];
+    f.read(&mut buf).unwrap_or(0) // ok: io::Read, parens are not empty
+}
+
+pub struct Pair {
+    pub x: Mutex<u32>,
+    pub y: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn xy(&self) -> u32 {
+        let x = self.x.lock().unwrap();
+        let y = self.y.lock().unwrap();
+        *x + *y
+    }
+
+    pub fn yx(&self) -> u32 {
+        let y = self.y.lock().unwrap();
+        // detlint::allow(D8): wrong rule id — suppresses nothing
+        let x = self.x.lock().unwrap(); // line 59: D7
+        *x * *y
+    }
+}

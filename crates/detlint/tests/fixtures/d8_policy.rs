@@ -1,0 +1,54 @@
+//! Fixture: D8 CachePolicy purity — impure reachability, allow, misuse.
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Instant, SystemTime};
+
+pub trait CachePolicy {
+    fn victim(&self, n: usize) -> usize;
+}
+
+pub struct Pure;
+
+impl CachePolicy for Pure {
+    fn victim(&self, n: usize) -> usize {
+        n / 2 // ok: pure function of the candidate count
+    }
+}
+
+fn pick_random(n: usize) -> usize {
+    let mut rng = StdRng::seed_from_u64(0xFEED); // line 19: D8 (RNG reachable)
+    rng.gen_range(0..n) // line 20: D8
+}
+
+pub struct Sneaky;
+
+impl CachePolicy for Sneaky {
+    fn victim(&self, n: usize) -> usize {
+        pick_random(n)
+    }
+}
+
+pub struct Stamped;
+
+impl CachePolicy for Stamped {
+    fn victim(&self, n: usize) -> usize {
+        // detlint::allow(D8): diagnostic timestamp, result unused
+        let _t = Instant::now();
+        n.saturating_sub(1)
+    }
+}
+
+pub struct Misused;
+
+impl CachePolicy for Misused {
+    fn victim(&self, n: usize) -> usize {
+        // detlint::allow(D2): wrong rule id — suppresses nothing
+        let _t = SystemTime::now(); // line 46: D8
+        n
+    }
+}
+
+fn lonely_helper() -> usize {
+    let mut rng = StdRng::seed_from_u64(0xBEEF); // ok: unreachable from any policy
+    rng.gen_range(0..4)
+}

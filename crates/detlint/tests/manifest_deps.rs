@@ -1,0 +1,103 @@
+//! Integration tests for rule D9, the offline-build guard: every
+//! `Cargo.toml` dependency must resolve to the workspace or a vendored
+//! path. The unit tests in `manifest.rs` cover the line classifier;
+//! these exercise whole-manifest texts against the real repository
+//! root (so `path = …` resolution hits the actual directory tree) and
+//! pin the workspace itself clean.
+
+use detlint::manifest::{check_manifest, check_manifests};
+use detlint::rules::Finding;
+
+fn root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .to_path_buf()
+}
+
+fn lines_for(findings: &[Finding], rule: &str) -> Vec<u32> {
+    let mut lines: Vec<u32> = findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect();
+    lines.sort_unstable();
+    lines
+}
+
+#[test]
+fn mixed_manifest_flags_exactly_the_offline_breakers() {
+    let text = "\
+[package]
+name = \"fixture\"
+version = \"0.1.0\"
+
+[dependencies]
+flowspace.workspace = true
+ftcache = { workspace = true }
+rand = { path = \"../vendor/rand\" }
+serde = \"1.0\"
+libc = { version = \"0.2\" }
+tokio = { git = \"https://github.com/tokio-rs/tokio\" }
+ghost = { path = \"../vendor/does-not-exist\" }
+escape = { path = \"../../../etc\" }
+# detlint::allow(D9): exercised only on developer boxes
+criterion = \"0.5\"
+nix = \"0.27\" # detlint::allow(D9): same-line escape hatch
+
+[dev-dependencies]
+proptest = { path = \"../vendor/proptest\" }
+regex = \"1.10\"
+
+[features]
+default = []
+extra = \"not-a-dependency\"
+";
+    let findings = check_manifest(&root(), "crates/fixture/Cargo.toml", text);
+    // 9 registry, 10 registry table, 11 git, 12 missing path, 13 path
+    // escaping the workspace, 20 registry in dev-dependencies. The
+    // workspace/path deps, both allowed lines, and the non-dependency
+    // `[features]` assignment stay silent.
+    assert_eq!(lines_for(&findings, "D9"), vec![9, 10, 11, 12, 13, 20]);
+    let git = findings.iter().find(|f| f.line == 11).unwrap();
+    assert!(git.msg.contains("git dependency"));
+    let escape = findings.iter().find(|f| f.line == 13).unwrap();
+    assert!(escape.msg.contains("does not resolve"));
+}
+
+#[test]
+fn allow_on_the_line_above_covers_only_the_next_dependency() {
+    let text = "\
+[dependencies]
+# detlint::allow(D9): pinned for a reproduction case
+first = \"1.0\"
+second = \"1.0\"
+";
+    let findings = check_manifest(&root(), "crates/fixture/Cargo.toml", text);
+    assert_eq!(lines_for(&findings, "D9"), vec![4]);
+}
+
+#[test]
+fn workspace_dependency_tables_are_in_scope_too() {
+    let text = "\
+[workspace]
+members = [\"crates/a\"]
+
+[workspace.dependencies]
+rand = { path = \"crates/vendor/rand\" }
+remote = \"2.0\"
+";
+    let findings = check_manifest(&root(), "Cargo.toml", text);
+    assert_eq!(lines_for(&findings, "D9"), vec![6]);
+}
+
+#[test]
+fn the_repository_itself_is_d9_clean() {
+    let findings = check_manifests(&root()).expect("walk workspace manifests");
+    assert_eq!(
+        lines_for(&findings, "D9"),
+        Vec::<u32>::new(),
+        "unexpected D9 findings: {findings:?}"
+    );
+}

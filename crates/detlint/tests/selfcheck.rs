@@ -2,16 +2,23 @@
 //! baseline. This is the same scan CI runs via `cargo run -p detlint`,
 //! exercised as a test so `cargo test` alone catches policy regressions.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
-#[test]
-fn workspace_is_clean_under_shipped_baseline() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
         .expect("detlint lives at <root>/crates/detlint")
-        .to_path_buf();
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_clean_under_shipped_baseline() {
+    let root = workspace_root();
+    let started = Instant::now();
     let report = detlint::run_workspace(&root).expect("workspace scan");
+    let elapsed = started.elapsed();
     assert!(
         report.findings.is_empty(),
         "detlint findings in the workspace:\n{}",
@@ -24,7 +31,16 @@ fn workspace_is_clean_under_shipped_baseline() {
     );
     assert!(report.files_scanned > 50, "scan looks truncated");
 
-    // The shipped baseline must exactly pin the current panic counts.
+    // The multi-pass analyzer (lex + parse + call graph, all rules)
+    // must stay interactive: the budget is 2 s of wall time for the
+    // whole workspace, even in this unoptimized test build.
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "workspace scan took {elapsed:?} — over the 2 s detlint budget"
+    );
+
+    // The shipped baseline must exactly pin the current panic counts
+    // (the same byte-level check `--check-budget` runs in CI).
     let baseline_text =
         std::fs::read_to_string(root.join(detlint::BASELINE_PATH)).expect("baseline.toml present");
     let baseline = detlint::rules::parse_baseline(&baseline_text).expect("baseline parses");
@@ -32,4 +48,17 @@ fn workspace_is_clean_under_shipped_baseline() {
         report.panic_counts, baseline,
         "run `detlint --print-budget`"
     );
+    assert!(
+        detlint::budget_is_current(&root, &report).expect("baseline readable"),
+        "baseline.toml is not byte-identical to --print-budget output"
+    );
+}
+
+#[test]
+fn workspace_sarif_export_is_produced_even_when_clean() {
+    let root = workspace_root();
+    let report = detlint::run_workspace(&root).expect("workspace scan");
+    let doc = detlint::sarif_json(&report);
+    assert!(doc.contains("\"version\": \"2.1.0\""));
+    assert!(doc.contains("\"name\": \"detlint\""));
 }

@@ -89,7 +89,7 @@ impl ChaosPlan {
     ) -> Self {
         let mut plan = ChaosPlan::default();
         for unit in 0..total_units {
-            let draw = splitmix64(seed ^ JOBS_STREAM_SALT ^ (unit as u64)) % 1000;
+            let draw = stream_key(seed, unit, 0) % 1000;
             if draw < panic_permille {
                 plan.inject(unit, 0, ChaosEvent::Panic);
             } else if draw < panic_permille + stall_permille {
@@ -240,20 +240,31 @@ impl<R> JobOutcome<R> {
     }
 }
 
+/// The per-`(unit, attempt)` key of the supervisor's private draw
+/// stream: three chained `splitmix64` rounds, one per mixed-in input.
+///
+/// A plain XOR of `seed ^ JOBS_STREAM_SALT ^ unit` would let a nearby
+/// unit index cancel low salt bits and alias another salted stream
+/// (`salt_a ^ u == salt_b ^ v` whenever the salts differ only in bits
+/// covered by small indices). Passing each input through a full mix
+/// round first makes the intermediate state pseudorandom before the
+/// next index is XORed in, so no small-integer relation between salts
+/// and indices survives. Pure — callable from tests to predict the
+/// exact schedule.
+#[must_use]
+pub fn stream_key(seed: u64, unit: usize, attempt: usize) -> u64 {
+    splitmix64(splitmix64(splitmix64(seed ^ JOBS_STREAM_SALT) ^ unit as u64) ^ attempt as u64)
+}
+
 /// The deterministic retry delay before `attempt` (1-based retries) of
-/// `unit`: capped exponential base plus jitter drawn from the
-/// [`JOBS_STREAM_SALT`] stream. Pure — callable from tests to predict
-/// the exact schedule. Trial RNG streams are untouched by design:
-/// backoff consumes only this private stream, so retried units
-/// reproduce byte-identical results.
+/// `unit`: capped exponential base plus jitter drawn via [`stream_key`]
+/// from the [`JOBS_STREAM_SALT`] stream. Trial RNG streams are
+/// untouched by design: backoff consumes only this private stream, so
+/// retried units reproduce byte-identical results.
 #[must_use]
 pub fn backoff_delay(seed: u64, unit: usize, attempt: usize) -> Duration {
     let base_ms = 1u64 << attempt.min(5).saturating_sub(1); // 1,1,2,4,8,16 ms
-    let draw = splitmix64(
-        seed ^ JOBS_STREAM_SALT
-            ^ (unit as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            ^ ((attempt as u64) << 48),
-    );
+    let draw = stream_key(seed, unit, attempt);
     Duration::from_millis(base_ms + draw % (base_ms + 1))
 }
 
@@ -736,6 +747,59 @@ mod tests {
             backoff_delay(8, 0, 3),
             "jitter varies with seed"
         );
+    }
+
+    #[test]
+    fn stream_key_golden_values() {
+        // Pinned: chained-splitmix64 keying is part of the reproducibility
+        // contract — a change here silently reschedules every chaos plan
+        // and backoff draw.
+        assert_eq!(stream_key(7, 0, 1), 0xA430_CC98_FAE9_246C);
+        assert_eq!(stream_key(7, 3, 2), 0xFF50_7BE0_A6D1_AFE1);
+        assert_eq!(stream_key(42, 17, 0), 0x3E6B_53F1_DBCF_5A8B);
+        assert_eq!(stream_key(1234, 5, 4), 0x9B77_120E_899D_2309);
+    }
+
+    #[test]
+    fn stream_key_does_not_alias_nearby_streams() {
+        // The old plain-XOR keying let `seed ^ SALT ^ unit` for small
+        // unit indices collide with other salted streams. Chained mixing
+        // must keep every (unit, attempt) key distinct — and distinct
+        // from the raw XOR draws it replaced.
+        let mut seen = std::collections::BTreeSet::new();
+        for unit in 0..64 {
+            for attempt in 0..8 {
+                let k = stream_key(9, unit, attempt);
+                assert!(seen.insert(k), "alias at unit={unit} attempt={attempt}");
+                assert_ne!(
+                    k,
+                    splitmix64(9 ^ JOBS_STREAM_SALT ^ unit as u64 ^ attempt as u64),
+                    "chained key must not degenerate to the XOR scheme"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rekeyed_draws_never_reach_checkpointed_results() {
+        // Checkpoint/resume regression for the rekeying: draws feed only
+        // backoff timing and chaos schedules, never unit results, so a
+        // resumed run's results must stay identical to a clean run's.
+        // (CKPT_VERSION is therefore intentionally unchanged.)
+        let path = ckpt_path("rekey_results");
+        let _ = std::fs::remove_file(&path);
+        let clean = run_units(&spec("rekey-clean", 6), square).unwrap();
+        let mut s = spec("rekey-resume", 6);
+        s.checkpoint_path = Some(path.clone());
+        s.checkpoint_every = 2;
+        s.kill_after_checkpoints = Some(1);
+        let cut = run_units(&s, square).unwrap();
+        assert_eq!(cut.status, JobStatus::Interrupted);
+        s.kill_after_checkpoints = None;
+        s.resume = true;
+        let resumed = run_units(&s, square).unwrap();
+        assert_eq!(resumed.status, JobStatus::Completed);
+        assert_eq!(resumed.results, clean.results);
     }
 
     #[test]

@@ -57,8 +57,10 @@ run_interrupted() {
     }
 }
 
-# Preflight: the determinism lint must pass before any experiment runs —
-# a hash-iteration or wall-clock dependency would silently invalidate
+# Preflight: the determinism lint (rules D1-D9, including the D5-D8
+# dataflow pass) must pass before any experiment runs — a hash-iteration
+# order, wall-clock read, unsalted RNG stream, non-total float order,
+# inverted lock pair, or impure cache policy would silently invalidate
 # every CSV produced below.
 cargo run --release -p detlint
 
