@@ -41,6 +41,7 @@ pub use robust::{
 };
 pub use timing::{measure_latency, LatencyStats, LatencyTable};
 pub use trial::{
-    run_trials, run_trials_policy, run_trials_recorded, run_trials_robust_policy, run_trials_with,
-    run_trials_with_policy, scenario_net_config, Accuracy, TrialReport,
+    run_trials, run_trials_policy, run_trials_recorded, run_trials_robust_policy,
+    run_trials_traced, run_trials_with, run_trials_with_policy, scenario_net_config, Accuracy,
+    TrialReport,
 };

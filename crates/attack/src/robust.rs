@@ -30,6 +30,7 @@
 use crate::calibrate::CalibratedThreshold;
 use flowspace::FlowId;
 use netsim::{LatencyModel, Simulation};
+use obs::trace::TraceEv;
 use serde::{Deserialize, Serialize};
 
 /// How a robust attacker measures: timeout, retry budget and outlier
@@ -302,7 +303,8 @@ pub fn robust_probe(
     policy: &ProbePolicy,
     state: &mut RobustState,
 ) -> Option<RobustObservation> {
-    let question = obs::Span::begin(sim.now());
+    let question_start = sim.now();
+    let question = obs::Span::begin(question_start);
     let mut backoff = policy.backoff_secs;
     let mut outcome = None;
     for attempt in 0..=policy.max_retries {
@@ -311,11 +313,16 @@ pub fn robust_probe(
             None => state.counters.timeouts += 1,
             Some(obs) => {
                 let hit = state.classify(obs.rtt);
+                let (now, token) = (sim.now(), sim.last_probe_token());
                 if state.window.is_outlier(obs.rtt, hit, policy.mad_k) {
                     state.counters.outliers += 1;
+                    sim.flight_mut()
+                        .log(now, token, TraceEv::Outlier { rtt: obs.rtt });
                 } else {
                     state.window.push(obs.rtt, hit);
                     state.observe(obs.rtt);
+                    sim.flight_mut()
+                        .log(now, token, TraceEv::Classified { rtt: obs.rtt, hit });
                     outcome = Some(RobustObservation { rtt: obs.rtt, hit });
                     break;
                 }
@@ -324,6 +331,15 @@ pub fn robust_probe(
         if attempt < policy.max_retries {
             state.counters.retries += 1;
             let resume = sim.now() + backoff;
+            let (now, token) = (sim.now(), sim.last_probe_token());
+            sim.flight_mut().log(
+                now,
+                token,
+                TraceEv::Retry {
+                    attempt: u64::from(attempt),
+                    backoff,
+                },
+            );
             sim.recorder_mut()
                 .observe(obs::metrics::ROBUST_BACKOFF_SECS, backoff);
             sim.run_until(resume);
@@ -333,6 +349,18 @@ pub fn robust_probe(
     let elapsed = question.end(sim.now());
     sim.recorder_mut()
         .observe(obs::metrics::QUESTION_SECS, elapsed);
+    // Stamp the whole question as a span (logged at its start time so
+    // the Perfetto slice brackets the retry envelope around the
+    // individual probe events), attributed to the last probe token.
+    let token = sim.last_probe_token();
+    sim.flight_mut().log(
+        question_start,
+        token,
+        TraceEv::Span {
+            name: "question",
+            secs: elapsed,
+        },
+    );
     outcome
 }
 
@@ -369,6 +397,16 @@ impl Verdict {
             Verdict::Present => Some(true),
             Verdict::Absent => Some(false),
             Verdict::Inconclusive => None,
+        }
+    }
+
+    /// The lowercase label stamped into flight-recorder verdict events.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Present => "present",
+            Verdict::Absent => "absent",
+            Verdict::Inconclusive => "inconclusive",
         }
     }
 }

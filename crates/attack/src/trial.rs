@@ -13,7 +13,8 @@ use crate::robust::{FaultCounters, ProbePolicy, RobustState, Verdict};
 use crate::ExecPolicy;
 use ftcache::CachePolicy;
 use netsim::{FaultStats, NetConfig, Simulation, SwitchStats};
-use obs::{metrics, Recorder};
+use obs::trace::{probe_ctx, TraceEv};
+use obs::{metrics, FlightRecorder, Recorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -316,6 +317,8 @@ pub fn run_trials_with_policy(
         policy,
         None,
         &mut Recorder::disabled(),
+        0,
+        &mut FlightRecorder::disabled(),
     )
 }
 
@@ -349,6 +352,8 @@ pub fn run_trials_robust_policy(
         policy,
         Some(probe_policy),
         &mut Recorder::disabled(),
+        0,
+        &mut FlightRecorder::disabled(),
     )
 }
 
@@ -374,7 +379,50 @@ pub fn run_trials_recorded(
     recorder: &mut Recorder,
 ) -> TrialReport {
     run_trials_engine(
-        scenario, plan, kinds, trials, seed, net, policy, robust, recorder,
+        scenario,
+        plan,
+        kinds,
+        trials,
+        seed,
+        net,
+        policy,
+        robust,
+        recorder,
+        0,
+        &mut FlightRecorder::disabled(),
+    )
+}
+
+/// [`run_trials_recorded`] with a causal [`FlightRecorder`] attached:
+/// every probe's event chain (inject → miss → packet-in → install →
+/// deliver, plus injected faults, retries, outlier rejections and the
+/// final verdicts) is stamped with a
+/// [`ProbeId`](obs::trace::ProbeId) whose context packs `(unit, trial,
+/// attacker)` via [`probe_ctx`] — `unit` names this batch within a
+/// larger job (0 when standalone).
+///
+/// Tracing is observation only, under the same contract as the metric
+/// recorder: the report is byte-identical whether `flight` is enabled
+/// or [`FlightRecorder::disabled`], under any `policy`, and the merged
+/// flight contents are themselves independent of the execution
+/// schedule and merge order.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn run_trials_traced(
+    scenario: &NetworkScenario,
+    plan: &AttackPlan,
+    kinds: &[AttackerKind],
+    trials: usize,
+    seed: u64,
+    net: &NetConfig,
+    policy: ExecPolicy,
+    robust: Option<&ProbePolicy>,
+    recorder: &mut Recorder,
+    unit: usize,
+    flight: &mut FlightRecorder,
+) -> TrialReport {
+    run_trials_engine(
+        scenario, plan, kinds, trials, seed, net, policy, robust, recorder, unit, flight,
     )
 }
 
@@ -389,6 +437,8 @@ fn run_trials_engine(
     policy: ExecPolicy,
     robust: Option<&ProbePolicy>,
     recorder: &mut Recorder,
+    unit: usize,
+    flight: &mut FlightRecorder,
 ) -> TrialReport {
     let threads = policy.effective_threads(trials);
     let (accs, counters, sim_faults, cache_stats, present) = if threads <= 1 {
@@ -401,10 +451,12 @@ fn run_trials_engine(
             robust,
             0..trials,
             recorder,
+            unit,
+            flight,
         )
     } else {
         run_trials_parallel(
-            scenario, plan, kinds, trials, seed, net, robust, threads, recorder,
+            scenario, plan, kinds, trials, seed, net, robust, threads, recorder, unit, flight,
         )
     };
     if recorder.is_enabled() {
@@ -489,6 +541,8 @@ fn run_one_trial(
     sim_faults: &mut [FaultStats],
     cache_stats: &mut [SwitchStats],
     recorder: &mut Recorder,
+    unit: usize,
+    flight: &mut FlightRecorder,
 ) -> bool {
     let mut traffic_rng =
         StdRng::seed_from_u64(seed ^ (trial as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -506,6 +560,9 @@ fn run_one_trial(
         let mut sim = Simulation::new(net.clone(), seed ^ ((trial as u64) << 20) ^ (i as u64 + 1));
         if recorder.is_enabled() {
             sim.attach_recorder(recorder.fork());
+        }
+        if flight.is_enabled() {
+            sim.attach_flight(flight.fork(), probe_ctx(unit, trial, i));
         }
         for &(f, t) in &schedule {
             sim.schedule_flow(f, t);
@@ -526,6 +583,18 @@ fn run_one_trial(
         sim_faults[i].merge(&sim.fault_stats());
         cache_stats[i].merge(&sim.ingress_stats());
         recorder.merge(sim.take_recorder());
+        if flight.is_enabled() {
+            let now = sim.now();
+            sim.flight_mut().log(
+                now,
+                None,
+                TraceEv::Verdict {
+                    verdict: verdict.label(),
+                    attacker: kind.name(),
+                },
+            );
+            flight.merge(sim.take_flight());
+        }
         answers.push(verdict);
     }
     truth
@@ -544,6 +613,8 @@ fn run_trial_range(
     robust: Option<&ProbePolicy>,
     range: std::ops::Range<usize>,
     recorder: &mut Recorder,
+    unit: usize,
+    flight: &mut FlightRecorder,
 ) -> TrialAccumulators {
     let mut accs = vec![Accuracy::default(); kinds.len()];
     let mut counters = vec![FaultCounters::default(); kinds.len()];
@@ -565,6 +636,8 @@ fn run_trial_range(
             &mut sim_faults,
             &mut cache_stats,
             recorder,
+            unit,
+            flight,
         );
         if truth {
             present += 1;
@@ -592,12 +665,15 @@ fn run_trials_parallel(
     robust: Option<&ProbePolicy>,
     threads: usize,
     recorder: &mut Recorder,
+    unit: usize,
+    flight: &mut FlightRecorder,
 ) -> TrialAccumulators {
     // Chunks several times smaller than a fair share keep workers busy
     // when trial costs vary, without contending on the cursor per trial.
     let chunk = (trials / (threads * 4)).max(1);
     let cursor = AtomicUsize::new(0);
     let record = recorder.is_enabled();
+    let (trace, trace_capacity) = (flight.is_enabled(), flight.capacity());
     let mut accs = vec![Accuracy::default(); kinds.len()];
     let mut counters = vec![FaultCounters::default(); kinds.len()];
     let mut sim_faults = vec![FaultStats::default(); kinds.len()];
@@ -618,6 +694,14 @@ fn run_trials_parallel(
                         Recorder::enabled()
                     } else {
                         Recorder::disabled()
+                    };
+                    // Flight records are keyed `(ctx, seq)` — a pure
+                    // function of (unit, trial, attacker) — so worker
+                    // merges commute exactly like the counters above.
+                    let mut local_flight = if trace {
+                        FlightRecorder::with_capacity(trace_capacity)
+                    } else {
+                        FlightRecorder::disabled()
                     };
                     let mut local_present = 0u64;
                     let mut answers = Vec::with_capacity(kinds.len());
@@ -641,6 +725,8 @@ fn run_trials_parallel(
                                 &mut local_faults,
                                 &mut local_cache,
                                 &mut local_recorder,
+                                unit,
+                                &mut local_flight,
                             );
                             if truth {
                                 local_present += 1;
@@ -656,6 +742,7 @@ fn run_trials_parallel(
                         local_faults,
                         local_cache,
                         local_recorder,
+                        local_flight,
                         local_present,
                     )
                 })
@@ -666,11 +753,18 @@ fn run_trials_parallel(
             // replacing it: the job supervisor's `catch_unwind` one layer
             // up reports that payload in `WorkerFailure::Panic`, so the
             // root cause must survive the thread boundary.
-            let (local, local_counters, local_faults, local_cache, local_recorder, local_present) =
-                match worker.join() {
-                    Ok(v) => v,
-                    Err(payload) => std::panic::resume_unwind(payload),
-                };
+            let (
+                local,
+                local_counters,
+                local_faults,
+                local_cache,
+                local_recorder,
+                local_flight,
+                local_present,
+            ) = match worker.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
             for (acc, l) in accs.iter_mut().zip(&local) {
                 acc.merge(l);
             }
@@ -684,6 +778,7 @@ fn run_trials_parallel(
                 s.merge(l);
             }
             recorder.merge(local_recorder);
+            flight.merge(local_flight);
             present += local_present;
         }
     });
@@ -946,6 +1041,55 @@ mod tests {
                 hits.map_or(0, obs::Histogram::count) + misses.map_or(0, obs::Histogram::count) > 0,
                 "some probe RTTs must be observed"
             );
+        }
+    }
+
+    #[test]
+    fn tracing_never_perturbs_results_and_merges_schedule_independently() {
+        let sc = scenario(10, (0.3, 0.7));
+        let plan = plan_attack(&sc, Evaluator::mean_field()).unwrap();
+        let kinds = [AttackerKind::Naive, AttackerKind::Model];
+        let mut net = scenario_net_config(&sc);
+        net.faults = netsim::FaultPlan::uniform(0.1);
+        let probe = ProbePolicy::default();
+        let mut reference: Option<FlightRecorder> = None;
+        for threads in [1, 2, 8] {
+            let policy = if threads == 1 {
+                ExecPolicy::Serial
+            } else {
+                ExecPolicy::Parallel { threads }
+            };
+            let plain = run_trials_robust_policy(&sc, &plan, &kinds, 8, 17, &net, policy, &probe);
+            let mut flight = FlightRecorder::enabled();
+            let traced = run_trials_traced(
+                &sc,
+                &plan,
+                &kinds,
+                8,
+                17,
+                &net,
+                policy,
+                Some(&probe),
+                &mut Recorder::disabled(),
+                3,
+                &mut flight,
+            );
+            assert_eq!(
+                plain, traced,
+                "threads={threads}: tracing must not change results"
+            );
+            assert!(!flight.is_empty());
+            assert!(
+                flight.records().all(|(id, _)| id.unit() == 3),
+                "every record carries the caller's unit"
+            );
+            match &reference {
+                None => reference = Some(flight),
+                Some(f) => assert_eq!(
+                    f, &flight,
+                    "threads={threads}: flight contents must be schedule-independent"
+                ),
+            }
         }
     }
 

@@ -7,8 +7,8 @@
 //! Baseline numbers are recorded in `results/bench_trial_engine.txt`.
 
 use attack::{
-    plan_attack, run_trials_policy, run_trials_recorded, scenario_net_config, AttackerKind,
-    ExecPolicy,
+    plan_attack, run_trials_policy, run_trials_recorded, run_trials_traced, scenario_net_config,
+    AttackerKind, ExecPolicy,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use recon_bench::paper_scale_scenario;
@@ -84,6 +84,33 @@ fn bench_trial_engine(c: &mut Criterion) {
                         ExecPolicy::Serial,
                         None,
                         &mut rec,
+                    )
+                });
+            });
+        }
+        // Flight-recorder overhead: the disabled recorder is a
+        // pointer-sized no-op (within noise of `serial_obs_off`);
+        // enabled shows the causal-event logging cost.
+        for (label, traced) in [("serial_trace_off", false), ("serial_trace_on", true)] {
+            g.bench_with_input(BenchmarkId::new(label, trials), &trials, |b, &n| {
+                b.iter(|| {
+                    let mut flight = if traced {
+                        obs::FlightRecorder::enabled()
+                    } else {
+                        obs::FlightRecorder::disabled()
+                    };
+                    run_trials_traced(
+                        &sc,
+                        &plan,
+                        &kinds,
+                        n,
+                        3,
+                        &net,
+                        ExecPolicy::Serial,
+                        None,
+                        &mut obs::Recorder::disabled(),
+                        0,
+                        &mut flight,
                     )
                 });
             });

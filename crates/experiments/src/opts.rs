@@ -1,7 +1,7 @@
 //! Minimal command-line option parsing shared by the experiment binaries.
 
 use attack::ExecPolicy;
-use obs::Recorder;
+use obs::{FlightRecorder, Recorder};
 use std::path::PathBuf;
 
 /// Options common to every experiment binary.
@@ -25,6 +25,12 @@ pub struct ExpOpts {
     /// this only controls whether the run's manifest carries metrics
     /// and per-config progress is printed.
     pub obs: bool,
+    /// Record a causal flight trace (`--trace`, or the
+    /// `FLOW_RECON_TRACE` environment variable). Like `--obs`, results
+    /// are byte-identical either way; tracing only adds
+    /// `<experiment>.flightrec.jsonl` (and a Chrome/Perfetto
+    /// `<experiment>.trace.json`) next to the CSVs.
+    pub trace: bool,
     /// Resume from `<experiment>.ckpt.jsonl` when present (`--resume`).
     /// Bins without a checkpoint-aware job loop accept the flag too: a
     /// fresh run is trivially equivalent to resuming nothing.
@@ -51,6 +57,7 @@ impl Default for ExpOpts {
             fast: false,
             policy: ExecPolicy::from_env(),
             obs: obs_from_env(),
+            trace: trace_from_env(),
             resume: false,
             checkpoint_every: 0,
             kill_after_checkpoints: kill_from_env(),
@@ -62,6 +69,12 @@ impl Default for ExpOpts {
 /// value except `0`).
 fn obs_from_env() -> bool {
     std::env::var("FLOW_RECON_OBS").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Whether `FLOW_RECON_TRACE` asks for flight recording (same
+/// convention as `FLOW_RECON_OBS`).
+fn trace_from_env() -> bool {
+    std::env::var("FLOW_RECON_TRACE").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
 /// The `FLOW_RECON_KILL_AFTER_CKPT` kill-point, if set to a positive
@@ -76,7 +89,7 @@ fn kill_from_env() -> Option<usize> {
 
 impl ExpOpts {
     /// Parses `--configs N --trials N --seed N --out DIR --fast
-    /// --threads N|auto --obs --resume --checkpoint-every N
+    /// --threads N|auto --obs --trace --resume --checkpoint-every N
     /// --kill-after-checkpoints N` from an iterator of arguments
     /// (without the program name).
     ///
@@ -101,6 +114,7 @@ impl ExpOpts {
                 "--out" => opts.out = PathBuf::from(grab()),
                 "--fast" => opts.fast = true,
                 "--obs" => opts.obs = true,
+                "--trace" => opts.trace = true,
                 "--resume" => opts.resume = true,
                 "--checkpoint-every" => {
                     opts.checkpoint_every = grab()
@@ -124,7 +138,7 @@ impl ExpOpts {
                     });
                 }
                 other => panic!(
-                    "unknown flag {other}; supported: --configs --trials --seed --out --fast --threads --obs --resume --checkpoint-every --kill-after-checkpoints"
+                    "unknown flag {other}; supported: --configs --trials --seed --out --fast --threads --obs --trace --resume --checkpoint-every --kill-after-checkpoints"
                 ),
             }
         }
@@ -150,6 +164,18 @@ impl ExpOpts {
             Recorder::enabled()
         } else {
             Recorder::disabled()
+        }
+    }
+
+    /// A [`FlightRecorder`] matching the run's `--trace` setting:
+    /// enabled (default capacity) when tracing was requested, the
+    /// pointer-sized disabled recorder otherwise.
+    #[must_use]
+    pub fn flight(&self) -> FlightRecorder {
+        if self.trace {
+            FlightRecorder::enabled()
+        } else {
+            FlightRecorder::disabled()
         }
     }
 
@@ -234,6 +260,17 @@ mod tests {
         // Without the flag the setting follows FLOW_RECON_OBS (usually
         // unset), and recorder() mirrors it either way.
         assert_eq!(defaults.obs, defaults.recorder().is_enabled());
+    }
+
+    #[test]
+    fn trace_flag_enables_flight_recorder() {
+        let o = ExpOpts::parse(args("--trace"));
+        assert!(o.trace);
+        assert!(o.flight().is_enabled());
+        let defaults = ExpOpts::parse(args(""));
+        // Without the flag the setting follows FLOW_RECON_TRACE
+        // (usually unset), and flight() mirrors it either way.
+        assert_eq!(defaults.trace, defaults.flight().is_enabled());
     }
 
     #[test]

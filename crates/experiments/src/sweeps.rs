@@ -19,7 +19,7 @@
 //! bit-identical to the pre-supervision engine's.
 
 use attack::{
-    plan_attack_full, plan_attack_policy, run_trials_recorded, scenario_net_config, AttackPlan,
+    plan_attack_full, plan_attack_policy, run_trials_traced, scenario_net_config, AttackPlan,
     AttackerKind, ProbePolicy, TrialReport,
 };
 use core::time::Duration;
@@ -71,6 +71,10 @@ fn sweep_spec(name: &str, opts: &ExpOpts, total_units: usize) -> JobSpec {
     spec.watchdog = Some(Duration::from_secs(600));
     spec.seed = opts.seed;
     spec.obs = opts.obs;
+    spec.trace = opts.trace;
+    spec.flight_path = opts
+        .trace
+        .then(|| opts.out_file(&format!("{name}.flightrec.jsonl")));
     spec.interrupt = InterruptSource::Global;
     spec.kill_after_checkpoints = opts.kill_after_checkpoints;
     spec
@@ -81,9 +85,12 @@ fn sweep_spec(name: &str, opts: &ExpOpts, total_units: usize) -> JobSpec {
 /// aggregation; `Err` carries the process exit code.
 fn run_grid<F>(name: &str, spec: &JobSpec, f: F) -> Result<JobOutcome<TrialReport>, i32>
 where
-    F: Fn(usize, &mut obs::Recorder) -> TrialReport + Send + Sync + 'static,
+    F: Fn(usize, &mut obs::Recorder, &mut obs::FlightRecorder) -> TrialReport
+        + Send
+        + Sync
+        + 'static,
 {
-    match jobs::run_units(spec, f) {
+    match jobs::run_units_traced(spec, f) {
         Ok(outcome) => Ok(outcome),
         Err(e @ JobError::Resume(_)) => {
             eprintln!("{name}: {e}");
@@ -142,13 +149,13 @@ pub fn run_fault_sweep(opts: &ExpOpts) -> i32 {
     let ctx = Arc::new((configs, rates.clone()));
     let (trials, seed, policy) = (opts.trials, opts.seed, opts.policy);
     let worker_ctx = Arc::clone(&ctx);
-    let outcome = match run_grid("fault_sweep", &spec, move |unit, rec| {
+    let outcome = match run_grid("fault_sweep", &spec, move |unit, rec, flight| {
         let (configs, rates) = &*worker_ctx;
         let (ri, ci) = (unit / configs.len(), unit % configs.len());
         let (sc, plan) = &configs[ci];
         let mut net = scenario_net_config(sc);
         net.faults = netsim::FaultPlan::uniform(rates[ri]);
-        run_trials_recorded(
+        run_trials_traced(
             sc,
             plan,
             &KINDS,
@@ -158,6 +165,8 @@ pub fn run_fault_sweep(opts: &ExpOpts) -> i32 {
             policy,
             Some(&probe_policy),
             rec,
+            unit,
+            flight,
         )
     }) {
         Ok(o) => o,
@@ -237,6 +246,7 @@ pub fn run_fault_sweep(opts: &ExpOpts) -> i32 {
     // unwritable results dir should abort loudly, as the bins always did.
     std::fs::write(&path, chart).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
     println!("wrote {}", path.display());
+    write_trace_outputs("fault_sweep", opts, &outcome.flight);
     finish_sweep(
         manifest,
         opts,
@@ -370,7 +380,7 @@ pub fn run_defense_tournament(opts: &ExpOpts) -> i32 {
     let ctx = Arc::new((configs, rates.clone(), combos.clone()));
     let (trials, seed, policy) = (opts.trials, opts.seed, opts.policy);
     let worker_ctx = Arc::clone(&ctx);
-    let outcome = match run_grid("defense_tournament", &spec, move |unit, rec| {
+    let outcome = match run_grid("defense_tournament", &spec, move |unit, rec, flight| {
         let (configs, rates, combos) = &*worker_ctx;
         let ci = unit % configs.len();
         let ri = (unit / configs.len()) % rates.len();
@@ -380,7 +390,7 @@ pub fn run_defense_tournament(opts: &ExpOpts) -> i32 {
         let mut net = scenario_net_config(&config.scenario);
         net.policy = actual;
         net.faults = netsim::FaultPlan::uniform(rates[ri]);
-        run_trials_recorded(
+        run_trials_traced(
             &config.scenario,
             config.plan_for(assumed.policy(actual)),
             &KINDS,
@@ -390,6 +400,8 @@ pub fn run_defense_tournament(opts: &ExpOpts) -> i32 {
             policy,
             Some(&probe_policy),
             rec,
+            unit,
+            flight,
         )
     }) {
         Ok(o) => o,
@@ -464,6 +476,7 @@ pub fn run_defense_tournament(opts: &ExpOpts) -> i32 {
     // detlint::allow(D4): same best-effort figure write as fault_sweep.
     std::fs::write(&path, chart).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
     println!("wrote {}", path.display());
+    write_trace_outputs("defense_tournament", opts, &outcome.flight);
     finish_sweep(
         manifest,
         opts,
@@ -472,6 +485,29 @@ pub fn run_defense_tournament(opts: &ExpOpts) -> i32 {
         "defense_tournament",
         &outcome,
     )
+}
+
+/// Writes a traced sweep's flight outputs next to its CSVs: the raw
+/// `<name>.flightrec.jsonl` (the same typed format the crash-forensics
+/// dump uses, so `flow-recon trace`/`diagnose` read both) and a Chrome
+/// trace-event `<name>.trace.json` loadable in Perfetto or
+/// `chrome://tracing`. No-op when the run was not traced.
+fn write_trace_outputs(name: &str, opts: &ExpOpts, flight: &obs::FlightRecorder) {
+    if !flight.is_enabled() {
+        return;
+    }
+    let fr = opts.out_file(&format!("{name}.flightrec.jsonl"));
+    flight
+        .dump_jsonl(&fr, name)
+        // detlint::allow(D4): output plumbing; an unwritable results dir
+        // aborts loudly, same as the CSV/SVG writes.
+        .unwrap_or_else(|e| panic!("writing {}: {e}", fr.display()));
+    println!("wrote {}", fr.display());
+    let tj = opts.out_file(&format!("{name}.trace.json"));
+    std::fs::write(&tj, flight.to_chrome_trace())
+        // detlint::allow(D4): same loud-exit output plumbing.
+        .unwrap_or_else(|e| panic!("writing {}: {e}", tj.display()));
+    println!("wrote {}", tj.display());
 }
 
 /// Writes the manifest with the outcome's status and picks the exit

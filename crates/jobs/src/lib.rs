@@ -44,7 +44,8 @@ pub mod watchdog;
 pub use checkpoint::{CkptMeta, ResumeError, CKPT_VERSION};
 pub use interrupt::{install_signal_handlers, InterruptSource};
 pub use supervisor::{
-    backoff_delay, run_units, ChaosEvent, ChaosPlan, JobCounters, JobOutcome, JobSpec, JobStatus,
+    backoff_delay, run_units, run_units_traced, ChaosEvent, ChaosPlan, JobCounters, JobOutcome,
+    JobSpec, JobStatus,
 };
 
 use core::fmt;

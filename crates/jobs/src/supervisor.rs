@@ -20,7 +20,8 @@ use crate::interrupt::InterruptSource;
 use crate::watchdog::Deadline;
 use crate::{splitmix64, JobError, WorkerFailure, JOBS_STREAM_SALT};
 use core::time::Duration;
-use obs::{metrics, Recorder};
+use obs::trace::{TraceEv, SUPERVISOR_CTX};
+use obs::{metrics, FlightRecorder, Recorder};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -137,6 +138,14 @@ pub struct JobSpec {
     pub kill_after_checkpoints: Option<usize>,
     /// Injected faults for chaos testing.
     pub chaos: ChaosPlan,
+    /// Whether unit workers get an enabled [`FlightRecorder`] (the
+    /// run's `--trace` setting).
+    pub trace: bool,
+    /// Where the flight recorder is dumped when the job panics out,
+    /// hits the watchdog or is interrupted — conventionally
+    /// `<name>.flightrec.jsonl` next to the results. `None` disables
+    /// crash dumps (the merged flight still rides the outcome).
+    pub flight_path: Option<PathBuf>,
 }
 
 impl JobSpec {
@@ -159,6 +168,8 @@ impl JobSpec {
             interrupt: InterruptSource::Never,
             kill_after_checkpoints: None,
             chaos: ChaosPlan::default(),
+            trace: false,
+            flight_path: None,
         }
     }
 
@@ -230,6 +241,12 @@ pub struct JobOutcome<R> {
     /// Merged unit metric deltas plus the `jobs.*` counters (disabled
     /// and empty when the spec's `obs` is off).
     pub recorder: Recorder,
+    /// Merged causal flight recording: every unit's probe traces plus
+    /// the supervisor's own bracket events under
+    /// [`SUPERVISOR_CTX`] (disabled and empty when the spec's `trace`
+    /// is off). Units recovered from a checkpoint contribute no events
+    /// — traces are not checkpointed.
+    pub flight: FlightRecorder,
 }
 
 impl<R> JobOutcome<R> {
@@ -279,7 +296,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 enum AttemptOutcome<R> {
-    Done(R, Recorder),
+    Done(R, Recorder, FlightRecorder),
     Interrupted,
     Failed(WorkerFailure),
 }
@@ -293,12 +310,13 @@ fn run_attempt<R, F>(
 ) -> AttemptOutcome<R>
 where
     R: Send + 'static,
-    F: Fn(usize, &mut Recorder) -> R + Send + Sync + 'static,
+    F: Fn(usize, &mut Recorder, &mut FlightRecorder) -> R + Send + Sync + 'static,
 {
     let (tx, rx) = mpsc::channel();
     let worker = Arc::clone(f);
     let chaos = spec.chaos.event(unit, attempt);
     let obs_on = spec.obs;
+    let trace_on = spec.trace;
     let spawned = std::thread::Builder::new()
         .name(format!("jobs-{}-u{unit}-a{attempt}", spec.name))
         .spawn(move || {
@@ -319,8 +337,16 @@ where
                 } else {
                     Recorder::disabled()
                 };
-                let r = worker(unit, &mut rec);
-                (r, rec)
+                // A panicked or abandoned attempt loses its in-flight
+                // events with the thread; only completed attempts merge
+                // back (which keeps retried units from double-tracing).
+                let mut flight = if trace_on {
+                    FlightRecorder::enabled()
+                } else {
+                    FlightRecorder::disabled()
+                };
+                let r = worker(unit, &mut rec, &mut flight);
+                (r, rec, flight)
             }));
             // The receiver may be gone (attempt abandoned); that's fine.
             let _ = tx.send(outcome.map_err(|p| panic_message(p.as_ref())));
@@ -339,9 +365,9 @@ where
     let deadline = spec.watchdog.map(Deadline::after);
     loop {
         match rx.recv_timeout(POLL_SLICE) {
-            Ok(Ok((r, rec))) => {
+            Ok(Ok((r, rec, flight))) => {
                 let _ = handle.join();
-                return AttemptOutcome::Done(r, rec);
+                return AttemptOutcome::Done(r, rec, flight);
             }
             Ok(Err(message)) => {
                 let _ = handle.join();
@@ -376,7 +402,7 @@ where
 }
 
 enum UnitOutcome<R> {
-    Done(R, Recorder),
+    Done(R, Recorder, FlightRecorder),
     Interrupted,
     Failed {
         attempts: usize,
@@ -389,28 +415,67 @@ fn run_one_unit<R, F>(
     unit: usize,
     f: &Arc<F>,
     counters: &mut JobCounters,
+    flight: &mut FlightRecorder,
 ) -> UnitOutcome<R>
 where
     R: Send + 'static,
-    F: Fn(usize, &mut Recorder) -> R + Send + Sync + 'static,
+    F: Fn(usize, &mut Recorder, &mut FlightRecorder) -> R + Send + Sync + 'static,
 {
+    // Supervisor bracket events carry *logical* time — the unit index —
+    // not wall-clock: the deterministic path stays free of wall reads
+    // (detlint D2), and the brackets still order correctly per context.
+    let t = unit as f64;
     let attempts = spec.max_attempts.max(1);
     let mut last: Option<WorkerFailure> = None;
     for attempt in 0..attempts {
         if spec.interrupt.is_set() {
+            flight.log(t, None, TraceEv::Interrupted { unit: unit as u64 });
             return UnitOutcome::Interrupted;
         }
         if attempt > 0 {
             counters.retries += 1;
             std::thread::sleep(backoff_delay(spec.seed, unit, attempt));
         }
+        flight.log(
+            t,
+            None,
+            TraceEv::UnitStart {
+                unit: unit as u64,
+                attempt: attempt as u64,
+            },
+        );
         match run_attempt(spec, unit, attempt, f, counters) {
-            AttemptOutcome::Done(r, rec) => {
+            AttemptOutcome::Done(r, rec, unit_flight) => {
                 counters.units_run += 1;
-                return UnitOutcome::Done(r, rec);
+                flight.log(
+                    t,
+                    None,
+                    TraceEv::UnitOk {
+                        unit: unit as u64,
+                        attempt: attempt as u64,
+                    },
+                );
+                return UnitOutcome::Done(r, rec, unit_flight);
             }
-            AttemptOutcome::Interrupted => return UnitOutcome::Interrupted,
-            AttemptOutcome::Failed(failure) => last = Some(failure),
+            AttemptOutcome::Interrupted => {
+                flight.log(t, None, TraceEv::Interrupted { unit: unit as u64 });
+                return UnitOutcome::Interrupted;
+            }
+            AttemptOutcome::Failed(failure) => {
+                let ev = match &failure {
+                    WorkerFailure::Panic { .. } => TraceEv::UnitPanic {
+                        unit: unit as u64,
+                        attempt: attempt as u64,
+                    },
+                    WorkerFailure::WatchdogExpired { limit_ms } => TraceEv::WatchdogFire {
+                        unit: unit as u64,
+                        attempt: attempt as u64,
+                        limit_ms: *limit_ms,
+                    },
+                };
+                flight.log(t, None, ev);
+                last = Some(failure);
+            }
         }
     }
     UnitOutcome::Failed {
@@ -439,6 +504,26 @@ where
     R: Serialize + Deserialize + Send + 'static,
     F: Fn(usize, &mut Recorder) -> R + Send + Sync + 'static,
 {
+    run_units_traced(spec, move |unit, rec, _flight| f(unit, rec))
+}
+
+/// [`run_units`] with a [`FlightRecorder`] handed to every unit worker
+/// (enabled per `spec.trace`). Completed units' recordings merge into
+/// [`JobOutcome::flight`] together with the supervisor's own bracket
+/// events (unit start / ok / panic / watchdog / interrupt, under
+/// [`SUPERVISOR_CTX`]). When the job fails or is interrupted and
+/// `spec.flight_path` is set, the merged flight is dumped there
+/// atomically for crash forensics — the dump's final lines are the
+/// supervisor brackets naming the failing unit.
+///
+/// # Errors
+///
+/// Same contract as [`run_units`].
+pub fn run_units_traced<R, F>(spec: &JobSpec, f: F) -> Result<JobOutcome<R>, JobError>
+where
+    R: Serialize + Deserialize + Send + 'static,
+    F: Fn(usize, &mut Recorder, &mut FlightRecorder) -> R + Send + Sync + 'static,
+{
     let f = Arc::new(f);
     let total = spec.total_units;
     let meta = spec.meta();
@@ -449,6 +534,28 @@ where
         Recorder::enabled()
     } else {
         Recorder::disabled()
+    };
+    let mut flight = if spec.trace {
+        let mut fl = FlightRecorder::enabled();
+        // Supervisor brackets live under the maximal context: they sort
+        // after every simulation context, so eviction under the
+        // capacity bound drops probe detail before it drops the record
+        // of which unit was running when the job died.
+        fl.begin(SUPERVISOR_CTX);
+        fl
+    } else {
+        FlightRecorder::disabled()
+    };
+    let dump_flight = |flight: &FlightRecorder| {
+        let Some(path) = &spec.flight_path else {
+            return;
+        };
+        if !flight.is_enabled() {
+            return;
+        }
+        if let Err(e) = flight.dump_jsonl(path, &spec.name) {
+            eprintln!("jobs: cannot write flight dump {}: {e}", path.display());
+        }
     };
 
     if spec.resume {
@@ -499,14 +606,22 @@ where
             continue;
         }
         if spec.interrupt.is_set() {
+            flight.log(
+                unit as f64,
+                None,
+                TraceEv::Interrupted { unit: unit as u64 },
+            );
             status = JobStatus::Interrupted;
             break;
         }
-        match run_one_unit(spec, unit, &f, &mut counters) {
-            UnitOutcome::Done(r, rec) => {
+        match run_one_unit(spec, unit, &f, &mut counters, &mut flight) {
+            UnitOutcome::Done(r, rec, unit_flight) => {
                 unit_metrics[unit] = Some(rec.metrics_json());
                 if spec.obs {
                     recorder.merge(rec);
+                }
+                if spec.trace {
+                    flight.merge(unit_flight);
                 }
                 results[unit] = Some(r);
             }
@@ -516,8 +631,10 @@ where
             }
             UnitOutcome::Failed { attempts, last } => {
                 // Flush what completed before reporting failure: the
-                // work done so far stays resumable.
+                // work done so far stays resumable — and the flight
+                // dump preserves the causal record of the death.
                 flush(&results, &unit_metrics, &mut counters);
+                dump_flight(&flight);
                 return Err(JobError::UnitFailed {
                     unit,
                     attempts,
@@ -532,6 +649,11 @@ where
             if spec.kill_after_checkpoints
                 == Some(usize::try_from(counters.checkpoints_written).unwrap_or(usize::MAX))
             {
+                flight.log(
+                    unit as f64,
+                    None,
+                    TraceEv::Interrupted { unit: unit as u64 },
+                );
                 status = JobStatus::Interrupted;
                 break 'units;
             }
@@ -552,6 +674,7 @@ where
             if since_flush > 0 || counters.checkpoints_written == 0 {
                 flush(&results, &unit_metrics, &mut counters);
             }
+            dump_flight(&flight);
         }
     }
     counters.record_into(&mut recorder);
@@ -560,6 +683,7 @@ where
         status,
         counters,
         recorder,
+        flight,
     })
 }
 
@@ -582,6 +706,27 @@ mod tests {
         let dir = std::env::temp_dir().join("jobs-supervisor-tests");
         std::fs::create_dir_all(&dir).unwrap();
         dir.join(format!("{name}.ckpt.jsonl"))
+    }
+
+    fn jstr<'a>(v: &'a serde::Value, key: &str) -> Option<&'a str> {
+        match v {
+            serde::Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.as_str()),
+            _ => None,
+        }
+    }
+
+    fn ju64(v: &serde::Value, key: &str) -> Option<u64> {
+        match v {
+            serde::Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.as_num())
+                .and_then(serde::Number::as_u64),
+            _ => None,
+        }
     }
 
     #[test]
@@ -818,5 +963,89 @@ mod tests {
         let out = run_units(&spec("empty", 0), square).unwrap();
         assert_eq!(out.status, JobStatus::Completed);
         assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn traced_job_merges_unit_and_bracket_events() {
+        let mut s = spec("traced", 3);
+        s.trace = true;
+        let out = run_units_traced(&s, |unit, _rec, flight| {
+            flight.begin(obs::trace::probe_ctx(unit, 0, 0));
+            flight.log(0.0, Some(0), TraceEv::Inject { flow: unit as u64 });
+            unit as u64
+        })
+        .unwrap();
+        assert_eq!(out.status, JobStatus::Completed);
+        let counts = out.flight.counts_by_kind();
+        assert_eq!(counts.get("inject"), Some(&3), "{counts:?}");
+        assert_eq!(counts.get("unit_start"), Some(&3), "{counts:?}");
+        assert_eq!(counts.get("unit_ok"), Some(&3), "{counts:?}");
+        // Brackets sort last: SUPERVISOR_CTX is the maximal context.
+        let last = out.flight.records().last().map(|(id, _)| id.ctx).unwrap();
+        assert_eq!(last, SUPERVISOR_CTX);
+    }
+
+    #[test]
+    fn untraced_job_flight_is_disabled_noop() {
+        let out = run_units(&spec("untraced", 2), square).unwrap();
+        assert!(!out.flight.is_enabled());
+        assert!(out.flight.is_empty());
+    }
+
+    #[test]
+    fn fatal_panic_dumps_flight_naming_the_failing_unit() {
+        let dir = std::env::temp_dir().join("jobs-supervisor-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fatal.flightrec.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut s = spec("fatal", 4);
+        s.trace = true;
+        s.max_attempts = 1;
+        s.flight_path = Some(path.clone());
+        s.chaos.inject(2, 0, ChaosEvent::Panic);
+        match run_units_traced(&s, |unit, _rec, _flight| unit as u64) {
+            Err(JobError::UnitFailed { unit: 2, .. }) => {}
+            other => panic!("expected UnitFailed on unit 2, got {other:?}"),
+        }
+        let dump = std::fs::read_to_string(&path).unwrap();
+        let mut lines = dump.lines();
+        let header: serde::Value = serde_json::from_str(lines.next().unwrap()).unwrap();
+        assert_eq!(jstr(&header, "kind"), Some("flightrec"));
+        assert_eq!(jstr(&header, "source"), Some("fatal"));
+        // Every record line parses, and the final events are the
+        // supervisor brackets of the failing unit.
+        let records: Vec<serde::Value> = lines.map(|l| serde_json::from_str(l).unwrap()).collect();
+        assert!(!records.is_empty());
+        let last = records.last().unwrap();
+        assert_eq!(jstr(last, "kind"), Some("unit_panic"));
+        assert_eq!(ju64(last, "unit"), Some(2));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn interrupt_dumps_flight_for_forensics() {
+        let dir = std::env::temp_dir().join("jobs-supervisor-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sigint.flightrec.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let (src, flag) = InterruptSource::manual();
+        let mut s = spec("sigint", 5);
+        s.trace = true;
+        s.interrupt = src;
+        s.flight_path = Some(path.clone());
+        let out = run_units_traced(&s, move |unit, _rec, _flight| {
+            if unit == 1 {
+                flag.store(true, Ordering::SeqCst);
+            }
+            unit as u64
+        })
+        .unwrap();
+        assert_eq!(out.status, JobStatus::Interrupted);
+        let dump = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            dump.lines().skip(1).any(|l| l.contains("\"interrupted\"")),
+            "{dump}"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -64,5 +64,5 @@ pub use sim::{FaultStats, ProbeObservation, Simulation, SwitchStats};
 pub use slab::{CoverIndex, FlowEntry, FlowStore, Slab};
 pub use switch::SwitchMode;
 pub use topology::{NodeId, Topology, TopologyError};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{FaultKind, Trace, TraceEvent};
 pub use wheel::{EventQueue, TimerId, TimerWheel};

@@ -5,11 +5,12 @@ use crate::fault::JitterBursts;
 use crate::slab::CoverIndex;
 use crate::switch::{Lookup, Switch, SwitchMode};
 use crate::topology::NodeId;
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::{FaultKind, Trace, TraceEvent};
 use crate::wheel::EventQueue;
 use crate::LatencyModel;
 use flowspace::{FlowId, RuleId};
-use obs::{metrics, Recorder};
+use obs::trace::{CompKind, TraceEv};
+use obs::{metrics, FlightRecorder, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -42,6 +43,22 @@ pub struct FaultStats {
 }
 
 impl FaultStats {
+    /// Tallies one injected fault of `kind` — the counter side of the
+    /// single-source classification in [`TraceEvent::fault_kind`].
+    /// [`FaultKind::Jitter`] is an episode boundary, not a discrete
+    /// injection, and has no counter (see [`FaultKind`]).
+    pub fn count(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::PacketsDropped => self.packets_dropped += 1,
+            FaultKind::PacketInsLost => self.packet_ins_lost += 1,
+            FaultKind::FlowModsLost => self.flow_mods_lost += 1,
+            FaultKind::FlowModsDelayed => self.flow_mods_delayed += 1,
+            FaultKind::FlowModsRejected => self.flow_mods_rejected += 1,
+            FaultKind::ProbeTimeouts => self.probe_timeouts += 1,
+            FaultKind::Jitter => {}
+        }
+    }
+
     /// Adds another simulation's counters into this one (unsigned adds:
     /// commutative and associative, the trial-engine merge contract).
     pub fn merge(&mut self, other: &FaultStats) {
@@ -122,6 +139,12 @@ fn exponential(mean: f64, rng: &mut StdRng) -> f64 {
     (-mean * u.ln()).max(1e-12)
 }
 
+/// A packet parked behind an in-flight controller query: the packet, its
+/// park time, and whether it initiated the packet-in (joiners' waits are
+/// billed to the `packet_in` RTT component; the initiator's wait is
+/// already decomposed into controller + install at miss time).
+type ParkedPacket = (Packet, f64, bool);
+
 /// A running simulated network: hosts, per-switch flow tables, a reactive
 /// controller and a common server, per §VI-A's client–server layout.
 ///
@@ -142,8 +165,8 @@ pub struct Simulation {
     path: Vec<NodeId>,
     /// Packets parked at a switch waiting for a rule installation,
     /// keyed by the awaited `(switch, rule)` query; each buffer keeps
-    /// arrival order.
-    pending: BTreeMap<(NodeId, RuleId), Vec<Packet>>,
+    /// arrival order (see [`ParkedPacket`]).
+    pending: BTreeMap<(NodeId, RuleId), Vec<ParkedPacket>>,
     /// Genuine (non-probe) flow arrivals at the ingress switch: ground
     /// truth for `X̂`.
     history: Vec<(FlowId, f64)>,
@@ -161,6 +184,11 @@ pub struct Simulation {
     /// Disabled by default: recording never influences the simulation,
     /// it only observes it.
     recorder: Recorder,
+    /// Optional causal flight recorder: every probe's chain of events
+    /// and RTT components, stamped under the context set by
+    /// [`Simulation::attach_flight`]. Disabled by default; like the
+    /// metric recorder it never feeds back into the simulation.
+    flight: FlightRecorder,
 }
 
 impl Simulation {
@@ -226,6 +254,7 @@ impl Simulation {
             jitter,
             fault_stats: FaultStats::default(),
             recorder: Recorder::disabled(),
+            flight: FlightRecorder::disabled(),
             config,
         }
     }
@@ -303,6 +332,35 @@ impl Simulation {
     /// simulation (e.g. the robust probe loop's backoff histogram).
     pub fn recorder_mut(&mut self) -> &mut Recorder {
         &mut self.recorder
+    }
+
+    /// Attaches a flight recorder and stamps every subsequent event
+    /// with context `ctx` (see [`obs::probe_ctx`]). Each simulation
+    /// must own a distinct context: emission indices restart at 0 here,
+    /// which is what makes merged contents schedule-independent.
+    pub fn attach_flight(&mut self, mut flight: FlightRecorder, ctx: u64) {
+        flight.begin(ctx);
+        self.flight = flight;
+    }
+
+    /// Removes and returns the attached flight recorder (a disabled one
+    /// if none was attached).
+    pub fn take_flight(&mut self) -> FlightRecorder {
+        std::mem::replace(&mut self.flight, FlightRecorder::disabled())
+    }
+
+    /// The attached flight recorder, for causal events layered on top
+    /// of the simulation (the robust probe loop's retry/outlier/verdict
+    /// stamps).
+    pub fn flight_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.flight
+    }
+
+    /// The token of the most recently injected probe — what attack-side
+    /// flight events are attributed to. `None` before any probe.
+    #[must_use]
+    pub fn last_probe_token(&self) -> Option<u64> {
+        (!self.probe_results.is_empty()).then(|| self.probe_results.len() as u64 - 1)
     }
 
     /// Counters of an arbitrary switch.
@@ -428,10 +486,19 @@ impl Simulation {
             probe: Some(token),
             injected_at: at,
         };
+        self.femit(
+            at,
+            Some(token),
+            TraceEv::Inject {
+                flow: flow.0 as u64,
+            },
+        );
         if !self.link_drops(ingress, packet, at) {
-            let hop = self.segment_sample(at);
+            let (base, extra) = self.segment_parts(at);
+            self.femit_comp(at, Some(token), CompKind::Hop, base);
+            self.femit_comp(at, Some(token), CompKind::Jitter, extra);
             self.push(
-                at + hop,
+                at + (base + extra),
                 EventKind::AtSwitch {
                     node: ingress,
                     packet,
@@ -449,7 +516,7 @@ impl Simulation {
             if timed_out {
                 if deadline.is_finite() {
                     self.now = self.now.max(deadline);
-                    self.fault_stats.probe_timeouts += 1;
+                    self.fault_event(FaultKind::ProbeTimeouts, None, Some(token), deadline);
                     self.record(TraceEvent::ProbeTimeout {
                         flow,
                         time: deadline,
@@ -481,11 +548,56 @@ impl Simulation {
         p > 0.0 && self.fault_rng.gen::<f64>() < p
     }
 
+    /// Flight-records one event attributed to a probe. Events on
+    /// genuine (non-probe) packets are skipped: the flight recorder is
+    /// a per-probe causal log, and genuine traffic has no RTT to
+    /// explain.
+    fn femit(&mut self, time: f64, probe: Option<u64>, ev: TraceEv) {
+        if probe.is_some() {
+            self.flight.log(time, probe, ev);
+        }
+    }
+
+    /// Flight-records one additive RTT component of a probe. Zero
+    /// contributions are skipped — they cannot change the
+    /// [`Breakdown`](obs::Breakdown) sum.
+    fn femit_comp(&mut self, time: f64, probe: Option<u64>, kind: CompKind, secs: f64) {
+        if probe.is_some() && secs != 0.0 {
+            self.flight
+                .log(time, probe, TraceEv::Component { kind, secs });
+        }
+    }
+
+    /// Flight-records an injected fault on a probe's chain and tallies
+    /// it — trace label and counter both derive from the same
+    /// [`FaultKind`], so they cannot diverge.
+    fn fault_event(&mut self, kind: FaultKind, node: Option<NodeId>, probe: Option<u64>, at: f64) {
+        self.fault_stats.count(kind);
+        self.femit(
+            at,
+            probe,
+            TraceEv::Fault {
+                kind: kind.label(),
+                node: node.map(|n| n.0 as u64),
+            },
+        );
+    }
+
+    /// One link-segment latency sample at time `now`, split into its
+    /// base and jitter-extra parts (their sum is the delay applied).
+    /// The draw order — base from the latency stream, then jitter from
+    /// the fault stream — is the bit-compatibility contract with the
+    /// pre-split `segment_sample`.
+    fn segment_parts(&mut self, now: f64) -> (f64, f64) {
+        let base = self.config.latency.segment().sample(&mut self.rng);
+        (base, self.jitter_extra(now))
+    }
+
     /// One link-segment latency sample at time `now`: the base latency
     /// model plus any burst-jitter extra while an episode is active.
     fn segment_sample(&mut self, now: f64) -> f64 {
-        let base = self.config.latency.segment().sample(&mut self.rng);
-        base + self.jitter_extra(now)
+        let (base, extra) = self.segment_parts(now);
+        base + extra
     }
 
     /// Advances the jitter episode state to `now` and returns the extra
@@ -523,7 +635,7 @@ impl Simulation {
         if !self.fault_fires(self.config.faults.packet_loss) {
             return false;
         }
-        self.fault_stats.packets_dropped += 1;
+        self.fault_event(FaultKind::PacketsDropped, Some(to), packet.probe, at);
         self.record(TraceEvent::PacketDropped {
             node: Some(to),
             flow: packet.flow,
@@ -550,7 +662,10 @@ impl Simulation {
         if self.link_drops(to, packet, at) {
             return;
         }
-        let hop = self.segment_sample(at);
+        let (base, extra) = self.segment_parts(at);
+        self.femit_comp(at, packet.probe, CompKind::Hop, base);
+        self.femit_comp(at, packet.probe, CompKind::Jitter, extra);
+        let hop = base + extra;
         self.push(at + extra_delay + hop, kind);
     }
 
@@ -584,7 +699,16 @@ impl Simulation {
                                 rule: matched,
                                 time,
                             });
+                            self.femit(
+                                time,
+                                packet.probe,
+                                TraceEv::Hit {
+                                    node: node.0 as u64,
+                                    rule: matched.0 as u64,
+                                },
+                            );
                         }
+                        self.femit_comp(time, packet.probe, CompKind::Pad, pad);
                         self.forward(node, packet, time, pad);
                     }
                     Lookup::Miss { rule, fresh } => {
@@ -594,23 +718,56 @@ impl Simulation {
                             rule,
                             time,
                         });
+                        self.femit(
+                            time,
+                            packet.probe,
+                            TraceEv::Miss {
+                                node: node.0 as u64,
+                                rule: rule.0 as u64,
+                                fresh,
+                            },
+                        );
                         if fresh {
                             if self.fault_fires(self.config.faults.packet_in_loss) {
                                 // The packet-in never reaches the
                                 // controller: no flow-mod will come, the
                                 // buffered packet is dropped, and the
                                 // next miss must query afresh.
-                                self.fault_stats.packet_ins_lost += 1;
+                                self.fault_event(
+                                    FaultKind::PacketInsLost,
+                                    Some(node),
+                                    packet.probe,
+                                    time,
+                                );
                                 self.switches[node.0].abort_query(rule);
                                 self.record(TraceEvent::PacketInLost { node, rule, time });
                                 return;
                             }
+                            self.femit(
+                                time,
+                                packet.probe,
+                                TraceEv::PacketIn {
+                                    node: node.0 as u64,
+                                    rule: rule.0 as u64,
+                                },
+                            );
                             let mut setup = self.config.latency.rule_setup.sample(&mut self.rng);
+                            // The initiator's park time equals the full
+                            // controller round: decompose it here, at
+                            // incurrence, into the controller-service
+                            // base and any injected install delay.
+                            self.femit_comp(time, packet.probe, CompKind::Controller, setup);
                             if self.config.faults.flow_mod_delay_secs > 0.0
                                 && self.fault_fires(self.config.faults.flow_mod_delay)
                             {
                                 let extra = self.config.faults.flow_mod_delay_secs;
-                                self.fault_stats.flow_mods_delayed += 1;
+                                self.fault_event(
+                                    FaultKind::FlowModsDelayed,
+                                    Some(node),
+                                    packet.probe,
+                                    time,
+                                );
+                                self.femit_comp(time, packet.probe, CompKind::Install, extra);
                                 self.record(TraceEvent::FlowModDelayed {
                                     node,
                                     rule,
@@ -621,7 +778,10 @@ impl Simulation {
                             }
                             self.push(time + setup, EventKind::ControllerReply { node, rule });
                         }
-                        self.pending.entry((node, rule)).or_default().push(packet);
+                        self.pending
+                            .entry((node, rule))
+                            .or_default()
+                            .push((packet, time, fresh));
                     }
                     Lookup::Uncovered => {
                         // Every such packet detours via the controller
@@ -632,17 +792,32 @@ impl Simulation {
                             flow: packet.flow,
                             time,
                         });
+                        self.femit(
+                            time,
+                            packet.probe,
+                            TraceEv::Uncovered {
+                                node: node.0 as u64,
+                            },
+                        );
                         let setup = self.config.latency.rule_setup.sample(&mut self.rng);
+                        self.femit_comp(time, packet.probe, CompKind::Controller, setup);
                         self.forward(node, packet, time, setup);
                     }
                 }
             }
             EventKind::ControllerReply { node, rule } => {
+                // Control-plane events are attributed to the probe whose
+                // miss initiated the query (if it was probe traffic).
+                let initiator = self
+                    .pending
+                    .get(&(node, rule))
+                    .and_then(|parked| parked.iter().find(|(_, _, init)| *init))
+                    .and_then(|(packet, _, _)| packet.probe);
                 if self.fault_fires(self.config.faults.flow_mod_loss) {
                     // The flow-mod is lost on the control channel: no
                     // rule is cached and the packets buffered behind the
                     // query are dropped with it.
-                    self.fault_stats.flow_mods_lost += 1;
+                    self.fault_event(FaultKind::FlowModsLost, Some(node), initiator, time);
                     self.switches[node.0].abort_query(rule);
                     self.record(TraceEvent::FlowModLost { node, rule, time });
                     self.pending.remove(&(node, rule));
@@ -656,7 +831,7 @@ impl Simulation {
                     // packet-out side is unaffected, so the buffered
                     // packets are still forwarded — the probe correctly
                     // observes a slow miss, but nothing is cached.
-                    self.fault_stats.flow_mods_rejected += 1;
+                    self.fault_event(FaultKind::FlowModsRejected, Some(node), initiator, time);
                     self.switches[node.0].abort_query(rule);
                     self.record(TraceEvent::FlowModRejected { node, rule, time });
                 } else {
@@ -672,9 +847,25 @@ impl Simulation {
                         evicted,
                         time,
                     });
+                    self.femit(
+                        time,
+                        initiator,
+                        TraceEv::Install {
+                            node: node.0 as u64,
+                            rule: rule.0 as u64,
+                            evicted: evicted.map(|r| r.0 as u64),
+                        },
+                    );
                 }
                 let released = self.pending.remove(&(node, rule)).unwrap_or_default();
-                for packet in released {
+                for (packet, parked_at, init) in released {
+                    if !init {
+                        // Joiners waited on someone else's query: their
+                        // whole park is packet-in wait. The initiator
+                        // accounted its own wait at incurrence, as
+                        // Controller (+ Install) components.
+                        self.femit_comp(time, packet.probe, CompKind::PacketIn, time - parked_at);
+                    }
                     self.forward(node, packet, time, 0.0);
                 }
             }
@@ -683,7 +874,7 @@ impl Simulation {
                 // lookups, one propagation sample per path segment. Loss
                 // is drawn once for the whole reply path.
                 if self.fault_fires(self.config.faults.packet_loss) {
-                    self.fault_stats.packets_dropped += 1;
+                    self.fault_event(FaultKind::PacketsDropped, None, packet.probe, time);
                     self.record(TraceEvent::PacketDropped {
                         node: None,
                         flow: packet.flow,
@@ -694,9 +885,16 @@ impl Simulation {
                 }
                 let segments = self.path.len() + 1; // server link + hops + host link
                 let mut delay = 0.0;
+                let mut base_sum = 0.0;
+                let mut extra_sum = 0.0;
                 for _ in 0..segments {
-                    delay += self.segment_sample(time);
+                    let (base, extra) = self.segment_parts(time);
+                    base_sum += base;
+                    extra_sum += extra;
+                    delay += base + extra;
                 }
+                self.femit_comp(time, packet.probe, CompKind::Hop, base_sum);
+                self.femit_comp(time, packet.probe, CompKind::Jitter, extra_sum);
                 self.push(time + delay, EventKind::ReplyArrives { packet });
             }
             EventKind::ReplyArrives { packet } => {
@@ -707,6 +905,7 @@ impl Simulation {
                     rtt,
                     time,
                 });
+                self.femit(time, packet.probe, TraceEv::Delivered { rtt });
                 if let Some(token) = packet.probe {
                     let hit = rtt < LatencyModel::threshold();
                     self.recorder.observe(
@@ -783,6 +982,75 @@ mod tests {
         assert_eq!(miss.min(), Some(o1.rtt));
         assert_eq!(hit.min(), Some(o2.rtt));
         assert!(observed.take_recorder().is_empty(), "harvest leaves none");
+    }
+
+    /// A config exercising every flight-recorder component kind: every
+    /// fault at 30 %, periodic jitter bursts, injected install delay,
+    /// and delay padding on fresh rules.
+    fn stormy_config() -> NetConfig {
+        let mut cfg = NetConfig::eval_topology(rules(), 2, 0.02);
+        cfg.faults = crate::FaultPlan::uniform(0.3);
+        cfg.faults.flow_mod_delay_secs = 5.0e-3;
+        cfg.faults.jitter = Some(crate::JitterBursts {
+            period_secs: 0.5,
+            burst_secs: 0.25,
+            extra: crate::Gaussian {
+                mean: 0.5e-3,
+                std: 0.1e-3,
+            },
+        });
+        cfg.defense = Defense {
+            delay_first: Some(DelayPadding {
+                packets: 2,
+                pad_secs: 4.0e-3,
+            }),
+            ..Defense::default()
+        };
+        cfg
+    }
+
+    #[test]
+    fn flight_recorder_does_not_perturb_observations() {
+        let mut traced = Simulation::new(stormy_config(), 21);
+        traced.attach_flight(FlightRecorder::enabled(), obs::trace::probe_ctx(0, 0, 0));
+        let mut plain = Simulation::new(stormy_config(), 21);
+        for _ in 0..3 {
+            for f in [FlowId(0), FlowId(1), FlowId(0), FlowId(2), FlowId(3)] {
+                assert_eq!(
+                    traced.probe_with_timeout(f, 0.05),
+                    plain.probe_with_timeout(f, 0.05),
+                    "tracing must not change observations"
+                );
+            }
+        }
+        assert_eq!(traced.fault_stats(), plain.fault_stats());
+        assert!(!traced.take_flight().is_empty());
+    }
+
+    #[test]
+    fn flight_explain_reconciles_every_delivered_probe() {
+        let ctx = obs::trace::probe_ctx(3, 7, 1);
+        let mut s = Simulation::new(stormy_config(), 22);
+        s.attach_flight(FlightRecorder::enabled(), ctx);
+        for _ in 0..10 {
+            for f in [FlowId(0), FlowId(1), FlowId(0), FlowId(2), FlowId(3)] {
+                let _ = s.probe_with_timeout(f, 0.05);
+            }
+        }
+        let flight = s.take_flight();
+        let delivered = flight.delivered_probes();
+        assert!(!delivered.is_empty(), "some probes must deliver");
+        for probe in delivered {
+            assert_eq!(probe.ctx, ctx);
+            let b = flight.explain(probe).expect("delivered probe has events");
+            let residual = b.residual().expect("delivered probe has an rtt");
+            assert!(
+                residual.abs() < 1e-9,
+                "probe {probe:?}: rtt {:?} vs components {:?} (residual {residual:e})",
+                b.rtt,
+                b.components(),
+            );
+        }
     }
 
     #[test]

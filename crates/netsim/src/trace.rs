@@ -168,20 +168,90 @@ impl TraceEvent {
         }
     }
 
+    /// The injected-fault class this event records, if any — the
+    /// **single source** of fault classification: [`is_fault`] and the
+    /// [`FaultStats`](crate::FaultStats) counters (via
+    /// [`FaultStats::count`](crate::FaultStats::count)) both derive from
+    /// this mapping, so the trace and the counters can never disagree
+    /// (pinned by `fault_kind_matches_fault_stats_counters`).
+    ///
+    /// [`is_fault`]: TraceEvent::is_fault
+    #[must_use]
+    pub fn fault_kind(&self) -> Option<FaultKind> {
+        match *self {
+            TraceEvent::PacketDropped { .. } => Some(FaultKind::PacketsDropped),
+            TraceEvent::PacketInLost { .. } => Some(FaultKind::PacketInsLost),
+            TraceEvent::FlowModLost { .. } => Some(FaultKind::FlowModsLost),
+            TraceEvent::FlowModDelayed { .. } => Some(FaultKind::FlowModsDelayed),
+            TraceEvent::FlowModRejected { .. } => Some(FaultKind::FlowModsRejected),
+            TraceEvent::ProbeTimeout { .. } => Some(FaultKind::ProbeTimeouts),
+            TraceEvent::JitterToggle { .. } => Some(FaultKind::Jitter),
+            _ => None,
+        }
+    }
+
     /// Whether this event records an injected fault (or its immediate
-    /// consequence, like a probe timeout).
+    /// consequence, like a probe timeout). Derived from
+    /// [`TraceEvent::fault_kind`].
     #[must_use]
     pub fn is_fault(&self) -> bool {
-        matches!(
-            *self,
-            TraceEvent::PacketDropped { .. }
-                | TraceEvent::PacketInLost { .. }
-                | TraceEvent::FlowModLost { .. }
-                | TraceEvent::FlowModDelayed { .. }
-                | TraceEvent::FlowModRejected { .. }
-                | TraceEvent::JitterToggle { .. }
-                | TraceEvent::ProbeTimeout { .. }
-        )
+        self.fault_kind().is_some()
+    }
+}
+
+/// The classes of injected fault, aligned with the counters of
+/// [`FaultStats`](crate::FaultStats). [`FaultKind::Jitter`] is the one
+/// class without a counter: jitter toggles are episode *boundaries*
+/// (the fault is the elevated latency while a burst is active), so they
+/// are traced but deliberately not tallied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// Data-plane packet lost on a link.
+    PacketsDropped,
+    /// Table-miss packet-in that never reached the controller.
+    PacketInsLost,
+    /// Flow-mod lost on the control channel.
+    FlowModsLost,
+    /// Flow-mod delayed on the control channel.
+    FlowModsDelayed,
+    /// Flow-mod rejected by a full table.
+    FlowModsRejected,
+    /// Probe reply that never arrived within the timeout.
+    ProbeTimeouts,
+    /// Burst-jitter episode toggle (uncounted; see type docs).
+    Jitter,
+}
+
+impl FaultKind {
+    /// Every fault class, in counter order.
+    #[must_use]
+    pub fn all() -> [FaultKind; 7] {
+        [
+            FaultKind::PacketsDropped,
+            FaultKind::PacketInsLost,
+            FaultKind::FlowModsLost,
+            FaultKind::FlowModsDelayed,
+            FaultKind::FlowModsRejected,
+            FaultKind::ProbeTimeouts,
+            FaultKind::Jitter,
+        ]
+    }
+
+    /// The canonical label: the matching [`FaultStats`] field name and
+    /// the suffix of the `netsim.fault.*` metric.
+    ///
+    /// [`FaultStats`]: crate::FaultStats
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::PacketsDropped => "packets_dropped",
+            FaultKind::PacketInsLost => "packet_ins_lost",
+            FaultKind::FlowModsLost => "flow_mods_lost",
+            FaultKind::FlowModsDelayed => "flow_mods_delayed",
+            FaultKind::FlowModsRejected => "flow_mods_rejected",
+            FaultKind::ProbeTimeouts => "probe_timeouts",
+            FaultKind::Jitter => "jitter",
+        }
     }
 }
 
@@ -481,6 +551,139 @@ mod tests {
             .time(),
             3.5
         );
+    }
+
+    /// Pins the single-source fault classification: every fault-class
+    /// `TraceEvent` maps to exactly one [`FaultKind`], `is_fault` is
+    /// derived from that mapping, and [`FaultStats::count`] bumps the
+    /// counter whose field name equals the kind's label (Jitter being
+    /// the deliberate no-counter exception).
+    #[test]
+    fn fault_kind_matches_fault_stats_counters() {
+        use crate::FaultStats;
+
+        let cases: [(TraceEvent, FaultKind); 7] = [
+            (
+                TraceEvent::PacketDropped {
+                    node: None,
+                    flow: FlowId(0),
+                    probe: true,
+                    time: 0.0,
+                },
+                FaultKind::PacketsDropped,
+            ),
+            (
+                TraceEvent::PacketInLost {
+                    node: NodeId(0),
+                    rule: RuleId(0),
+                    time: 0.0,
+                },
+                FaultKind::PacketInsLost,
+            ),
+            (
+                TraceEvent::FlowModLost {
+                    node: NodeId(0),
+                    rule: RuleId(0),
+                    time: 0.0,
+                },
+                FaultKind::FlowModsLost,
+            ),
+            (
+                TraceEvent::FlowModDelayed {
+                    node: NodeId(0),
+                    rule: RuleId(0),
+                    extra: 0.001,
+                    time: 0.0,
+                },
+                FaultKind::FlowModsDelayed,
+            ),
+            (
+                TraceEvent::FlowModRejected {
+                    node: NodeId(0),
+                    rule: RuleId(0),
+                    time: 0.0,
+                },
+                FaultKind::FlowModsRejected,
+            ),
+            (
+                TraceEvent::ProbeTimeout {
+                    flow: FlowId(0),
+                    time: 0.0,
+                },
+                FaultKind::ProbeTimeouts,
+            ),
+            (
+                TraceEvent::JitterToggle {
+                    active: true,
+                    time: 0.0,
+                },
+                FaultKind::Jitter,
+            ),
+        ];
+        for (event, kind) in cases {
+            assert_eq!(event.fault_kind(), Some(kind), "{event}");
+            assert!(event.is_fault(), "{event}");
+        }
+        // Non-fault events classify as None and is_fault follows.
+        for event in [
+            ev(0.0),
+            TraceEvent::Hit {
+                node: NodeId(0),
+                flow: FlowId(0),
+                rule: RuleId(0),
+                time: 0.0,
+            },
+            TraceEvent::Miss {
+                node: NodeId(0),
+                flow: FlowId(0),
+                rule: RuleId(0),
+                time: 0.0,
+            },
+            TraceEvent::Install {
+                node: NodeId(0),
+                rule: RuleId(0),
+                evicted: None,
+                time: 0.0,
+            },
+            TraceEvent::Uncovered {
+                node: NodeId(0),
+                flow: FlowId(0),
+                time: 0.0,
+            },
+            TraceEvent::Delivered {
+                flow: FlowId(0),
+                probe: false,
+                rtt: 0.001,
+                time: 0.0,
+            },
+        ] {
+            assert_eq!(event.fault_kind(), None, "{event}");
+            assert!(!event.is_fault(), "{event}");
+        }
+
+        // Counting each kind once yields exactly one increment in the
+        // counter named by its label — and Jitter increments nothing.
+        let counters = |s: &FaultStats| {
+            [
+                ("packets_dropped", s.packets_dropped),
+                ("packet_ins_lost", s.packet_ins_lost),
+                ("flow_mods_lost", s.flow_mods_lost),
+                ("flow_mods_delayed", s.flow_mods_delayed),
+                ("flow_mods_rejected", s.flow_mods_rejected),
+                ("probe_timeouts", s.probe_timeouts),
+            ]
+        };
+        for kind in FaultKind::all() {
+            let mut stats = FaultStats::default();
+            stats.count(kind);
+            for (label, value) in counters(&stats) {
+                let expected = u64::from(label == kind.label());
+                assert_eq!(value, expected, "{kind:?} -> {label}");
+            }
+        }
+        let mut jitter = FaultStats::default();
+        jitter.count(FaultKind::Jitter);
+        assert_eq!(jitter, FaultStats::default());
     }
 
     #[test]

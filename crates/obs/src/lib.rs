@@ -20,6 +20,11 @@
 //! * [`manifest`] — the JSONL run-manifest record written next to every
 //!   experiment CSV (seed, config digest, git rev, detlint budget,
 //!   elapsed, metrics), consumed by `flow-recon diagnose`.
+//! * [`trace`] — the flight recorder: a bounded, deterministic causal
+//!   event trace ([`FlightRecorder`]) stamping every probe's chain with
+//!   a [`ProbeId`], decomposable into RTT components
+//!   ([`trace::Breakdown`]), dumpable on a crash and exportable as
+//!   Chrome trace-event / Perfetto JSON. See DESIGN.md §11.
 //!
 //! The crate is dependency-free (std only): the deterministic crates
 //! below it must not grow hidden entropy or allocation pressure from
@@ -34,9 +39,11 @@ pub mod manifest;
 pub mod metrics;
 mod recorder;
 mod span;
+pub mod trace;
 pub mod walltime;
 
 pub use hist::Histogram;
 pub use manifest::ManifestEntry;
 pub use recorder::{Counter, Recorder};
 pub use span::Span;
+pub use trace::{probe_ctx, Breakdown, CompKind, FlightRecorder, ProbeId, TraceEv};

@@ -6,7 +6,11 @@
 //! * `plan`     — run the §V probe selection for a scenario file;
 //! * `leakage`  — measure a scenario's rule-structure leakage (§VII-B3);
 //! * `simulate` — run live attack trials against the simulated network;
-//! * `diagnose` — render run manifests (`*.manifest.jsonl`) as a report.
+//! * `diagnose` — render run manifests (`*.manifest.jsonl`) as a report,
+//!   plus any `*.flightrec.jsonl` flight dump sitting next to one;
+//! * `trace`    — render a flight-recorder dump as a timeline with the
+//!   top-K slowest probes decomposed, or validate a Chrome trace-event
+//!   JSON export (`--validate`).
 //!
 //! All subcommands read/write JSON so they compose in shell pipelines.
 
@@ -83,7 +87,9 @@ pub fn usage() -> String {
        leakage   --scenario FILE\n\
        simulate  --scenario FILE [--trials N] [--seed N] [--threads K|auto] [--fault-rate P]\n\
                  [--policy srt|lru|fdrc]\n\
-       diagnose  [--manifest FILE] [--results DIR] [--svg FILE]\n"
+       diagnose  [--manifest FILE] [--results DIR] [--svg FILE]\n\
+       trace     --flightrec FILE [--top K] [--svg FILE]\n\
+       trace     --validate FILE\n"
         .to_string()
 }
 
@@ -295,9 +301,38 @@ pub fn run(args: &Args) -> Result<String, CliError> {
                         .map_err(|e| format!("parsing {}: {e}", path.display()))?;
                     render_manifest(&mut out, path, &v, &mut hists)?;
                 }
+                // A flight dump next to the manifest (written by a traced
+                // sweep or a crash-forensics dump) rides along in the report.
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                if let Some(stem) = name.strip_suffix(".manifest.jsonl") {
+                    let fr = path.with_file_name(format!("{stem}.flightrec.jsonl"));
+                    if fr.exists() {
+                        render_flight_summary(&mut out, &fr, 5)?;
+                    }
+                }
             }
             if let Some(svg_path) = args.get("svg") {
                 std::fs::write(svg_path, diagnose_svg(&hists))
+                    .map_err(|e| format!("writing {svg_path}: {e}"))?;
+                let _ = writeln!(out, "wrote {svg_path}");
+            }
+            Ok(out)
+        }
+        "trace" => {
+            if let Some(path) = args.get("validate") {
+                return validate_chrome_trace(path);
+            }
+            let path = args
+                .get("flightrec")
+                .ok_or("--flightrec FILE (or --validate FILE) is required")?;
+            let top: usize = args.get_parse("top", 5)?;
+            let mut out = String::new();
+            let (header, recs) = parse_flightrec(Path::new(path))?;
+            render_flight_header(&mut out, &header, &recs);
+            render_flight_timeline(&mut out, &recs);
+            render_flight_slowest(&mut out, &recs, top);
+            if let Some(svg_path) = args.get("svg") {
+                std::fs::write(svg_path, flight_svg(&recs))
                     .map_err(|e| format!("writing {svg_path}: {e}"))?;
                 let _ = writeln!(out, "wrote {svg_path}");
             }
@@ -588,6 +623,333 @@ fn diagnose_svg(hists: &[(String, obs::Histogram)]) -> String {
     s
 }
 
+// ---- trace helpers ---------------------------------------------------------
+
+/// One parsed flight-recorder record line, holding only the fields the
+/// reports need (ids, attribution, and the RTT/component payloads).
+struct FlightLine {
+    ctx: u64,
+    time: f64,
+    probe: Option<u64>,
+    kind: String,
+    comp: Option<String>,
+    secs: Option<f64>,
+    rtt: Option<f64>,
+    unit: Option<u64>,
+}
+
+/// The supervisor context marker (`obs::trace::SUPERVISOR_CTX`).
+const SUPERVISOR_CTX: u64 = u64::MAX;
+
+/// Decodes a packed probe context for display.
+fn ctx_label(ctx: u64) -> String {
+    if ctx == SUPERVISOR_CTX {
+        "supervisor".to_string()
+    } else {
+        format!(
+            "u{} t{} a{}",
+            ctx >> 40,
+            (ctx >> 8) & 0xFFFF_FFFF,
+            ctx & 0xFF
+        )
+    }
+}
+
+/// Reads a `.flightrec.jsonl` dump: the typed header plus every record.
+fn parse_flightrec(path: &Path) -> Result<(Value, Vec<FlightLine>), CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header_text = lines
+        .next()
+        .ok_or_else(|| format!("{}: empty flight dump", path.display()))?;
+    let header: Value = serde_json::from_str(header_text)
+        .map_err(|e| format!("parsing {} header: {e}", path.display()))?;
+    if jget(&header, "kind").and_then(Value::as_str) != Some("flightrec") {
+        return Err(format!(
+            "{}: not a flight dump (header lacks \"kind\":\"flightrec\")",
+            path.display()
+        ));
+    }
+    let mut recs = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let v: Value = serde_json::from_str(line)
+            .map_err(|e| format!("{} line {}: {e}", path.display(), i + 2))?;
+        recs.push(FlightLine {
+            ctx: ju64(&v, "ctx"),
+            time: jf64(&v, "time"),
+            probe: jget(&v, "probe")
+                .and_then(Value::as_num)
+                .and_then(Number::as_u64),
+            kind: jstr(&v, "kind"),
+            comp: jget(&v, "comp").and_then(Value::as_str).map(String::from),
+            secs: jget(&v, "secs").and_then(Value::as_num).map(Number::as_f64),
+            rtt: jget(&v, "rtt").and_then(Value::as_num).map(Number::as_f64),
+            unit: jget(&v, "unit")
+                .and_then(Value::as_num)
+                .and_then(Number::as_u64),
+        });
+    }
+    Ok((header, recs))
+}
+
+/// Header + per-kind counts, shared by `trace` and `diagnose`.
+fn render_flight_header(out: &mut String, header: &Value, recs: &[FlightLine]) {
+    let _ = writeln!(
+        out,
+        "flight recorder: source {}  events {} (dropped {}, capacity {})",
+        jstr(header, "source"),
+        ju64(header, "events"),
+        ju64(header, "dropped"),
+        ju64(header, "capacity"),
+    );
+    let mut counts: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for r in recs {
+        *counts.entry(r.kind.as_str()).or_insert(0) += 1;
+    }
+    let joined: Vec<String> = counts.iter().map(|(k, n)| format!("{k} {n}")).collect();
+    let _ = writeln!(out, "  counts: {}", joined.join(", "));
+    let supervision: Vec<String> = recs
+        .iter()
+        .filter(|r| r.ctx == SUPERVISOR_CTX)
+        .map(|r| match r.unit {
+            Some(u) => format!("{}(u{u})", r.kind),
+            None => r.kind.clone(),
+        })
+        .collect();
+    if !supervision.is_empty() {
+        let _ = writeln!(out, "  supervision: {}", supervision.join(" "));
+    }
+}
+
+/// ASCII timeline: one 60-column lane per probe context (sim-time
+/// events only — supervisor brackets use logical unit time and are
+/// summarized by [`render_flight_header`] instead). `!` marks a fault,
+/// `D` a delivery, `.` any other event.
+fn render_flight_timeline(out: &mut String, recs: &[FlightLine]) {
+    const COLS: usize = 60;
+    const MAX_LANES: usize = 20;
+    let sim: Vec<&FlightLine> = recs.iter().filter(|r| r.ctx != SUPERVISOR_CTX).collect();
+    let Some((tmin, tmax)) = sim
+        .iter()
+        .map(|r| r.time)
+        .fold(None, |acc: Option<(f64, f64)>, t| match acc {
+            None => Some((t, t)),
+            Some((lo, hi)) => Some((lo.min(t), hi.max(t))),
+        })
+    else {
+        let _ = writeln!(out, "  (no probe events recorded)");
+        return;
+    };
+    let span = (tmax - tmin).max(f64::MIN_POSITIVE);
+    let mut lanes: std::collections::BTreeMap<u64, [u8; COLS]> = std::collections::BTreeMap::new();
+    for r in &sim {
+        let lane = lanes.entry(r.ctx).or_insert([b' '; COLS]);
+        let col = (((r.time - tmin) / span) * (COLS - 1) as f64).round() as usize;
+        let col = col.min(COLS - 1);
+        let mark = match r.kind.as_str() {
+            "fault" => b'!',
+            "delivered" => b'D',
+            _ => b'.',
+        };
+        // Faults and deliveries win over plain event dots.
+        if lane[col] == b' ' || mark != b'.' {
+            lane[col] = mark;
+        }
+    }
+    let _ = writeln!(
+        out,
+        "timeline ({} contexts, {:.3e} .. {:.3e} s; `.` event, `D` delivered, `!` fault):",
+        lanes.len(),
+        tmin,
+        tmax
+    );
+    for (ctx, lane) in lanes.iter().take(MAX_LANES) {
+        let _ = writeln!(
+            out,
+            "  {:<16} |{}|",
+            ctx_label(*ctx),
+            String::from_utf8_lossy(lane)
+        );
+    }
+    if lanes.len() > MAX_LANES {
+        let _ = writeln!(out, "  … {} more contexts", lanes.len() - MAX_LANES);
+    }
+}
+
+/// Per-probe component sums and RTT, keyed `(ctx, probe)`.
+type FlightBreakdowns =
+    std::collections::BTreeMap<(u64, u64), (Option<f64>, std::collections::BTreeMap<String, f64>)>;
+
+fn flight_breakdowns(recs: &[FlightLine]) -> FlightBreakdowns {
+    let mut out = FlightBreakdowns::new();
+    for r in recs {
+        let Some(probe) = r.probe else { continue };
+        let entry = out.entry((r.ctx, probe)).or_default();
+        match r.kind.as_str() {
+            "component" => {
+                if let (Some(comp), Some(secs)) = (&r.comp, r.secs) {
+                    *entry.1.entry(comp.clone()).or_insert(0.0) += secs;
+                }
+            }
+            "delivered" => entry.0 = r.rtt,
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The top-K slowest delivered probes with their RTT decomposition.
+fn render_flight_slowest(out: &mut String, recs: &[FlightLine], top: usize) {
+    let breakdowns = flight_breakdowns(recs);
+    let mut delivered: Vec<(&(u64, u64), f64)> = breakdowns
+        .iter()
+        .filter_map(|(key, (rtt, _))| rtt.map(|r| (key, r)))
+        .collect();
+    delivered.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(b.0))
+    });
+    if delivered.is_empty() {
+        let _ = writeln!(out, "  (no delivered probes recorded)");
+        return;
+    }
+    let _ = writeln!(out, "top {} slowest probes:", top.min(delivered.len()));
+    for ((ctx, probe), rtt) in delivered.into_iter().take(top) {
+        let comps = &breakdowns[&(*ctx, *probe)].1;
+        let parts: Vec<String> = comps
+            .iter()
+            .filter(|(_, &secs)| secs != 0.0)
+            .map(|(name, secs)| format!("{name} {secs:.3e}"))
+            .collect();
+        let residual = rtt - comps.values().sum::<f64>();
+        let _ = writeln!(
+            out,
+            "  {:<16} probe {probe:<3} rtt {rtt:.3e} s = {} (residual {residual:.1e})",
+            ctx_label(*ctx),
+            parts.join(" + "),
+        );
+    }
+}
+
+/// The `diagnose` view of a flight dump: header, counts and the top-K
+/// slowest probes (no timeline).
+fn render_flight_summary(out: &mut String, path: &Path, top: usize) -> Result<(), CliError> {
+    let (header, recs) = parse_flightrec(path)?;
+    let _ = writeln!(out, "== {} ==", path.display());
+    render_flight_header(out, &header, &recs);
+    render_flight_slowest(out, &recs, top);
+    out.push('\n');
+    Ok(())
+}
+
+/// A small self-contained SVG timeline: one band per probe context,
+/// event ticks colored by category.
+fn flight_svg(recs: &[FlightLine]) -> String {
+    const WIDTH: usize = 640;
+    const LANE: usize = 16;
+    const LABEL: usize = 130;
+    let sim: Vec<&FlightLine> = recs.iter().filter(|r| r.ctx != SUPERVISOR_CTX).collect();
+    let mut ctxs: Vec<u64> = sim.iter().map(|r| r.ctx).collect();
+    ctxs.sort_unstable();
+    ctxs.dedup();
+    let (tmin, tmax) = sim
+        .iter()
+        .map(|r| r.time)
+        .fold((f64::MAX, f64::MIN), |(lo, hi), t| (lo.min(t), hi.max(t)));
+    let span = (tmax - tmin).max(f64::MIN_POSITIVE);
+    let height = ctxs.len().max(1) * LANE + 24;
+    let mut s = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{height}\" \
+         font-family=\"monospace\" font-size=\"10\">\n"
+    );
+    if ctxs.is_empty() {
+        s.push_str("<text x=\"10\" y=\"20\">no probe events recorded</text>\n");
+        s.push_str("</svg>\n");
+        return s;
+    }
+    for (lane, ctx) in ctxs.iter().enumerate() {
+        let y = lane * LANE + 16;
+        let _ = writeln!(
+            s,
+            "<text x=\"4\" y=\"{}\">{}</text>",
+            y + LANE - 6,
+            obs::manifest::json_escape(&ctx_label(*ctx)).replace('<', "&lt;")
+        );
+        let _ = writeln!(
+            s,
+            "<line x1=\"{LABEL}\" y1=\"{0}\" x2=\"{1}\" y2=\"{0}\" stroke=\"#ddd\"/>",
+            y + LANE / 2,
+            WIDTH - 4
+        );
+    }
+    for r in &sim {
+        let Ok(lane) = ctxs.binary_search(&r.ctx) else {
+            continue;
+        };
+        let y = lane * LANE + 16;
+        let x = LABEL as f64 + ((r.time - tmin) / span) * (WIDTH - LABEL - 8) as f64;
+        let color = match r.kind.as_str() {
+            "fault" => "#cc3311",
+            "delivered" => "#228833",
+            "component" => "#4477aa",
+            _ => "#999999",
+        };
+        let _ = writeln!(
+            s,
+            "<rect x=\"{x:.1}\" y=\"{}\" width=\"2\" height=\"{}\" fill=\"{color}\">\
+             <title>{} t={:.3e}s</title></rect>",
+            y + 2,
+            LANE - 4,
+            obs::manifest::json_escape(&r.kind).replace('<', "&lt;"),
+            r.time,
+        );
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+/// Validates a Chrome trace-event JSON export (the `trace.json` files
+/// our sweeps write): a top-level `traceEvents` array whose entries all
+/// carry `name`/`ph`/`ts`/`pid`/`tid`, with `dur` on complete (`"X"`)
+/// slices and a scope on instants (`"i"`). This is what the CI
+/// trace-smoke gate runs before uploading the artifact.
+fn validate_chrome_trace(path: &str) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let v: Value = serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let events = jget(&v, "traceEvents")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{path}: no top-level \"traceEvents\" array"))?;
+    for (i, ev) in events.iter().enumerate() {
+        let fail = |what: &str| format!("{path}: traceEvents[{i}] {what}");
+        if ev.as_object().is_none() {
+            return Err(fail("is not an object"));
+        }
+        if jget(ev, "name").and_then(Value::as_str).is_none() {
+            return Err(fail("lacks a string \"name\""));
+        }
+        for key in ["ts", "pid", "tid"] {
+            if jget(ev, key).and_then(Value::as_num).is_none() {
+                return Err(fail(&format!("lacks a numeric \"{key}\"")));
+            }
+        }
+        let ph = jget(ev, "ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| fail("lacks a string \"ph\""))?;
+        if ph == "X" && jget(ev, "dur").and_then(Value::as_num).is_none() {
+            return Err(fail("is a complete slice without a numeric \"dur\""));
+        }
+        if ph == "i" && jget(ev, "s").and_then(Value::as_str).is_none() {
+            return Err(fail("is an instant without a scope \"s\""));
+        }
+    }
+    Ok(format!(
+        "{path}: valid Chrome trace JSON ({} events)\n",
+        events.len()
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -845,6 +1207,132 @@ mod tests {
         assert!(svg.starts_with("<svg"), "{svg}");
         assert!(svg.contains("netsim.probe_rtt_hit_secs"), "{svg}");
         assert!(svg.contains("<rect"), "{svg}");
+    }
+
+    fn write_test_flightrec(dir: &Path) -> (obs::FlightRecorder, PathBuf) {
+        use obs::trace::{probe_ctx, CompKind, TraceEv, SUPERVISOR_CTX};
+        std::fs::create_dir_all(dir).unwrap();
+        let mut f = obs::FlightRecorder::enabled();
+        f.begin(probe_ctx(0, 0, 1));
+        f.log(0.0, Some(0), TraceEv::Inject { flow: 3 });
+        f.log(
+            0.001,
+            Some(0),
+            TraceEv::Component {
+                kind: CompKind::Hop,
+                secs: 0.001,
+            },
+        );
+        f.log(
+            0.004,
+            Some(0),
+            TraceEv::Component {
+                kind: CompKind::Controller,
+                secs: 0.003,
+            },
+        );
+        f.log(
+            0.002,
+            Some(0),
+            TraceEv::Fault {
+                kind: "flow_mods_delayed",
+                node: Some(1),
+            },
+        );
+        f.log(0.004, Some(0), TraceEv::Delivered { rtt: 0.004 });
+        f.begin(SUPERVISOR_CTX);
+        f.log(
+            0.0,
+            None,
+            TraceEv::UnitStart {
+                unit: 0,
+                attempt: 0,
+            },
+        );
+        f.log(
+            0.0,
+            None,
+            TraceEv::UnitOk {
+                unit: 0,
+                attempt: 0,
+            },
+        );
+        let path = dir.join("fault_sweep.flightrec.jsonl");
+        f.dump_jsonl(&path, "fault_sweep").unwrap();
+        (f, path)
+    }
+
+    #[test]
+    fn trace_renders_flightrec_timeline_and_decomposition() {
+        let dir = std::env::temp_dir().join("flow-recon-cli-trace-test");
+        let (_, fr) = write_test_flightrec(&dir);
+        let out = run(&args(&format!("trace --flightrec {}", fr.display()))).unwrap();
+        assert!(out.contains("flight recorder: source fault_sweep"), "{out}");
+        assert!(out.contains("delivered 1"), "{out}");
+        assert!(
+            out.contains("supervision: unit_start(u0) unit_ok(u0)"),
+            "{out}"
+        );
+        assert!(out.contains("timeline (1 contexts"), "{out}");
+        assert!(out.contains("u0 t0 a1"), "{out}");
+        assert!(out.contains('!'), "{out}");
+        assert!(out.contains('D'), "{out}");
+        assert!(out.contains("top 1 slowest probes:"), "{out}");
+        assert!(out.contains("rtt 4.000e-3 s"), "{out}");
+        assert!(out.contains("controller 3.000e-3"), "{out}");
+        assert!(out.contains("hop 1.000e-3"), "{out}");
+        assert!(out.contains("residual 0.0e0"), "{out}");
+
+        let svg_path = dir.join("trace.svg");
+        let out2 = run(&args(&format!(
+            "trace --flightrec {} --svg {}",
+            fr.display(),
+            svg_path.display()
+        )))
+        .unwrap();
+        assert!(out2.contains("wrote"), "{out2}");
+        let svg = std::fs::read_to_string(&svg_path).unwrap();
+        assert!(svg.starts_with("<svg"), "{svg}");
+        assert!(svg.contains("#cc3311"), "{svg}"); // fault tick
+        assert!(svg.contains("#228833"), "{svg}"); // delivery tick
+    }
+
+    #[test]
+    fn trace_validate_accepts_our_export_and_rejects_junk() {
+        let dir = std::env::temp_dir().join("flow-recon-cli-trace-validate-test");
+        let (f, _) = write_test_flightrec(&dir);
+        let tj = dir.join("trace.json");
+        std::fs::write(&tj, f.to_chrome_trace()).unwrap();
+        let out = run(&args(&format!("trace --validate {}", tj.display()))).unwrap();
+        assert!(out.contains("valid Chrome trace JSON"), "{out}");
+        assert!(out.contains("7 events"), "{out}");
+
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{\"notTraceEvents\":[]}").unwrap();
+        let err = run(&args(&format!("trace --validate {}", bad.display()))).unwrap_err();
+        assert!(err.contains("traceEvents"), "{err}");
+        std::fs::write(&bad, "{\"traceEvents\":[{\"name\":\"x\"}]}").unwrap();
+        let err = run(&args(&format!("trace --validate {}", bad.display()))).unwrap_err();
+        assert!(err.contains("traceEvents[0]"), "{err}");
+
+        let err = run(&args("trace --top 3")).unwrap_err();
+        assert!(err.contains("--flightrec"), "{err}");
+    }
+
+    #[test]
+    fn diagnose_includes_flight_summary_next_to_manifest() {
+        let dir = std::env::temp_dir().join("flow-recon-cli-diagnose-flight-test");
+        let manifest = write_test_manifest(&dir);
+        let (_, fr) = write_test_flightrec(&dir);
+        let out = run(&args(&format!(
+            "diagnose --manifest {}",
+            manifest.display()
+        )))
+        .unwrap();
+        assert!(out.contains("experiment      fault_sweep"), "{out}");
+        assert!(out.contains(&format!("== {} ==", fr.display())), "{out}");
+        assert!(out.contains("flight recorder: source fault_sweep"), "{out}");
+        assert!(out.contains("top 1 slowest probes:"), "{out}");
     }
 
     #[test]
